@@ -1,0 +1,123 @@
+// Table IV: Algorithm 3 on S. cerevisiae Network II with partition
+// {R54r, R90r, R60r} under a per-rank memory budget, including the paper's
+// two stories:
+//
+//   1. Algorithm 2 alone cannot finish: the replicated nullspace matrix
+//      outgrows a rank's memory (the paper's run died at iteration 59 of
+//      61).  Reproduced here by running Algorithm 2 under the same budget
+//      and showing the MemoryBudgetError.
+//   2. Two of the eight three-reaction subsets are still too large and get
+//      re-split by a fourth reaction (the paper used R22r), after which the
+//      whole set completes.  Reproduced by the adaptive re-split.
+//
+// Paper reference: 49,764,544 EFMs total in 2 h 57 min on 256 Blue Gene/P
+// nodes; per-subset rows in Table IV.
+#include <cstdio>
+
+#include "bench_common.hpp"
+
+int main(int argc, char** argv) {
+  using namespace elmo;
+  const bool full = bench::full_scale(argc, argv);
+  bench::print_scale_banner(
+      full, "Table IV: Algorithm 3 on Network II, partition {R54r, R90r, "
+            "R60r}, memory-budgeted");
+
+  Network network = bench::network_2(full);
+  auto compressed = compress(network);
+  const int ranks = full ? 8 : 4;
+
+  // Pick a budget that binds: measure the unsplit peak first (on the demo
+  // scale this is quick; on full scale we use a fixed fraction of the
+  // paper's 4 GB/node Blue Gene budget scaled to the instance).
+  std::size_t unsplit_peak = 0;
+  bool unsplit_failed = false;
+  std::size_t budget;
+  {
+    EfmOptions probe_options;
+    probe_options.algorithm = Algorithm::kCombinatorialParallel;
+    probe_options.num_ranks = ranks;
+    if (full) {
+      budget = std::size_t{3} << 30;  // 3 GiB per rank
+      probe_options.memory_budget_per_rank = budget;
+      try {
+        auto unsplit =
+            compute_efms(compressed, network.reversibility(), probe_options);
+        unsplit_peak = unsplit.peak_rank_memory;
+      } catch (const MemoryBudgetError& e) {
+        unsplit_failed = true;
+        std::printf("Algorithm 2 under %s/rank: ABORTED mid-run (%s needed) "
+                    "- the paper's iteration-59 failure\n\n",
+                    bytes_str(e.budget_bytes).c_str(),
+                    bytes_str(e.requested_bytes).c_str());
+      }
+    } else {
+      auto unsplit =
+          compute_efms(compressed, network.reversibility(), probe_options);
+      unsplit_peak = unsplit.peak_rank_memory;
+      // Choose a budget below the unsplit peak — and below the largest
+      // subset's needs — so the demo reproduces both the failure and the
+      // adaptive re-split narrative at small scale.
+      budget = unsplit_peak * 2 / 5;
+      probe_options.memory_budget_per_rank = budget;
+      try {
+        compute_efms(compressed, network.reversibility(), probe_options);
+      } catch (const MemoryBudgetError& e) {
+        unsplit_failed = true;
+        std::printf("Algorithm 2 under %s/rank: ABORTED mid-run (%s needed) "
+                    "- the paper's iteration-59 failure\n\n",
+                    bytes_str(e.budget_bytes).c_str(),
+                    bytes_str(e.requested_bytes).c_str());
+      }
+    }
+  }
+  if (!unsplit_failed) {
+    std::printf("note: Algorithm 2 fit under the budget at this scale; the "
+                "divide-and-conquer rows below still apply\n\n");
+  }
+
+  EfmOptions options;
+  options.algorithm = Algorithm::kCombined;
+  options.num_ranks = ranks;
+  if (full) {
+    options.partition_reactions = {"R54r", "R90r", "R60r"};
+  } else {
+    // The demo knockouts couple R60r into an irreversible chain, so the
+    // demo auto-selects three trailing reversible reactions instead.
+    options.qsub = 3;
+  }
+  options.memory_budget_per_rank = budget;
+  options.max_extra_splits = 2;  // allow the paper's fourth reaction
+  Stopwatch watch;
+  auto result = compute_efms(compressed, network.reversibility(), options);
+  const double seconds = watch.seconds();
+
+  Table table({"id", "binary partition subset", "# candidate modes",
+               "# EFM", "time (s)", "re-split"});
+  std::size_t id = 0;
+  for (const auto& subset : result.subsets) {
+    table.add_row({std::to_string(id++), subset.label,
+                   with_commas(subset.candidate_pairs),
+                   with_commas(subset.num_efms), seconds_str(subset.seconds),
+                   subset.extra_splits ? "+" + std::to_string(
+                                                   subset.extra_splits) +
+                                             " reaction(s)"
+                                       : ""});
+  }
+  std::fputs(
+      table.render("Algorithm 3 (measured), budget " + bytes_str(budget) +
+                   "/rank")
+          .c_str(),
+      stdout);
+  const std::string unsplit_note =
+      unsplit_peak ? " (unsplit peak: " + bytes_str(unsplit_peak) + ")" : "";
+  std::printf("\nTotal # EFM: %s    total time: %s s    peak rank memory: "
+              "%s%s\n",
+              with_commas(result.num_modes()).c_str(),
+              seconds_str(seconds).c_str(),
+              bytes_str(result.peak_rank_memory).c_str(),
+              unsplit_note.c_str());
+  std::printf("\npaper: 49,764,544 EFMs; subsets 1 and 3 re-split by R22r; "
+              "2h57m23s on 256 Blue Gene/P nodes\n");
+  return 0;
+}

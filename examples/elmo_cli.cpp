@@ -1,0 +1,202 @@
+// elmo_cli — file-in / file-out elementary-flux-mode computation.
+//
+//   $ ./examples/elmo_cli network.txt                   # modes to stdout
+//   $ ./examples/elmo_cli network.txt -o modes.csv      # CSV to a file
+//   $ ./examples/elmo_cli network.txt --algorithm combined --ranks 8 \
+//         --partition R6r,R8r --stats
+//   $ ./examples/elmo_cli --builtin toy                 # bundled models
+//
+// The input format is the reaction-list text documented in
+// src/network/parser.hpp (and printed by --help).
+#include <cstdio>
+#include <cstring>
+#include <fstream>
+#include <sstream>
+#include <string>
+
+#include "elmo/elmo.hpp"
+#include "models/ecoli_core.hpp"
+#include "support/format.hpp"
+
+namespace {
+
+constexpr const char* kUsage = R"(usage: elmo_cli [NETWORK_FILE] [options]
+
+input (one of):
+  NETWORK_FILE              reaction-list text file
+  --builtin toy|yeast1|yeast2|ecoli
+
+options:
+  -o, --output FILE         write modes as CSV (default: stdout, text form)
+  --algorithm serial|parallel|partitioned|combined   (default serial)
+  --ranks N                 simulated compute ranks     (default 4)
+  --threads N               shared-memory workers/rank  (default 1)
+  --partition A,B,...       divide-and-conquer reactions (combined)
+  --qsub N                  auto-select N partition reactions (combined)
+  --exact-rank-test         use the exact Bareiss backend
+  --stats                   print counters and phase times
+  --validate                print structural warnings and exit
+  --help
+
+reaction-list format:
+  # comment
+  external GLCext O2ext     # declare external metabolites
+  R1  : GLCext + PEP => G6P + PYR
+  R2r : G6P <=> F6P         # '<=>' marks reversible reactions
+  (names ending in 'ext' are external by default)
+)";
+
+[[noreturn]] void usage(int code) {
+  std::fputs(kUsage, code == 0 ? stdout : stderr);
+  std::exit(code);
+}
+
+std::vector<std::string> split_csv(const std::string& arg) {
+  std::vector<std::string> out;
+  std::size_t start = 0;
+  while (start <= arg.size()) {
+    std::size_t comma = arg.find(',', start);
+    if (comma == std::string::npos) comma = arg.size();
+    if (comma > start) out.push_back(arg.substr(start, comma - start));
+    start = comma + 1;
+  }
+  return out;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  using namespace elmo;
+
+  std::string input_path;
+  std::string builtin;
+  std::string output_path;
+  std::string algorithm = "serial";
+  bool print_stats = false;
+  bool validate_only = false;
+  EfmOptions options;
+  options.num_ranks = 4;
+
+  for (int i = 1; i < argc; ++i) {
+    auto next = [&]() -> std::string {
+      if (i + 1 >= argc) usage(2);
+      return argv[++i];
+    };
+    if (!std::strcmp(argv[i], "--help") || !std::strcmp(argv[i], "-h")) {
+      usage(0);
+    } else if (!std::strcmp(argv[i], "--builtin")) {
+      builtin = next();
+    } else if (!std::strcmp(argv[i], "-o") ||
+               !std::strcmp(argv[i], "--output")) {
+      output_path = next();
+    } else if (!std::strcmp(argv[i], "--algorithm")) {
+      algorithm = next();
+    } else if (!std::strcmp(argv[i], "--ranks")) {
+      options.num_ranks = std::stoi(next());
+    } else if (!std::strcmp(argv[i], "--threads")) {
+      options.threads_per_rank = std::stoi(next());
+    } else if (!std::strcmp(argv[i], "--partition")) {
+      options.partition_reactions = split_csv(next());
+    } else if (!std::strcmp(argv[i], "--qsub")) {
+      options.qsub = static_cast<std::size_t>(std::stoul(next()));
+    } else if (!std::strcmp(argv[i], "--exact-rank-test")) {
+      options.rank_backend = RankTestBackend::kExact;
+    } else if (!std::strcmp(argv[i], "--stats")) {
+      print_stats = true;
+    } else if (!std::strcmp(argv[i], "--validate")) {
+      validate_only = true;
+    } else if (argv[i][0] == '-') {
+      std::fprintf(stderr, "unknown option: %s\n", argv[i]);
+      usage(2);
+    } else if (input_path.empty()) {
+      input_path = argv[i];
+    } else {
+      usage(2);
+    }
+  }
+  if (algorithm == "serial") {
+    options.algorithm = Algorithm::kSerial;
+  } else if (algorithm == "parallel") {
+    options.algorithm = Algorithm::kCombinatorialParallel;
+  } else if (algorithm == "partitioned") {
+    options.algorithm = Algorithm::kPartitioned;
+  } else if (algorithm == "combined") {
+    options.algorithm = Algorithm::kCombined;
+  } else {
+    std::fprintf(stderr, "unknown algorithm: %s\n", algorithm.c_str());
+    usage(2);
+  }
+
+  Network network;
+  try {
+    if (!builtin.empty()) {
+      if (builtin == "toy") {
+        network = models::toy_network();
+      } else if (builtin == "yeast1") {
+        network = models::yeast_network_1();
+      } else if (builtin == "yeast2") {
+        network = models::yeast_network_2();
+      } else if (builtin == "ecoli") {
+        network = models::ecoli_core();
+      } else {
+        std::fprintf(stderr, "unknown builtin: %s\n", builtin.c_str());
+        usage(2);
+      }
+    } else if (!input_path.empty()) {
+      std::ifstream in(input_path);
+      if (!in) {
+        std::fprintf(stderr, "cannot open %s\n", input_path.c_str());
+        return 1;
+      }
+      std::ostringstream text;
+      text << in.rdbuf();
+      network = parse_network(text.str());
+    } else {
+      usage(2);
+    }
+  } catch (const ParseError& e) {
+    std::fprintf(stderr, "parse error: %s\n", e.what());
+    return 1;
+  }
+
+  if (validate_only) {
+    auto report = validate(network);
+    if (report.clean()) {
+      std::printf("network OK: %zu internal metabolites, %zu reactions\n",
+                  network.num_internal_metabolites(),
+                  network.num_reactions());
+      return 0;
+    }
+    for (const auto& warning : report.warnings)
+      std::printf("warning: %s\n", warning.c_str());
+    return 3;
+  }
+
+  try {
+    EfmResult result = compute_efms(network, options);
+    if (output_path.empty()) {
+      std::fputs(efms_to_text(result.modes, result.reaction_names).c_str(),
+                 stdout);
+    } else {
+      std::ofstream out(output_path);
+      out << efms_to_csv(result.modes, result.reaction_names);
+      std::fprintf(stderr, "%zu modes written to %s\n", result.num_modes(),
+                   output_path.c_str());
+    }
+    if (print_stats) {
+      std::fprintf(stderr,
+                   "modes: %s  candidate pairs: %s  rank tests: %s\n"
+                   "reduced: %zux%zu  time: %s s%s\n",
+                   with_commas(result.num_modes()).c_str(),
+                   with_commas(result.stats.total_pairs_probed).c_str(),
+                   with_commas(result.stats.total_rank_tests).c_str(),
+                   result.reduced_metabolites, result.reduced_reactions,
+                   seconds_str(result.seconds).c_str(),
+                   result.used_bigint ? " (BigInt)" : "");
+    }
+  } catch (const Error& e) {
+    std::fprintf(stderr, "error: %s\n", e.what());
+    return 1;
+  }
+  return 0;
+}

@@ -1,0 +1,155 @@
+// Divide-and-conquer partition explorer — the paper's §IV.C future-work
+// item made concrete.
+//
+// "It is yet unclear how to select the subset of reactions in
+//  divide-and-conquer that may maximally decrease the number of
+//  intermediate candidate elementary flux modes." (paper, §IV.A)
+//
+// This example enumerates candidate partition subsets of trailing
+// reversible reactions, scores each with the sampling estimator
+// (core/estimate.hpp), then verifies the ranking by running the combined
+// algorithm for real and comparing estimated vs measured candidate counts.
+//
+//   $ ./examples/partition_explorer            # toy network
+//   $ ./examples/partition_explorer yeast      # yeast Network I, small scale
+#include <algorithm>
+#include <cstdio>
+#include <cstring>
+#include <string>
+#include <vector>
+
+#include "bitset/bitset64.hpp"
+#include "bitset/dynbitset.hpp"
+#include "core/combined.hpp"
+#include "core/estimate.hpp"
+#include "models/toy.hpp"
+#include "models/yeast.hpp"
+#include "support/format.hpp"
+
+namespace {
+
+struct Scored {
+  std::vector<std::size_t> rows;
+  double estimated_pairs = 0.0;
+  std::uint64_t measured_pairs = 0;
+};
+
+template <typename Support>
+void explore(const elmo::EfmProblem<elmo::CheckedI64>& problem,
+             std::size_t max_qsub) {
+  using namespace elmo;
+  // Candidate pool: the trailing reversible reactions (at most 4).
+  std::vector<std::size_t> pool;
+  try {
+    pool = select_partition_rows(problem, OrderingOptions{}, 4);
+  } catch (const InvalidArgumentError&) {
+    for (std::size_t n = 3; n >= 1; --n) {
+      try {
+        pool = select_partition_rows(problem, OrderingOptions{}, n);
+        break;
+      } catch (const InvalidArgumentError&) {
+        if (n == 1) throw;
+      }
+    }
+  }
+  std::printf("partition candidate pool:");
+  for (std::size_t row : pool)
+    std::printf(" %s", problem.reaction_names[row].c_str());
+  std::printf("\n\n%-28s %16s %16s\n", "subset", "estimated pairs",
+              "measured pairs");
+
+  std::vector<Scored> scored;
+  // All non-empty subsets of the pool up to max_qsub reactions.
+  for (std::uint64_t mask = 1; mask < (1ULL << pool.size()); ++mask) {
+    std::vector<std::size_t> rows;
+    for (std::size_t k = 0; k < pool.size(); ++k)
+      if ((mask >> k) & 1) rows.push_back(pool[k]);
+    if (rows.size() > max_qsub) continue;
+
+    Scored entry;
+    entry.rows = rows;
+    EstimateOptions opts;
+    opts.pair_budget = 1'000'000;
+    entry.estimated_pairs =
+        estimate_partition_cost<CheckedI64, Support>(problem, rows, opts);
+
+    CombinedOptions combined;
+    for (std::size_t row : rows)
+      combined.partition_reactions.push_back(problem.reaction_names[row]);
+    combined.num_ranks = 1;
+    auto run = solve_combined<CheckedI64, Support>(problem, combined);
+    entry.measured_pairs = run.total.total_pairs_probed;
+
+    std::string label;
+    for (std::size_t row : rows) {
+      if (!label.empty()) label += ',';
+      label += problem.reaction_names[row];
+    }
+    std::printf("%-28s %16s %16s\n", label.c_str(),
+                with_commas(static_cast<std::uint64_t>(
+                    entry.estimated_pairs)).c_str(),
+                with_commas(entry.measured_pairs).c_str());
+    scored.push_back(std::move(entry));
+  }
+
+  // How good is the estimator as a ranking?  Count order inversions.
+  std::size_t inversions = 0;
+  std::size_t comparisons = 0;
+  for (std::size_t a = 0; a < scored.size(); ++a) {
+    for (std::size_t b = a + 1; b < scored.size(); ++b) {
+      if (scored[a].measured_pairs == scored[b].measured_pairs) continue;
+      ++comparisons;
+      bool est_says_a = scored[a].estimated_pairs < scored[b].estimated_pairs;
+      bool truth_says_a = scored[a].measured_pairs < scored[b].measured_pairs;
+      if (est_says_a != truth_says_a) ++inversions;
+    }
+  }
+  if (comparisons) {
+    std::printf("\nestimator ranking agreement: %zu/%zu pairwise orders "
+                "correct\n",
+                comparisons - inversions, comparisons);
+  }
+  // And the recommendation:
+  auto best = std::min_element(scored.begin(), scored.end(),
+                               [](const Scored& a, const Scored& b) {
+                                 return a.estimated_pairs < b.estimated_pairs;
+                               });
+  if (best != scored.end()) {
+    std::printf("recommended partition:");
+    for (std::size_t row : best->rows)
+      std::printf(" %s", problem.reaction_names[row].c_str());
+    std::printf("\n");
+  }
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  using namespace elmo;
+  const bool yeast = argc > 1 && !std::strcmp(argv[1], "yeast");
+
+  Network network;
+  if (yeast) {
+    network = models::yeast_network_1();
+    std::vector<ReactionId> trim;
+    for (const char* name : {"R15", "R33", "R41", "R46", "R92r", "R98",
+                             "R100", "R77", "R101"}) {
+      if (auto id = network.find_reaction(name)) trim.push_back(*id);
+    }
+    network = network.without_reactions(trim);
+    std::printf("network: yeast Network I (demo scale)\n");
+  } else {
+    network = models::toy_network();
+    std::printf("network: toy (Fig. 1)\n");
+  }
+
+  auto compressed = compress(network);
+  auto problem = to_problem<CheckedI64>(compressed);
+  if (compressed.num_reactions() + network.num_reversible_reactions() <=
+      Bitset64::capacity()) {
+    explore<Bitset64>(problem, yeast ? 3 : 2);
+  } else {
+    explore<DynBitset>(problem, yeast ? 3 : 2);
+  }
+  return 0;
+}

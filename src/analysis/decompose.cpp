@@ -1,0 +1,127 @@
+#include "analysis/decompose.hpp"
+
+#include <cmath>
+
+#include "support/assert.hpp"
+
+namespace elmo {
+
+namespace {
+
+/// Is `mode` (optionally negated) usable against residual `r`?
+/// Requires supp(mode) ⊆ supp(r) with matching signs; returns the exact
+/// maximal step alpha > 0 (the ratio at which the first residual entry
+/// reaches zero), or zero if incompatible.
+BigRational max_step(const std::vector<BigRational>& r,
+                     const std::vector<BigInt>& mode, bool negate) {
+  BigRational alpha;  // 0 = incompatible
+  bool first = true;
+  for (std::size_t j = 0; j < mode.size(); ++j) {
+    if (mode[j].is_zero()) continue;
+    BigInt e = negate ? -mode[j] : mode[j];
+    const int es = e.sign();
+    const int rs = r[j].sign();
+    if (rs == 0 || rs != es) return BigRational();  // sign clash / overshoot
+    // ratio = r_j / e_j  (> 0 since signs match).
+    BigRational ratio = r[j] / BigRational(e);
+    if (first || ratio < alpha) {
+      alpha = ratio;
+      first = false;
+    }
+  }
+  return first ? BigRational() : alpha;
+}
+
+/// L1 mass the step removes: alpha * sum|e| (used to rank greedy picks).
+double removed_mass(const BigRational& alpha,
+                    const std::vector<BigInt>& mode) {
+  double l1 = 0;
+  for (const auto& e : mode) l1 += std::fabs(e.to_double());
+  return alpha.to_double() * l1;
+}
+
+bool fully_reversible(const std::vector<BigInt>& mode,
+                      const std::vector<bool>& reversible) {
+  for (std::size_t j = 0; j < mode.size(); ++j)
+    if (!mode[j].is_zero() && !reversible[j]) return false;
+  return true;
+}
+
+}  // namespace
+
+double Decomposition::residual_l1() const {
+  double total = 0;
+  for (const auto& r : residual) total += std::fabs(r.to_double());
+  return total;
+}
+
+Decomposition decompose_flux(const std::vector<BigRational>& flux,
+                             const std::vector<std::vector<BigInt>>& modes,
+                             const std::vector<bool>& reversible,
+                             const DecomposeOptions& options) {
+  ELMO_REQUIRE(flux.size() == reversible.size(),
+               "decompose_flux: flux/reversibility dimension mismatch");
+  for (const auto& mode : modes)
+    ELMO_REQUIRE(mode.size() == flux.size(),
+                 "decompose_flux: mode dimension mismatch");
+
+  Decomposition out;
+  out.residual = flux;
+  const std::size_t max_terms =
+      options.max_terms ? options.max_terms
+                        : std::max<std::size_t>(modes.size(), flux.size());
+
+  for (std::size_t step = 0; step < max_terms; ++step) {
+    bool residual_zero = true;
+    for (const auto& r : out.residual) residual_zero &= r.is_zero();
+    if (residual_zero) break;
+
+    // Greedy pick: the compatible (mode, orientation) absorbing the most
+    // L1 flux this step.
+    std::size_t best_mode = modes.size();
+    bool best_negate = false;
+    BigRational best_alpha;
+    double best_mass = 0;
+    for (std::size_t m = 0; m < modes.size(); ++m) {
+      for (bool negate : {false, true}) {
+        if (negate && !fully_reversible(modes[m], reversible)) continue;
+        BigRational alpha = max_step(out.residual, modes[m], negate);
+        if (alpha.is_zero()) continue;
+        double mass = removed_mass(alpha, modes[m]);
+        if (mass > best_mass) {
+          best_mass = mass;
+          best_mode = m;
+          best_negate = negate;
+          best_alpha = alpha;
+        }
+      }
+    }
+    if (best_mode == modes.size()) break;  // no compatible mode remains
+
+    // Absorb: residual -= alpha * (+-mode).
+    for (std::size_t j = 0; j < out.residual.size(); ++j) {
+      const BigInt& e = modes[best_mode][j];
+      if (e.is_zero()) continue;
+      BigRational delta = best_alpha * BigRational(best_negate ? -e : e);
+      out.residual[j] -= delta;
+    }
+    out.terms.push_back(DecompositionTerm{
+        best_mode, best_negate ? -best_alpha : best_alpha});
+  }
+
+  out.exact = true;
+  for (const auto& r : out.residual) out.exact = out.exact && r.is_zero();
+  return out;
+}
+
+Decomposition decompose_flux(const std::vector<BigInt>& flux,
+                             const std::vector<std::vector<BigInt>>& modes,
+                             const std::vector<bool>& reversible,
+                             const DecomposeOptions& options) {
+  std::vector<BigRational> rational;
+  rational.reserve(flux.size());
+  for (const auto& v : flux) rational.emplace_back(v);
+  return decompose_flux(rational, modes, reversible, options);
+}
+
+}  // namespace elmo

@@ -1,0 +1,66 @@
+// Decomposition of a measured flux distribution onto elementary flux modes.
+//
+// One of the EFM applications motivating the paper (§I, refs [8]-[12],
+// Schwartz & Kanehisa; Zhao & Kurata): any steady-state flux distribution v
+// is a nonnegative combination of EFMs (with sign freedom on fully
+// reversible modes).  Recovering weights lambda with
+//
+//      v  ≈  Σ_m lambda_m · e_m,   lambda_m >= 0,
+//
+// attributes observed fluxes to pathways.  The decomposition is generally
+// non-unique; this module implements the greedy residual-projection scheme
+// (repeatedly absorb the mode that reduces the residual most — the
+// practical baseline in the cited work) over exact rationals, so a claimed
+// exact decomposition really is exact.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "bigint/bigint.hpp"
+#include "bigint/rational.hpp"
+
+namespace elmo {
+
+struct DecompositionTerm {
+  std::size_t mode_index;  // into the supplied EFM list
+  /// Coefficient applied to the mode AS STORED; negative only when a fully
+  /// reversible mode was used in its mirrored orientation.
+  BigRational weight;
+};
+
+struct Decomposition {
+  std::vector<DecompositionTerm> terms;
+  /// v - sum(terms): the unexplained remainder, exact.
+  std::vector<BigRational> residual;
+  /// True iff the residual is identically zero.
+  bool exact = false;
+
+  /// Sum of |residual| entries as a double (diagnostic).
+  [[nodiscard]] double residual_l1() const;
+};
+
+struct DecomposeOptions {
+  /// Stop after this many greedy picks (0 = number of modes).
+  std::size_t max_terms = 0;
+};
+
+/// Greedily decompose `flux` onto `modes` (each a primitive integer vector
+/// over the same reactions, as produced by compute_efms).
+///
+/// Irreversibility is respected through the mode set itself: every mode is
+/// used with a nonnegative weight, and a fully reversible mode may also be
+/// used negated (the caller's mode list holds one orientation per cycle).
+/// `reversible` flags reactions, to decide which modes may flip.
+Decomposition decompose_flux(const std::vector<BigRational>& flux,
+                             const std::vector<std::vector<BigInt>>& modes,
+                             const std::vector<bool>& reversible,
+                             const DecomposeOptions& options = {});
+
+/// Convenience: integer flux input.
+Decomposition decompose_flux(const std::vector<BigInt>& flux,
+                             const std::vector<std::vector<BigInt>>& modes,
+                             const std::vector<bool>& reversible,
+                             const DecomposeOptions& options = {});
+
+}  // namespace elmo

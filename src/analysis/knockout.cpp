@@ -1,0 +1,106 @@
+#include "analysis/knockout.hpp"
+
+#include "support/assert.hpp"
+
+namespace elmo {
+
+std::vector<std::size_t> surviving_modes(
+    const std::vector<std::vector<BigInt>>& modes,
+    const std::vector<ReactionId>& knocked_out) {
+  std::vector<std::size_t> survivors;
+  for (std::size_t m = 0; m < modes.size(); ++m) {
+    bool alive = true;
+    for (ReactionId r : knocked_out) {
+      ELMO_REQUIRE(r < modes[m].size(), "knockout: bad reaction id");
+      if (!modes[m][r].is_zero()) {
+        alive = false;
+        break;
+      }
+    }
+    if (alive) survivors.push_back(m);
+  }
+  return survivors;
+}
+
+std::size_t modes_using(const std::vector<std::vector<BigInt>>& modes,
+                        ReactionId reaction) {
+  std::size_t count = 0;
+  for (const auto& mode : modes) {
+    ELMO_REQUIRE(reaction < mode.size(), "modes_using: bad reaction id");
+    if (!mode[reaction].is_zero()) ++count;
+  }
+  return count;
+}
+
+std::vector<std::string> KnockoutReport::essential_reactions() const {
+  std::vector<std::string> names;
+  for (const auto& effect : effects)
+    if (effect.essential) names.push_back(effect.reaction_name);
+  return names;
+}
+
+KnockoutReport knockout_screen(const Network& network,
+                               const std::vector<std::vector<BigInt>>& modes,
+                               ReactionId target) {
+  ELMO_REQUIRE(target < network.num_reactions(),
+               "knockout_screen: bad target reaction");
+  KnockoutReport report;
+  report.wild_type_modes = modes.size();
+  report.wild_type_producing = modes_using(modes, target);
+
+  for (ReactionId r = 0; r < network.num_reactions(); ++r) {
+    if (r == target) continue;
+    KnockoutEffect effect;
+    effect.reaction = r;
+    effect.reaction_name = network.reaction(r).name;
+    for (const auto& mode : modes) {
+      if (!mode[r].is_zero()) continue;  // killed by the knockout
+      ++effect.surviving;
+      if (!mode[target].is_zero()) ++effect.surviving_producing;
+    }
+    effect.essential =
+        effect.surviving_producing == 0 && report.wild_type_producing > 0;
+    report.effects.push_back(std::move(effect));
+  }
+  return report;
+}
+
+std::vector<std::vector<ReactionId>> minimal_cut_sets_2(
+    const std::vector<std::vector<BigInt>>& modes, ReactionId target,
+    std::size_t num_reactions) {
+  // Producing modes only; a cut set must intersect every one of them.
+  std::vector<const std::vector<BigInt>*> producing;
+  for (const auto& mode : modes) {
+    ELMO_REQUIRE(target < mode.size(), "minimal_cut_sets_2: bad target");
+    if (!mode[target].is_zero()) producing.push_back(&mode);
+  }
+  std::vector<std::vector<ReactionId>> cuts;
+  if (producing.empty()) return cuts;
+
+  auto hits_all = [&](ReactionId a, ReactionId b, bool pair) {
+    for (const auto* mode : producing) {
+      bool hit = !(*mode)[a].is_zero() || (pair && !(*mode)[b].is_zero());
+      if (!hit) return false;
+    }
+    return true;
+  };
+
+  std::vector<bool> single(num_reactions, false);
+  for (ReactionId a = 0; a < num_reactions; ++a) {
+    if (a == target) continue;
+    if (hits_all(a, a, false)) {
+      single[a] = true;
+      cuts.push_back({a});
+    }
+  }
+  for (ReactionId a = 0; a < num_reactions; ++a) {
+    if (a == target || single[a]) continue;
+    for (ReactionId b = a + 1; b < num_reactions; ++b) {
+      if (b == target || single[b]) continue;  // minimality
+      if (hits_all(a, b, true)) cuts.push_back({a, b});
+    }
+  }
+  return cuts;
+}
+
+}  // namespace elmo

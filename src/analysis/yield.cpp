@@ -1,0 +1,56 @@
+#include "analysis/yield.hpp"
+
+#include "support/assert.hpp"
+
+namespace elmo {
+
+std::vector<ModeYield> mode_yields(
+    const std::vector<std::vector<BigInt>>& modes, ReactionId substrate,
+    ReactionId product) {
+  std::vector<ModeYield> yields;
+  for (std::size_t m = 0; m < modes.size(); ++m) {
+    ELMO_REQUIRE(substrate < modes[m].size() && product < modes[m].size(),
+                 "mode_yields: bad reaction id");
+    const BigInt& s = modes[m][substrate];
+    if (s.is_zero()) continue;
+    ModeYield y;
+    y.mode_index = m;
+    y.yield = BigRational(modes[m][product].abs(), s.abs());
+    yields.push_back(std::move(y));
+  }
+  return yields;
+}
+
+std::optional<ModeYield> optimal_yield(
+    const std::vector<std::vector<BigInt>>& modes, ReactionId substrate,
+    ReactionId product) {
+  auto yields = mode_yields(modes, substrate, product);
+  if (yields.empty()) return std::nullopt;
+  std::size_t best = 0;
+  for (std::size_t k = 1; k < yields.size(); ++k)
+    if (yields[best].yield < yields[k].yield) best = k;
+  return yields[best];
+}
+
+std::vector<std::size_t> yield_histogram(const std::vector<ModeYield>& yields,
+                                         std::size_t buckets) {
+  ELMO_REQUIRE(buckets > 0, "yield_histogram: need at least one bucket");
+  std::vector<std::size_t> histogram(buckets, 0);
+  if (yields.empty()) return histogram;
+  double max_yield = 0;
+  for (const auto& y : yields)
+    max_yield = std::max(max_yield, y.yield.to_double());
+  if (max_yield <= 0) {
+    histogram[0] = yields.size();
+    return histogram;
+  }
+  for (const auto& y : yields) {
+    auto bin = static_cast<std::size_t>(y.yield.to_double() / max_yield *
+                                        static_cast<double>(buckets));
+    if (bin >= buckets) bin = buckets - 1;
+    ++histogram[bin];
+  }
+  return histogram;
+}
+
+}  // namespace elmo

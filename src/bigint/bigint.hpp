@@ -1,0 +1,133 @@
+// Arbitrary-precision signed integer.
+//
+// Sign-magnitude representation over 32-bit limbs (least significant limb
+// first).  BigInt is the exact fallback scalar for the Nullspace Algorithm:
+// fraction-free Gaussian elimination grows intermediate values beyond 64
+// bits on networks with large stoichiometric coefficients (the yeast biomass
+// reaction R70 has coefficients up to 40141).
+//
+// The implementation is self-contained (no GMP) because the reproduction
+// environment is offline; schoolbook multiplication and Knuth Algorithm D
+// division are sufficient for the value sizes arising in EFM computation
+// (typically < 512 bits after gcd normalisation).
+#pragma once
+
+#include <compare>
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace elmo {
+
+class BigInt {
+ public:
+  /// Zero.
+  BigInt() = default;
+
+  /// Construct from a native signed integer.
+  BigInt(std::int64_t value);  // NOLINT(google-explicit-constructor)
+
+  /// Parse a base-10 integer with optional leading '-' or '+'.
+  /// Throws ParseError on malformed input.
+  static BigInt from_string(std::string_view text);
+
+  /// True iff the value is zero.
+  [[nodiscard]] bool is_zero() const { return limbs_.empty(); }
+
+  /// -1, 0 or +1.
+  [[nodiscard]] int sign() const {
+    return limbs_.empty() ? 0 : (negative_ ? -1 : 1);
+  }
+
+  /// True iff the value fits in int64_t.
+  [[nodiscard]] bool fits_i64() const;
+
+  /// Convert to int64_t; throws OverflowError if out of range.
+  [[nodiscard]] std::int64_t to_i64() const;
+
+  /// Closest double (may lose precision for large magnitudes).
+  [[nodiscard]] double to_double() const;
+
+  /// Base-10 representation.
+  [[nodiscard]] std::string to_string() const;
+
+  /// Number of significant bits of the magnitude (0 for zero).
+  [[nodiscard]] std::size_t bit_length() const;
+
+  /// Bytes of heap storage used by the limb vector (memory accounting).
+  [[nodiscard]] std::size_t storage_bytes() const {
+    return limbs_.capacity() * sizeof(std::uint32_t);
+  }
+
+  [[nodiscard]] BigInt operator-() const;
+  [[nodiscard]] BigInt abs() const;
+
+  BigInt& operator+=(const BigInt& rhs);
+  BigInt& operator-=(const BigInt& rhs);
+  BigInt& operator*=(const BigInt& rhs);
+  /// Truncated division (C semantics: quotient rounds toward zero).
+  BigInt& operator/=(const BigInt& rhs);
+  /// Remainder with the sign of the dividend (C semantics).
+  BigInt& operator%=(const BigInt& rhs);
+
+  friend BigInt operator+(BigInt lhs, const BigInt& rhs) { return lhs += rhs; }
+  friend BigInt operator-(BigInt lhs, const BigInt& rhs) { return lhs -= rhs; }
+  friend BigInt operator*(BigInt lhs, const BigInt& rhs) { return lhs *= rhs; }
+  friend BigInt operator/(BigInt lhs, const BigInt& rhs) { return lhs /= rhs; }
+  friend BigInt operator%(BigInt lhs, const BigInt& rhs) { return lhs %= rhs; }
+
+  /// Quotient and remainder in one pass; remainder has the dividend's sign.
+  /// Throws InvalidArgumentError on division by zero.
+  static void divmod(const BigInt& dividend, const BigInt& divisor,
+                     BigInt& quotient, BigInt& remainder);
+
+  friend bool operator==(const BigInt& lhs, const BigInt& rhs) {
+    return lhs.negative_ == rhs.negative_ && lhs.limbs_ == rhs.limbs_;
+  }
+  friend std::strong_ordering operator<=>(const BigInt& lhs,
+                                          const BigInt& rhs);
+
+  /// Greatest common divisor of |a| and |b|; gcd(0, 0) == 0.
+  static BigInt gcd(const BigInt& a, const BigInt& b);
+
+  /// Divide exactly, asserting there is no remainder (debug builds).
+  /// Used by fraction-free elimination where divisibility is guaranteed.
+  [[nodiscard]] BigInt exact_div(const BigInt& divisor) const;
+
+  /// Append a length-prefixed little-endian encoding to `out`
+  /// (message-passing serialisation).
+  void serialize(std::vector<std::uint8_t>& out) const;
+
+  /// Inverse of serialize(); advances `cursor`.  Throws ParseError on a
+  /// truncated or malformed buffer.
+  static BigInt deserialize(const std::uint8_t*& cursor,
+                            const std::uint8_t* end);
+
+ private:
+  /// Compare magnitudes only: -1, 0, +1.
+  static int compare_magnitude(const std::vector<std::uint32_t>& a,
+                               const std::vector<std::uint32_t>& b);
+  static void add_magnitude(std::vector<std::uint32_t>& acc,
+                            const std::vector<std::uint32_t>& rhs);
+  /// acc -= rhs, requires |acc| >= |rhs|.
+  static void sub_magnitude(std::vector<std::uint32_t>& acc,
+                            const std::vector<std::uint32_t>& rhs);
+  static std::vector<std::uint32_t> mul_magnitude(
+      const std::vector<std::uint32_t>& a,
+      const std::vector<std::uint32_t>& b);
+  /// Knuth Algorithm D on magnitudes; quotient/remainder are outputs.
+  static void divmod_magnitude(const std::vector<std::uint32_t>& dividend,
+                               const std::vector<std::uint32_t>& divisor,
+                               std::vector<std::uint32_t>& quotient,
+                               std::vector<std::uint32_t>& remainder);
+  void trim();
+
+  // Least-significant limb first; empty means zero (and negative_ is false).
+  std::vector<std::uint32_t> limbs_;
+  bool negative_ = false;
+};
+
+inline BigInt abs(const BigInt& value) { return value.abs(); }
+
+}  // namespace elmo

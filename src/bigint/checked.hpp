@@ -1,0 +1,113 @@
+// Overflow-checked 64-bit signed integer.
+//
+// CheckedI64 is the default scalar for the Nullspace Algorithm kernel: flux
+// column entries stay small after gcd normalisation, so native arithmetic is
+// almost always sufficient — but Bareiss elimination and the biomass-scale
+// stoichiometric coefficients in the yeast networks can overflow.  Every
+// operation detects overflow (via compiler builtins) and throws
+// OverflowError, which the solver catches to retry with BigInt.
+#pragma once
+
+#include <compare>
+#include <cstdint>
+#include <numeric>
+#include <string>
+
+#include "support/error.hpp"
+
+namespace elmo {
+
+class CheckedI64 {
+ public:
+  constexpr CheckedI64() = default;
+  constexpr CheckedI64(std::int64_t v)  // NOLINT(google-explicit-constructor)
+      : value_(v) {}
+
+  [[nodiscard]] constexpr std::int64_t value() const { return value_; }
+  [[nodiscard]] constexpr bool is_zero() const { return value_ == 0; }
+  [[nodiscard]] constexpr int sign() const {
+    return value_ == 0 ? 0 : (value_ < 0 ? -1 : 1);
+  }
+  [[nodiscard]] double to_double() const {
+    return static_cast<double>(value_);
+  }
+  [[nodiscard]] std::string to_string() const {
+    return std::to_string(value_);
+  }
+
+  CheckedI64& operator+=(CheckedI64 rhs) {
+    if (__builtin_add_overflow(value_, rhs.value_, &value_))
+      throw OverflowError("CheckedI64: addition overflow");
+    return *this;
+  }
+  CheckedI64& operator-=(CheckedI64 rhs) {
+    if (__builtin_sub_overflow(value_, rhs.value_, &value_))
+      throw OverflowError("CheckedI64: subtraction overflow");
+    return *this;
+  }
+  CheckedI64& operator*=(CheckedI64 rhs) {
+    if (__builtin_mul_overflow(value_, rhs.value_, &value_))
+      throw OverflowError("CheckedI64: multiplication overflow");
+    return *this;
+  }
+  CheckedI64& operator/=(CheckedI64 rhs) {
+    if (rhs.value_ == 0)
+      throw InvalidArgumentError("CheckedI64: division by zero");
+    if (value_ == INT64_MIN && rhs.value_ == -1)
+      throw OverflowError("CheckedI64: INT64_MIN / -1 overflow");
+    value_ /= rhs.value_;
+    return *this;
+  }
+  CheckedI64& operator%=(CheckedI64 rhs) {
+    if (rhs.value_ == 0)
+      throw InvalidArgumentError("CheckedI64: modulo by zero");
+    if (value_ == INT64_MIN && rhs.value_ == -1) {
+      value_ = 0;
+      return *this;
+    }
+    value_ %= rhs.value_;
+    return *this;
+  }
+
+  [[nodiscard]] CheckedI64 operator-() const {
+    if (value_ == INT64_MIN)
+      throw OverflowError("CheckedI64: negation overflow");
+    return CheckedI64(-value_);
+  }
+
+  friend CheckedI64 operator+(CheckedI64 a, CheckedI64 b) { return a += b; }
+  friend CheckedI64 operator-(CheckedI64 a, CheckedI64 b) { return a -= b; }
+  friend CheckedI64 operator*(CheckedI64 a, CheckedI64 b) { return a *= b; }
+  friend CheckedI64 operator/(CheckedI64 a, CheckedI64 b) { return a /= b; }
+  friend CheckedI64 operator%(CheckedI64 a, CheckedI64 b) { return a %= b; }
+
+  friend constexpr bool operator==(CheckedI64 a, CheckedI64 b) = default;
+  friend constexpr std::strong_ordering operator<=>(CheckedI64 a,
+                                                    CheckedI64 b) = default;
+
+  static CheckedI64 gcd(CheckedI64 a, CheckedI64 b) {
+    // std::gcd over the absolute values; INT64_MIN has no representable
+    // absolute value, so guard it explicitly.
+    if (a.value_ == INT64_MIN || b.value_ == INT64_MIN)
+      throw OverflowError("CheckedI64: gcd overflow");
+    std::int64_t x = a.value_ < 0 ? -a.value_ : a.value_;
+    std::int64_t y = b.value_ < 0 ? -b.value_ : b.value_;
+    return CheckedI64(std::gcd(x, y));
+  }
+
+  [[nodiscard]] CheckedI64 abs() const {
+    if (value_ == INT64_MIN) throw OverflowError("CheckedI64: abs overflow");
+    return CheckedI64(value_ < 0 ? -value_ : value_);
+  }
+
+  [[nodiscard]] CheckedI64 exact_div(CheckedI64 divisor) const {
+    CheckedI64 result = *this;
+    result /= divisor;
+    return result;
+  }
+
+ private:
+  std::int64_t value_ = 0;
+};
+
+}  // namespace elmo

@@ -1,0 +1,176 @@
+#include "core/api.hpp"
+
+#include "bitset/bitset64.hpp"
+#include "bitset/dynbitset.hpp"
+#include "core/combined.hpp"
+#include "core/partitioned_parallel.hpp"
+#include "core/combinatorial_parallel.hpp"
+#include "nullspace/efm.hpp"
+#include "support/timer.hpp"
+
+namespace elmo {
+
+namespace {
+
+/// Map ORIGINAL partition reaction names to reduced-problem names.
+std::vector<std::string> reduced_partition_names(
+    const CompressedProblem& compressed,
+    const std::vector<std::string>& original_names) {
+  std::vector<std::string> reduced;
+  reduced.reserve(original_names.size());
+  for (const auto& name : original_names) {
+    auto column = compressed.column_for(name);
+    ELMO_REQUIRE(column.has_value(),
+                 "partition reaction " + name +
+                     " was removed by compression (forced zero flux)");
+    reduced.push_back(compressed.reaction_names[*column]);
+  }
+  return reduced;
+}
+
+template <typename Scalar, typename Support>
+EfmResult run_with(const CompressedProblem& compressed,
+                   const std::vector<bool>& original_reversibility,
+                   const EfmOptions& options) {
+  EfmResult result;
+  Stopwatch watch;
+  auto problem = to_problem<Scalar>(compressed);
+
+  SolverOptions solver;
+  solver.ordering = options.ordering;
+  solver.test = options.test;
+  solver.rank_backend = options.rank_backend;
+  solver.on_iteration = options.on_iteration;
+
+  std::vector<FluxColumn<Scalar, Support>> columns;
+  switch (options.algorithm) {
+    case Algorithm::kSerial: {
+      auto solved = solve_efms<Scalar, Support>(problem, solver);
+      columns = std::move(solved.columns);
+      result.stats = std::move(solved.stats);
+      break;
+    }
+    case Algorithm::kCombinatorialParallel: {
+      ParallelOptions parallel;
+      parallel.num_ranks = options.num_ranks;
+      parallel.threads_per_rank = options.threads_per_rank;
+      parallel.solver = solver;
+      parallel.memory_budget_per_rank = options.memory_budget_per_rank;
+      auto solved =
+          solve_combinatorial_parallel<Scalar, Support>(problem, parallel);
+      columns = std::move(solved.columns);
+      result.stats = std::move(solved.stats);
+      result.message_bytes = solved.ranks.total_bytes_sent();
+      result.peak_rank_memory = solved.ranks.max_memory_peak();
+      break;
+    }
+    case Algorithm::kPartitioned: {
+      PartitionedOptions partitioned;
+      partitioned.num_ranks = options.num_ranks;
+      partitioned.solver = solver;
+      partitioned.memory_budget_per_rank = options.memory_budget_per_rank;
+      auto solved =
+          solve_partitioned_parallel<Scalar, Support>(problem, partitioned);
+      columns = std::move(solved.columns);
+      result.stats = std::move(solved.stats);
+      result.message_bytes = solved.ranks.total_bytes_sent();
+      result.peak_rank_memory = solved.peak_rank_bytes;
+      break;
+    }
+    case Algorithm::kCombined: {
+      CombinedOptions combined;
+      if (!options.partition_reactions.empty()) {
+        combined.partition_reactions =
+            reduced_partition_names(compressed, options.partition_reactions);
+      }
+      combined.qsub = options.qsub;
+      combined.num_ranks = options.num_ranks;
+      combined.threads_per_rank = options.threads_per_rank;
+      combined.solver = solver;
+      combined.memory_budget_per_rank = options.memory_budget_per_rank;
+      combined.max_extra_splits = options.max_extra_splits;
+      auto solved = solve_combined<Scalar, Support>(problem, combined);
+      columns = std::move(solved.columns);
+      result.stats = std::move(solved.total);
+      for (const auto& subset : solved.subsets) {
+        SubsetSummary summary;
+        summary.label = subset.label;
+        summary.num_efms = subset.num_efms;
+        summary.candidate_pairs = subset.stats.total_pairs_probed;
+        summary.seconds = subset.seconds;
+        summary.gen_cand_seconds = subset.stats.phases.seconds("gen cand");
+        summary.rank_test_seconds = subset.stats.phases.seconds("rank test");
+        summary.communicate_seconds =
+            subset.stats.phases.seconds("communicate");
+        summary.merge_seconds = subset.stats.phases.seconds("merge");
+        summary.extra_splits = subset.extra_splits;
+        result.subsets.push_back(std::move(summary));
+        result.message_bytes += subset.ranks.total_bytes_sent();
+        result.peak_rank_memory =
+            std::max(result.peak_rank_memory, subset.ranks.max_memory_peak());
+      }
+      break;
+    }
+  }
+
+  auto reduced_modes = columns_to_bigint(columns);
+  result.modes.reserve(reduced_modes.size());
+  for (const auto& mode : reduced_modes)
+    result.modes.push_back(compressed.expand(mode));
+  canonicalize_modes(result.modes, original_reversibility);
+
+  result.reaction_names = compressed.original_reaction_names;
+  result.compression_stats = compressed.stats;
+  result.reduced_reactions = compressed.num_reactions();
+  result.reduced_metabolites = compressed.num_metabolites();
+  result.seconds = watch.seconds();
+  result.used_bigint = std::is_same_v<Scalar, BigInt>;
+  return result;
+}
+
+template <typename Scalar>
+EfmResult run_with_support(const CompressedProblem& compressed,
+                           const std::vector<bool>& original_reversibility,
+                           const EfmOptions& options) {
+  // The prepared (split) problem can gain one column per reversible
+  // reaction in the worst case; size the support type for that bound so a
+  // mid-run split never overflows the single-word representation.
+  const std::size_t worst_case =
+      compressed.num_reactions() +
+      static_cast<std::size_t>(std::count(compressed.reversible.begin(),
+                                          compressed.reversible.end(), true));
+  if (worst_case <= Bitset64::capacity()) {
+    return run_with<Scalar, Bitset64>(compressed, original_reversibility,
+                                      options);
+  }
+  return run_with<Scalar, DynBitset>(compressed, original_reversibility,
+                                     options);
+}
+
+}  // namespace
+
+EfmResult compute_efms(const CompressedProblem& compressed,
+                       const std::vector<bool>& original_reversibility,
+                       const EfmOptions& options) {
+  if (options.force_bigint) {
+    return run_with_support<BigInt>(compressed, original_reversibility,
+                                    options);
+  }
+  try {
+    return run_with_support<CheckedI64>(compressed, original_reversibility,
+                                        options);
+  } catch (const OverflowError&) {
+    // Values outgrew 64 bits mid-computation: redo exactly.
+    auto result = run_with_support<BigInt>(compressed,
+                                           original_reversibility, options);
+    result.stats.bigint_fallback = true;
+    return result;
+  }
+}
+
+EfmResult compute_efms(const Network& network, const EfmOptions& options) {
+  auto compressed = compress(network, options.compression);
+  return compute_efms(compressed, network.reversibility(), options);
+}
+
+}  // namespace elmo

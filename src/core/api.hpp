@@ -1,0 +1,121 @@
+// elmo's top-level public API.
+//
+// One call — compute_efms — takes a metabolic Network and returns its full
+// set of elementary flux modes in the original reaction space, computed by
+// the chosen algorithm of the paper:
+//
+//   kSerial                 Algorithm 1 (serial Nullspace Algorithm)
+//   kCombinatorialParallel  Algorithm 2 (distributed candidate generation
+//                           over simulated message-passing ranks)
+//   kCombined               Algorithm 3 (divide-and-conquer over a subset
+//                           of reversible reactions x Algorithm 2)
+//   kPartitioned            Algorithm 4 (matrix-partitioned ranks — the
+//                           paper's future-work item #1: no full replica
+//                           of the nullspace matrix on any rank)
+//
+// Arithmetic: the fast overflow-checked int64 kernel runs first; if any
+// value exceeds 64 bits the computation transparently restarts with
+// arbitrary-precision integers (EfmResult::used_bigint reports this).
+#pragma once
+
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "bigint/bigint.hpp"
+#include "compress/compression.hpp"
+#include "network/network.hpp"
+#include "nullspace/solver.hpp"
+
+namespace elmo {
+
+enum class Algorithm {
+  kSerial,
+  kCombinatorialParallel,
+  kCombined,
+  kPartitioned,
+};
+
+struct EfmOptions {
+  Algorithm algorithm = Algorithm::kSerial;
+
+  CompressionOptions compression;
+  OrderingOptions ordering;
+  ElementarityTest test = ElementarityTest::kRank;
+  RankTestBackend rank_backend = RankTestBackend::kModular;
+
+  /// Simulated compute ranks (Algorithms 2, 3 and 4).
+  int num_ranks = 1;
+  /// Shared-memory workers per rank (Algorithms 2 and 3) — the Blue Gene
+  /// SMP/dual modes and Table II's "cores per node" column.
+  int threads_per_rank = 1;
+
+  /// Divide-and-conquer (Algorithm 3): explicit partition reactions by
+  /// ORIGINAL network name, or automatic selection of `qsub` trailing
+  /// reversible reactions when the list is empty.
+  std::vector<std::string> partition_reactions;
+  std::size_t qsub = 2;
+
+  /// Per-rank memory budget in bytes (0 = unlimited); exceeded budgets
+  /// throw MemoryBudgetError (Algorithm 2) or trigger adaptive re-splits
+  /// (Algorithm 3, if max_extra_splits > 0).
+  std::size_t memory_budget_per_rank = 0;
+  std::size_t max_extra_splits = 0;
+
+  /// Skip the int64 kernel and compute in BigInt directly.
+  bool force_bigint = false;
+
+  /// Progress observer, invoked per iteration (from a worker thread for
+  /// the parallel algorithms).
+  std::function<void(const IterationStats&)> on_iteration;
+};
+
+/// Per-subset summary of an Algorithm 3 run (one row of Tables III/IV).
+struct SubsetSummary {
+  std::string label;
+  std::size_t num_efms = 0;
+  std::uint64_t candidate_pairs = 0;
+  double seconds = 0.0;
+  double gen_cand_seconds = 0.0;
+  double rank_test_seconds = 0.0;
+  double communicate_seconds = 0.0;
+  double merge_seconds = 0.0;
+  std::size_t extra_splits = 0;
+};
+
+struct EfmResult {
+  /// The elementary flux modes in the ORIGINAL reaction space: primitive
+  /// integer vectors, canonically oriented, sorted, duplicate-free.
+  std::vector<std::vector<BigInt>> modes;
+  /// Row labels of `modes` entries (original reaction order).
+  std::vector<std::string> reaction_names;
+
+  SolveStats stats;
+  CompressionStats compression_stats;
+  std::size_t reduced_reactions = 0;
+  std::size_t reduced_metabolites = 0;
+
+  /// Algorithm 3 only: one entry per completed subset.
+  std::vector<SubsetSummary> subsets;
+
+  /// Total simulated message traffic (Algorithms 2 and 3).
+  std::uint64_t message_bytes = 0;
+  /// Largest per-rank memory footprint observed (Algorithms 2 and 3).
+  std::size_t peak_rank_memory = 0;
+
+  double seconds = 0.0;
+  bool used_bigint = false;
+
+  [[nodiscard]] std::size_t num_modes() const { return modes.size(); }
+};
+
+/// Compute all elementary flux modes of `network`.
+EfmResult compute_efms(const Network& network, const EfmOptions& options = {});
+
+/// Compute EFMs of an already-compressed problem (drivers that reuse one
+/// compression across several runs, e.g. the benchmark harness).
+EfmResult compute_efms(const CompressedProblem& compressed,
+                       const std::vector<bool>& original_reversibility,
+                       const EfmOptions& options = {});
+
+}  // namespace elmo

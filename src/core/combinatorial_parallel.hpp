@@ -1,0 +1,281 @@
+// Algorithm 2: the combinatorial parallel Nullspace Algorithm.
+//
+// Distributed-memory parallelisation of Algorithm 1 (Jevremovic et al.,
+// TR 10-028; paper §II.D): every rank holds a replica of the current
+// nullspace matrix; each iteration's positive x negative candidate pair
+// space is sliced contiguously across ranks; each rank generates, dedups
+// and rank-tests its slice locally, then an all-gather exchanges the
+// accepted candidates and every rank rebuilds the identical next matrix
+// (Communicate&Merge).  The full-replication design is the algorithm's
+// documented weakness — per-rank memory grows with the matrix — which the
+// per-rank memory budget surfaces exactly as on the paper's Network II run
+// (abandoned at iteration 59).
+#pragma once
+
+#include <optional>
+
+#include "mpsim/communicator.hpp"
+#include "mpsim/serialize.hpp"
+#include "nullspace/solver.hpp"
+#include "parallel/partitioner.hpp"
+#include "parallel/thread_pool.hpp"
+
+#include <future>
+
+namespace elmo {
+
+struct ParallelOptions {
+  /// Number of simulated compute ranks (the paper's "# nodes").
+  int num_ranks = 4;
+  /// Shared-memory workers per rank — Blue Gene/P's SMP (1 process + 3
+  /// threads) and dual modes, and the Xeon nodes' "cores per node" column
+  /// of Table II.  Each rank splits its pair slice across this many
+  /// threads; candidates are merged and deduped rank-locally before the
+  /// all-gather.
+  int threads_per_rank = 1;
+  SolverOptions solver;
+  /// Per-rank memory budget in bytes (0 = unlimited).  Exceeding it throws
+  /// MemoryBudgetError out of solve_combinatorial_parallel.
+  std::size_t memory_budget_per_rank = 0;
+};
+
+template <typename Scalar, typename Support>
+struct ParallelSolveResult {
+  std::vector<FluxColumn<Scalar, Support>> columns;
+  SolveStats stats;
+  mpsim::RunReport ranks;
+};
+
+template <typename Scalar, typename Support>
+ParallelSolveResult<Scalar, Support> solve_combinatorial_parallel(
+    const EfmProblem<Scalar>& problem, const ParallelOptions& options) {
+  const int num_ranks = options.num_ranks;
+  ELMO_REQUIRE(num_ranks >= 1, "num_ranks must be positive");
+
+  // Deterministic preprocessing, done once (every rank would compute the
+  // identical result; doing it outside the world keeps startup honest to
+  // measure but costs nothing extra).
+  auto prepared = prepare_problem(problem);
+  SolverOptions solver_options = options.solver;
+  if (prepared.has_splits()) {
+    // If a divide-and-conquer caller excluded a row that got split, its
+    // backward copy must stay unprocessed too (Proposition 1 needs the
+    // reaction's full flux untouched).
+    for (std::size_t k = 0; k < prepared.backward_of.size(); ++k) {
+      for (std::size_t row : options.solver.exclude_rows) {
+        if (prepared.backward_of[k] == row) {
+          solver_options.exclude_rows.push_back(
+              prepared.original_reactions + k);
+        }
+      }
+    }
+  }
+
+  // Per-rank outputs (distinct slots; no locking needed).
+  std::vector<SolveStats> rank_stats(static_cast<std::size_t>(num_ranks));
+  std::optional<std::vector<FluxColumn<Scalar, Support>>> final_columns;
+  SolveStats merged_stats;  // rank 0's view of merged quantities
+
+  const int threads_per_rank = std::max(options.threads_per_rank, 1);
+
+  auto body = [&](mpsim::Communicator& comm) {
+    const int rank = comm.rank();
+    SolveStats& stats = rank_stats[static_cast<std::size_t>(rank)];
+    auto basis = compute_initial_basis<Scalar, Support>(
+        prepared.problem, solver_options.ordering,
+        solver_options.exclude_rows);
+    stats.peak_columns = basis.columns.size();
+    // Per-thread testers: the testers carry scratch buffers and are not
+    // shareable across the rank's shared-memory workers.
+    std::vector<RankTester<Scalar>> exact_testers(
+        static_cast<std::size_t>(threads_per_rank),
+        RankTester<Scalar>(prepared.problem.stoichiometry));
+    std::vector<ModularRankTester<Scalar>> modular_testers;
+    bool use_modular = false;
+    if constexpr (!std::is_same_v<Scalar, double>) {
+      if (solver_options.test == ElementarityTest::kRank &&
+          solver_options.rank_backend == RankTestBackend::kModular) {
+        for (int t = 0; t < threads_per_rank; ++t)
+          modular_testers.emplace_back(prepared.problem.stoichiometry,
+                                       basis.columns);
+        use_modular = true;
+      }
+    }
+    std::optional<ThreadPool> pool;
+    if (threads_per_rank > 1)
+      pool.emplace(static_cast<std::size_t>(threads_per_rank));
+    auto columns = std::move(basis.columns);
+
+    for (std::size_t row : basis.processing_order) {
+      IterationStats iteration;
+      iteration.row = row;
+      auto cls = classify_row(columns, row);
+      iteration.positives = cls.positive.size();
+      iteration.negatives = cls.negative.size();
+
+      // ParallelGenerateEFMCands + local Sort&RemoveDuplicates + local
+      // RankTests, over this rank's contiguous pair slice, in
+      // bounded-memory blocks.  The algebraic rank test is per-candidate
+      // local — that is what makes Algorithm 2's distribution work.  The
+      // combinatorial subset test, by contrast, needs the GLOBAL candidate
+      // set and therefore runs after the merge below; its per-candidate
+      // oracle here accepts everything.
+      PairRange slice = pair_slice(cls.pair_count(), rank, num_ranks);
+      const bool defer_test =
+          solver_options.test == ElementarityTest::kCombinatorial;
+      auto make_oracle = [&](int thread) {
+        return [&, thread](const Support& support) -> bool {
+          if (defer_test) return true;
+          if (use_modular)
+            return modular_testers[static_cast<std::size_t>(thread)]
+                .is_elementary(support);
+          return exact_testers[static_cast<std::size_t>(thread)]
+              .is_elementary(support);
+        };
+      };
+      std::vector<FluxColumn<Scalar, Support>> local;
+      if (threads_per_rank == 1) {
+        process_pair_range(columns, row, cls, basis.stoichiometry_rank,
+                           slice.begin, slice.end,
+                           solver_options.block_ref_cap, make_oracle(0),
+                           iteration, stats.phases, local);
+      } else {
+        // SMP mode: split this rank's slice across shared-memory workers,
+        // then merge + dedup the thread-local results exactly like the
+        // cross-rank merge does (distinct sub-slices can still produce the
+        // same candidate).
+        std::vector<IterationStats> thread_stats(
+            static_cast<std::size_t>(threads_per_rank));
+        std::vector<PhaseTimer> thread_phases(
+            static_cast<std::size_t>(threads_per_rank));
+        std::vector<std::vector<FluxColumn<Scalar, Support>>> thread_local_(
+            static_cast<std::size_t>(threads_per_rank));
+        std::vector<std::future<void>> futures;
+        for (int t = 0; t < threads_per_rank; ++t) {
+          PairRange sub = pair_slice(slice.count(), t, threads_per_rank);
+          futures.push_back(pool->submit([&, t, sub] {
+            auto st = static_cast<std::size_t>(t);
+            process_pair_range(columns, row, cls, basis.stoichiometry_rank,
+                               slice.begin + sub.begin,
+                               slice.begin + sub.end,
+                               solver_options.block_ref_cap, make_oracle(t),
+                               thread_stats[st], thread_phases[st],
+                               thread_local_[st]);
+          }));
+        }
+        std::exception_ptr first;
+        for (auto& future : futures) {
+          try {
+            future.get();
+          } catch (...) {
+            if (!first) first = std::current_exception();
+          }
+        }
+        if (first) std::rethrow_exception(first);
+        PhaseTimer slowest_worker;  // per-iteration max across threads
+        for (int t = 0; t < threads_per_rank; ++t) {
+          auto st = static_cast<std::size_t>(t);
+          iteration.pairs_probed += thread_stats[st].pairs_probed;
+          iteration.pretest_survivors += thread_stats[st].pretest_survivors;
+          iteration.rank_tests += thread_stats[st].rank_tests;
+          iteration.duplicates_removed +=
+              thread_stats[st].duplicates_removed;
+          slowest_worker.merge_max(thread_phases[st]);
+          local.insert(local.end(),
+                       std::make_move_iterator(thread_local_[st].begin()),
+                       std::make_move_iterator(thread_local_[st].end()));
+        }
+        // Wall-clock: threads run concurrently, so this iteration costs
+        // the slowest worker's time; accumulate that into the rank totals.
+        stats.phases.merge(slowest_worker);
+        ScopedPhase phase(stats.phases, "merge");
+        sort_and_dedup(local, iteration);
+      }
+      // Communicate&Merge: exchange accepted candidates, rebuild the
+      // replicated next matrix identically on every rank.
+      std::vector<FluxColumn<Scalar, Support>> accepted;
+      {
+        ScopedPhase phase(stats.phases, "communicate");
+        auto batches = comm.all_gather(mpsim::encode_columns(local));
+        for (const auto& batch : batches) {
+          auto incoming = mpsim::decode_columns<Scalar, Support>(batch);
+          accepted.insert(accepted.end(),
+                          std::make_move_iterator(incoming.begin()),
+                          std::make_move_iterator(incoming.end()));
+        }
+      }
+      IterationStats merge_iteration;  // merged quantities, counted once
+      {
+        ScopedPhase phase(stats.phases, "merge");
+        // Cross-rank duplicates: different pairs on different ranks can
+        // produce the same candidate.
+        sort_and_dedup(accepted, merge_iteration);
+      }
+      if (solver_options.test == ElementarityTest::kCombinatorial) {
+        ScopedPhase test_phase(stats.phases, "rank test");
+        combinatorial_filter(columns, cls, prepared.problem.reversible[row],
+                             accepted, merge_iteration);
+      }
+      {
+        ScopedPhase phase(stats.phases, "merge");
+        merge_iteration.accepted = accepted.size();
+        columns = merge_next(std::move(columns), cls,
+                             prepared.problem.reversible[row],
+                             std::move(accepted));
+      }
+      iteration.columns_after = columns.size();
+      stats.peak_matrix_bytes =
+          std::max(stats.peak_matrix_bytes, matrix_storage_bytes(columns));
+      stats.absorb(iteration);
+      // The merged candidate count and cross-rank duplicates are global
+      // quantities; fold them into rank 0's ledger only.
+      if (rank == 0) {
+        merged_stats.total_accepted += merge_iteration.accepted;
+        merged_stats.total_duplicates_removed +=
+            merge_iteration.duplicates_removed;
+      }
+      // Memory accounting against the simulated per-rank budget.
+      comm.set_memory_usage(stats.peak_matrix_bytes);
+      if (options.solver.on_iteration && rank == 0) {
+        iteration.accepted = merge_iteration.accepted;
+        options.solver.on_iteration(iteration);
+      }
+    }
+    if (rank == 0) {
+      final_columns =
+          unsplit_columns(std::move(columns), prepared);
+    }
+  };
+
+  mpsim::RunOptions run_options;
+  run_options.memory_budget_per_rank = options.memory_budget_per_rank;
+  auto report = mpsim::run_ranks(num_ranks, body, run_options);
+
+  ParallelSolveResult<Scalar, Support> result;
+  ELMO_CHECK(final_columns.has_value(), "rank 0 produced no result");
+  result.columns = std::move(*final_columns);
+  result.ranks = std::move(report);
+  // Aggregate: slice-local counters sum across ranks; merged counters were
+  // recorded once; phase times take the slowest rank (the paper reports
+  // the critical path); accepted counts come from the merge ledger.
+  for (const auto& stats : rank_stats) {
+    result.stats.total_pairs_probed += stats.total_pairs_probed;
+    result.stats.total_pretest_survivors += stats.total_pretest_survivors;
+    result.stats.total_rank_tests += stats.total_rank_tests;
+    result.stats.total_duplicates_removed += stats.total_duplicates_removed;
+    result.stats.peak_columns =
+        std::max(result.stats.peak_columns, stats.peak_columns);
+    result.stats.peak_matrix_bytes =
+        std::max(result.stats.peak_matrix_bytes, stats.peak_matrix_bytes);
+    result.stats.phases.merge_max(stats.phases);
+  }
+  result.stats.iterations = rank_stats.empty()
+                                ? 0
+                                : rank_stats.front().iterations;
+  result.stats.total_accepted = merged_stats.total_accepted;
+  result.stats.total_duplicates_removed +=
+      merged_stats.total_duplicates_removed;
+  return result;
+}
+
+}  // namespace elmo

@@ -1,0 +1,247 @@
+// Algorithm 3: the combined parallel Nullspace Algorithm — the paper's
+// contribution.
+//
+// The EFM set is partitioned across a subset of qsub (reversible, trailing)
+// reactions into 2^qsub disjoint subsets keyed by the zero/nonzero flux
+// pattern = the binary representation of the subset id.  For each subset:
+//
+//   * zero-flux reactions are REMOVED from the stoichiometry (their columns
+//     vanish; paper Algorithm 3 lines 5-9),
+//   * nonzero-flux reactions are left UNPROCESSED (exclude_rows — the
+//     paper's reorder-to-bottom + early stop, lines 10-14),
+//   * Algorithm 2 runs on the subproblem,
+//   * Proposition 1 keeps exactly the columns with nonzero values in every
+//     unprocessed partition row (lines 15-17),
+//   * the zero-flux rows are re-inserted as zeros (lines 18-21).
+//
+// The union over all subsets is the complete EFM set.  When a subset
+// exceeds the per-rank memory budget the optional adaptive re-split adds
+// one more partition reaction to just that subset and recurses — this is
+// precisely what the paper did on Network II, where subsets 1 and 3 of the
+// {R54r, R90r, R60r} split had to be re-split by R22r (Table IV).
+#pragma once
+
+#include <deque>
+#include <string>
+
+#include "core/combinatorial_parallel.hpp"
+#include "core/subset_select.hpp"
+#include "support/format.hpp"
+
+namespace elmo {
+
+struct CombinedOptions {
+  /// Reduced-problem reaction names to partition over, most significant
+  /// first (subset id bit k corresponds to partition_reactions[k] counted
+  /// from the least significant bit).  All must be reversible.  When empty,
+  /// `qsub` trailing reversible reactions are selected automatically.
+  std::vector<std::string> partition_reactions;
+  /// Used only when partition_reactions is empty.
+  std::size_t qsub = 2;
+
+  int num_ranks = 4;
+  /// Shared-memory workers per rank (see ParallelOptions::threads_per_rank).
+  int threads_per_rank = 1;
+  SolverOptions solver;
+  std::size_t memory_budget_per_rank = 0;
+
+  /// On MemoryBudgetError, split the failing subset further by appending
+  /// the next unused trailing reversible reaction, up to this many extra
+  /// reactions (0 disables re-splitting and the error propagates).
+  std::size_t max_extra_splits = 0;
+};
+
+/// One divide-and-conquer subtask: (reduced reaction index, must-be-nonzero)
+/// per partition reaction.
+struct SubsetSpec {
+  std::vector<std::pair<std::size_t, bool>> pattern;
+
+  /// Render as the paper does: overlined (zero-flux) names are suffixed
+  /// with '0', nonzero ones with '+', e.g. "R89r:0 R74r:+".
+  [[nodiscard]] std::string label(
+      const std::vector<std::string>& names) const {
+    std::string out;
+    for (const auto& [row, nonzero] : pattern) {
+      if (!out.empty()) out += ' ';
+      out += names[row];
+      out += nonzero ? ":+" : ":0";
+    }
+    return out;
+  }
+};
+
+struct SubsetReport {
+  SubsetSpec spec;
+  std::string label;
+  std::size_t num_efms = 0;
+  SolveStats stats;
+  mpsim::RunReport ranks;
+  double seconds = 0.0;
+  /// Number of extra partition reactions this subset needed (adaptive).
+  std::size_t extra_splits = 0;
+};
+
+template <typename Scalar, typename Support>
+struct CombinedResult {
+  /// Union of all subset EFM sets, in the reduced reaction space.
+  std::vector<FluxColumn<Scalar, Support>> columns;
+  std::vector<SubsetReport> subsets;
+  SolveStats total;
+  double seconds = 0.0;
+};
+
+namespace detail {
+
+/// Build the subproblem for one subset: remove zero-flux columns, record
+/// the sub-index of every nonzero-flux row.
+template <typename Scalar>
+struct Subproblem {
+  EfmProblem<Scalar> problem;
+  std::vector<std::size_t> keep;          // sub col -> original reduced col
+  std::vector<std::size_t> nzf_sub_rows;  // nonzero rows, sub numbering
+};
+
+template <typename Scalar>
+Subproblem<Scalar> make_subproblem(const EfmProblem<Scalar>& problem,
+                                   const SubsetSpec& spec) {
+  std::vector<bool> removed(problem.num_reactions(), false);
+  std::vector<bool> nonzero(problem.num_reactions(), false);
+  for (const auto& [row, nz] : spec.pattern) {
+    ELMO_REQUIRE(problem.reversible[row],
+                 "partition reaction " + problem.reaction_names[row] +
+                     " must be reversible (Proposition 1 requires the "
+                     "unprocessed rows to be sign-free)");
+    if (nz)
+      nonzero[row] = true;
+    else
+      removed[row] = true;
+  }
+  Subproblem<Scalar> sub;
+  for (std::size_t j = 0; j < problem.num_reactions(); ++j) {
+    if (removed[j]) continue;
+    if (nonzero[j]) sub.nzf_sub_rows.push_back(sub.keep.size());
+    sub.keep.push_back(j);
+  }
+  sub.problem.stoichiometry = problem.stoichiometry.select_columns(sub.keep);
+  for (std::size_t j : sub.keep) {
+    sub.problem.reversible.push_back(problem.reversible[j]);
+    sub.problem.reaction_names.push_back(problem.reaction_names[j]);
+  }
+  return sub;
+}
+
+}  // namespace detail
+
+template <typename Scalar, typename Support>
+CombinedResult<Scalar, Support> solve_combined(
+    const EfmProblem<Scalar>& problem, const CombinedOptions& options) {
+  Stopwatch total_watch;
+  CombinedResult<Scalar, Support> result;
+
+  // Resolve the partition reactions.
+  std::vector<std::size_t> partition_rows;
+  if (options.partition_reactions.empty()) {
+    partition_rows = select_partition_rows(problem, options.solver.ordering,
+                                           options.qsub);
+  } else {
+    for (const auto& name : options.partition_reactions) {
+      std::size_t row = problem.num_reactions();
+      for (std::size_t j = 0; j < problem.num_reactions(); ++j) {
+        if (problem.reaction_names[j] == name) {
+          row = j;
+          break;
+        }
+      }
+      ELMO_REQUIRE(row < problem.num_reactions(),
+                   "partition reaction not in reduced problem: " + name);
+      partition_rows.push_back(row);
+    }
+  }
+  const std::size_t qsub = partition_rows.size();
+  ELMO_REQUIRE(qsub > 0 && qsub < 63, "unreasonable partition subset size");
+
+  // Trailing reversible reactions available for adaptive re-splitting.
+  std::vector<std::size_t> spares;
+  if (options.max_extra_splits > 0) {
+    auto trailing = select_partition_rows(problem, options.solver.ordering,
+                                          qsub + options.max_extra_splits);
+    for (std::size_t row : trailing) {
+      bool used = false;
+      for (std::size_t p : partition_rows) used = used || p == row;
+      if (!used) spares.push_back(row);
+    }
+  }
+
+  // Work queue of subtasks; adaptive re-splitting pushes refined subsets.
+  std::deque<SubsetSpec> queue;
+  for (std::uint64_t id = 0; id < (1ULL << qsub); ++id) {
+    SubsetSpec spec;
+    for (std::size_t k = 0; k < qsub; ++k)
+      spec.pattern.emplace_back(partition_rows[k], (id >> k) & 1);
+    queue.push_back(std::move(spec));
+  }
+
+  while (!queue.empty()) {
+    SubsetSpec spec = std::move(queue.front());
+    queue.pop_front();
+
+    Stopwatch subset_watch;
+    auto sub = detail::make_subproblem<Scalar>(problem, spec);
+    ParallelOptions parallel = {};
+    parallel.num_ranks = options.num_ranks;
+    parallel.threads_per_rank = options.threads_per_rank;
+    parallel.solver = options.solver;
+    parallel.solver.exclude_rows = sub.nzf_sub_rows;
+    parallel.memory_budget_per_rank = options.memory_budget_per_rank;
+
+    ParallelSolveResult<Scalar, Support> solved;
+    try {
+      solved =
+          solve_combinatorial_parallel<Scalar, Support>(sub.problem, parallel);
+    } catch (const MemoryBudgetError&) {
+      const std::size_t depth = spec.pattern.size() - qsub;
+      if (depth >= options.max_extra_splits || depth >= spares.size())
+        throw;
+      // Re-split this subset on the next spare reaction (paper Table IV:
+      // the oversized three-reaction subsets gained R22r as a fourth).
+      const std::size_t extra = spares[depth];
+      for (bool nz : {false, true}) {
+        SubsetSpec refined = spec;
+        refined.pattern.emplace_back(extra, nz);
+        queue.push_front(refined);
+      }
+      continue;
+    }
+
+    // Proposition 1: keep columns with nonzero flux in EVERY unprocessed
+    // partition row; re-embed into the full reduced space with zeros in
+    // the removed columns.
+    SubsetReport report;
+    report.spec = spec;
+    report.label = spec.label(problem.reaction_names);
+    report.stats = solved.stats;
+    report.ranks = std::move(solved.ranks);
+    report.extra_splits = spec.pattern.size() - qsub;
+    for (auto& column : solved.columns) {
+      bool keep = true;
+      for (std::size_t sub_row : sub.nzf_sub_rows)
+        keep = keep && !scalar_is_zero(column.values[sub_row]);
+      if (!keep) continue;
+      std::vector<Scalar> full(problem.num_reactions(),
+                               scalar_from_i64<Scalar>(0));
+      for (std::size_t j = 0; j < sub.keep.size(); ++j)
+        full[sub.keep[j]] = std::move(column.values[j]);
+      result.columns.push_back(
+          FluxColumn<Scalar, Support>::from_values(std::move(full)));
+      ++report.num_efms;
+    }
+    report.seconds = subset_watch.seconds();
+    result.total.merge(report.stats);
+    result.subsets.push_back(std::move(report));
+  }
+
+  result.seconds = total_watch.seconds();
+  return result;
+}
+
+}  // namespace elmo

@@ -1,0 +1,53 @@
+// Selection of the divide-and-conquer partition reactions.
+//
+// The paper selects the LAST reactions of the reordered nullspace matrix
+// (necessarily reversible, since the ordering heuristic puts reversible
+// rows last) — {R89r, R74r} for Network I, {R54r, R90r, R60r} for Network
+// II — and notes (§IV.C) that an automated selection strategy is open
+// future work.  select_partition_rows implements the paper's manual rule;
+// rank_partition_candidates implements a simple automated scorer for the
+// ablation bench (see core/estimate.hpp for the cost estimator it uses).
+#pragma once
+
+#include <algorithm>
+#include <vector>
+
+#include "bitset/dynbitset.hpp"
+#include "nullspace/initial_basis.hpp"
+#include "nullspace/problem.hpp"
+#include "nullspace/reversible_split.hpp"
+
+namespace elmo {
+
+/// The last `count` processed rows of the reordered nullspace matrix (the
+/// paper's choice).  Throws InvalidArgumentError if fewer than `count` of
+/// them are reversible — partitioning requires sign-free rows.
+template <typename Scalar>
+std::vector<std::size_t> select_partition_rows(
+    const EfmProblem<Scalar>& problem, const OrderingOptions& ordering,
+    std::size_t count) {
+  // The basis construction is cheap relative to any solve; recompute it.
+  // The support representation is irrelevant here — only the processing
+  // order is consumed — so the size-agnostic DynBitset is used.
+  auto prepared = prepare_problem(problem);
+  auto basis =
+      compute_initial_basis<Scalar, DynBitset>(prepared.problem, ordering);
+  std::vector<std::size_t> rows;
+  for (auto it = basis.processing_order.rbegin();
+       it != basis.processing_order.rend() && rows.size() < count; ++it) {
+    // Only rows of the ORIGINAL problem (not split backward copies) and
+    // only reversible ones qualify.
+    if (*it >= prepared.original_reactions) continue;
+    if (!problem.reversible[*it]) break;  // ran out of trailing reversibles
+    rows.push_back(*it);
+  }
+  ELMO_REQUIRE(rows.size() == count,
+               "network does not have enough trailing reversible reactions "
+               "for the requested partition size");
+  // Reverse so rows[0] is the outermost (least significant bit), matching
+  // the paper's R60r-corresponds-to-the-last-row convention.
+  std::reverse(rows.begin(), rows.end());
+  return rows;
+}
+
+}  // namespace elmo

@@ -1,0 +1,21 @@
+// Umbrella header: everything a downstream user of elmo++ needs.
+//
+//   #include "elmo/elmo.hpp"
+//
+//   elmo::Network net = elmo::parse_network(text);
+//   elmo::EfmResult efms = elmo::compute_efms(net);
+//
+// Finer-grained headers remain available for callers that want the solver
+// kernels, the compression layer or the simulated message-passing runtime
+// directly.
+#pragma once
+
+#include "compress/compression.hpp"   // compress(), CompressedProblem
+#include "core/api.hpp"               // compute_efms(), EfmOptions/EfmResult
+#include "io/efm_writer.hpp"          // efms_to_text / efms_to_csv
+#include "models/random_network.hpp"  // random_network()
+#include "models/toy.hpp"             // the paper's Fig. 1 network
+#include "models/yeast.hpp"           // S. cerevisiae Networks I and II
+#include "network/network.hpp"        // Network, Reaction, Metabolite
+#include "network/parser.hpp"         // parse_network / write_network
+#include "network/validate.hpp"       // validate()

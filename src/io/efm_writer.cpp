@@ -1,0 +1,44 @@
+#include "io/efm_writer.hpp"
+
+#include <sstream>
+
+#include "support/assert.hpp"
+
+namespace elmo {
+
+std::string efms_to_text(const std::vector<std::vector<BigInt>>& modes,
+                         const std::vector<std::string>& reaction_names) {
+  std::ostringstream os;
+  for (std::size_t r = 0; r < reaction_names.size(); ++r) {
+    os << reaction_names[r];
+    for (const auto& mode : modes) {
+      ELMO_REQUIRE(mode.size() == reaction_names.size(),
+                   "mode dimension mismatch");
+      os << '\t' << mode[r].to_string();
+    }
+    os << '\n';
+  }
+  return os.str();
+}
+
+std::string efms_to_csv(const std::vector<std::vector<BigInt>>& modes,
+                        const std::vector<std::string>& reaction_names) {
+  std::ostringstream os;
+  for (std::size_t r = 0; r < reaction_names.size(); ++r) {
+    if (r) os << ',';
+    os << reaction_names[r];
+  }
+  os << '\n';
+  for (const auto& mode : modes) {
+    ELMO_REQUIRE(mode.size() == reaction_names.size(),
+                 "mode dimension mismatch");
+    for (std::size_t r = 0; r < mode.size(); ++r) {
+      if (r) os << ',';
+      os << mode[r].to_string();
+    }
+    os << '\n';
+  }
+  return os.str();
+}
+
+}  // namespace elmo

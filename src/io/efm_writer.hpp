@@ -1,0 +1,20 @@
+// Writers for computed EFM sets.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "bigint/bigint.hpp"
+
+namespace elmo {
+
+/// Tab-separated matrix like the paper's Eq (7): one row per reaction, one
+/// column per mode, with reaction names as the first column.
+std::string efms_to_text(const std::vector<std::vector<BigInt>>& modes,
+                         const std::vector<std::string>& reaction_names);
+
+/// CSV with a header row of reaction names and one row per mode.
+std::string efms_to_csv(const std::vector<std::vector<BigInt>>& modes,
+                        const std::vector<std::string>& reaction_names);
+
+}  // namespace elmo

@@ -1,0 +1,50 @@
+#include "io/table.hpp"
+
+#include <algorithm>
+#include <sstream>
+
+#include "support/assert.hpp"
+
+namespace elmo {
+
+Table::Table(std::vector<std::string> header) : header_(std::move(header)) {
+  ELMO_REQUIRE(!header_.empty(), "Table: empty header");
+}
+
+void Table::add_row(std::vector<std::string> row) {
+  ELMO_REQUIRE(row.size() == header_.size(),
+               "Table: row arity does not match header");
+  rows_.push_back(std::move(row));
+}
+
+std::string Table::render(const std::string& caption) const {
+  std::vector<std::size_t> widths(header_.size());
+  for (std::size_t c = 0; c < header_.size(); ++c)
+    widths[c] = header_[c].size();
+  for (const auto& row : rows_) {
+    for (std::size_t c = 0; c < row.size(); ++c)
+      widths[c] = std::max(widths[c], row[c].size());
+  }
+
+  std::ostringstream os;
+  if (!caption.empty()) os << caption << '\n';
+  auto emit = [&](const std::vector<std::string>& row) {
+    for (std::size_t c = 0; c < row.size(); ++c) {
+      if (c) os << "  ";
+      os << row[c];
+      // Right-pad all but the last column.
+      if (c + 1 < row.size())
+        os << std::string(widths[c] - row[c].size(), ' ');
+    }
+    os << '\n';
+  };
+  emit(header_);
+  std::size_t total = 0;
+  for (std::size_t c = 0; c < widths.size(); ++c)
+    total += widths[c] + (c ? 2 : 0);
+  os << std::string(total, '-') << '\n';
+  for (const auto& row : rows_) emit(row);
+  return os.str();
+}
+
+}  // namespace elmo

@@ -1,0 +1,26 @@
+// Fixed-width text table renderer used by the benchmark harness to print
+// paper-style tables (Tables II-IV).
+#pragma once
+
+#include <string>
+#include <vector>
+
+namespace elmo {
+
+class Table {
+ public:
+  explicit Table(std::vector<std::string> header);
+
+  /// Add one row; must have the same arity as the header.
+  void add_row(std::vector<std::string> row);
+
+  /// Render with column-aligned padding, a header separator, and an
+  /// optional caption line above.
+  [[nodiscard]] std::string render(const std::string& caption = "") const;
+
+ private:
+  std::vector<std::string> header_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+}  // namespace elmo

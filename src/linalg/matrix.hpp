@@ -1,0 +1,147 @@
+// Dense row-major matrix templated on the scalar type.
+//
+// Used with integer scalars (CheckedI64 / BigInt) for stoichiometric
+// matrices and rank tests, and with Rational scalars for reduced row echelon
+// form.  The class is a plain value type; all algorithms live in
+// linalg/gauss.hpp so scalar-specific logic stays in one place.
+#pragma once
+
+#include <cstddef>
+#include <initializer_list>
+#include <sstream>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "bigint/scalar.hpp"
+#include "support/assert.hpp"
+
+namespace elmo {
+
+template <typename T>
+class Matrix {
+ public:
+  Matrix() = default;
+
+  /// rows x cols matrix of zeros.
+  Matrix(std::size_t rows, std::size_t cols)
+      : rows_(rows),
+        cols_(cols),
+        data_(rows * cols, scalar_from_i64<T>(0)) {}
+
+  /// Construct from nested initializer lists of int64 (test convenience).
+  static Matrix from_rows(
+      std::initializer_list<std::initializer_list<std::int64_t>> rows) {
+    std::size_t nrows = rows.size();
+    std::size_t ncols = nrows == 0 ? 0 : rows.begin()->size();
+    Matrix m(nrows, ncols);
+    std::size_t i = 0;
+    for (const auto& row : rows) {
+      ELMO_REQUIRE(row.size() == ncols, "ragged initializer matrix");
+      std::size_t j = 0;
+      for (std::int64_t v : row) m(i, j++) = scalar_from_i64<T>(v);
+      ++i;
+    }
+    return m;
+  }
+
+  [[nodiscard]] std::size_t rows() const { return rows_; }
+  [[nodiscard]] std::size_t cols() const { return cols_; }
+  [[nodiscard]] bool empty() const { return rows_ == 0 || cols_ == 0; }
+
+  T& operator()(std::size_t i, std::size_t j) {
+    ELMO_DCHECK(i < rows_ && j < cols_, "matrix index out of range");
+    return data_[i * cols_ + j];
+  }
+  const T& operator()(std::size_t i, std::size_t j) const {
+    ELMO_DCHECK(i < rows_ && j < cols_, "matrix index out of range");
+    return data_[i * cols_ + j];
+  }
+
+  /// Pointer to the start of row i (rows are contiguous).
+  T* row_ptr(std::size_t i) { return data_.data() + i * cols_; }
+  const T* row_ptr(std::size_t i) const { return data_.data() + i * cols_; }
+
+  [[nodiscard]] Matrix transposed() const {
+    Matrix t(cols_, rows_);
+    for (std::size_t i = 0; i < rows_; ++i)
+      for (std::size_t j = 0; j < cols_; ++j) t(j, i) = (*this)(i, j);
+    return t;
+  }
+
+  /// New matrix keeping only the given columns, in the given order.
+  [[nodiscard]] Matrix select_columns(
+      const std::vector<std::size_t>& columns) const {
+    Matrix out(rows_, columns.size());
+    for (std::size_t i = 0; i < rows_; ++i)
+      for (std::size_t j = 0; j < columns.size(); ++j) {
+        ELMO_DCHECK(columns[j] < cols_, "column index out of range");
+        out(i, j) = (*this)(i, columns[j]);
+      }
+    return out;
+  }
+
+  /// New matrix keeping only the given rows, in the given order.
+  [[nodiscard]] Matrix select_rows(const std::vector<std::size_t>& rows) const {
+    Matrix out(rows.size(), cols_);
+    for (std::size_t i = 0; i < rows.size(); ++i) {
+      ELMO_DCHECK(rows[i] < rows_, "row index out of range");
+      for (std::size_t j = 0; j < cols_; ++j) out(i, j) = (*this)(rows[i], j);
+    }
+    return out;
+  }
+
+  void swap_rows(std::size_t a, std::size_t b) {
+    if (a == b) return;
+    for (std::size_t j = 0; j < cols_; ++j)
+      std::swap((*this)(a, j), (*this)(b, j));
+  }
+
+  /// Matrix-vector product (used by invariant checks: N * e == 0).
+  [[nodiscard]] std::vector<T> multiply(const std::vector<T>& x) const {
+    ELMO_REQUIRE(x.size() == cols_, "multiply: dimension mismatch");
+    std::vector<T> y(rows_, scalar_from_i64<T>(0));
+    for (std::size_t i = 0; i < rows_; ++i) {
+      T acc = scalar_from_i64<T>(0);
+      const T* row = row_ptr(i);
+      for (std::size_t j = 0; j < cols_; ++j) {
+        if (!scalar_is_zero(row[j]) && !scalar_is_zero(x[j]))
+          acc += row[j] * x[j];
+      }
+      y[i] = std::move(acc);
+    }
+    return y;
+  }
+
+  /// Count of nonzero entries in row i.
+  [[nodiscard]] std::size_t row_nnz(std::size_t i) const {
+    std::size_t count = 0;
+    const T* row = row_ptr(i);
+    for (std::size_t j = 0; j < cols_; ++j)
+      if (!scalar_is_zero(row[j])) ++count;
+    return count;
+  }
+
+  friend bool operator==(const Matrix& a, const Matrix& b) = default;
+
+  /// Multi-line debug rendering.
+  [[nodiscard]] std::string to_string() const {
+    std::ostringstream os;
+    for (std::size_t i = 0; i < rows_; ++i) {
+      os << '[';
+      for (std::size_t j = 0; j < cols_; ++j) {
+        if (j) os << ' ';
+        os << scalar_to_string((*this)(i, j));
+      }
+      os << "]\n";
+    }
+    return os.str();
+  }
+
+ private:
+  std::size_t rows_ = 0;
+  std::size_t cols_ = 0;
+  std::vector<T> data_;
+};
+
+}  // namespace elmo

@@ -1,0 +1,90 @@
+#include "models/ecoli_core.hpp"
+
+#include "network/parser.hpp"
+
+namespace elmo::models {
+
+namespace {
+
+// A compact E. coli central-metabolism model in the spirit of Trinh &
+// Srienc's minimal-cell designs (paper refs [5], [6]): glycolysis, the
+// pentose-phosphate shunt, the TCA cycle, and the mixed-acid fermentation
+// branches, with glucose uptake and the usual fermentation products.
+// Deliberately mid-sized (~10^3-10^4 EFMs): large enough that algorithmic
+// differences show, small enough for tests and benches.
+constexpr const char* kEcoliCore = R"(
+# E. coli core carbon metabolism (elmo's mid-size test model).
+external BIOMASS
+
+# -- uptake & phosphotransferase --
+GLCpts : GLCext + PEP => G6P + PYR
+
+# -- glycolysis --
+PGI  : G6P <=> F6P
+PFK  : F6P + ATP => FDP + ADP
+FBP  : FDP => F6P
+FBA  : FDP <=> G3P + DHAP
+TPI  : DHAP <=> G3P
+GAPD : G3P + NAD + ADP <=> PG3 + ATP + NADH
+ENO  : PG3 <=> PEP
+PYK  : PEP + ADP => PYR + ATP
+PPS  : PYR + 2 ATP => PEP + 2 ADP
+
+# -- pentose phosphate pathway --
+G6PDH : G6P + 2 NADP => RU5P + CO2 + 2 NADPH
+RPI   : RU5P <=> R5P
+RPE   : RU5P <=> X5P
+TKT1  : R5P + X5P <=> G3P + S7P
+TALA  : G3P + S7P <=> E4P + F6P
+TKT2  : X5P + E4P <=> F6P + G3P
+
+# -- anaplerosis & TCA --
+PDH  : PYR + COA + NAD => ACCOA + CO2 + NADH
+PPC  : PEP + CO2 => OAA
+PCK  : OAA + ATP => PEP + CO2 + ADP
+CS   : ACCOA + OAA => CIT + COA
+ACN  : CIT <=> ICIT
+ICD  : ICIT + NADP <=> AKG + CO2 + NADPH
+AKGD : AKG + COA + NAD => SUCCOA + CO2 + NADH
+SUCS : SUCCOA + ADP <=> SUCC + ATP + COA
+FRD  : FUM + NADH => SUCC + NAD
+SDH  : SUCC + NAD => FUM + NADH
+FUMR : FUM <=> MAL
+MDH  : MAL + NAD <=> OAA + NADH
+MAE  : MAL + NADP => PYR + CO2 + NADPH
+
+# -- glyoxylate shunt --
+ICL  : ICIT => GLX + SUCC
+MALS : ACCOA + GLX => MAL + COA
+
+# -- fermentation --
+PFL  : PYR + COA => ACCOA + FOR
+LDH  : PYR + NADH <=> LAC + NAD
+ALDH : ACCOA + 2 NADH <=> ETOH + 2 NAD + COA
+PTA  : ACCOA + ADP <=> ACE + ATP + COA
+
+# -- respiration (lumped) --
+NDH  : NADH + 2 ADP + O2 => NAD + 2 ATP
+THD  : NADPH + NAD => NADP + NADH
+
+# -- maintenance & biomass (lumped, small coefficients) --
+ATPM : ATP => ADP
+BIOS : 2 G6P + 2 PEP + 2 PYR + 2 ACCOA + OAA + AKG + 4 NADPH + 10 ATP + R5P + E4P => BIOMASS + 2 COA + 4 NADP + 10 ADP + 2 NADH + 2 NAD
+
+# -- exchanges --
+EXco2  : CO2 <=> CO2ext
+EXo2   : O2ext => O2
+EXac   : ACE => ACEext
+EXetoh : ETOH => ETOHext
+EXfor  : FOR => FORext
+EXlac  : LAC => LACext
+EXsucc : SUCC => SUCCext
+)";
+
+}  // namespace
+
+const char* ecoli_core_text() { return kEcoliCore; }
+
+Network ecoli_core() { return parse_network(kEcoliCore); }
+
+}  // namespace elmo::models

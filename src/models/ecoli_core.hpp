@@ -1,0 +1,20 @@
+// A compact E. coli central-metabolism model.
+//
+// The paper's introduction leans on E. coli EFM studies (refs [5]-[6],
+// Trinh & Srienc's ethanol strain designs); this model provides a mid-size
+// (~10^3-10^4 EFM) instance for tests, benches and the strain-design
+// example: glycolysis, pentose-phosphate shunt, TCA with glyoxylate
+// bypass, mixed-acid fermentation, lumped respiration and biomass.
+#pragma once
+
+#include "network/network.hpp"
+
+namespace elmo::models {
+
+/// Build the E. coli core network.
+Network ecoli_core();
+
+/// The raw reaction-list text (parseable by parse_network).
+const char* ecoli_core_text();
+
+}  // namespace elmo::models

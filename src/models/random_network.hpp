@@ -1,0 +1,31 @@
+// Seeded random metabolic-network generator.
+//
+// Produces structurally plausible networks (a chain backbone guaranteeing
+// connectivity, plus random branch/exchange reactions) for property tests
+// and scaling benches.  Generation is deterministic per seed so failures
+// reproduce exactly.
+#pragma once
+
+#include <cstdint>
+
+#include "network/network.hpp"
+
+namespace elmo::models {
+
+struct RandomNetworkSpec {
+  std::size_t num_metabolites = 6;
+  /// Internal (non-exchange) reactions beyond the backbone chain.
+  std::size_t num_extra_reactions = 4;
+  /// Exchange reactions (import/export of a random metabolite).
+  std::size_t num_exchanges = 3;
+  /// Probability that a generated reaction is reversible.
+  double reversible_probability = 0.3;
+  /// Maximum stoichiometric coefficient magnitude.
+  std::int64_t max_coefficient = 2;
+  std::uint64_t seed = 1;
+};
+
+/// Generate a random network per `spec`.
+Network random_network(const RandomNetworkSpec& spec);
+
+}  // namespace elmo::models

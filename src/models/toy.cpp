@@ -1,0 +1,42 @@
+#include "models/toy.hpp"
+
+namespace elmo::models {
+
+Network toy_network() {
+  Network net;
+  // Internal metabolites inside the dotted boundary of Fig. 1.
+  for (const char* name : {"A", "B", "C", "D", "P"})
+    net.add_metabolite(name, /*external=*/false);
+  // External pools.
+  for (const char* name : {"Aext", "Bext", "Dext", "Pext"})
+    net.add_metabolite(name, /*external=*/true);
+
+  // Columns of the stoichiometry matrix in Eq (2), in order r1..r9.
+  net.add_reaction("r1", false, {{"Aext", -1}, {"A", 1}});
+  net.add_reaction("r2", false, {{"A", -1}, {"C", 1}});
+  net.add_reaction("r3", false, {{"C", -1}, {"D", 1}, {"P", 1}});
+  net.add_reaction("r4", false, {{"P", -1}, {"Pext", 1}});
+  net.add_reaction("r5", false, {{"A", -1}, {"B", 1}});
+  net.add_reaction("r6r", true, {{"B", -1}, {"C", 1}});
+  net.add_reaction("r7", false, {{"B", -1}, {"P", 2}});
+  net.add_reaction("r8r", true, {{"B", -1}, {"Bext", 1}});
+  net.add_reaction("r9", false, {{"D", -1}, {"Dext", 1}});
+  return net;
+}
+
+const std::vector<std::vector<std::int64_t>>& toy_efms_paper() {
+  // Columns of Eq (7); entry order r1..r9.
+  static const std::vector<std::vector<std::int64_t>> efms = {
+      {1, 1, 0, 0, 0, -1, 0, 1, 0},   // Aext->A->C->B->Bext
+      {0, 0, 1, 1, 0, 1, 0, -1, 1},   // Bext->B->C->D+P
+      {1, 0, 0, 0, 1, 0, 0, 1, 0},    // Aext->A->B->Bext
+      {0, 0, 0, 2, 0, 0, 1, -1, 0},   // Bext->B->2P
+      {1, 1, 1, 1, 0, 0, 0, 0, 1},    // Aext->A->C->D+P
+      {1, 1, 0, 2, 0, -1, 1, 0, 0},   // Aext->A->C->B->2P
+      {1, 0, 1, 1, 1, 1, 0, 0, 1},    // Aext->A->B->C->D+P
+      {1, 0, 0, 2, 1, 0, 1, 0, 0},    // Aext->A->B->2P
+  };
+  return efms;
+}
+
+}  // namespace elmo::models

@@ -1,0 +1,21 @@
+// The paper's illustrative network (Fig. 1).
+//
+// Five internal metabolites (A, B, C, D, P), nine reactions, of which r6r
+// and r8r are reversible and r1, r4, r8r, r9 are exchange reactions.  Its
+// full Nullspace Algorithm trace is worked in the paper (Eqs (2)-(7),
+// Fig. 2): 8 elementary flux modes.
+#pragma once
+
+#include "network/network.hpp"
+
+namespace elmo::models {
+
+/// Build the toy network of Fig. 1.
+Network toy_network();
+
+/// The 8 elementary flux modes of the toy network exactly as printed in
+/// Eq (7): rows r1..r9, one column per EFM.  Used as ground truth by tests.
+/// Entry order: [r1 r2 r3 r4 r5 r6r r7 r8r r9] per mode.
+const std::vector<std::vector<std::int64_t>>& toy_efms_paper();
+
+}  // namespace elmo::models

@@ -1,0 +1,138 @@
+#include "models/yeast.hpp"
+
+#include "network/parser.hpp"
+
+namespace elmo::models {
+
+namespace {
+
+// Figs 3-4 verbatim (irreversible block, then reversible block).
+// BIO is declared external: it is the biomass sink and is never consumed.
+constexpr const char* kNetwork1 = R"(
+# S. cerevisiae Metabolic Network I -- 62 internal metabolites, 78 reactions.
+external BIO
+
+# --- irreversible reactions (Fig. 3) ---
+R4   : F6P + ATP => FDP + ADP
+R5   : FDP => F6P
+R9   : PYR + ATP => PEP + ADP
+R10  : PEP + ADP => PYR + ATP
+R12  : GL3P + FAD_mit => DHAP + FADH_mit
+R26  : GL3P => GLY
+R15  : G6P + 2 NADP => 2 NADPH + CO2 + RL5P
+R21  : ACCOA + OA => COA + CIT
+R23  : ICIT + NADP => CO2 + NADPH + AKG
+R24  : AKG_mit + NAD_mit + COA_mit => CO2 + NADH_mit + SUCCOA_mit
+R27  : FUM + FADH => SUCC + FAD
+R33  : PYR + COA => ACCOA + FOR
+R37  : PYR + ATP + CO2 => ADP + OA
+R38  : PYR => ACEADH + CO2
+R40  : ACEADH + NADH => ETOH + NAD
+R41  : ACEADH + NADP => AC + NADPH
+R42  : OA + ATP => PEP + CO2 + ADP
+R43  : PEP + CO2 => OA
+R46  : ICIT => GLX + SUCC
+R47  : ACCOA + GLX => COA + MAL
+R53  : ACEADH + NAD => AC + NADH
+R54  : ATP => ADP
+R58  : NADH + NAD_mit => NAD + NADH_mit
+R59  : NH3ext => NH3
+R60  : GLY => GLYext
+R62  : GLCext + PEP => G6P + PYR
+R63  : AC => ACext
+R64  : LAC => LACext
+R65  : FOR => FORext
+R66  : ETOH => ETOHext
+R67  : SUCC => SUCCext
+R68  : O2ext => O2
+R69  : CO2 => CO2ext
+R70  : 7437 G6P + 611 G3P + 437 R5P + 130 E4P + 500 PEP + 2060 PYR + 45 ACCOA_mit + 362 ACCOA + 733 AKG + 1232 OA + 1158 NAD + 434 NAD_mit + 6413 NADPH + 1568 NADPH_mit + 40141 ATP + 5587 NH3 => 1000 BIO + 247 CO2 + 45 COA_mit + 362 COA + 1158 NADH + 434 NADH_mit + 6413 NADP + 1568 NADP_mit + 40141 ADP
+R72  : PYR_mit + COA_mit + NAD_mit => ACCOA_mit + NADH_mit + CO2
+R73  : OA_mit + ACCOA_mit => CIT_mit + COA_mit
+R75  : ICIT_mit + NAD_mit => AKG_mit + NADH_mit + CO2
+R76  : ICIT_mit + NADP_mit => AKG_mit + NADPH_mit + CO2
+R77  : ICIT + NADP => AKG + NADPH + CO2
+R82  : MAL_mit + NADP_mit => PYR_mit + NADPH_mit + CO2
+R85  : ETOH_mit + COA_mit + 2 ATP_mit + 2 NAD_mit => ACCOA_mit + 2 ADP_mit + 2 NADH_mit
+R86  : ACEADH_mit + NAD_mit => AC_mit + NADH_mit
+R87  : ACEADH_mit + NADP_mit => AC_mit + NADPH_mit
+R93  : ADP + ATP_mit => ADP_mit + ATP
+R98  : FUM_mit + SUCC => SUCC_mit + FUM
+R100 : SUCC => SUCC_mit
+R101 : AKG + MAL_mit => AKG_mit + MAL
+
+# --- reversible reactions (Fig. 4) ---
+R3r   : G6P <=> F6P
+R6r   : FDP <=> G3P + DHAP
+R7r   : G3P <=> DHAP
+R8r   : G3P + NAD + ADP <=> PEP + ATP + NADH
+R13r  : DHAP + NADH <=> GL3P + NAD
+R16r  : RL5P <=> R5P
+R17r  : RL5P <=> X5P
+R18r  : R5P + X5P <=> G3P + S7P
+R19r  : X5P + E4P <=> F6P + G3P
+R20r  : G3P + S7P <=> E4P + F6P
+R22r  : CIT <=> ICIT
+R25r  : SUCCOA_mit + ADP_mit <=> ATP_mit + COA_mit + SUCC_mit
+R28r  : FUM <=> MAL
+R29r  : MAL + NAD <=> NADH + OA
+R30r  : PYR + NADH <=> NAD + LAC
+R32r  : ACCOA + 2 NADH <=> ETOH + 2 NAD + COA
+R36r  : ATP + AC + COA <=> ADP + ACCOA
+R74r  : CIT_mit <=> ICIT_mit
+R78r  : ACEADH_mit + NADH_mit <=> ETOH_mit + NAD_mit
+R79r  : SUCC_mit + FAD_mit <=> FUM_mit + FADH_mit
+R80r  : FUM_mit <=> MAL_mit
+R81r  : MAL_mit + NAD_mit <=> OA_mit + NADH_mit
+R88r  : CIT + MAL_mit <=> CIT_mit + MAL
+R89r  : MAL + SUCC_mit <=> MAL_mit + SUCC
+R90r  : CIT + ICIT_mit <=> CIT_mit + ICIT
+R92r  : AC_mit <=> AC
+R94r  : PYR <=> PYR_mit
+R95r  : ETOH <=> ETOH_mit
+R96r  : MAL_mit <=> MAL
+R97r  : ACCOA_mit <=> ACCOA
+R102r : OA <=> OA_mit
+)";
+
+// Fig 5: Network II differs from Network I by five added reactions, one
+// added internal metabolite (GLC), three reactions made reversible
+// (R54, R60, R63 -> R54r, R60r, R63r) and a modified R62.
+constexpr const char* kNetwork2Additions = R"(
+# --- Network II additions (Fig. 5) ---
+R1   : GLC + ATP => G6P + ADP
+R14  : GLY + ATP => GL3P + ADP
+R56  : 24 ADP + 20 NADH_mit + 10 O2 => 24 ATP + 20 NAD_mit
+R57  : 24 ADP + 20 FADH + 10 O2 => 24 ATP + 20 FAD
+R61  : GLCext => GLC
+)";
+
+}  // namespace
+
+const char* yeast_network_1_text() { return kNetwork1; }
+
+const char* yeast_network_2_text() {
+  static const std::string text = [] {
+    std::string t = kNetwork1;
+    // R54, R60, R63 become reversible (rename with the r suffix).
+    auto replace_line = [&t](const std::string& from, const std::string& to) {
+      std::size_t pos = t.find(from);
+      if (pos != std::string::npos) t.replace(pos, from.size(), to);
+    };
+    replace_line("R54  : ATP => ADP", "R54r : ATP <=> ADP");
+    replace_line("R60  : GLY => GLYext", "R60r : GLY <=> GLYext");
+    replace_line("R63  : AC => ACext", "R63r : AC <=> ACext");
+    // R62 consumes internal GLC instead of GLCext.
+    replace_line("R62  : GLCext + PEP => G6P + PYR",
+                 "R62  : GLC + PEP => G6P + PYR");
+    t += kNetwork2Additions;
+    return t;
+  }();
+  return text.c_str();
+}
+
+Network yeast_network_1() { return parse_network(yeast_network_1_text()); }
+
+Network yeast_network_2() { return parse_network(yeast_network_2_text()); }
+
+}  // namespace elmo::models

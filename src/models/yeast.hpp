@@ -1,0 +1,34 @@
+// The two S. cerevisiae central-metabolism networks evaluated in the paper.
+//
+//   Network I  (Figs 3-4): 62 internal metabolites, 78 reactions
+//                          (reduced by preprocessing to 35 x 55);
+//                          1,515,314 elementary flux modes (Tables II/III).
+//   Network II (Fig 5):    63 internal metabolites, 83 reactions
+//                          (reduced to 40 x 61); 49,764,544 EFMs (Table IV).
+//
+// Transcription notes:
+//   * "mit" compartment suffixes are written with underscores (FAD_mit).
+//   * Metabolites with the "ext" suffix are external; BIO (biomass) is also
+//     external (nothing consumes it — the biomass reaction R70 is the sink).
+//   * Figure 4 prints R94r-R97r with a one-way arrow but lists them among
+//     the reversible reactions and names them with the "r" suffix; they are
+//     treated as reversible here.
+#pragma once
+
+#include "network/network.hpp"
+
+namespace elmo::models {
+
+/// S. cerevisiae Metabolic Network I (62 metabolites x 78 reactions).
+Network yeast_network_1();
+
+/// S. cerevisiae Metabolic Network II (63 metabolites x 83 reactions).
+Network yeast_network_2();
+
+/// The raw reaction-list text for Network I (parseable by parse_network).
+const char* yeast_network_1_text();
+
+/// The raw reaction-list text for Network II.
+const char* yeast_network_2_text();
+
+}  // namespace elmo::models

@@ -1,0 +1,225 @@
+#include "mpsim/communicator.hpp"
+
+#include <exception>
+#include <map>
+#include <thread>
+
+#include "support/assert.hpp"
+
+namespace elmo::mpsim {
+
+namespace detail {
+
+/// Shared state of one simulated machine.  All blocking waits watch the
+/// `aborted` flag so a failing rank can never deadlock its peers.
+struct World {
+  explicit World(int n, const RunOptions& opts) : size(n), options(opts) {
+    mailboxes.resize(static_cast<std::size_t>(n));
+    gather_slots.assign(static_cast<std::size_t>(n), {});
+    reduce_slots.assign(static_cast<std::size_t>(n), 0);
+  }
+
+  const int size;
+  const RunOptions options;
+
+  std::mutex mutex;
+  std::condition_variable cv;
+  bool aborted = false;
+
+  // Point-to-point: per-destination map keyed by (source, tag).
+  struct Mailbox {
+    std::map<std::pair<int, int>, std::deque<Payload>> queues;
+  };
+  std::vector<Mailbox> mailboxes;
+
+  // Barrier (generation-counting).
+  int barrier_waiting = 0;
+  std::uint64_t barrier_generation = 0;
+
+  // Collectives: slot per rank plus a two-phase barrier around them.
+  std::vector<Payload> gather_slots;
+  std::vector<std::uint64_t> reduce_slots;
+
+  void abort_locked() {
+    aborted = true;
+    cv.notify_all();
+  }
+};
+
+}  // namespace detail
+
+Communicator::Communicator(detail::World& world, int rank)
+    : world_(world), rank_(rank) {}
+
+int Communicator::size() const { return world_.size; }
+
+void Communicator::check_abort_locked(std::unique_lock<std::mutex>&) {
+  if (world_.aborted) throw AbortedError();
+}
+
+void Communicator::send(int destination, int tag, Payload payload) {
+  ELMO_REQUIRE(destination >= 0 && destination < world_.size,
+               "send: bad destination rank");
+  std::unique_lock lock(world_.mutex);
+  check_abort_locked(lock);
+  counters_.messages_sent += 1;
+  counters_.bytes_sent += payload.size();
+  world_.mailboxes[static_cast<std::size_t>(destination)]
+      .queues[{rank_, tag}]
+      .push_back(std::move(payload));
+  world_.cv.notify_all();
+}
+
+Payload Communicator::recv(int source, int tag) {
+  ELMO_REQUIRE(source >= 0 && source < world_.size, "recv: bad source rank");
+  std::unique_lock lock(world_.mutex);
+  auto& queues = world_.mailboxes[static_cast<std::size_t>(rank_)].queues;
+  const auto key = std::make_pair(source, tag);
+  world_.cv.wait(lock, [&] {
+    auto it = queues.find(key);
+    return world_.aborted || (it != queues.end() && !it->second.empty());
+  });
+  check_abort_locked(lock);
+  auto& queue = queues[key];
+  Payload payload = std::move(queue.front());
+  queue.pop_front();
+  return payload;
+}
+
+void Communicator::barrier() {
+  std::unique_lock lock(world_.mutex);
+  check_abort_locked(lock);
+  ++counters_.collectives;
+  const std::uint64_t generation = world_.barrier_generation;
+  if (++world_.barrier_waiting == world_.size) {
+    world_.barrier_waiting = 0;
+    ++world_.barrier_generation;
+    world_.cv.notify_all();
+    return;
+  }
+  world_.cv.wait(lock, [&] {
+    return world_.aborted || world_.barrier_generation != generation;
+  });
+  check_abort_locked(lock);
+}
+
+std::vector<Payload> Communicator::all_gather(Payload local) {
+  {
+    std::unique_lock lock(world_.mutex);
+    check_abort_locked(lock);
+    counters_.messages_sent += static_cast<std::uint64_t>(world_.size - 1);
+    counters_.bytes_sent +=
+        local.size() * static_cast<std::uint64_t>(world_.size - 1);
+    world_.gather_slots[static_cast<std::size_t>(rank_)] = std::move(local);
+  }
+  barrier();  // everyone has published
+  std::vector<Payload> result;
+  {
+    std::unique_lock lock(world_.mutex);
+    check_abort_locked(lock);
+    result = world_.gather_slots;  // copy: each rank owns its view
+  }
+  barrier();  // safe to overwrite slots in the next collective
+  return result;
+}
+
+std::uint64_t Communicator::all_reduce_sum(std::uint64_t local) {
+  {
+    std::unique_lock lock(world_.mutex);
+    check_abort_locked(lock);
+    ++counters_.collectives;
+    world_.reduce_slots[static_cast<std::size_t>(rank_)] = local;
+  }
+  barrier();
+  std::uint64_t total = 0;
+  {
+    std::unique_lock lock(world_.mutex);
+    check_abort_locked(lock);
+    for (auto v : world_.reduce_slots) total += v;
+  }
+  barrier();
+  return total;
+}
+
+std::uint64_t Communicator::all_reduce_max(std::uint64_t local) {
+  {
+    std::unique_lock lock(world_.mutex);
+    check_abort_locked(lock);
+    ++counters_.collectives;
+    world_.reduce_slots[static_cast<std::size_t>(rank_)] = local;
+  }
+  barrier();
+  std::uint64_t best = 0;
+  {
+    std::unique_lock lock(world_.mutex);
+    check_abort_locked(lock);
+    for (auto v : world_.reduce_slots) best = std::max(best, v);
+  }
+  barrier();
+  return best;
+}
+
+void Communicator::set_memory_usage(std::size_t bytes) {
+  counters_.memory_in_use = bytes;
+  counters_.memory_peak = std::max(counters_.memory_peak, bytes);
+  const std::size_t budget = world_.options.memory_budget_per_rank;
+  if (budget != 0 && bytes > budget) {
+    throw MemoryBudgetError(
+        "rank " + std::to_string(rank_) + " exceeded its memory budget (" +
+            std::to_string(bytes) + " > " + std::to_string(budget) + " bytes)",
+        bytes, budget);
+  }
+}
+
+std::size_t Communicator::memory_budget() const {
+  return world_.options.memory_budget_per_rank;
+}
+
+RunReport run_ranks(int num_ranks,
+                    const std::function<void(Communicator&)>& body,
+                    const RunOptions& options) {
+  ELMO_REQUIRE(num_ranks > 0, "run_ranks: need at least one rank");
+  detail::World world(num_ranks, options);
+  std::vector<Communicator> comms;
+  comms.reserve(static_cast<std::size_t>(num_ranks));
+  for (int r = 0; r < num_ranks; ++r) comms.emplace_back(world, r);
+
+  std::vector<std::exception_ptr> errors(
+      static_cast<std::size_t>(num_ranks));
+  std::vector<std::thread> threads;
+  threads.reserve(static_cast<std::size_t>(num_ranks));
+  for (int r = 0; r < num_ranks; ++r) {
+    threads.emplace_back([&, r] {
+      try {
+        body(comms[static_cast<std::size_t>(r)]);
+      } catch (...) {
+        errors[static_cast<std::size_t>(r)] = std::current_exception();
+        std::unique_lock lock(world.mutex);
+        world.abort_locked();
+      }
+    });
+  }
+  for (auto& thread : threads) thread.join();
+
+  // Rethrow the first real failure (skip secondary AbortedErrors).
+  std::exception_ptr first;
+  for (const auto& error : errors) {
+    if (!error) continue;
+    try {
+      std::rethrow_exception(error);
+    } catch (const AbortedError&) {
+      if (!first) first = error;
+    } catch (...) {
+      first = error;
+      break;
+    }
+  }
+  if (first) std::rethrow_exception(first);
+
+  RunReport report;
+  report.ranks.reserve(comms.size());
+  for (const auto& comm : comms) report.ranks.push_back(comm.counters());
+  return report;
+}
+
+}  // namespace elmo::mpsim

@@ -1,0 +1,117 @@
+// Simulated distributed-memory message passing.
+//
+// The paper's Algorithms 2 and 3 ran under MPI on an InfiniBand Xeon
+// cluster ("Calhoun") and on Blue Gene/P.  Neither is available offline, so
+// elmo provides an in-process runtime with the same programming model: N
+// ranks (threads) with private state, point-to-point messages, barrier /
+// all-gather / all-reduce collectives, and — crucially for reproducing the
+// paper's Network-II memory story — PER-RANK MEMORY ACCOUNTING with a
+// configurable budget.  Work division, message volume and per-rank peak
+// memory are identical to what the MPI implementation would measure; only
+// physical speedup is bounded by the host's core count.
+//
+// Error handling: an exception escaping one rank aborts the world — blocked
+// peers throw AbortedError instead of deadlocking — and the original
+// exception is rethrown to the caller of run_ranks.
+#pragma once
+
+#include <condition_variable>
+#include <cstdint>
+#include <deque>
+#include <functional>
+#include <mutex>
+#include <vector>
+
+#include "support/error.hpp"
+
+namespace elmo::mpsim {
+
+/// Thrown in ranks blocked on a collective/recv when another rank failed.
+class AbortedError : public Error {
+ public:
+  AbortedError() : Error("mpsim: world aborted by a failing rank") {}
+};
+
+using Payload = std::vector<std::uint8_t>;
+
+namespace detail {
+struct World;
+}  // namespace detail
+
+/// Per-rank traffic and memory counters.
+struct RankCounters {
+  std::uint64_t messages_sent = 0;
+  std::uint64_t bytes_sent = 0;
+  std::uint64_t collectives = 0;
+  std::size_t memory_in_use = 0;
+  std::size_t memory_peak = 0;
+};
+
+/// Handle each rank body receives; mirrors the MPI surface the paper's
+/// implementation would use.
+class Communicator {
+ public:
+  Communicator(detail::World& world, int rank);
+
+  [[nodiscard]] int rank() const { return rank_; }
+  [[nodiscard]] int size() const;
+
+  /// Point-to-point: non-blocking buffered send, blocking tagged receive.
+  void send(int destination, int tag, Payload payload);
+  Payload recv(int source, int tag);
+
+  void barrier();
+
+  /// Gather every rank's payload; result[r] is rank r's contribution.
+  std::vector<Payload> all_gather(Payload local);
+
+  std::uint64_t all_reduce_sum(std::uint64_t local);
+  std::uint64_t all_reduce_max(std::uint64_t local);
+
+  /// Memory accounting against the configured per-rank budget.  `track`
+  /// ADDS to the rank's usage; set_usage replaces it (convenient for
+  /// "current matrix" snapshots).  Throws MemoryBudgetError when the budget
+  /// is exceeded — the simulated equivalent of the paper's Algorithm-2 run
+  /// on Network II dying at iteration 59.
+  void set_memory_usage(std::size_t bytes);
+  [[nodiscard]] std::size_t memory_budget() const;
+
+  [[nodiscard]] const RankCounters& counters() const { return counters_; }
+
+ private:
+  void check_abort_locked(std::unique_lock<std::mutex>& lock);
+
+  detail::World& world_;
+  int rank_;
+  RankCounters counters_;
+};
+
+struct RunOptions {
+  /// 0 = unlimited.
+  std::size_t memory_budget_per_rank = 0;
+};
+
+/// Result of a world run: per-rank counters (index = rank).
+struct RunReport {
+  std::vector<RankCounters> ranks;
+
+  [[nodiscard]] std::uint64_t total_bytes_sent() const {
+    std::uint64_t total = 0;
+    for (const auto& r : ranks) total += r.bytes_sent;
+    return total;
+  }
+  [[nodiscard]] std::size_t max_memory_peak() const {
+    std::size_t peak = 0;
+    for (const auto& r : ranks) peak = std::max(peak, r.memory_peak);
+    return peak;
+  }
+};
+
+/// Spawn `num_ranks` ranks running `body` and join them.  The first
+/// exception thrown by any rank is rethrown here after all ranks have
+/// stopped (AbortedError from secondary ranks is swallowed).
+RunReport run_ranks(int num_ranks,
+                    const std::function<void(Communicator&)>& body,
+                    const RunOptions& options = {});
+
+}  // namespace elmo::mpsim

@@ -1,0 +1,120 @@
+// Serialisation of flux columns for the simulated message-passing layer.
+//
+// Candidate EFMs exchanged in Communicate&Merge are encoded exactly as an
+// MPI implementation would pack them; message sizes reported by the
+// communicator therefore reflect real traffic volumes.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "bigint/scalar.hpp"
+#include "bitset/bitset64.hpp"
+#include "bitset/dynbitset.hpp"
+#include "mpsim/communicator.hpp"
+#include "nullspace/flux_column.hpp"
+#include "support/error.hpp"
+
+namespace elmo::mpsim {
+
+namespace detail {
+
+inline void put_u64(Payload& out, std::uint64_t v) {
+  for (int b = 0; b < 8; ++b)
+    out.push_back(static_cast<std::uint8_t>(v >> (8 * b)));
+}
+
+inline std::uint64_t get_u64(const std::uint8_t*& cursor,
+                             const std::uint8_t* end) {
+  if (end - cursor < 8) throw ParseError("mpsim: truncated u64");
+  std::uint64_t v = 0;
+  for (int b = 0; b < 8; ++b)
+    v |= static_cast<std::uint64_t>(*cursor++) << (8 * b);
+  return v;
+}
+
+// ---- scalar encoding ----
+inline void put_scalar(Payload& out, const CheckedI64& v) {
+  put_u64(out, static_cast<std::uint64_t>(v.value()));
+}
+inline void put_scalar(Payload& out, const BigInt& v) { v.serialize(out); }
+inline void put_scalar(Payload& out, double v) {
+  std::uint64_t bits;
+  static_assert(sizeof(bits) == sizeof(v));
+  __builtin_memcpy(&bits, &v, sizeof(bits));
+  put_u64(out, bits);
+}
+
+inline void get_scalar(const std::uint8_t*& cursor, const std::uint8_t* end,
+                       CheckedI64& v) {
+  v = CheckedI64(static_cast<std::int64_t>(get_u64(cursor, end)));
+}
+inline void get_scalar(const std::uint8_t*& cursor, const std::uint8_t* end,
+                       BigInt& v) {
+  v = BigInt::deserialize(cursor, end);
+}
+inline void get_scalar(const std::uint8_t*& cursor, const std::uint8_t* end,
+                       double& v) {
+  std::uint64_t bits = get_u64(cursor, end);
+  __builtin_memcpy(&v, &bits, sizeof(v));
+}
+
+// ---- support encoding ----
+inline void put_support(Payload& out, const Bitset64& s) {
+  put_u64(out, s.word());
+}
+inline void put_support(Payload& out, const DynBitset& s) {
+  put_u64(out, s.words().size());
+  for (std::uint64_t w : s.words()) put_u64(out, w);
+}
+inline void get_support(const std::uint8_t*& cursor, const std::uint8_t* end,
+                        Bitset64& s) {
+  s = Bitset64(get_u64(cursor, end));
+}
+inline void get_support(const std::uint8_t*& cursor, const std::uint8_t* end,
+                        DynBitset& s) {
+  std::size_t count = get_u64(cursor, end);
+  std::vector<std::uint64_t> words(count);
+  for (auto& w : words) w = get_u64(cursor, end);
+  s = DynBitset::from_words(std::move(words));
+}
+
+}  // namespace detail
+
+/// Encode a batch of columns into one message payload.
+template <typename Scalar, typename Support>
+Payload encode_columns(const std::vector<FluxColumn<Scalar, Support>>& columns) {
+  Payload out;
+  detail::put_u64(out, columns.size());
+  for (const auto& column : columns) {
+    detail::put_support(out, column.support);
+    detail::put_u64(out, column.values.size());
+    for (const auto& value : column.values) detail::put_scalar(out, value);
+  }
+  return out;
+}
+
+/// Inverse of encode_columns.
+template <typename Scalar, typename Support>
+std::vector<FluxColumn<Scalar, Support>> decode_columns(
+    const Payload& payload) {
+  const std::uint8_t* cursor = payload.data();
+  const std::uint8_t* end = payload.data() + payload.size();
+  std::vector<FluxColumn<Scalar, Support>> columns;
+  const std::uint64_t count = detail::get_u64(cursor, end);
+  columns.reserve(count);
+  for (std::uint64_t c = 0; c < count; ++c) {
+    FluxColumn<Scalar, Support> column;
+    detail::get_support(cursor, end, column.support);
+    const std::uint64_t size = detail::get_u64(cursor, end);
+    column.values.resize(size);
+    for (auto& value : column.values)
+      detail::get_scalar(cursor, end, value);
+    columns.push_back(std::move(column));
+  }
+  if (cursor != end)
+    throw ParseError("mpsim: trailing bytes after column batch");
+  return columns;
+}
+
+}  // namespace elmo::mpsim

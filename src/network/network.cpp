@@ -1,0 +1,121 @@
+#include "network/network.hpp"
+
+#include <algorithm>
+#include <map>
+
+#include "support/assert.hpp"
+
+namespace elmo {
+
+std::int64_t Reaction::coefficient_of(MetaboliteId met) const {
+  for (const auto& term : terms)
+    if (term.metabolite == met) return term.coefficient;
+  return 0;
+}
+
+MetaboliteId Network::add_metabolite(std::string name, bool external) {
+  ELMO_REQUIRE(!name.empty(), "metabolite name must not be empty");
+  ELMO_REQUIRE(!metabolite_index_.contains(name),
+               "duplicate metabolite name: " + name);
+  MetaboliteId id = metabolites_.size();
+  metabolite_index_.emplace(name, id);
+  metabolites_.push_back(Metabolite{std::move(name), external});
+  if (!external) ++internal_count_;
+  return id;
+}
+
+ReactionId Network::add_reaction(
+    std::string name, bool reversible,
+    const std::vector<std::pair<std::string, std::int64_t>>& terms) {
+  ELMO_REQUIRE(!name.empty(), "reaction name must not be empty");
+  ELMO_REQUIRE(!reaction_index_.contains(name),
+               "duplicate reaction name: " + name);
+
+  // Sum coefficients per metabolite (a metabolite may appear on both sides).
+  std::map<MetaboliteId, std::int64_t> net;
+  for (const auto& [met_name, coeff] : terms) {
+    auto it = metabolite_index_.find(met_name);
+    ELMO_REQUIRE(it != metabolite_index_.end(),
+                 "reaction " + name + " references unknown metabolite '" +
+                     met_name + "'");
+    net[it->second] += coeff;
+  }
+
+  Reaction reaction;
+  reaction.name = name;
+  reaction.reversible = reversible;
+  for (const auto& [met, coeff] : net) {
+    if (coeff != 0) reaction.terms.push_back(StoichTerm{met, coeff});
+  }
+
+  ReactionId id = reactions_.size();
+  reaction_index_.emplace(std::move(name), id);
+  reactions_.push_back(std::move(reaction));
+  return id;
+}
+
+std::size_t Network::num_reversible_reactions() const {
+  return static_cast<std::size_t>(
+      std::count_if(reactions_.begin(), reactions_.end(),
+                    [](const Reaction& r) { return r.reversible; }));
+}
+
+std::optional<MetaboliteId> Network::find_metabolite(
+    const std::string& name) const {
+  auto it = metabolite_index_.find(name);
+  if (it == metabolite_index_.end()) return std::nullopt;
+  return it->second;
+}
+
+std::optional<ReactionId> Network::find_reaction(
+    const std::string& name) const {
+  auto it = reaction_index_.find(name);
+  if (it == reaction_index_.end()) return std::nullopt;
+  return it->second;
+}
+
+ReactionId Network::reaction_id(const std::string& name) const {
+  auto id = find_reaction(name);
+  ELMO_REQUIRE(id.has_value(), "unknown reaction: " + name);
+  return *id;
+}
+
+std::vector<MetaboliteId> Network::internal_metabolites() const {
+  std::vector<MetaboliteId> result;
+  result.reserve(internal_count_);
+  for (MetaboliteId id = 0; id < metabolites_.size(); ++id)
+    if (!metabolites_[id].external) result.push_back(id);
+  return result;
+}
+
+Network Network::without_reactions(
+    const std::vector<ReactionId>& removed) const {
+  std::vector<bool> drop(reactions_.size(), false);
+  for (ReactionId id : removed) {
+    ELMO_REQUIRE(id < reactions_.size(), "knockout: bad reaction id");
+    drop[id] = true;
+  }
+  Network out;
+  for (const auto& met : metabolites_)
+    out.add_metabolite(met.name, met.external);
+  for (ReactionId id = 0; id < reactions_.size(); ++id) {
+    if (drop[id]) continue;
+    const Reaction& r = reactions_[id];
+    std::vector<std::pair<std::string, std::int64_t>> terms;
+    terms.reserve(r.terms.size());
+    for (const auto& term : r.terms)
+      terms.emplace_back(metabolites_[term.metabolite].name,
+                         term.coefficient);
+    out.add_reaction(r.name, r.reversible, terms);
+  }
+  return out;
+}
+
+std::vector<bool> Network::reversibility() const {
+  std::vector<bool> flags(reactions_.size());
+  for (std::size_t j = 0; j < reactions_.size(); ++j)
+    flags[j] = reactions_[j].reversible;
+  return flags;
+}
+
+}  // namespace elmo

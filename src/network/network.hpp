@@ -1,0 +1,131 @@
+// Metabolic network model.
+//
+// A network is a list of metabolites (internal or external) and reactions.
+// Each reaction converts substrates to products in fixed integer molar
+// proportions and is either irreversible (flux >= 0) or reversible.
+// Exchange reactions crossing the system boundary are modelled simply as
+// reactions touching external metabolites; external metabolites impose no
+// steady-state constraint and therefore do not appear in the stoichiometry
+// matrix (paper §II.A).
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "linalg/matrix.hpp"
+
+namespace elmo {
+
+using MetaboliteId = std::size_t;
+using ReactionId = std::size_t;
+
+struct Metabolite {
+  std::string name;
+  bool external = false;
+};
+
+/// One stoichiometric term: `coefficient` units of metabolite `metabolite`.
+/// Negative coefficients consume, positive produce.
+struct StoichTerm {
+  MetaboliteId metabolite;
+  std::int64_t coefficient;
+
+  friend bool operator==(const StoichTerm&, const StoichTerm&) = default;
+};
+
+struct Reaction {
+  std::string name;
+  bool reversible = false;
+  /// Sorted by metabolite id; at most one term per metabolite.
+  std::vector<StoichTerm> terms;
+
+  /// Coefficient of `met` in this reaction (0 if absent).
+  [[nodiscard]] std::int64_t coefficient_of(MetaboliteId met) const;
+};
+
+class Network {
+ public:
+  /// Add a metabolite; returns its id.  Throws InvalidArgumentError on a
+  /// duplicate name.
+  MetaboliteId add_metabolite(std::string name, bool external = false);
+
+  /// Add a reaction given (metabolite name, coefficient) pairs.  Metabolites
+  /// must already exist.  Coefficients for the same metabolite are summed;
+  /// zero net coefficients are dropped.  Returns the reaction id.
+  ReactionId add_reaction(
+      std::string name, bool reversible,
+      const std::vector<std::pair<std::string, std::int64_t>>& terms);
+
+  [[nodiscard]] std::size_t num_metabolites() const {
+    return metabolites_.size();
+  }
+  [[nodiscard]] std::size_t num_internal_metabolites() const {
+    return internal_count_;
+  }
+  [[nodiscard]] std::size_t num_reactions() const { return reactions_.size(); }
+  [[nodiscard]] std::size_t num_reversible_reactions() const;
+
+  [[nodiscard]] const Metabolite& metabolite(MetaboliteId id) const {
+    return metabolites_.at(id);
+  }
+  [[nodiscard]] const Reaction& reaction(ReactionId id) const {
+    return reactions_.at(id);
+  }
+  [[nodiscard]] const std::vector<Metabolite>& metabolites() const {
+    return metabolites_;
+  }
+  [[nodiscard]] const std::vector<Reaction>& reactions() const {
+    return reactions_;
+  }
+
+  [[nodiscard]] std::optional<MetaboliteId> find_metabolite(
+      const std::string& name) const;
+  [[nodiscard]] std::optional<ReactionId> find_reaction(
+      const std::string& name) const;
+
+  /// Reaction id for `name`; throws InvalidArgumentError if absent.
+  [[nodiscard]] ReactionId reaction_id(const std::string& name) const;
+
+  /// Internal metabolites in id order (the stoichiometry matrix row order).
+  [[nodiscard]] std::vector<MetaboliteId> internal_metabolites() const;
+
+  /// Stoichiometry matrix over internal metabolites: rows follow
+  /// internal_metabolites() order, columns follow reaction id order.
+  template <typename T>
+  [[nodiscard]] Matrix<T> stoichiometry() const {
+    const auto internals = internal_metabolites();
+    std::unordered_map<MetaboliteId, std::size_t> row_of;
+    row_of.reserve(internals.size());
+    for (std::size_t i = 0; i < internals.size(); ++i)
+      row_of.emplace(internals[i], i);
+    Matrix<T> n(internals.size(), reactions_.size());
+    for (std::size_t j = 0; j < reactions_.size(); ++j) {
+      for (const auto& term : reactions_[j].terms) {
+        auto it = row_of.find(term.metabolite);
+        if (it != row_of.end())
+          n(it->second, j) = scalar_from_i64<T>(term.coefficient);
+      }
+    }
+    return n;
+  }
+
+  /// Copy of this network without the given reactions (a "knockout").
+  /// Metabolites are preserved; reaction ids are renumbered densely.
+  [[nodiscard]] Network without_reactions(
+      const std::vector<ReactionId>& removed) const;
+
+  /// Reversibility flags in reaction id order.
+  [[nodiscard]] std::vector<bool> reversibility() const;
+
+ private:
+  std::vector<Metabolite> metabolites_;
+  std::vector<Reaction> reactions_;
+  std::unordered_map<std::string, MetaboliteId> metabolite_index_;
+  std::unordered_map<std::string, ReactionId> reaction_index_;
+  std::size_t internal_count_ = 0;
+};
+
+}  // namespace elmo

@@ -1,0 +1,242 @@
+#include "network/parser.hpp"
+
+#include <cctype>
+#include <set>
+#include <sstream>
+#include <vector>
+
+#include "support/error.hpp"
+
+namespace elmo {
+
+namespace {
+
+[[noreturn]] void fail(std::size_t line_no, const std::string& message) {
+  throw ParseError("line " + std::to_string(line_no) + ": " + message);
+}
+
+std::string_view strip(std::string_view s) {
+  while (!s.empty() && std::isspace(static_cast<unsigned char>(s.front())))
+    s.remove_prefix(1);
+  while (!s.empty() && std::isspace(static_cast<unsigned char>(s.back())))
+    s.remove_suffix(1);
+  return s;
+}
+
+/// Remove "#"- or "//"-style trailing comments.
+std::string_view strip_comment(std::string_view s) {
+  for (std::size_t i = 0; i < s.size(); ++i) {
+    if (s[i] == '#' || (s[i] == '/' && i + 1 < s.size() && s[i + 1] == '/'))
+      return s.substr(0, i);
+  }
+  return s;
+}
+
+bool is_name_char(char c) {
+  return std::isalnum(static_cast<unsigned char>(c)) || c == '_' || c == '-' ||
+         c == '\'' || c == '(' || c == ')' || c == '[' || c == ']';
+}
+
+struct Term {
+  std::int64_t coefficient;
+  std::string metabolite;
+};
+
+/// Parse one side of a reaction: "7437 G6P + 611 G3P" -> terms.
+std::vector<Term> parse_side(std::string_view side, std::size_t line_no) {
+  std::vector<Term> terms;
+  side = strip(side);
+  if (side.empty()) return terms;  // pure import/export side
+
+  std::size_t pos = 0;
+  auto skip_ws = [&] {
+    while (pos < side.size() &&
+           std::isspace(static_cast<unsigned char>(side[pos])))
+      ++pos;
+  };
+  while (true) {
+    skip_ws();
+    // Optional integer coefficient.
+    std::int64_t coeff = 1;
+    if (pos < side.size() &&
+        std::isdigit(static_cast<unsigned char>(side[pos]))) {
+      std::size_t start = pos;
+      while (pos < side.size() &&
+             std::isdigit(static_cast<unsigned char>(side[pos])))
+        ++pos;
+      // A bare number followed by a name char (e.g. "2NADH") is treated as
+      // part of the name only if no whitespace separates them and the name
+      // starts with a letter — the paper always separates, so require a gap.
+      coeff = std::stoll(std::string(side.substr(start, pos - start)));
+      skip_ws();
+    }
+    // Metabolite name.
+    std::size_t start = pos;
+    while (pos < side.size() && is_name_char(side[pos])) ++pos;
+    if (pos == start) fail(line_no, "expected metabolite name");
+    terms.push_back(Term{coeff, std::string(side.substr(start, pos - start))});
+    skip_ws();
+    if (pos == side.size()) break;
+    if (side[pos] != '+') fail(line_no, "expected '+' between terms");
+    ++pos;
+  }
+  return terms;
+}
+
+}  // namespace
+
+Network parse_network(std::string_view text, const ParserOptions& options) {
+  // First pass: collect explicit external declarations and reaction lines.
+  struct ReactionLine {
+    std::size_t line_no;
+    std::string name;
+    bool reversible;
+    std::vector<Term> lhs;
+    std::vector<Term> rhs;
+  };
+  std::set<std::string> declared_external;
+  std::vector<ReactionLine> reaction_lines;
+  std::vector<std::string> declared_internal_order;
+  std::set<std::string> declared_internal;
+
+  std::size_t line_no = 0;
+  std::size_t start = 0;
+  while (start <= text.size()) {
+    std::size_t end = text.find('\n', start);
+    if (end == std::string_view::npos) end = text.size();
+    std::string_view line = strip(strip_comment(text.substr(start, end - start)));
+    start = end + 1;
+    ++line_no;
+    if (line.empty()) continue;
+
+    // Directive lines.
+    if (line.starts_with("external ") || line == "external") {
+      std::istringstream words{std::string(line.substr(8))};
+      std::string word;
+      while (words >> word) declared_external.insert(word);
+      continue;
+    }
+    if (line.starts_with("metabolite ") || line == "metabolite") {
+      std::istringstream words{std::string(line.substr(10))};
+      std::string word;
+      while (words >> word) {
+        if (declared_internal.insert(word).second)
+          declared_internal_order.push_back(word);
+      }
+      continue;
+    }
+
+    // Reaction line: NAME : LHS (=>|<=>) RHS
+    std::size_t colon = line.find(':');
+    if (colon == std::string_view::npos)
+      fail(line_no, "expected 'NAME : equation'");
+    std::string name{strip(line.substr(0, colon))};
+    if (name.empty()) fail(line_no, "empty reaction name");
+    std::string_view equation = line.substr(colon + 1);
+
+    bool reversible = false;
+    std::size_t arrow = equation.find("<=>");
+    std::size_t arrow_len = 3;
+    if (arrow != std::string_view::npos) {
+      reversible = true;
+    } else {
+      arrow = equation.find("=>");
+      arrow_len = 2;
+      if (arrow == std::string_view::npos)
+        fail(line_no, "expected '=>' or '<=>' in equation");
+    }
+    ReactionLine parsed;
+    parsed.line_no = line_no;
+    parsed.name = std::move(name);
+    parsed.reversible = reversible;
+    parsed.lhs = parse_side(equation.substr(0, arrow), line_no);
+    parsed.rhs = parse_side(equation.substr(arrow + arrow_len), line_no);
+    if (parsed.lhs.empty() && parsed.rhs.empty())
+      fail(line_no, "reaction with both sides empty");
+    reaction_lines.push_back(std::move(parsed));
+  }
+
+  // Second pass: build the network.  Metabolite ids follow declaration
+  // order, then first-use order within the reaction list.
+  Network network;
+  auto ensure_metabolite = [&](const std::string& met) {
+    if (network.find_metabolite(met)) return;
+    bool external =
+        declared_external.contains(met) ||
+        (!options.external_suffix.empty() &&
+         met.size() > options.external_suffix.size() &&
+         met.ends_with(options.external_suffix) &&
+         !declared_internal.contains(met));
+    network.add_metabolite(met, external);
+  };
+  for (const auto& met : declared_internal_order) ensure_metabolite(met);
+  for (const auto& met : declared_external) ensure_metabolite(met);
+  for (const auto& line : reaction_lines) {
+    for (const auto& term : line.lhs) ensure_metabolite(term.metabolite);
+    for (const auto& term : line.rhs) ensure_metabolite(term.metabolite);
+  }
+
+  for (const auto& line : reaction_lines) {
+    std::vector<std::pair<std::string, std::int64_t>> terms;
+    terms.reserve(line.lhs.size() + line.rhs.size());
+    for (const auto& term : line.lhs)
+      terms.emplace_back(term.metabolite, -term.coefficient);
+    for (const auto& term : line.rhs)
+      terms.emplace_back(term.metabolite, term.coefficient);
+    try {
+      network.add_reaction(line.name, line.reversible, terms);
+    } catch (const InvalidArgumentError& e) {
+      fail(line.line_no, e.what());
+    }
+  }
+  return network;
+}
+
+std::string write_network(const Network& network) {
+  std::ostringstream os;
+  // Externals that the suffix rule would not recover must be declared.
+  std::vector<std::string> externals;
+  for (const auto& met : network.metabolites())
+    if (met.external) externals.push_back(met.name);
+  if (!externals.empty()) {
+    os << "external";
+    for (const auto& name : externals) os << ' ' << name;
+    os << '\n';
+  }
+  // Declare every internal metabolite explicitly, in id order.  This both
+  // overrides the "ext" suffix rule where needed and guarantees that
+  // re-parsing reproduces the same stoichiometry row order.
+  bool any_internal = false;
+  for (const auto& met : network.metabolites()) {
+    if (met.external) continue;
+    if (!any_internal) os << "metabolite";
+    any_internal = true;
+    os << ' ' << met.name;
+  }
+  if (any_internal) os << '\n';
+
+  for (const auto& reaction : network.reactions()) {
+    os << reaction.name << " : ";
+    bool first = true;
+    for (const auto& term : reaction.terms) {
+      if (term.coefficient >= 0) continue;
+      if (!first) os << " + ";
+      first = false;
+      if (term.coefficient != -1) os << -term.coefficient << ' ';
+      os << network.metabolite(term.metabolite).name;
+    }
+    os << (reaction.reversible ? " <=> " : " => ");
+    first = true;
+    for (const auto& term : reaction.terms) {
+      if (term.coefficient <= 0) continue;
+      if (!first) os << " + ";
+      first = false;
+      if (term.coefficient != 1) os << term.coefficient << ' ';
+      os << network.metabolite(term.metabolite).name;
+    }
+    os << '\n';
+  }
+  return os.str();
+}
+
+}  // namespace elmo

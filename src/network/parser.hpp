@@ -1,0 +1,37 @@
+// Plain-text reaction-list parser.
+//
+// The format mirrors how the paper lists its networks (Figs 3-5):
+//
+//   # comment (also '//')
+//   external GLCext O2ext          # declare external metabolites
+//   R4  : F6P + ATP => FDP + ADP   # irreversible reaction
+//   R3r : G6P <=> F6P              # reversible reaction
+//   R70 : 7437 G6P + 611 G3P => 1000 BIO
+//   R63 : AC =>                    # pure export (empty right side)
+//
+// Metabolites are declared implicitly on first use.  A metabolite is
+// external if (a) it was named in an `external` directive, or (b) its name
+// ends with the configured suffix (default "ext", the paper's convention).
+#pragma once
+
+#include <string>
+#include <string_view>
+
+#include "network/network.hpp"
+
+namespace elmo {
+
+struct ParserOptions {
+  /// Names ending in this suffix are external ("" disables the rule).
+  std::string external_suffix = "ext";
+};
+
+/// Parse a whole reaction-list document.  Throws ParseError with a
+/// line-numbered message on malformed input.
+Network parse_network(std::string_view text, const ParserOptions& options = {});
+
+/// Serialise a network back to the text format (round-trips through
+/// parse_network up to formatting).
+std::string write_network(const Network& network);
+
+}  // namespace elmo

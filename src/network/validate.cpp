@@ -1,0 +1,69 @@
+#include "network/validate.hpp"
+
+#include <map>
+
+namespace elmo {
+
+namespace {
+
+/// For an internal metabolite, can any reaction produce (resp. consume) it?
+/// Reversible reactions can do either.
+struct MetaboliteUsage {
+  bool producible = false;
+  bool consumable = false;
+  std::size_t touching_reactions = 0;
+};
+
+}  // namespace
+
+ValidationReport validate(const Network& network) {
+  ValidationReport report;
+
+  std::map<MetaboliteId, MetaboliteUsage> usage;
+  for (const auto& met_id : network.internal_metabolites())
+    usage.emplace(met_id, MetaboliteUsage{});
+
+  for (const auto& reaction : network.reactions()) {
+    if (reaction.terms.empty()) {
+      report.warnings.push_back("reaction " + reaction.name +
+                                " has no net stoichiometry (all terms "
+                                "cancelled)");
+    }
+    bool touches_internal = false;
+    for (const auto& term : reaction.terms) {
+      auto it = usage.find(term.metabolite);
+      if (it == usage.end()) continue;  // external
+      touches_internal = true;
+      ++it->second.touching_reactions;
+      if (reaction.reversible) {
+        it->second.producible = true;
+        it->second.consumable = true;
+      } else if (term.coefficient > 0) {
+        it->second.producible = true;
+      } else {
+        it->second.consumable = true;
+      }
+    }
+    if (!touches_internal && !reaction.terms.empty()) {
+      report.warnings.push_back(
+          "reaction " + reaction.name +
+          " touches only external metabolites (unconstrained flux)");
+    }
+  }
+
+  for (const auto& [met_id, info] : usage) {
+    const std::string& name = network.metabolite(met_id).name;
+    if (info.touching_reactions == 0) {
+      report.warnings.push_back("internal metabolite " + name +
+                                " is not used by any reaction");
+    } else if (!info.producible || !info.consumable) {
+      report.warnings.push_back(
+          "internal metabolite " + name +
+          (info.producible ? " is never consumed" : " is never produced") +
+          "; every reaction touching it is forced to zero flux");
+    }
+  }
+  return report;
+}
+
+}  // namespace elmo

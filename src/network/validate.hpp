@@ -1,0 +1,23 @@
+// Structural sanity checks on a parsed network.
+//
+// These do not reject the network; they return human-readable warnings a
+// driver can surface.  The conditions flagged here are exactly the ones the
+// compression pass will later exploit (dead metabolites force zero fluxes).
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "network/network.hpp"
+
+namespace elmo {
+
+struct ValidationReport {
+  std::vector<std::string> warnings;
+  [[nodiscard]] bool clean() const { return warnings.empty(); }
+};
+
+/// Run all structural checks.
+ValidationReport validate(const Network& network);
+
+}  // namespace elmo

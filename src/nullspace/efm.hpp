@@ -1,0 +1,127 @@
+// Final-result postprocessing: canonicalisation and set comparison.
+//
+// EFMs are rays: any positive multiple is the same mode, and a mode whose
+// support touches only reversible reactions is the same mode as its
+// negation.  Canonical form therefore is: primitive integer entries, and —
+// only for fully-reversible supports — first nonzero entry positive.
+// Canonical mode LISTS are sorted and duplicate-free, which makes results
+// of different algorithms (serial / combinatorial parallel / combined)
+// directly comparable with operator==.
+#pragma once
+
+#include <algorithm>
+#include <vector>
+
+#include <cmath>
+
+#include "bigint/bigint.hpp"
+#include "nullspace/flux_column.hpp"
+#include "support/error.hpp"
+
+namespace elmo {
+
+namespace detail {
+
+/// Rescale a double mode (normalised to max-abs 1 by the double kernel) to
+/// small integers.  Searches multipliers k/min|v| for k = 1..64; throws
+/// InternalError if no integer scaling fits, which signals the double
+/// kernel drifted too far for exact reporting.
+inline std::vector<std::int64_t> double_mode_to_integers(
+    const std::vector<double>& values) {
+  double min_abs = 0.0;
+  for (double v : values) {
+    double a = std::fabs(v);
+    if (a > kDoubleZeroTol && (min_abs == 0.0 || a < min_abs)) min_abs = a;
+  }
+  if (min_abs == 0.0) return std::vector<std::int64_t>(values.size(), 0);
+  for (int k = 1; k <= 64; ++k) {
+    const double scale = static_cast<double>(k) / min_abs;
+    bool ok = true;
+    std::vector<std::int64_t> out(values.size(), 0);
+    for (std::size_t i = 0; i < values.size() && ok; ++i) {
+      double scaled = values[i] * scale;
+      double rounded = std::round(scaled);
+      if (std::fabs(scaled - rounded) > 1e-6 * std::max(1.0, std::fabs(scaled)))
+        ok = false;
+      out[i] = static_cast<std::int64_t>(rounded);
+    }
+    if (ok) return out;
+  }
+  throw InternalError(
+      "double kernel mode has no small integer scaling; use an exact kernel");
+}
+
+}  // namespace detail
+
+/// Convert solver columns to BigInt flux vectors (reduced reaction space).
+template <typename Scalar, typename Support>
+std::vector<std::vector<BigInt>> columns_to_bigint(
+    const std::vector<FluxColumn<Scalar, Support>>& columns) {
+  std::vector<std::vector<BigInt>> out;
+  out.reserve(columns.size());
+  for (const auto& column : columns) {
+    std::vector<BigInt> mode;
+    mode.reserve(column.values.size());
+    if constexpr (std::is_same_v<Scalar, double>) {
+      // The double kernel normalises by max-abs; recover the primitive
+      // integer ray.  Exactness is not guaranteed for the double kernel;
+      // it is intended for small networks and the arithmetic ablation.
+      for (auto v : detail::double_mode_to_integers(column.values))
+        mode.emplace_back(v);
+    } else {
+      for (const auto& value : column.values) {
+        if constexpr (std::is_same_v<Scalar, BigInt>) {
+          mode.push_back(value);
+        } else {
+          mode.push_back(BigInt(value.value()));
+        }
+      }
+    }
+    out.push_back(std::move(mode));
+  }
+  return out;
+}
+
+/// Canonicalise one mode in place (see file comment for the convention).
+inline void canonicalize_mode(std::vector<BigInt>& mode,
+                              const std::vector<bool>& reversible) {
+  bool fully_reversible = true;
+  for (std::size_t i = 0; i < mode.size() && fully_reversible; ++i) {
+    if (!mode[i].is_zero() && !reversible[i]) fully_reversible = false;
+  }
+  if (!fully_reversible) return;
+  for (const auto& value : mode) {
+    if (value.is_zero()) continue;
+    if (value.sign() < 0) {
+      for (auto& v : mode) v = -v;
+    }
+    return;
+  }
+}
+
+/// Canonicalise, sort and dedup a mode list in place.
+inline void canonicalize_modes(std::vector<std::vector<BigInt>>& modes,
+                               const std::vector<bool>& reversible) {
+  for (auto& mode : modes) canonicalize_mode(mode, reversible);
+  std::sort(modes.begin(), modes.end());
+  modes.erase(std::unique(modes.begin(), modes.end()), modes.end());
+}
+
+/// Bring an externally supplied mode list (e.g. the paper's Eq (7) matrix)
+/// to canonical form for comparison.
+inline std::vector<std::vector<BigInt>> canonical_modes_from_i64(
+    const std::vector<std::vector<std::int64_t>>& raw,
+    const std::vector<bool>& reversible) {
+  std::vector<std::vector<BigInt>> modes;
+  modes.reserve(raw.size());
+  for (const auto& row : raw) {
+    std::vector<BigInt> mode;
+    mode.reserve(row.size());
+    for (auto v : row) mode.emplace_back(v);
+    modes.push_back(std::move(mode));
+  }
+  canonicalize_modes(modes, reversible);
+  return modes;
+}
+
+}  // namespace elmo

@@ -1,0 +1,517 @@
+// One iteration of the Nullspace Algorithm (one processed row).
+//
+// The steps mirror Algorithm 1/2 of the paper and are split into free
+// functions so the serial solver (Algorithm 1) and the combinatorial
+// parallel solver (Algorithm 2) share the same kernel:
+//
+//   classify_row        - split columns into zero / positive / negative
+//   generate_candidates - pair positives with negatives over a flattened
+//                         pair-index range (the range is what Algorithm 2
+//                         partitions across compute ranks)
+//   sort_and_dedup      - the paper's Sort&RemoveDuplicates (by support)
+//   merge_next          - RemoveNegColumns + concatenate survivors
+//
+// The cardinality pre-test inside generate_candidates is the hot loop: an
+// OR + popcount per pair; pairs failing it are counted but never
+// materialised.  This is what the paper's per-iteration "generated
+// candidate modes" numbers count.
+#pragma once
+
+#include <algorithm>
+#include <cstdint>
+#include <vector>
+
+#include "nullspace/flux_column.hpp"
+#include "nullspace/rank_test.hpp"
+#include "nullspace/stats.hpp"
+
+namespace elmo {
+
+struct RowClassification {
+  std::vector<std::uint32_t> zero;
+  std::vector<std::uint32_t> positive;
+  std::vector<std::uint32_t> negative;
+
+  /// Total positive x negative pairs for this row.
+  [[nodiscard]] std::uint64_t pair_count() const {
+    return static_cast<std::uint64_t>(positive.size()) *
+           static_cast<std::uint64_t>(negative.size());
+  }
+};
+
+template <typename Scalar, typename Support>
+RowClassification classify_row(
+    const std::vector<FluxColumn<Scalar, Support>>& columns,
+    std::size_t row) {
+  RowClassification out;
+  for (std::uint32_t j = 0; j < columns.size(); ++j) {
+    if (!columns[j].support.test(row)) {
+      out.zero.push_back(j);
+      continue;
+    }
+    if (columns[j].sign_at(row) > 0)
+      out.positive.push_back(j);
+    else
+      out.negative.push_back(j);
+  }
+  return out;
+}
+
+/// Contiguous word-array snapshot of a set of supports.  The candidate
+/// pre-test touches two supports per pair, billions of times per yeast
+/// iteration; flattening them removes the per-column pointer chase (and,
+/// for DynBitset, any allocation) from the inner loop.
+template <typename Support>
+class FlatSupports {
+ public:
+  void assign(const auto& columns, const std::vector<std::uint32_t>& chosen) {
+    if constexpr (std::is_same_v<Support, Bitset64>) {
+      stride_ = 1;
+      words_.resize(chosen.size());
+      for (std::size_t k = 0; k < chosen.size(); ++k)
+        words_[k] = columns[chosen[k]].support.word();
+    } else {
+      stride_ = chosen.empty() ? 1 : columns[chosen[0]].support.words().size();
+      words_.resize(chosen.size() * stride_);
+      for (std::size_t k = 0; k < chosen.size(); ++k) {
+        const auto& w = columns[chosen[k]].support.words();
+        std::copy(w.begin(), w.end(), words_.begin() + k * stride_);
+      }
+    }
+  }
+
+  /// popcount(support[a] | support[b]) <= max_union?
+  [[nodiscard]] bool union_within(std::size_t a, const std::uint64_t* b,
+                                  std::size_t max_union) const {
+    const std::uint64_t* pa = words_.data() + a * stride_;
+    std::size_t count = 0;
+    for (std::size_t w = 0; w < stride_; ++w)
+      count += static_cast<std::size_t>(std::popcount(pa[w] | b[w]));
+    return count <= max_union;
+  }
+
+  [[nodiscard]] const std::uint64_t* row(std::size_t k) const {
+    return words_.data() + k * stride_;
+  }
+  [[nodiscard]] std::size_t stride() const { return stride_; }
+
+ private:
+  std::size_t stride_ = 1;
+  std::vector<std::uint64_t> words_;
+};
+
+/// A candidate before materialisation: its exact support (cancellations
+/// included) plus the generating positive/negative column indices.  The
+/// rank test and duplicate removal need only the support, so full value
+/// vectors are built exclusively for ACCEPTED candidates — the pretest
+/// survivor stream on the yeast networks is orders of magnitude larger
+/// than the accepted stream and must never be materialised wholesale.
+template <typename Support>
+struct CandidateRef {
+  Support support;
+  std::uint32_t positive = 0;  // column index into the current matrix
+  std::uint32_t negative = 0;
+
+  friend bool operator<(const CandidateRef& a, const CandidateRef& b) {
+    // Support-major order; the pair indices break ties deterministically
+    // so results do not depend on generation order (rank count, blocking).
+    if (auto cmp = a.support <=> b.support; cmp != 0) return cmp < 0;
+    if (a.positive != b.positive) return a.positive < b.positive;
+    return a.negative < b.negative;
+  }
+};
+
+/// Generate candidate refs for flattened pair indices starting at `*cursor`
+/// until either the pair range [begin, end) is exhausted or `out` reaches
+/// `ref_cap` entries (bounded-memory blocking).  Updates `*cursor`.
+///
+/// Pair p maps to (positive[p / negatives], negative[p % negatives]).
+/// The cheap pre-test bounds the support union: |supp(u) ∪ supp(v)| <=
+/// rank + 2 (the combination zeroes the processed row).  For survivors the
+/// EXACT support is computed — entries shared by both columns may cancel —
+/// and candidates whose support is empty (mirror columns) or still larger
+/// than rank + 1 are dropped immediately.
+template <typename Scalar, typename Support>
+void generate_candidate_refs(
+    const std::vector<FluxColumn<Scalar, Support>>& columns, std::size_t row,
+    const RowClassification& cls, std::uint64_t* cursor, std::uint64_t end,
+    std::size_t rank, std::size_t ref_cap,
+    std::vector<CandidateRef<Support>>& out, IterationStats& stats) {
+  const std::uint64_t negatives = cls.negative.size();
+  if (negatives == 0 || cls.positive.empty() || *cursor >= end) {
+    *cursor = end;
+    return;
+  }
+  const std::size_t max_union = rank + 2;
+
+  FlatSupports<Support> pos;
+  FlatSupports<Support> neg;
+  pos.assign(columns, cls.positive);
+  neg.assign(columns, cls.negative);
+
+  // Survivor supports are computed word-wise on the stack (the generic
+  // bitset operators would heap-allocate three temporaries per survivor —
+  // the full yeast run produces hundreds of millions of survivors).
+  constexpr std::size_t kMaxStackWords = 64;  // up to 4096 reactions
+  const std::size_t stride = pos.stride();
+  ELMO_REQUIRE(stride <= kMaxStackWords,
+               "network too wide for the stack support buffer");
+  std::uint64_t union_words[kMaxStackWords];
+
+  std::uint64_t p = *cursor;
+  std::size_t i = static_cast<std::size_t>(p / negatives);
+  std::size_t j = static_cast<std::size_t>(p % negatives);
+  while (p < end && out.size() < ref_cap) {
+    // Run through one positive column's stretch with its support pinned.
+    const std::uint64_t stretch =
+        std::min<std::uint64_t>(end - p, negatives - j);
+    const std::uint64_t* pi = pos.row(i);
+    const auto& u = columns[cls.positive[i]];
+    std::uint64_t s = 0;
+    for (; s < stretch; ++s, ++j) {
+      ++stats.pairs_probed;
+      if (!neg.union_within(j, pi, max_union)) continue;
+      ++stats.pretest_survivors;
+      const auto& v = columns[cls.negative[j]];
+      const std::uint64_t* nj = neg.row(j);
+
+      // Exact support: union minus the processed row minus cancellations
+      // (entries both columns carry can cancel in the combination).
+      const Scalar a = -v.values[row];
+      const Scalar b = u.values[row];
+      std::size_t size = 0;
+      for (std::size_t w = 0; w < stride; ++w) {
+        std::uint64_t uw = pi[w] | nj[w];
+        std::uint64_t both = pi[w] & nj[w];
+        if (row / 64 == w) {
+          const std::uint64_t row_bit = 1ULL << (row % 64);
+          uw &= ~row_bit;
+          both &= ~row_bit;
+        }
+        while (both) {
+          const std::size_t idx =
+              w * 64 + static_cast<std::size_t>(std::countr_zero(both));
+          both &= both - 1;
+          if (scalar_is_zero(a * u.values[idx] + b * v.values[idx]))
+            uw &= ~(1ULL << (idx % 64));
+        }
+        union_words[w] = uw;
+        size += static_cast<std::size_t>(std::popcount(uw));
+      }
+      if (size == 0 || size > rank + 1) continue;  // zero vector / nullity>=2
+
+      Support support = make_support<Support>(columns[0].values.size());
+      if constexpr (std::is_same_v<Support, Bitset64>) {
+        support = Bitset64(union_words[0]);
+      } else {
+        support = DynBitset::from_words(
+            std::vector<std::uint64_t>(union_words, union_words + stride));
+      }
+      out.push_back(CandidateRef<Support>{std::move(support),
+                                          cls.positive[i], cls.negative[j]});
+      if (out.size() >= ref_cap) {
+        ++s;
+        ++j;
+        break;
+      }
+    }
+    p += s;
+    if (j == negatives) {
+      j = 0;
+      ++i;
+    }
+  }
+  *cursor = p;
+}
+
+/// Materialise an accepted ref into a full column.
+template <typename Scalar, typename Support>
+FluxColumn<Scalar, Support> materialize(
+    const std::vector<FluxColumn<Scalar, Support>>& columns, std::size_t row,
+    const CandidateRef<Support>& ref) {
+  return combine_columns(columns[ref.positive], columns[ref.negative], row);
+}
+
+/// The paper's Sort&RemoveDuplicates: sort by support pattern (then values,
+/// for determinism) and keep one column per support.  Candidates sharing a
+/// support are either proportional (true duplicates) or will all fail the
+/// rank test, so support-level dedup is lossless.
+template <typename Scalar, typename Support>
+void sort_and_dedup(std::vector<FluxColumn<Scalar, Support>>& candidates,
+                    IterationStats& stats) {
+  std::sort(candidates.begin(), candidates.end());
+  auto last = std::unique(candidates.begin(), candidates.end(),
+                          [](const auto& a, const auto& b) {
+                            return a.support == b.support;
+                          });
+  stats.duplicates_removed +=
+      static_cast<std::uint64_t>(candidates.end() - last);
+  candidates.erase(last, candidates.end());
+}
+
+/// Drop candidates that exactly duplicate an existing zero column (the
+/// paper's Fig. 2 fourth iteration: of four candidates, one reproduces an
+/// already-present column and only three reach the rank test).  Only
+/// value-exact duplicates are dropped: an equal-support candidate with
+/// different values either fails the rank test anyway (nullity >= 2) or is
+/// the mirror orientation of a reversible-support mode, which must be kept
+/// while irreversible rows remain unprocessed.
+template <typename Scalar, typename Support>
+void dedup_against_existing(
+    const std::vector<FluxColumn<Scalar, Support>>& columns,
+    const std::vector<std::uint32_t>& zero_columns,
+    std::vector<FluxColumn<Scalar, Support>>& candidates,
+    IterationStats& stats) {
+  if (candidates.empty() || zero_columns.empty()) return;
+  std::vector<const FluxColumn<Scalar, Support>*> sorted;
+  sorted.reserve(zero_columns.size());
+  for (std::uint32_t j : zero_columns) sorted.push_back(&columns[j]);
+  std::sort(sorted.begin(), sorted.end(),
+            [](const auto* a, const auto* b) { return *a < *b; });
+  std::size_t kept = 0;
+  for (std::size_t c = 0; c < candidates.size(); ++c) {
+    auto it = std::lower_bound(
+        sorted.begin(), sorted.end(), candidates[c],
+        [](const auto* a, const auto& b) { return *a < b; });
+    if (it != sorted.end() && **it == candidates[c]) {
+      ++stats.duplicates_removed;
+      continue;
+    }
+    if (kept != c) candidates[kept] = std::move(candidates[c]);
+    ++kept;
+  }
+  candidates.resize(kept);
+}
+
+/// Apply the algebraic rank test to each candidate, keeping survivors.
+/// `tester` is any object with is_elementary(support) — the exact Bareiss
+/// RankTester or the fast ModularRankTester.
+template <typename Tester, typename Scalar, typename Support>
+void rank_filter(Tester& tester,
+                 std::vector<FluxColumn<Scalar, Support>>& candidates,
+                 IterationStats& stats) {
+  std::size_t kept = 0;
+  for (std::size_t c = 0; c < candidates.size(); ++c) {
+    ++stats.rank_tests;
+    if (tester.is_elementary(candidates[c].support)) {
+      if (kept != c) candidates[kept] = std::move(candidates[c]);
+      ++kept;
+    }
+  }
+  stats.accepted += kept;
+  candidates.resize(kept);
+}
+
+/// Apply the combinatorial subset test instead of the rank test.  A
+/// candidate survives iff no SURVIVING column's support (columns that will
+/// be part of the next matrix — zero, positive, and negative-if-reversible)
+/// and no OTHER candidate's support is strictly contained in its own.
+/// Candidates must already be deduped (distinct supports).
+template <typename Scalar, typename Support>
+void combinatorial_filter(
+    const std::vector<FluxColumn<Scalar, Support>>& columns,
+    const RowClassification& cls, bool row_reversible,
+    std::vector<FluxColumn<Scalar, Support>>& candidates,
+    IterationStats& stats) {
+  std::vector<const Support*> survivors;
+  survivors.reserve(columns.size());
+  for (std::uint32_t j : cls.zero) survivors.push_back(&columns[j].support);
+  for (std::uint32_t j : cls.positive)
+    survivors.push_back(&columns[j].support);
+  if (row_reversible) {
+    for (std::uint32_t j : cls.negative)
+      survivors.push_back(&columns[j].support);
+  }
+  std::size_t kept = 0;
+  for (std::size_t c = 0; c < candidates.size(); ++c) {
+    ++stats.rank_tests;
+    bool elementary = true;
+    for (const Support* support : survivors) {
+      if (*support != candidates[c].support &&
+          support->is_subset_of(candidates[c].support)) {
+        elementary = false;
+        break;
+      }
+    }
+    if (elementary) {
+      // Candidates are sorted by support; supports are distinct.
+      for (std::size_t d = 0; d < candidates.size() && elementary; ++d) {
+        if (d != c &&
+            candidates[d].support.is_subset_of(candidates[c].support))
+          elementary = false;
+      }
+    }
+    if (elementary) {
+      if (kept != c) candidates[kept] = std::move(candidates[c]);
+      ++kept;
+    }
+  }
+  stats.accepted += kept;
+  candidates.resize(kept);
+}
+
+/// Process one rank's pair range [begin, end) for `row` in bounded-memory
+/// blocks: generate refs, dedup (within block, across blocks, and against
+/// existing zero columns), apply `is_elementary(support)`, and materialise
+/// accepted candidates into `accepted_out`.
+///
+/// Blocking bounds transient memory by ~ref_cap refs regardless of how many
+/// pretest survivors the pair range produces (the full Network I run
+/// generates billions).
+template <typename Scalar, typename Support, typename TestFn>
+void process_pair_range(
+    const std::vector<FluxColumn<Scalar, Support>>& columns, std::size_t row,
+    const RowClassification& cls, std::size_t rank, std::uint64_t begin,
+    std::uint64_t end, std::size_t ref_cap, const TestFn& is_elementary,
+    IterationStats& stats, PhaseTimer& phases,
+    std::vector<FluxColumn<Scalar, Support>>& accepted_out) {
+  if (cls.positive.empty() || cls.negative.empty() || begin >= end) {
+    stats.pairs_probed += (begin < end) ? end - begin : 0;
+    return;
+  }
+
+  // Existing zero columns indexed by support once per iteration; a
+  // candidate whose support AND values duplicate one of them is dropped
+  // (the paper's Fig. 2 fourth iteration), mirrors are kept.
+  std::vector<const FluxColumn<Scalar, Support>*> existing;
+  existing.reserve(cls.zero.size());
+  for (std::uint32_t z : cls.zero) existing.push_back(&columns[z]);
+  std::sort(existing.begin(), existing.end(),
+            [](const auto* a, const auto* b) { return a->support < b->support; });
+
+  std::vector<Support> accepted_supports;  // sorted, for cross-block dedup
+  std::vector<CandidateRef<Support>> refs;
+  std::uint64_t cursor = begin;
+  while (cursor < end) {
+    refs.clear();
+    {
+      ScopedPhase phase(phases, "gen cand");
+      generate_candidate_refs(columns, row, cls, &cursor, end, rank, ref_cap,
+                              refs, stats);
+    }
+    std::size_t block_first_accept = accepted_out.size();
+    {
+      ScopedPhase phase(phases, "merge");
+      std::sort(refs.begin(), refs.end());
+      auto last = std::unique(refs.begin(), refs.end(),
+                              [](const auto& a, const auto& b) {
+                                return a.support == b.support;
+                              });
+      stats.duplicates_removed +=
+          static_cast<std::uint64_t>(refs.end() - last);
+      refs.erase(last, refs.end());
+
+      // Cross-block duplicates.
+      if (!accepted_supports.empty()) {
+        std::size_t kept = 0;
+        for (std::size_t c = 0; c < refs.size(); ++c) {
+          if (std::binary_search(accepted_supports.begin(),
+                                 accepted_supports.end(), refs[c].support)) {
+            ++stats.duplicates_removed;
+            continue;
+          }
+          if (kept != c) refs[kept] = std::move(refs[c]);
+          ++kept;
+        }
+        refs.resize(kept);
+      }
+      // Duplicates of existing zero columns (value-exact only).
+      if (!existing.empty()) {
+        std::size_t kept = 0;
+        for (std::size_t c = 0; c < refs.size(); ++c) {
+          auto range = std::equal_range(
+              existing.begin(), existing.end(), refs[c].support,
+              [](const auto& a, const auto& b) {
+                if constexpr (std::is_pointer_v<std::decay_t<decltype(a)>>) {
+                  return a->support < b;
+                } else {
+                  return a < b->support;
+                }
+              });
+          bool duplicate = false;
+          if (range.first != range.second) {
+            auto value = materialize(columns, row, refs[c]);
+            for (auto it = range.first; it != range.second && !duplicate;
+                 ++it) {
+              duplicate = (*it)->values == value.values;
+            }
+          }
+          if (duplicate) {
+            ++stats.duplicates_removed;
+            continue;
+          }
+          if (kept != c) refs[kept] = std::move(refs[c]);
+          ++kept;
+        }
+        refs.resize(kept);
+      }
+    }
+    {
+      ScopedPhase phase(phases, "rank test");
+      for (const auto& ref : refs) {
+        ++stats.rank_tests;
+        if (is_elementary(ref.support)) {
+          accepted_out.push_back(materialize(columns, row, ref));
+        }
+      }
+    }
+    if (cursor < end) {
+      // More blocks follow: remember this block's accepted supports.
+      ScopedPhase phase(phases, "merge");
+      for (std::size_t a = block_first_accept; a < accepted_out.size(); ++a)
+        accepted_supports.push_back(accepted_out[a].support);
+      std::sort(accepted_supports.begin(), accepted_supports.end());
+    }
+  }
+  stats.accepted += accepted_out.size();
+}
+
+/// Remove accepted candidates whose support strictly contains another
+/// accepted candidate's support — the cross-candidate half of the
+/// combinatorial elementarity test, applied once per iteration after all
+/// blocks (the per-column half runs inside the per-candidate TestFn).
+template <typename Scalar, typename Support>
+void cross_candidate_subset_filter(
+    std::vector<FluxColumn<Scalar, Support>>& accepted,
+    IterationStats& stats) {
+  std::size_t kept = 0;
+  for (std::size_t c = 0; c < accepted.size(); ++c) {
+    bool elementary = true;
+    for (std::size_t d = 0; d < accepted.size() && elementary; ++d) {
+      if (d == c) continue;
+      if (accepted[d].support != accepted[c].support &&
+          accepted[d].support.is_subset_of(accepted[c].support))
+        elementary = false;
+    }
+    if (!elementary) {
+      --stats.accepted;
+      continue;
+    }
+    if (kept != c) accepted[kept] = std::move(accepted[c]);
+    ++kept;
+  }
+  accepted.resize(kept);
+}
+
+/// Build the next iteration's matrix: zero columns + positive columns +
+/// (negative columns if the processed reaction is reversible) + accepted
+/// candidates (paper: RemoveNegColumns then concatenation).
+template <typename Scalar, typename Support>
+std::vector<FluxColumn<Scalar, Support>> merge_next(
+    std::vector<FluxColumn<Scalar, Support>>&& columns,
+    const RowClassification& cls, bool row_reversible,
+    std::vector<FluxColumn<Scalar, Support>>&& accepted) {
+  std::vector<FluxColumn<Scalar, Support>> next;
+  next.reserve(cls.zero.size() + cls.positive.size() +
+               (row_reversible ? cls.negative.size() : 0) + accepted.size());
+  for (std::uint32_t j : cls.zero) next.push_back(std::move(columns[j]));
+  for (std::uint32_t j : cls.positive) next.push_back(std::move(columns[j]));
+  if (row_reversible) {
+    for (std::uint32_t j : cls.negative)
+      next.push_back(std::move(columns[j]));
+  }
+  for (auto& candidate : accepted) next.push_back(std::move(candidate));
+  return next;
+}
+
+}  // namespace elmo

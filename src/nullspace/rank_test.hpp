@@ -1,0 +1,108 @@
+// The algebraic rank test (paper §II.B-C, citing Jevremovic et al. 2010).
+//
+// A candidate flux mode with support S is elementary iff the submatrix of
+// the reduced stoichiometry formed by the columns in S has nullity exactly
+// 1.  Two tests are provided:
+//
+//   RankTester           - the exact algebraic test via fraction-free
+//                          elimination (the paper's method; LU/QR/SVD in the
+//                          original, Bareiss here because arithmetic is
+//                          exact).  With the CheckedI64 kernel an overflow
+//                          falls back to BigInt per candidate.
+//   CombinatorialTester  - the classical double-description alternative:
+//                          a candidate is elementary iff no OTHER current
+//                          column's support is a strict subset of the
+//                          candidate's.  Provided for the ablation bench
+//                          comparing test strategies.
+#pragma once
+
+#include <vector>
+
+#include "bigint/scalar.hpp"
+#include "linalg/gauss.hpp"
+#include "nullspace/flux_column.hpp"
+#include "support/error.hpp"
+
+namespace elmo {
+
+namespace detail {
+
+inline BigInt to_bigint(const CheckedI64& v) { return BigInt(v.value()); }
+inline BigInt to_bigint(const BigInt& v) { return v; }
+
+}  // namespace detail
+
+template <typename Scalar>
+class RankTester {
+ public:
+  /// `stoichiometry` must outlive the tester.
+  explicit RankTester(const Matrix<Scalar>& stoichiometry)
+      : n_(stoichiometry) {}
+
+  /// True iff nullity(N[:, support]) == 1.
+  template <typename Support>
+  bool is_elementary(const Support& support) {
+    indices_.clear();
+    support.append_indices(indices_);
+    const std::size_t s = indices_.size();
+    if (s == 0) return false;
+    // Cheap cardinality rejection (the paper's "two more columns than
+    // rows" rule, tightened to the rank): nullity >= s - rank(N) >= 2.
+    if (s > n_.rows() + 1) return false;
+
+    // Build the submatrix and compute its exact rank.
+    Matrix<Scalar> sub(n_.rows(), s);
+    for (std::size_t i = 0; i < n_.rows(); ++i) {
+      const Scalar* row = n_.row_ptr(i);
+      for (std::size_t j = 0; j < s; ++j) sub(i, j) = row[indices_[j]];
+    }
+    std::size_t rank;
+    if constexpr (std::is_same_v<Scalar, double>) {
+      rank = rank_bareiss(std::move(sub));
+    } else {
+      try {
+        rank = rank_bareiss(sub);
+      } catch (const OverflowError&) {
+        // Per-candidate exact fallback: redo this one test in BigInt.
+        Matrix<BigInt> wide(sub.rows(), sub.cols());
+        for (std::size_t i = 0; i < sub.rows(); ++i)
+          for (std::size_t j = 0; j < sub.cols(); ++j)
+            wide(i, j) = detail::to_bigint(sub(i, j));
+        rank = rank_bareiss(std::move(wide));
+      }
+    }
+    return s - rank == 1;
+  }
+
+ private:
+  const Matrix<Scalar>& n_;
+  std::vector<std::uint32_t> indices_;
+};
+
+/// The combinatorial (support-subset) elementarity test: a candidate is
+/// accepted iff no other column in the CURRENT matrix has a support that is
+/// a strict subset of the candidate's.  O(#columns) bitset operations per
+/// candidate instead of an O(m^3) elimination.
+template <typename Scalar, typename Support>
+class CombinatorialTester {
+ public:
+  /// Snapshot the supports of the current matrix columns.
+  void reset(const std::vector<FluxColumn<Scalar, Support>>& columns) {
+    supports_.clear();
+    supports_.reserve(columns.size());
+    for (const auto& column : columns) supports_.push_back(column.support);
+  }
+
+  [[nodiscard]] bool is_elementary(const Support& candidate) const {
+    for (const auto& support : supports_) {
+      if (support != candidate && support.is_subset_of(candidate))
+        return false;
+    }
+    return true;
+  }
+
+ private:
+  std::vector<Support> supports_;
+};
+
+}  // namespace elmo

@@ -1,0 +1,160 @@
+// Algorithm 1: the serial Nullspace Algorithm.
+//
+// Drives the iteration kernel over the processing order produced by
+// compute_initial_basis.  Also the building block the parallel algorithms
+// reuse: Algorithm 2 replaces the candidate-generation range with a
+// per-rank slice, Algorithm 3 runs this with an exclusion set and the
+// Proposition-1 filter.
+#pragma once
+
+#include <functional>
+#include <optional>
+#include <vector>
+
+#include "nullspace/initial_basis.hpp"
+#include "nullspace/modular_rank.hpp"
+#include "nullspace/iteration.hpp"
+#include "nullspace/problem.hpp"
+#include "nullspace/rank_test.hpp"
+#include "nullspace/reversible_split.hpp"
+#include "nullspace/stats.hpp"
+#include "support/timer.hpp"
+
+namespace elmo {
+
+/// Which elementarity test the solver applies to candidates.
+enum class ElementarityTest {
+  kRank,           // algebraic rank (nullity == 1) test — the paper's choice
+  kCombinatorial,  // support-subset test — the classical alternative
+};
+
+/// Arithmetic backend for the rank test (when ElementarityTest::kRank).
+enum class RankTestBackend {
+  /// Elimination over Z_(2^61-1): accepts certified exactly, rejects
+  /// Monte-Carlo with error probability ~2^-45 per candidate (see
+  /// nullspace/modular_rank.hpp).  Several times faster; the default.
+  kModular,
+  /// Fraction-free Bareiss in the kernel scalar (BigInt fallback per
+  /// candidate): fully exact, used as the reference in tests.
+  kExact,
+};
+
+struct SolverOptions {
+  OrderingOptions ordering;
+  ElementarityTest test = ElementarityTest::kRank;
+  RankTestBackend rank_backend = RankTestBackend::kModular;
+  /// Candidate refs held in memory at once (bounded-memory blocking of the
+  /// candidate stream); the default caps transient usage around 100 MB.
+  std::size_t block_ref_cap = std::size_t{1} << 21;
+  /// Rows the caller wants left unprocessed (divide-and-conquer's
+  /// nonzero-flux partition reactions), as reduced row indices.
+  std::vector<std::size_t> exclude_rows;
+  /// Optional per-iteration observer (progress logging, memory budget
+  /// enforcement).  Called after each iteration with its stats.
+  std::function<void(const IterationStats&)> on_iteration;
+};
+
+template <typename Scalar, typename Support>
+struct SolveResult {
+  std::vector<FluxColumn<Scalar, Support>> columns;
+  SolveStats stats;
+};
+
+/// Approximate heap bytes of a column matrix (memory-scalability metric).
+template <typename Scalar, typename Support>
+std::size_t matrix_storage_bytes(
+    const std::vector<FluxColumn<Scalar, Support>>& columns) {
+  std::size_t bytes = columns.capacity() * sizeof(FluxColumn<Scalar, Support>);
+  for (const auto& column : columns) bytes += column.storage_bytes();
+  return bytes;
+}
+
+template <typename Scalar, typename Support>
+SolveResult<Scalar, Support> solve_nullspace(const EfmProblem<Scalar>& problem,
+                                             const SolverOptions& options = {}) {
+  SolveResult<Scalar, Support> result;
+  auto basis = compute_initial_basis<Scalar, Support>(
+      problem, options.ordering, options.exclude_rows);
+  result.stats.peak_columns = basis.columns.size();
+
+  RankTester<Scalar> exact_tester(problem.stoichiometry);
+  // The modular tester needs the initial kernel basis (for its K-side
+  // formulation); it only exists for exact scalars.
+  std::optional<ModularRankTester<Scalar>> modular_tester;
+  bool use_modular = false;
+  if constexpr (!std::is_same_v<Scalar, double>) {
+    if (options.test == ElementarityTest::kRank &&
+        options.rank_backend == RankTestBackend::kModular) {
+      modular_tester.emplace(problem.stoichiometry, basis.columns);
+      use_modular = true;
+    }
+  }
+  result.columns = std::move(basis.columns);
+
+  for (std::size_t row : basis.processing_order) {
+    IterationStats iteration;
+    iteration.row = row;
+    auto cls = classify_row(result.columns, row);
+    iteration.positives = cls.positive.size();
+    iteration.negatives = cls.negative.size();
+    const bool row_reversible = problem.reversible[row];
+
+    // Per-candidate elementarity oracle for the blocked generator.  For the
+    // combinatorial test the per-column half runs here; the cross-candidate
+    // half runs after all blocks.
+    std::vector<const Support*> survivor_supports;
+    if (options.test == ElementarityTest::kCombinatorial) {
+      for (std::uint32_t j : cls.zero)
+        survivor_supports.push_back(&result.columns[j].support);
+      for (std::uint32_t j : cls.positive)
+        survivor_supports.push_back(&result.columns[j].support);
+      if (row_reversible) {
+        for (std::uint32_t j : cls.negative)
+          survivor_supports.push_back(&result.columns[j].support);
+      }
+    }
+    auto is_elementary = [&](const Support& support) -> bool {
+      if (options.test == ElementarityTest::kCombinatorial) {
+        for (const Support* other : survivor_supports) {
+          if (*other != support && other->is_subset_of(support)) return false;
+        }
+        return true;
+      }
+      if (use_modular) return modular_tester->is_elementary(support);
+      return exact_tester.is_elementary(support);
+    };
+
+    std::vector<FluxColumn<Scalar, Support>> candidates;
+    process_pair_range(result.columns, row, cls, basis.stoichiometry_rank,
+                       0, cls.pair_count(), options.block_ref_cap,
+                       is_elementary, iteration, result.stats.phases,
+                       candidates);
+    if (options.test == ElementarityTest::kCombinatorial)
+      cross_candidate_subset_filter(candidates, iteration);
+
+    result.columns = merge_next(std::move(result.columns), cls,
+                                row_reversible, std::move(candidates));
+    iteration.columns_after = result.columns.size();
+    result.stats.peak_matrix_bytes =
+        std::max(result.stats.peak_matrix_bytes,
+                 matrix_storage_bytes(result.columns));
+    result.stats.absorb(iteration);
+    if (options.on_iteration) options.on_iteration(iteration);
+  }
+  return result;
+}
+
+/// Algorithm 1 with automatic reversible-split preprocessing: networks
+/// whose reversible columns are linearly dependent (duplicated reversible
+/// reactions, fully reversible cycles) are handled transparently.  Columns
+/// come back in the ORIGINAL reduced reaction space.
+template <typename Scalar, typename Support>
+SolveResult<Scalar, Support> solve_efms(const EfmProblem<Scalar>& problem,
+                                        const SolverOptions& options = {}) {
+  auto prepared = prepare_problem(problem);
+  auto result = solve_nullspace<Scalar, Support>(prepared.problem, options);
+  result.columns = unsplit_columns(std::move(result.columns), prepared);
+  return result;
+}
+
+}  // namespace elmo

@@ -1,0 +1,70 @@
+// Counters collected by the Nullspace Algorithm.
+//
+// `pairs_probed` is the paper's "# candidate modes": every positive/negative
+// column pair examined in GenerateEFMCands counts, including pairs rejected
+// by the cheap support-cardinality pre-test.  (Tables II-IV report this
+// number, and §IV.A observes computation time is proportional to it.)
+#pragma once
+
+#include <cstdint>
+
+#include "support/timer.hpp"
+
+namespace elmo {
+
+struct IterationStats {
+  std::size_t row = 0;                 // reduced row index processed
+  std::uint64_t positives = 0;         // columns with positive entry
+  std::uint64_t negatives = 0;         // columns with negative entry
+  std::uint64_t pairs_probed = 0;      // = positives * negatives
+  std::uint64_t pretest_survivors = 0; // pairs past the cardinality test
+  std::uint64_t duplicates_removed = 0;
+  std::uint64_t rank_tests = 0;
+  std::uint64_t accepted = 0;
+  std::uint64_t columns_after = 0;     // matrix width entering next iter
+};
+
+struct SolveStats {
+  std::uint64_t total_pairs_probed = 0;
+  std::uint64_t total_pretest_survivors = 0;
+  std::uint64_t total_rank_tests = 0;
+  std::uint64_t total_accepted = 0;
+  std::uint64_t total_duplicates_removed = 0;
+  std::uint64_t peak_columns = 0;
+  std::size_t iterations = 0;
+  /// Largest per-column storage snapshot observed (bytes), for the memory
+  /// scalability analysis of §IV.B.
+  std::size_t peak_matrix_bytes = 0;
+  /// True if the CheckedI64 kernel overflowed and the solve was redone with
+  /// BigInt.
+  bool bigint_fallback = false;
+  /// Phase timings: "gen cand", "rank test", "communicate", "merge" — the
+  /// rows of Tables II and III.
+  PhaseTimer phases;
+
+  void absorb(const IterationStats& it) {
+    total_pairs_probed += it.pairs_probed;
+    total_pretest_survivors += it.pretest_survivors;
+    total_rank_tests += it.rank_tests;
+    total_accepted += it.accepted;
+    total_duplicates_removed += it.duplicates_removed;
+    peak_columns = std::max<std::uint64_t>(peak_columns, it.columns_after);
+    ++iterations;
+  }
+
+  /// Combine subproblem stats (divide-and-conquer aggregation).
+  void merge(const SolveStats& other) {
+    total_pairs_probed += other.total_pairs_probed;
+    total_pretest_survivors += other.total_pretest_survivors;
+    total_rank_tests += other.total_rank_tests;
+    total_accepted += other.total_accepted;
+    total_duplicates_removed += other.total_duplicates_removed;
+    peak_columns = std::max(peak_columns, other.peak_columns);
+    peak_matrix_bytes = std::max(peak_matrix_bytes, other.peak_matrix_bytes);
+    iterations += other.iterations;
+    bigint_fallback = bigint_fallback || other.bigint_fallback;
+    phases.merge(other.phases);
+  }
+};
+
+}  // namespace elmo

@@ -1,0 +1,42 @@
+// Chunked parallel loop over an index range on a ThreadPool.
+#pragma once
+
+#include <vector>
+
+#include "parallel/partitioner.hpp"
+#include "parallel/thread_pool.hpp"
+
+namespace elmo {
+
+/// Apply body(begin, end) over near-equal chunks of [0, total) in parallel.
+/// Exceptions from any chunk propagate (first one wins); remaining chunks
+/// still run to completion.
+template <typename Body>
+void parallel_for_chunks(ThreadPool& pool, std::uint64_t total,
+                         const Body& body) {
+  const int workers = static_cast<int>(pool.size());
+  if (total == 0) return;
+  if (workers == 1) {
+    body(std::uint64_t{0}, total);
+    return;
+  }
+  std::vector<std::future<void>> futures;
+  futures.reserve(static_cast<std::size_t>(workers));
+  for (int w = 0; w < workers; ++w) {
+    PairRange range = pair_slice(total, w, workers);
+    if (range.count() == 0) continue;
+    futures.push_back(
+        pool.submit([&body, range] { body(range.begin, range.end); }));
+  }
+  std::exception_ptr first;
+  for (auto& future : futures) {
+    try {
+      future.get();
+    } catch (...) {
+      if (!first) first = std::current_exception();
+    }
+  }
+  if (first) std::rethrow_exception(first);
+}
+
+}  // namespace elmo

@@ -1,0 +1,39 @@
+// Partitioning of the candidate pair space across workers.
+//
+// Algorithm 2's "combinatorial" parallelisation assigns each compute rank a
+// slice of the positive x negative pair cross product of the current
+// iteration.  Pairs are addressed by a flattened index; the partitioner
+// yields contiguous, near-equal ranges (difference at most one pair).
+#pragma once
+
+#include <cstdint>
+
+#include "support/assert.hpp"
+
+namespace elmo {
+
+struct PairRange {
+  std::uint64_t begin = 0;
+  std::uint64_t end = 0;
+
+  [[nodiscard]] std::uint64_t count() const { return end - begin; }
+  friend bool operator==(const PairRange&, const PairRange&) = default;
+};
+
+/// Range of flattened pair indices assigned to `worker` of `num_workers`.
+/// The first (total % num_workers) workers receive one extra pair.
+inline PairRange pair_slice(std::uint64_t total, int worker,
+                            int num_workers) {
+  ELMO_REQUIRE(num_workers > 0, "pair_slice: need at least one worker");
+  ELMO_REQUIRE(worker >= 0 && worker < num_workers,
+               "pair_slice: worker out of range");
+  const std::uint64_t n = static_cast<std::uint64_t>(num_workers);
+  const std::uint64_t w = static_cast<std::uint64_t>(worker);
+  const std::uint64_t base = total / n;
+  const std::uint64_t extra = total % n;
+  const std::uint64_t begin = w * base + std::min(w, extra);
+  const std::uint64_t size = base + (w < extra ? 1 : 0);
+  return PairRange{begin, begin + size};
+}
+
+}  // namespace elmo

@@ -1,0 +1,80 @@
+// Minimal fixed-size thread pool with a blocking task queue.
+//
+// Used for shared-memory parallelism inside one simulated rank (the paper's
+// nodes had four cores each); the distributed layer is mpsim.
+#pragma once
+
+#include <condition_variable>
+#include <deque>
+#include <functional>
+#include <future>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+#include "support/assert.hpp"
+
+namespace elmo {
+
+class ThreadPool {
+ public:
+  explicit ThreadPool(std::size_t num_threads) {
+    ELMO_REQUIRE(num_threads > 0, "ThreadPool: need at least one thread");
+    workers_.reserve(num_threads);
+    for (std::size_t i = 0; i < num_threads; ++i) {
+      workers_.emplace_back([this] { worker_loop(); });
+    }
+  }
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  ~ThreadPool() {
+    {
+      std::unique_lock lock(mutex_);
+      stopping_ = true;
+    }
+    cv_.notify_all();
+    for (auto& worker : workers_) worker.join();
+  }
+
+  [[nodiscard]] std::size_t size() const { return workers_.size(); }
+
+  /// Enqueue a task; the returned future resolves when it completes
+  /// (exceptions propagate through the future).
+  std::future<void> submit(std::function<void()> task) {
+    auto packaged =
+        std::make_shared<std::packaged_task<void()>>(std::move(task));
+    auto future = packaged->get_future();
+    {
+      std::unique_lock lock(mutex_);
+      ELMO_CHECK(!stopping_, "ThreadPool: submit after shutdown");
+      tasks_.emplace_back([packaged] { (*packaged)(); });
+    }
+    cv_.notify_one();
+    return future;
+  }
+
+ private:
+  void worker_loop() {
+    for (;;) {
+      std::function<void()> task;
+      {
+        std::unique_lock lock(mutex_);
+        cv_.wait(lock, [this] { return stopping_ || !tasks_.empty(); });
+        if (stopping_ && tasks_.empty()) return;
+        task = std::move(tasks_.front());
+        tasks_.pop_front();
+      }
+      task();
+    }
+  }
+
+  std::mutex mutex_;
+  std::condition_variable cv_;
+  std::deque<std::function<void()>> tasks_;
+  std::vector<std::thread> workers_;
+  bool stopping_ = false;
+};
+
+}  // namespace elmo

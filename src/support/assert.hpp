@@ -1,0 +1,55 @@
+// Assertion macros.
+//
+// ELMO_REQUIRE  - precondition check, always on, throws InvalidArgumentError.
+// ELMO_CHECK    - internal invariant, always on, throws InternalError.
+// ELMO_DCHECK   - debug-only invariant, compiled out in NDEBUG builds.
+//
+// Throwing (rather than aborting) keeps the library usable from long-running
+// drivers: a failed subproblem can be reported and the remaining
+// divide-and-conquer subsets still complete.
+#pragma once
+
+#include <sstream>
+#include <string>
+
+#include "support/error.hpp"
+
+namespace elmo::detail {
+
+[[noreturn]] inline void require_failed(const char* expr, const char* file,
+                                        int line, const std::string& msg) {
+  std::ostringstream os;
+  os << "requirement failed: (" << expr << ") at " << file << ':' << line;
+  if (!msg.empty()) os << ": " << msg;
+  throw InvalidArgumentError(os.str());
+}
+
+[[noreturn]] inline void check_failed(const char* expr, const char* file,
+                                      int line, const std::string& msg) {
+  std::ostringstream os;
+  os << "internal check failed: (" << expr << ") at " << file << ':' << line;
+  if (!msg.empty()) os << ": " << msg;
+  throw InternalError(os.str());
+}
+
+}  // namespace elmo::detail
+
+#define ELMO_REQUIRE(expr, msg)                                      \
+  do {                                                               \
+    if (!(expr))                                                     \
+      ::elmo::detail::require_failed(#expr, __FILE__, __LINE__, msg); \
+  } while (false)
+
+#define ELMO_CHECK(expr, msg)                                      \
+  do {                                                             \
+    if (!(expr))                                                   \
+      ::elmo::detail::check_failed(#expr, __FILE__, __LINE__, msg); \
+  } while (false)
+
+#ifdef NDEBUG
+#define ELMO_DCHECK(expr, msg) \
+  do {                         \
+  } while (false)
+#else
+#define ELMO_DCHECK(expr, msg) ELMO_CHECK(expr, msg)
+#endif

@@ -1,0 +1,36 @@
+// Environment-variable helpers used by benches to scale workloads
+// (e.g. ELMO_BENCH_FULL=1 runs the complete paper-scale instances).
+#pragma once
+
+#include <cstdlib>
+#include <optional>
+#include <string>
+
+namespace elmo {
+
+/// Value of environment variable `name`, or nullopt if unset.
+inline std::optional<std::string> env_string(const char* name) {
+  const char* value = std::getenv(name);
+  if (value == nullptr) return std::nullopt;
+  return std::string(value);
+}
+
+/// Integer value of `name`, or `fallback` if unset/unparsable.
+inline long env_long(const char* name, long fallback) {
+  auto value = env_string(name);
+  if (!value) return fallback;
+  char* end = nullptr;
+  long parsed = std::strtol(value->c_str(), &end, 10);
+  if (end == value->c_str()) return fallback;
+  return parsed;
+}
+
+/// True iff `name` is set to something other than "", "0", "false", "off".
+inline bool env_flag(const char* name) {
+  auto value = env_string(name);
+  if (!value) return false;
+  return !(*value == "" || *value == "0" || *value == "false" ||
+           *value == "off");
+}
+
+}  // namespace elmo

@@ -1,0 +1,64 @@
+// Exception hierarchy used across the elmo library.
+//
+// All errors thrown by elmo derive from elmo::Error so callers can catch a
+// single type at the API boundary.  Specific subclasses exist for conditions
+// a caller may want to handle programmatically (arithmetic overflow triggers
+// the big-integer fallback; memory-budget exhaustion triggers
+// divide-and-conquer re-splitting, mirroring the paper's Network II story).
+#pragma once
+
+#include <stdexcept>
+#include <string>
+
+namespace elmo {
+
+/// Base class for all exceptions thrown by the elmo library.
+class Error : public std::runtime_error {
+ public:
+  explicit Error(const std::string& what) : std::runtime_error(what) {}
+};
+
+/// Checked 64-bit arithmetic overflowed; retry the computation with BigInt.
+class OverflowError : public Error {
+ public:
+  explicit OverflowError(const std::string& what) : Error(what) {}
+};
+
+/// A reaction-equation or network file could not be parsed.
+class ParseError : public Error {
+ public:
+  explicit ParseError(const std::string& what) : Error(what) {}
+};
+
+/// Matrix/vector dimensions do not conform.
+class DimensionError : public Error {
+ public:
+  explicit DimensionError(const std::string& what) : Error(what) {}
+};
+
+/// A caller-supplied argument is invalid (bad reaction id, bad subset, ...).
+class InvalidArgumentError : public Error {
+ public:
+  explicit InvalidArgumentError(const std::string& what) : Error(what) {}
+};
+
+/// A simulated compute rank exceeded its configured memory budget.  This is
+/// the failure mode that aborted the paper's Algorithm-2 run on Network II
+/// at iteration 59 and motivates the divide-and-conquer split.
+class MemoryBudgetError : public Error {
+ public:
+  MemoryBudgetError(const std::string& what, std::size_t requested,
+                    std::size_t budget)
+      : Error(what), requested_bytes(requested), budget_bytes(budget) {}
+
+  std::size_t requested_bytes;
+  std::size_t budget_bytes;
+};
+
+/// Internal invariant violated; indicates a bug in elmo itself.
+class InternalError : public Error {
+ public:
+  explicit InternalError(const std::string& what) : Error(what) {}
+};
+
+}  // namespace elmo

@@ -1,0 +1,48 @@
+// Small formatting helpers shared by benches and examples.
+#pragma once
+
+#include <cstdint>
+#include <iomanip>
+#include <sstream>
+#include <string>
+
+namespace elmo {
+
+/// Format an integer with thousands separators: 1515314 -> "1,515,314".
+/// The paper's tables print candidate/EFM counts this way.
+inline std::string with_commas(std::uint64_t value) {
+  std::string digits = std::to_string(value);
+  std::string out;
+  out.reserve(digits.size() + digits.size() / 3);
+  int pos = static_cast<int>(digits.size());
+  for (char c : digits) {
+    out.push_back(c);
+    --pos;
+    if (pos > 0 && pos % 3 == 0) out.push_back(',');
+  }
+  return out;
+}
+
+/// Format seconds with fixed precision, e.g. 141.6 -> "141.60".
+inline std::string seconds_str(double seconds, int precision = 2) {
+  std::ostringstream os;
+  os << std::fixed << std::setprecision(precision) << seconds;
+  return os.str();
+}
+
+/// Human-readable byte count, e.g. 1572864 -> "1.50 MiB".
+inline std::string bytes_str(std::size_t bytes) {
+  static const char* units[] = {"B", "KiB", "MiB", "GiB", "TiB"};
+  double value = static_cast<double>(bytes);
+  int unit = 0;
+  while (value >= 1024.0 && unit < 4) {
+    value /= 1024.0;
+    ++unit;
+  }
+  std::ostringstream os;
+  os << std::fixed << std::setprecision(unit == 0 ? 0 : 2) << value << ' '
+     << units[unit];
+  return os.str();
+}
+
+}  // namespace elmo

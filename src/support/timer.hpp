@@ -1,0 +1,89 @@
+// Wall-clock timing utilities.
+//
+// Stopwatch    - simple start/elapsed timer.
+// PhaseTimer   - accumulates named phase durations; used to reproduce the
+//                paper's per-phase breakdown (gen cand / rank test /
+//                communicate / merge) in Tables II and III.
+// ScopedPhase  - RAII adapter adding a scope's duration to one phase.
+#pragma once
+
+#include <chrono>
+#include <map>
+#include <string>
+
+namespace elmo {
+
+/// Monotonic wall-clock stopwatch measuring seconds as double.
+class Stopwatch {
+ public:
+  Stopwatch() : start_(Clock::now()) {}
+
+  /// Restart the stopwatch from zero.
+  void reset() { start_ = Clock::now(); }
+
+  /// Seconds elapsed since construction or the last reset().
+  [[nodiscard]] double seconds() const {
+    return std::chrono::duration<double>(Clock::now() - start_).count();
+  }
+
+ private:
+  using Clock = std::chrono::steady_clock;
+  Clock::time_point start_;
+};
+
+/// Accumulates wall-clock time into named phases.
+class PhaseTimer {
+ public:
+  /// Add `seconds` to phase `name` (creates the phase on first use).
+  void add(const std::string& name, double seconds) {
+    totals_[name] += seconds;
+  }
+
+  /// Total accumulated seconds for `name`; 0 if the phase never ran.
+  [[nodiscard]] double seconds(const std::string& name) const {
+    auto it = totals_.find(name);
+    return it == totals_.end() ? 0.0 : it->second;
+  }
+
+  /// Merge another timer's totals into this one (phase-wise sum).
+  void merge(const PhaseTimer& other) {
+    for (const auto& [name, secs] : other.totals_) totals_[name] += secs;
+  }
+
+  /// Phase-wise maximum; used to aggregate per-rank timings the way the
+  /// paper reports them (slowest rank bounds the iteration).
+  void merge_max(const PhaseTimer& other) {
+    for (const auto& [name, secs] : other.totals_) {
+      auto [it, inserted] = totals_.emplace(name, secs);
+      if (!inserted && secs > it->second) it->second = secs;
+    }
+  }
+
+  [[nodiscard]] const std::map<std::string, double>& totals() const {
+    return totals_;
+  }
+
+  void clear() { totals_.clear(); }
+
+ private:
+  std::map<std::string, double> totals_;
+};
+
+/// RAII helper: adds the lifetime of the object to `timer[phase]`.
+class ScopedPhase {
+ public:
+  ScopedPhase(PhaseTimer& timer, std::string phase)
+      : timer_(timer), phase_(std::move(phase)) {}
+
+  ScopedPhase(const ScopedPhase&) = delete;
+  ScopedPhase& operator=(const ScopedPhase&) = delete;
+
+  ~ScopedPhase() { timer_.add(phase_, watch_.seconds()); }
+
+ private:
+  PhaseTimer& timer_;
+  std::string phase_;
+  Stopwatch watch_;
+};
+
+}  // namespace elmo

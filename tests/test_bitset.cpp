@@ -1,0 +1,145 @@
+// Tests for support-set bitsets (Bitset64 and DynBitset share semantics).
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "bitset/bitset64.hpp"
+#include "bitset/dynbitset.hpp"
+#include "bitset/traits.hpp"
+#include "support/random.hpp"
+
+namespace elmo {
+namespace {
+
+TEST(Bitset64, SetTestResetCount) {
+  Bitset64 s;
+  EXPECT_TRUE(s.empty());
+  s.set(0);
+  s.set(63);
+  s.set(17);
+  EXPECT_EQ(s.count(), 3u);
+  EXPECT_TRUE(s.test(0));
+  EXPECT_TRUE(s.test(63));
+  EXPECT_FALSE(s.test(1));
+  s.reset(17);
+  EXPECT_EQ(s.count(), 2u);
+  s.clear();
+  EXPECT_TRUE(s.empty());
+}
+
+TEST(Bitset64, SubsetAndIntersection) {
+  Bitset64 a;
+  a.set(1);
+  a.set(3);
+  Bitset64 b;
+  b.set(1);
+  b.set(3);
+  b.set(5);
+  EXPECT_TRUE(a.is_subset_of(b));
+  EXPECT_FALSE(b.is_subset_of(a));
+  EXPECT_TRUE(a.is_subset_of(a));
+  EXPECT_TRUE(a.intersects(b));
+  Bitset64 c;
+  c.set(7);
+  EXPECT_FALSE(a.intersects(c));
+  EXPECT_TRUE(c.is_subset_of(c | a));
+}
+
+TEST(Bitset64, UnionPopcountIsTheCandidatePreTest) {
+  // The paper's summary rejection: |supp(u) ∪ supp(v)| vs rank+2.
+  Bitset64 u;
+  u.set(0);
+  u.set(1);
+  u.set(2);
+  Bitset64 v;
+  v.set(2);
+  v.set(3);
+  EXPECT_EQ((u | v).count(), 4u);
+}
+
+TEST(Bitset64, OrderingMatchesWordValue) {
+  Bitset64 a(0b0110);
+  Bitset64 b(0b1001);
+  EXPECT_LT(a, b);
+  EXPECT_EQ(Bitset64(5), Bitset64(5));
+}
+
+TEST(DynBitset, MultiWordBasics) {
+  DynBitset s(200);
+  EXPECT_GE(s.capacity(), 200u);
+  s.set(0);
+  s.set(64);
+  s.set(128);
+  s.set(199);
+  EXPECT_EQ(s.count(), 4u);
+  EXPECT_TRUE(s.test(128));
+  EXPECT_FALSE(s.test(127));
+  s.reset(64);
+  EXPECT_EQ(s.count(), 3u);
+}
+
+TEST(DynBitset, SubsetAcrossWords) {
+  DynBitset a(130);
+  DynBitset b(130);
+  a.set(5);
+  a.set(100);
+  b.set(5);
+  b.set(100);
+  b.set(129);
+  EXPECT_TRUE(a.is_subset_of(b));
+  EXPECT_FALSE(b.is_subset_of(a));
+  EXPECT_EQ((a | b).count(), 3u);
+  EXPECT_EQ((a & b).count(), 2u);
+}
+
+TEST(DynBitset, OrderingIsMostSignificantWordFirst) {
+  DynBitset a(130);
+  DynBitset b(130);
+  a.set(129);  // high word
+  b.set(0);    // low word
+  EXPECT_GT(a, b);
+}
+
+TEST(BitsetTraits, FactoryRespectsCapacity) {
+  auto small = make_support<Bitset64>(40);
+  EXPECT_TRUE(small.empty());
+  EXPECT_THROW(make_support<Bitset64>(65), InvalidArgumentError);
+  auto big = make_support<DynBitset>(500);
+  EXPECT_GE(big.capacity(), 500u);
+}
+
+// Property: Bitset64 and DynBitset agree on all operations for <=64 bits.
+TEST(BitsetProperty, RepresentationsAgree) {
+  Rng rng(3);
+  for (int iter = 0; iter < 500; ++iter) {
+    Bitset64 a64;
+    Bitset64 b64;
+    DynBitset adyn(64);
+    DynBitset bdyn(64);
+    for (int k = 0; k < 12; ++k) {
+      std::size_t i = rng.below(64);
+      std::size_t j = rng.below(64);
+      a64.set(i);
+      adyn.set(i);
+      b64.set(j);
+      bdyn.set(j);
+    }
+    EXPECT_EQ(a64.count(), adyn.count());
+    EXPECT_EQ((a64 | b64).count(), (adyn | bdyn).count());
+    EXPECT_EQ((a64 & b64).count(), (adyn & bdyn).count());
+    EXPECT_EQ(a64.is_subset_of(b64), adyn.is_subset_of(bdyn));
+    EXPECT_EQ(a64.intersects(b64), adyn.intersects(bdyn));
+    EXPECT_EQ(a64 == b64, adyn == bdyn);
+    EXPECT_EQ(a64 < b64, adyn < bdyn);
+  }
+}
+
+TEST(BitsetProperty, HashDistinguishesDistinctSets) {
+  std::set<std::size_t> hashes;
+  for (std::uint64_t w = 0; w < 1000; ++w) hashes.insert(Bitset64(w).hash());
+  // splitmix64 is injective on 64-bit inputs; no collisions expected here.
+  EXPECT_EQ(hashes.size(), 1000u);
+}
+
+}  // namespace
+}  // namespace elmo

@@ -1,0 +1,95 @@
+// Tests for the candidate-count estimator and partition selection (the
+// paper's §IV.C future-work item).
+#include "core/estimate.hpp"
+
+#include <gtest/gtest.h>
+
+#include "bitset/bitset64.hpp"
+#include "compress/compression.hpp"
+#include "models/random_network.hpp"
+#include "models/toy.hpp"
+#include "nullspace/problem.hpp"
+
+namespace elmo {
+namespace {
+
+TEST(SubsetSelect, ToyTrailingReversibles) {
+  auto problem = to_problem<CheckedI64>(compress(models::toy_network()));
+  // Processing order is r1, r3, r6r, r8r; the two trailing reversibles are
+  // r6r (reduced row 5) and r8r (row 7), outer-first.
+  auto rows = select_partition_rows(problem, OrderingOptions{}, 2);
+  ASSERT_EQ(rows.size(), 2u);
+  EXPECT_EQ(problem.reaction_names[rows[0]], "r6r");
+  EXPECT_EQ(problem.reaction_names[rows[1]], "r8r");
+}
+
+TEST(SubsetSelect, RequestingTooManyThrows) {
+  auto problem = to_problem<CheckedI64>(compress(models::toy_network()));
+  EXPECT_THROW(select_partition_rows(problem, OrderingOptions{}, 3),
+               InvalidArgumentError);
+}
+
+TEST(Estimate, ExactWhenUnderCap) {
+  // With a cap far above the toy network's column counts the estimator
+  // degenerates to an exact run: its EFM prediction must be exact.
+  auto problem = to_problem<CheckedI64>(compress(models::toy_network()));
+  auto rows = select_partition_rows(problem, OrderingOptions{}, 2);
+  double total_efms = 0;
+  double total_pairs = 0;
+  for (std::uint64_t id = 0; id < 4; ++id) {
+    SubsetSpec spec;
+    for (std::size_t k = 0; k < 2; ++k)
+      spec.pattern.emplace_back(rows[k], (id >> k) & 1);
+    auto estimate = estimate_subset<CheckedI64, Bitset64>(problem, spec);
+    EXPECT_TRUE(estimate.exact);
+    EXPECT_DOUBLE_EQ(estimate.estimated_efms, 2.0) << "subset " << id;
+    total_efms += estimate.estimated_efms;
+    total_pairs += estimate.estimated_pairs;
+  }
+  EXPECT_DOUBLE_EQ(total_efms, 8.0);
+  EXPECT_GT(total_pairs, 0.0);
+}
+
+TEST(Estimate, TruncatedRunExtrapolatesUpward) {
+  // A mid-size random network: truncate the prefix hard and require the
+  // projection to land within a (generous) order-of-magnitude band of the
+  // truth, and never below the measured prefix.
+  models::RandomNetworkSpec spec;
+  spec.seed = 21;
+  spec.num_metabolites = 8;
+  spec.num_extra_reactions = 6;
+  spec.num_exchanges = 4;
+  Network net = models::random_network(spec);
+  auto compressed = compress(net);
+  auto problem = to_problem<CheckedI64>(compressed);
+
+  auto exact = solve_efms<CheckedI64, Bitset64>(problem);
+  const double truth_pairs =
+      static_cast<double>(exact.stats.total_pairs_probed);
+  ASSERT_GT(truth_pairs, 1000.0) << "workload too small to test truncation";
+
+  SubsetSpec whole;  // empty pattern = the full problem as one subset
+  EstimateOptions options;
+  options.pair_budget = static_cast<std::uint64_t>(truth_pairs / 20);
+  auto estimate =
+      estimate_subset<CheckedI64, Bitset64>(problem, whole, options);
+  EXPECT_FALSE(estimate.exact);
+  EXPECT_GT(estimate.estimated_pairs,
+            static_cast<double>(options.pair_budget));
+  EXPECT_LT(estimate.estimated_pairs, truth_pairs * 100.0);
+  EXPECT_GT(estimate.estimated_efms, 0.0);
+}
+
+TEST(Estimate, PartitionCostIsPositiveAndComparable) {
+  auto problem = to_problem<CheckedI64>(compress(models::toy_network()));
+  auto rows = select_partition_rows(problem, OrderingOptions{}, 2);
+  double cost2 =
+      estimate_partition_cost<CheckedI64, Bitset64>(problem, rows);
+  double cost1 = estimate_partition_cost<CheckedI64, Bitset64>(
+      problem, {rows[0]});
+  EXPECT_GT(cost2, 0.0);
+  EXPECT_GT(cost1, 0.0);
+}
+
+}  // namespace
+}  // namespace elmo

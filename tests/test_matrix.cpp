@@ -1,0 +1,87 @@
+// Tests for the dense matrix container.
+#include "linalg/matrix.hpp"
+
+#include <gtest/gtest.h>
+
+#include "bigint/bigint.hpp"
+#include "bigint/checked.hpp"
+#include "support/error.hpp"
+
+namespace elmo {
+namespace {
+
+TEST(Matrix, ConstructionAndIndexing) {
+  Matrix<CheckedI64> m(2, 3);
+  EXPECT_EQ(m.rows(), 2u);
+  EXPECT_EQ(m.cols(), 3u);
+  EXPECT_TRUE(scalar_is_zero(m(1, 2)));
+  m(1, 2) = CheckedI64(7);
+  EXPECT_EQ(m(1, 2).value(), 7);
+}
+
+TEST(Matrix, FromRowsAndEquality) {
+  auto m = Matrix<CheckedI64>::from_rows({{1, 2}, {3, 4}});
+  EXPECT_EQ(m(0, 1).value(), 2);
+  EXPECT_EQ(m(1, 0).value(), 3);
+  auto same = Matrix<CheckedI64>::from_rows({{1, 2}, {3, 4}});
+  EXPECT_EQ(m, same);
+  auto different = Matrix<CheckedI64>::from_rows({{1, 2}, {3, 5}});
+  EXPECT_NE(m, different);
+}
+
+TEST(Matrix, Transpose) {
+  auto m = Matrix<CheckedI64>::from_rows({{1, 2, 3}, {4, 5, 6}});
+  auto t = m.transposed();
+  EXPECT_EQ(t.rows(), 3u);
+  EXPECT_EQ(t.cols(), 2u);
+  EXPECT_EQ(t(2, 1).value(), 6);
+  EXPECT_EQ(t.transposed(), m);
+}
+
+TEST(Matrix, SelectColumnsAndRows) {
+  auto m = Matrix<CheckedI64>::from_rows({{1, 2, 3}, {4, 5, 6}, {7, 8, 9}});
+  auto cols = m.select_columns({2, 0});
+  EXPECT_EQ(cols, (Matrix<CheckedI64>::from_rows({{3, 1}, {6, 4}, {9, 7}})));
+  auto rows = m.select_rows({1});
+  EXPECT_EQ(rows, (Matrix<CheckedI64>::from_rows({{4, 5, 6}})));
+}
+
+TEST(Matrix, SwapRows) {
+  auto m = Matrix<CheckedI64>::from_rows({{1, 2}, {3, 4}});
+  m.swap_rows(0, 1);
+  EXPECT_EQ(m, (Matrix<CheckedI64>::from_rows({{3, 4}, {1, 2}})));
+  m.swap_rows(1, 1);  // no-op
+  EXPECT_EQ(m(1, 0).value(), 1);
+}
+
+TEST(Matrix, MultiplyVector) {
+  auto m = Matrix<CheckedI64>::from_rows({{1, -1, 0}, {0, 2, -2}});
+  std::vector<CheckedI64> x = {CheckedI64(3), CheckedI64(3), CheckedI64(3)};
+  auto y = m.multiply(x);
+  EXPECT_EQ(y[0].value(), 0);
+  EXPECT_EQ(y[1].value(), 0);
+  std::vector<CheckedI64> bad(2, CheckedI64(1));
+  EXPECT_THROW(m.multiply(bad), InvalidArgumentError);
+}
+
+TEST(Matrix, RowNnz) {
+  auto m = Matrix<CheckedI64>::from_rows({{0, 1, 0, 2}, {0, 0, 0, 0}});
+  EXPECT_EQ(m.row_nnz(0), 2u);
+  EXPECT_EQ(m.row_nnz(1), 0u);
+}
+
+TEST(Matrix, WorksWithBigInt) {
+  Matrix<BigInt> m(1, 2);
+  m(0, 0) = BigInt::from_string("123456789012345678901234567890");
+  m(0, 1) = BigInt(-1);
+  auto t = m.transposed();
+  EXPECT_EQ(t(0, 0).to_string(), "123456789012345678901234567890");
+}
+
+TEST(Matrix, RaggedInitializerThrows) {
+  EXPECT_THROW((Matrix<CheckedI64>::from_rows({{1, 2}, {3}})),
+               InvalidArgumentError);
+}
+
+}  // namespace
+}  // namespace elmo

@@ -1,0 +1,198 @@
+// Tests for the simulated message-passing runtime.
+#include "mpsim/communicator.hpp"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <numeric>
+
+#include "bitset/bitset64.hpp"
+#include "mpsim/serialize.hpp"
+#include "nullspace/flux_column.hpp"
+
+namespace elmo::mpsim {
+namespace {
+
+TEST(Mpsim, SingleRankRuns) {
+  int calls = 0;
+  auto report = run_ranks(1, [&](Communicator& comm) {
+    EXPECT_EQ(comm.rank(), 0);
+    EXPECT_EQ(comm.size(), 1);
+    comm.barrier();
+    ++calls;
+  });
+  EXPECT_EQ(calls, 1);
+  EXPECT_EQ(report.ranks.size(), 1u);
+}
+
+TEST(Mpsim, PointToPointDelivery) {
+  auto report = run_ranks(2, [](Communicator& comm) {
+    if (comm.rank() == 0) {
+      comm.send(1, /*tag=*/7, {1, 2, 3});
+    } else {
+      Payload p = comm.recv(0, 7);
+      EXPECT_EQ(p, (Payload{1, 2, 3}));
+    }
+  });
+  EXPECT_EQ(report.ranks[0].messages_sent, 1u);
+  EXPECT_EQ(report.ranks[0].bytes_sent, 3u);
+  EXPECT_EQ(report.ranks[1].messages_sent, 0u);
+}
+
+TEST(Mpsim, TagsKeepStreamsSeparate) {
+  run_ranks(2, [](Communicator& comm) {
+    if (comm.rank() == 0) {
+      comm.send(1, 1, {11});
+      comm.send(1, 2, {22});
+    } else {
+      // Receive in the opposite order of sending.
+      EXPECT_EQ(comm.recv(0, 2), (Payload{22}));
+      EXPECT_EQ(comm.recv(0, 1), (Payload{11}));
+    }
+  });
+}
+
+TEST(Mpsim, MessagesFromSameSourceKeepOrder) {
+  run_ranks(2, [](Communicator& comm) {
+    if (comm.rank() == 0) {
+      for (std::uint8_t i = 0; i < 10; ++i) comm.send(1, 0, {i});
+    } else {
+      for (std::uint8_t i = 0; i < 10; ++i)
+        EXPECT_EQ(comm.recv(0, 0), Payload{i});
+    }
+  });
+}
+
+TEST(Mpsim, BarrierSynchronises) {
+  std::atomic<int> phase_one{0};
+  run_ranks(4, [&](Communicator& comm) {
+    phase_one.fetch_add(1);
+    comm.barrier();
+    // After the barrier every rank must observe all four increments.
+    EXPECT_EQ(phase_one.load(), 4);
+    comm.barrier();
+  });
+}
+
+TEST(Mpsim, AllGatherCollectsInRankOrder) {
+  run_ranks(3, [](Communicator& comm) {
+    Payload mine = {static_cast<std::uint8_t>(comm.rank() * 10)};
+    auto all = comm.all_gather(std::move(mine));
+    ASSERT_EQ(all.size(), 3u);
+    for (int r = 0; r < 3; ++r)
+      EXPECT_EQ(all[static_cast<std::size_t>(r)],
+                Payload{static_cast<std::uint8_t>(r * 10)});
+  });
+}
+
+TEST(Mpsim, AllGatherRepeatedRounds) {
+  // Exercises slot reuse across iterations (the Algorithm-2 inner loop).
+  run_ranks(3, [](Communicator& comm) {
+    for (std::uint8_t round = 0; round < 5; ++round) {
+      Payload mine = {static_cast<std::uint8_t>(comm.rank()), round};
+      auto all = comm.all_gather(std::move(mine));
+      for (int r = 0; r < 3; ++r) {
+        EXPECT_EQ(all[static_cast<std::size_t>(r)],
+                  (Payload{static_cast<std::uint8_t>(r), round}));
+      }
+    }
+  });
+}
+
+TEST(Mpsim, AllReduce) {
+  run_ranks(4, [](Communicator& comm) {
+    auto rank = static_cast<std::uint64_t>(comm.rank());
+    EXPECT_EQ(comm.all_reduce_sum(rank + 1), 1u + 2u + 3u + 4u);
+    EXPECT_EQ(comm.all_reduce_max(rank * 7), 21u);
+  });
+}
+
+TEST(Mpsim, ExceptionInOneRankAbortsWorld) {
+  EXPECT_THROW(
+      run_ranks(3,
+                [](Communicator& comm) {
+                  if (comm.rank() == 1)
+                    throw InvalidArgumentError("rank 1 exploded");
+                  // Other ranks block forever unless aborted.
+                  comm.recv(1, 99);
+                }),
+      InvalidArgumentError);
+}
+
+TEST(Mpsim, MemoryBudgetEnforced) {
+  RunOptions options;
+  options.memory_budget_per_rank = 1000;
+  EXPECT_THROW(run_ranks(
+                   2,
+                   [](Communicator& comm) {
+                     comm.set_memory_usage(500);   // fine
+                     comm.set_memory_usage(1500);  // over budget
+                   },
+                   options),
+               MemoryBudgetError);
+  try {
+    run_ranks(
+        1, [](Communicator& comm) { comm.set_memory_usage(4096); }, options);
+    FAIL() << "expected MemoryBudgetError";
+  } catch (const MemoryBudgetError& e) {
+    EXPECT_EQ(e.requested_bytes, 4096u);
+    EXPECT_EQ(e.budget_bytes, 1000u);
+  }
+}
+
+TEST(Mpsim, MemoryPeakTracked) {
+  auto report = run_ranks(1, [](Communicator& comm) {
+    comm.set_memory_usage(100);
+    comm.set_memory_usage(700);
+    comm.set_memory_usage(300);
+  });
+  EXPECT_EQ(report.ranks[0].memory_peak, 700u);
+  EXPECT_EQ(report.ranks[0].memory_in_use, 300u);
+  EXPECT_EQ(report.max_memory_peak(), 700u);
+}
+
+TEST(MpsimSerialize, ColumnsRoundTripCheckedI64) {
+  using Col = FluxColumn<CheckedI64, Bitset64>;
+  std::vector<Col> columns;
+  columns.push_back(Col::from_values(
+      {CheckedI64(2), CheckedI64(0), CheckedI64(-4), CheckedI64(6)}));
+  columns.push_back(Col::from_values({CheckedI64(0), CheckedI64(5),
+                                      CheckedI64(0), CheckedI64(0)}));
+  auto payload = encode_columns(columns);
+  auto decoded = decode_columns<CheckedI64, Bitset64>(payload);
+  ASSERT_EQ(decoded.size(), 2u);
+  EXPECT_EQ(decoded[0], columns[0]);
+  EXPECT_EQ(decoded[1], columns[1]);
+}
+
+TEST(MpsimSerialize, ColumnsRoundTripBigIntDynBitset) {
+  using Col = FluxColumn<BigInt, DynBitset>;
+  std::vector<BigInt> values(100, BigInt(0));
+  values[3] = BigInt::from_string("123456789012345678901234567890");
+  values[77] = BigInt::from_string("-987654321098765432109876543210");
+  // Non-primitive on purpose: from_values normalises by the (huge) gcd.
+  std::vector<Col> columns = {Col::from_values(std::move(values))};
+  auto decoded =
+      decode_columns<BigInt, DynBitset>(encode_columns(columns));
+  ASSERT_EQ(decoded.size(), 1u);
+  EXPECT_EQ(decoded[0], columns[0]);
+}
+
+TEST(MpsimSerialize, EmptyBatch) {
+  std::vector<FluxColumn<CheckedI64, Bitset64>> none;
+  auto decoded =
+      decode_columns<CheckedI64, Bitset64>(encode_columns(none));
+  EXPECT_TRUE(decoded.empty());
+}
+
+TEST(MpsimSerialize, TruncatedBufferThrows) {
+  using Col = FluxColumn<CheckedI64, Bitset64>;
+  std::vector<Col> columns = {
+      Col::from_values({CheckedI64(1), CheckedI64(2)})};
+  auto payload = encode_columns(columns);
+  payload.resize(payload.size() - 3);
+  EXPECT_THROW((decode_columns<CheckedI64, Bitset64>(payload)), ParseError);
+}
+
+}  // namespace
+}  // namespace elmo::mpsim

@@ -1,0 +1,97 @@
+// Tests for the thread pool and pair-space partitioner.
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <numeric>
+
+#include "parallel/parallel_for.hpp"
+#include "parallel/partitioner.hpp"
+#include "parallel/thread_pool.hpp"
+#include "support/error.hpp"
+
+namespace elmo {
+namespace {
+
+TEST(Partitioner, CoversRangeExactlyOnce) {
+  for (std::uint64_t total : {0ULL, 1ULL, 7ULL, 64ULL, 1000ULL}) {
+    for (int workers : {1, 2, 3, 7, 16}) {
+      std::uint64_t covered = 0;
+      std::uint64_t previous_end = 0;
+      for (int w = 0; w < workers; ++w) {
+        PairRange range = pair_slice(total, w, workers);
+        EXPECT_EQ(range.begin, previous_end);
+        previous_end = range.end;
+        covered += range.count();
+      }
+      EXPECT_EQ(previous_end, total);
+      EXPECT_EQ(covered, total);
+    }
+  }
+}
+
+TEST(Partitioner, BalancedWithinOne) {
+  for (int workers : {2, 3, 5, 8}) {
+    std::uint64_t lo = UINT64_MAX;
+    std::uint64_t hi = 0;
+    for (int w = 0; w < workers; ++w) {
+      auto count = pair_slice(1003, w, workers).count();
+      lo = std::min(lo, count);
+      hi = std::max(hi, count);
+    }
+    EXPECT_LE(hi - lo, 1u);
+  }
+}
+
+TEST(Partitioner, RejectsBadArguments) {
+  EXPECT_THROW(pair_slice(10, 0, 0), InvalidArgumentError);
+  EXPECT_THROW(pair_slice(10, 3, 3), InvalidArgumentError);
+  EXPECT_THROW(pair_slice(10, -1, 3), InvalidArgumentError);
+}
+
+TEST(ThreadPool, ExecutesAllTasks) {
+  ThreadPool pool(3);
+  std::atomic<int> sum{0};
+  std::vector<std::future<void>> futures;
+  for (int i = 1; i <= 20; ++i)
+    futures.push_back(pool.submit([&sum, i] { sum.fetch_add(i); }));
+  for (auto& f : futures) f.get();
+  EXPECT_EQ(sum.load(), 210);
+}
+
+TEST(ThreadPool, PropagatesExceptions) {
+  ThreadPool pool(2);
+  auto future = pool.submit([] { throw InvalidArgumentError("boom"); });
+  EXPECT_THROW(future.get(), InvalidArgumentError);
+}
+
+TEST(ParallelFor, SumsRange) {
+  ThreadPool pool(4);
+  std::atomic<std::uint64_t> sum{0};
+  parallel_for_chunks(pool, 1000, [&](std::uint64_t begin, std::uint64_t end) {
+    std::uint64_t local = 0;
+    for (std::uint64_t i = begin; i < end; ++i) local += i;
+    sum.fetch_add(local);
+  });
+  EXPECT_EQ(sum.load(), 999ull * 1000 / 2);
+}
+
+TEST(ParallelFor, EmptyRangeIsNoop) {
+  ThreadPool pool(2);
+  parallel_for_chunks(pool, 0, [](std::uint64_t, std::uint64_t) {
+    FAIL() << "body must not run";
+  });
+}
+
+TEST(ParallelFor, PropagatesFirstException) {
+  ThreadPool pool(4);
+  EXPECT_THROW(
+      parallel_for_chunks(pool, 100,
+                          [](std::uint64_t begin, std::uint64_t) {
+                            if (begin == 0)
+                              throw InvalidArgumentError("chunk failed");
+                          }),
+      InvalidArgumentError);
+}
+
+}  // namespace
+}  // namespace elmo

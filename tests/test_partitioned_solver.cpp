@@ -1,0 +1,160 @@
+// Algorithm 4 (matrix-partitioned parallel Nullspace Algorithm — the
+// paper's future-work item #1) validation: exact agreement with Algorithm
+// 1, pair-count conservation, and the per-rank memory reduction that
+// motivates the design.
+#include "core/partitioned_parallel.hpp"
+
+#include <gtest/gtest.h>
+
+#include "compress/compression.hpp"
+#include "core/combinatorial_parallel.hpp"
+#include "efm_test_util.hpp"
+#include "models/random_network.hpp"
+#include "models/toy.hpp"
+#include "models/yeast.hpp"
+#include "nullspace/efm.hpp"
+
+namespace elmo {
+namespace {
+
+template <typename Support>
+std::vector<std::vector<BigInt>> canonical(
+    const std::vector<FluxColumn<CheckedI64, Support>>& columns,
+    const CompressedProblem& compressed, const Network& net) {
+  return expand_and_canonicalize(columns, compressed, net);
+}
+
+TEST(PartitionedSolver, ToyAgreesWithSerialAcrossRankCounts) {
+  Network net = models::toy_network();
+  auto compressed = compress(net);
+  auto problem = to_problem<CheckedI64>(compressed);
+  auto serial = canonical(
+      solve_efms<CheckedI64, Bitset64>(problem).columns, compressed, net);
+  for (int ranks : {1, 2, 3, 5, 8}) {
+    PartitionedOptions options;
+    options.num_ranks = ranks;
+    auto result =
+        solve_partitioned_parallel<CheckedI64, Bitset64>(problem, options);
+    // The partitioned algorithm can keep a duplicate column when a
+    // candidate coincides with a zero column on another rank; canonical
+    // form dedups, the SET must match exactly.
+    EXPECT_EQ(canonical(result.columns, compressed, net), serial)
+        << "ranks " << ranks;
+  }
+}
+
+TEST(PartitionedSolver, PairCountMatchesSerial) {
+  Network net = models::toy_network();
+  auto compressed = compress(net);
+  auto problem = to_problem<CheckedI64>(compressed);
+  auto serial = solve_efms<CheckedI64, Bitset64>(problem);
+  PartitionedOptions options;
+  options.num_ranks = 3;
+  auto result =
+      solve_partitioned_parallel<CheckedI64, Bitset64>(problem, options);
+  // The pos x neg cross product is covered exactly once across ranks
+  // (duplicated intermediate columns could inflate this on larger nets;
+  // the toy has none).
+  EXPECT_EQ(result.stats.total_pairs_probed,
+            serial.stats.total_pairs_probed);
+}
+
+TEST(PartitionedSolver, RandomNetworksAgreeWithSerial) {
+  for (std::uint64_t seed = 1; seed <= 10; ++seed) {
+    models::RandomNetworkSpec spec;
+    spec.seed = seed * 7 + 2;
+    spec.num_metabolites = 4 + seed % 4;
+    spec.num_extra_reactions = 3 + seed % 3;
+    Network net = models::random_network(spec);
+    auto compressed = compress(net);
+    auto problem = to_problem<CheckedI64>(compressed);
+    auto serial = canonical(
+        solve_efms<CheckedI64, Bitset64>(problem).columns, compressed, net);
+    PartitionedOptions options;
+    options.num_ranks = 3;
+    auto result =
+        solve_partitioned_parallel<CheckedI64, Bitset64>(problem, options);
+    EXPECT_EQ(canonical(result.columns, compressed, net), serial)
+        << "seed " << spec.seed;
+  }
+}
+
+TEST(PartitionedSolver, ShardsStayBalanced) {
+  // After every iteration the rebalancing step keeps shard sizes within a
+  // small band; verify via the final gathered result being complete and
+  // the per-rank peak being well below the full-matrix peak on a workload
+  // with enough columns to matter.
+  models::RandomNetworkSpec spec;
+  spec.seed = 11;
+  spec.num_metabolites = 8;
+  spec.num_extra_reactions = 6;
+  spec.num_exchanges = 4;
+  Network net = models::random_network(spec);
+  auto compressed = compress(net);
+  auto problem = to_problem<CheckedI64>(compressed);
+
+  ParallelOptions replicated_options;
+  replicated_options.num_ranks = 4;
+  auto replicated = solve_combinatorial_parallel<CheckedI64, Bitset64>(
+      problem, replicated_options);
+
+  PartitionedOptions options;
+  options.num_ranks = 4;
+  auto partitioned =
+      solve_partitioned_parallel<CheckedI64, Bitset64>(problem, options);
+
+  EXPECT_EQ(canonical(partitioned.columns, compressed, net),
+            canonical(replicated.columns, compressed, net));
+  ASSERT_GT(replicated.stats.peak_columns, 100u)
+      << "workload too small for a meaningful memory comparison";
+  // The shard + replicated-positives peak must be well below the full
+  // replica (4 ranks -> expect roughly a 2x+ reduction here).
+  EXPECT_LT(partitioned.peak_rank_bytes,
+            replicated.stats.peak_matrix_bytes * 3 / 4);
+}
+
+TEST(PartitionedSolver, YeastDemoAgreesWithReplicated) {
+  Network net = models::yeast_network_1();
+  std::vector<ReactionId> trim;
+  for (const char* name :
+       {"R15", "R33", "R41", "R46", "R92r", "R98", "R100", "R77", "R101",
+        "R32r", "R30r"}) {
+    if (auto id = net.find_reaction(name)) trim.push_back(*id);
+  }
+  net = net.without_reactions(trim);
+  auto compressed = compress(net);
+  auto problem = to_problem<CheckedI64>(compressed);
+
+  auto serial = solve_efms<CheckedI64, DynBitset>(problem);
+  PartitionedOptions options;
+  options.num_ranks = 3;
+  auto result =
+      solve_partitioned_parallel<CheckedI64, DynBitset>(problem, options);
+  EXPECT_EQ(canonical(result.columns, compressed, net),
+            canonical(serial.columns, compressed, net));
+}
+
+TEST(PartitionedSolver, MemoryBudgetStillEnforced) {
+  Network net = models::toy_network();
+  auto compressed = compress(net);
+  auto problem = to_problem<CheckedI64>(compressed);
+  PartitionedOptions options;
+  options.num_ranks = 2;
+  options.memory_budget_per_rank = 16;  // absurdly small
+  EXPECT_THROW((solve_partitioned_parallel<CheckedI64, Bitset64>(problem,
+                                                                 options)),
+               MemoryBudgetError);
+}
+
+TEST(PartitionedSolver, CombinatorialTestRejected) {
+  Network net = models::toy_network();
+  auto problem = to_problem<CheckedI64>(compress(net));
+  PartitionedOptions options;
+  options.solver.test = ElementarityTest::kCombinatorial;
+  EXPECT_THROW((solve_partitioned_parallel<CheckedI64, Bitset64>(problem,
+                                                                 options)),
+               InvalidArgumentError);
+}
+
+}  // namespace
+}  // namespace elmo
