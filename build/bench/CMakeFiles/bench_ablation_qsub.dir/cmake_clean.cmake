@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_ablation_qsub.dir/bench_ablation_qsub.cpp.o"
+  "CMakeFiles/bench_ablation_qsub.dir/bench_ablation_qsub.cpp.o.d"
+  "bench_ablation_qsub"
+  "bench_ablation_qsub.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ablation_qsub.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

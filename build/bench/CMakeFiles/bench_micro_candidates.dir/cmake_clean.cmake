@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_micro_candidates.dir/bench_micro_candidates.cpp.o"
+  "CMakeFiles/bench_micro_candidates.dir/bench_micro_candidates.cpp.o.d"
+  "bench_micro_candidates"
+  "bench_micro_candidates.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_micro_candidates.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_micro_ranktest.dir/bench_micro_ranktest.cpp.o"
+  "CMakeFiles/bench_micro_ranktest.dir/bench_micro_ranktest.cpp.o.d"
+  "bench_micro_ranktest"
+  "bench_micro_ranktest.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_micro_ranktest.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/elmo_cli.dir/elmo_cli.cpp.o"
+  "CMakeFiles/elmo_cli.dir/elmo_cli.cpp.o.d"
+  "elmo_cli"
+  "elmo_cli.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/elmo_cli.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

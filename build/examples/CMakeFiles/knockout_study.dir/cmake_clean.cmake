@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/knockout_study.dir/knockout_study.cpp.o"
+  "CMakeFiles/knockout_study.dir/knockout_study.cpp.o.d"
+  "knockout_study"
+  "knockout_study.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/knockout_study.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

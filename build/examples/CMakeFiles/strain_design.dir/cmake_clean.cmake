@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/strain_design.dir/strain_design.cpp.o"
+  "CMakeFiles/strain_design.dir/strain_design.cpp.o.d"
+  "strain_design"
+  "strain_design.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/strain_design.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

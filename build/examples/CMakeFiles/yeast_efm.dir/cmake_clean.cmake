@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/yeast_efm.dir/yeast_efm.cpp.o"
+  "CMakeFiles/yeast_efm.dir/yeast_efm.cpp.o.d"
+  "yeast_efm"
+  "yeast_efm.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/yeast_efm.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

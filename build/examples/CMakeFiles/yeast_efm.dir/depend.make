@@ -1,0 +1,2 @@
+# Empty dependencies file for yeast_efm.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,19 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/src
+# Build directory: /root/repo/build/src
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+subdirs("support")
+subdirs("bigint")
+subdirs("bitset")
+subdirs("linalg")
+subdirs("network")
+subdirs("compress")
+subdirs("nullspace")
+subdirs("mpsim")
+subdirs("parallel")
+subdirs("core")
+subdirs("models")
+subdirs("io")
+subdirs("analysis")

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/elmo_analysis.dir/decompose.cpp.o"
+  "CMakeFiles/elmo_analysis.dir/decompose.cpp.o.d"
+  "CMakeFiles/elmo_analysis.dir/knockout.cpp.o"
+  "CMakeFiles/elmo_analysis.dir/knockout.cpp.o.d"
+  "CMakeFiles/elmo_analysis.dir/yield.cpp.o"
+  "CMakeFiles/elmo_analysis.dir/yield.cpp.o.d"
+  "libelmo_analysis.a"
+  "libelmo_analysis.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/elmo_analysis.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/elmo_bigint.dir/bigint.cpp.o"
+  "CMakeFiles/elmo_bigint.dir/bigint.cpp.o.d"
+  "libelmo_bigint.a"
+  "libelmo_bigint.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/elmo_bigint.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/elmo_compress.dir/compression.cpp.o"
+  "CMakeFiles/elmo_compress.dir/compression.cpp.o.d"
+  "libelmo_compress.a"
+  "libelmo_compress.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/elmo_compress.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

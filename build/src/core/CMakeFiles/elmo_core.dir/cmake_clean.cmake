@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/elmo_core.dir/api.cpp.o"
+  "CMakeFiles/elmo_core.dir/api.cpp.o.d"
+  "libelmo_core.a"
+  "libelmo_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/elmo_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

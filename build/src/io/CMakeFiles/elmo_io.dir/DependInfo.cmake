@@ -1,0 +1,21 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/io/efm_writer.cpp" "src/io/CMakeFiles/elmo_io.dir/efm_writer.cpp.o" "gcc" "src/io/CMakeFiles/elmo_io.dir/efm_writer.cpp.o.d"
+  "/root/repo/src/io/table.cpp" "src/io/CMakeFiles/elmo_io.dir/table.cpp.o" "gcc" "src/io/CMakeFiles/elmo_io.dir/table.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/bigint/CMakeFiles/elmo_bigint.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

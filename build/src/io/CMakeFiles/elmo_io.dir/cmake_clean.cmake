@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/elmo_io.dir/efm_writer.cpp.o"
+  "CMakeFiles/elmo_io.dir/efm_writer.cpp.o.d"
+  "CMakeFiles/elmo_io.dir/table.cpp.o"
+  "CMakeFiles/elmo_io.dir/table.cpp.o.d"
+  "libelmo_io.a"
+  "libelmo_io.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/elmo_io.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

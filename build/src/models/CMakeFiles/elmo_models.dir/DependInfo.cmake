@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/models/ecoli_core.cpp" "src/models/CMakeFiles/elmo_models.dir/ecoli_core.cpp.o" "gcc" "src/models/CMakeFiles/elmo_models.dir/ecoli_core.cpp.o.d"
+  "/root/repo/src/models/random_network.cpp" "src/models/CMakeFiles/elmo_models.dir/random_network.cpp.o" "gcc" "src/models/CMakeFiles/elmo_models.dir/random_network.cpp.o.d"
+  "/root/repo/src/models/toy.cpp" "src/models/CMakeFiles/elmo_models.dir/toy.cpp.o" "gcc" "src/models/CMakeFiles/elmo_models.dir/toy.cpp.o.d"
+  "/root/repo/src/models/yeast.cpp" "src/models/CMakeFiles/elmo_models.dir/yeast.cpp.o" "gcc" "src/models/CMakeFiles/elmo_models.dir/yeast.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/network/CMakeFiles/elmo_network.dir/DependInfo.cmake"
+  "/root/repo/build/src/bigint/CMakeFiles/elmo_bigint.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

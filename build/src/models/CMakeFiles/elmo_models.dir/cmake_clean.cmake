@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/elmo_models.dir/ecoli_core.cpp.o"
+  "CMakeFiles/elmo_models.dir/ecoli_core.cpp.o.d"
+  "CMakeFiles/elmo_models.dir/random_network.cpp.o"
+  "CMakeFiles/elmo_models.dir/random_network.cpp.o.d"
+  "CMakeFiles/elmo_models.dir/toy.cpp.o"
+  "CMakeFiles/elmo_models.dir/toy.cpp.o.d"
+  "CMakeFiles/elmo_models.dir/yeast.cpp.o"
+  "CMakeFiles/elmo_models.dir/yeast.cpp.o.d"
+  "libelmo_models.a"
+  "libelmo_models.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/elmo_models.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

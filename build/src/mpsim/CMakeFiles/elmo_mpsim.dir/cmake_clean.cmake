@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/elmo_mpsim.dir/communicator.cpp.o"
+  "CMakeFiles/elmo_mpsim.dir/communicator.cpp.o.d"
+  "libelmo_mpsim.a"
+  "libelmo_mpsim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/elmo_mpsim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libelmo_mpsim.a"
+)

@@ -1,0 +1,22 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/network/network.cpp" "src/network/CMakeFiles/elmo_network.dir/network.cpp.o" "gcc" "src/network/CMakeFiles/elmo_network.dir/network.cpp.o.d"
+  "/root/repo/src/network/parser.cpp" "src/network/CMakeFiles/elmo_network.dir/parser.cpp.o" "gcc" "src/network/CMakeFiles/elmo_network.dir/parser.cpp.o.d"
+  "/root/repo/src/network/validate.cpp" "src/network/CMakeFiles/elmo_network.dir/validate.cpp.o" "gcc" "src/network/CMakeFiles/elmo_network.dir/validate.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/bigint/CMakeFiles/elmo_bigint.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/elmo_network.dir/network.cpp.o"
+  "CMakeFiles/elmo_network.dir/network.cpp.o.d"
+  "CMakeFiles/elmo_network.dir/parser.cpp.o"
+  "CMakeFiles/elmo_network.dir/parser.cpp.o.d"
+  "CMakeFiles/elmo_network.dir/validate.cpp.o"
+  "CMakeFiles/elmo_network.dir/validate.cpp.o.d"
+  "libelmo_network.a"
+  "libelmo_network.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/elmo_network.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

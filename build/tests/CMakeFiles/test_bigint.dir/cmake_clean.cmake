@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_bigint.dir/test_bigint.cpp.o"
+  "CMakeFiles/test_bigint.dir/test_bigint.cpp.o.d"
+  "test_bigint"
+  "test_bigint.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_bigint.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

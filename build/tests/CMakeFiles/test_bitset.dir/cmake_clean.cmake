@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_bitset.dir/test_bitset.cpp.o"
+  "CMakeFiles/test_bitset.dir/test_bitset.cpp.o.d"
+  "test_bitset"
+  "test_bitset.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_bitset.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

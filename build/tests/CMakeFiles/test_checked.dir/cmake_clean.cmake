@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_checked.dir/test_checked.cpp.o"
+  "CMakeFiles/test_checked.dir/test_checked.cpp.o.d"
+  "test_checked"
+  "test_checked.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_checked.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

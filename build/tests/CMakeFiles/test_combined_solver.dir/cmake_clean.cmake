@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_combined_solver.dir/test_combined_solver.cpp.o"
+  "CMakeFiles/test_combined_solver.dir/test_combined_solver.cpp.o.d"
+  "test_combined_solver"
+  "test_combined_solver.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_combined_solver.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

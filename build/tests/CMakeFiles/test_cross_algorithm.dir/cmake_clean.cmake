@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_cross_algorithm.dir/test_cross_algorithm.cpp.o"
+  "CMakeFiles/test_cross_algorithm.dir/test_cross_algorithm.cpp.o.d"
+  "test_cross_algorithm"
+  "test_cross_algorithm.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_cross_algorithm.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

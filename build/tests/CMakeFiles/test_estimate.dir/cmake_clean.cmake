@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_estimate.dir/test_estimate.cpp.o"
+  "CMakeFiles/test_estimate.dir/test_estimate.cpp.o.d"
+  "test_estimate"
+  "test_estimate.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_estimate.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_gauss.dir/test_gauss.cpp.o"
+  "CMakeFiles/test_gauss.dir/test_gauss.cpp.o.d"
+  "test_gauss"
+  "test_gauss.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_gauss.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_hybrid.dir/test_hybrid.cpp.o"
+  "CMakeFiles/test_hybrid.dir/test_hybrid.cpp.o.d"
+  "test_hybrid"
+  "test_hybrid.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_hybrid.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_iteration.dir/test_iteration.cpp.o"
+  "CMakeFiles/test_iteration.dir/test_iteration.cpp.o.d"
+  "test_iteration"
+  "test_iteration.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_iteration.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

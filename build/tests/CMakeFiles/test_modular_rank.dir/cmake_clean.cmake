@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_modular_rank.dir/test_modular_rank.cpp.o"
+  "CMakeFiles/test_modular_rank.dir/test_modular_rank.cpp.o.d"
+  "test_modular_rank"
+  "test_modular_rank.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_modular_rank.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

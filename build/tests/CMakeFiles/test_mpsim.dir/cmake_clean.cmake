@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_mpsim.dir/test_mpsim.cpp.o"
+  "CMakeFiles/test_mpsim.dir/test_mpsim.cpp.o.d"
+  "test_mpsim"
+  "test_mpsim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_mpsim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for test_mpsim.
+# This may be replaced when dependencies are built.

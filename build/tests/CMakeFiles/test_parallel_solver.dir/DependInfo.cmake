@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/test_parallel_solver.cpp" "tests/CMakeFiles/test_parallel_solver.dir/test_parallel_solver.cpp.o" "gcc" "tests/CMakeFiles/test_parallel_solver.dir/test_parallel_solver.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/core/CMakeFiles/elmo_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/models/CMakeFiles/elmo_models.dir/DependInfo.cmake"
+  "/root/repo/build/src/mpsim/CMakeFiles/elmo_mpsim.dir/DependInfo.cmake"
+  "/root/repo/build/src/compress/CMakeFiles/elmo_compress.dir/DependInfo.cmake"
+  "/root/repo/build/src/network/CMakeFiles/elmo_network.dir/DependInfo.cmake"
+  "/root/repo/build/src/bigint/CMakeFiles/elmo_bigint.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

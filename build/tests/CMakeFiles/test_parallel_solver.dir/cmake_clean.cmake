@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_parallel_solver.dir/test_parallel_solver.cpp.o"
+  "CMakeFiles/test_parallel_solver.dir/test_parallel_solver.cpp.o.d"
+  "test_parallel_solver"
+  "test_parallel_solver.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_parallel_solver.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_partitioned_solver.dir/test_partitioned_solver.cpp.o"
+  "CMakeFiles/test_partitioned_solver.dir/test_partitioned_solver.cpp.o.d"
+  "test_partitioned_solver"
+  "test_partitioned_solver.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_partitioned_solver.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

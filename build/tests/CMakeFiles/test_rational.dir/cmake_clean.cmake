@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_rational.dir/test_rational.cpp.o"
+  "CMakeFiles/test_rational.dir/test_rational.cpp.o.d"
+  "test_rational"
+  "test_rational.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_rational.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_reversible_split.dir/test_reversible_split.cpp.o"
+  "CMakeFiles/test_reversible_split.dir/test_reversible_split.cpp.o.d"
+  "test_reversible_split"
+  "test_reversible_split.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_reversible_split.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
