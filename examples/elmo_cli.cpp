@@ -8,7 +8,9 @@
 //
 // The input format is the reaction-list text documented in
 // src/network/parser.hpp (and printed by --help).
+#include <cerrno>
 #include <cstdio>
+#include <cstdlib>
 #include <cstring>
 #include <fstream>
 #include <sstream>
@@ -33,6 +35,14 @@ options:
   --threads N               shared-memory workers/rank  (default 1)
   --partition A,B,...       divide-and-conquer reactions (combined)
   --qsub N                  auto-select N partition reactions (combined)
+  --memory-budget BYTES     per-rank memory budget (0 = unlimited)
+  --max-extra-splits N      adaptive re-splits on budget errors (combined)
+  --retries N               attempts per subset before giving up (combined)
+  --retry-serial            make the last attempt serial and unbudgeted
+  --checkpoint FILE         append completed subsets to FILE (combined)
+  --resume FILE             skip subsets already completed in FILE; also
+                            continues appending to FILE unless --checkpoint
+                            names a different one
   --exact-rank-test         use the exact Bareiss backend
   --stats                   print counters and phase times
   --validate                print structural warnings and exit
@@ -82,6 +92,20 @@ int main(int argc, char** argv) {
       if (i + 1 >= argc) usage(2);
       return argv[++i];
     };
+    auto next_number = [&](const char* flag) -> unsigned long long {
+      std::string value = next();
+      errno = 0;
+      char* end = nullptr;
+      unsigned long long parsed = std::strtoull(value.c_str(), &end, 10);
+      if (value.empty() || value[0] == '-' || *end != '\0' ||
+          errno == ERANGE) {
+        std::fprintf(stderr,
+                     "error: %s expects a non-negative integer, got '%s'\n",
+                     flag, value.c_str());
+        std::exit(2);
+      }
+      return parsed;
+    };
     if (!std::strcmp(argv[i], "--help") || !std::strcmp(argv[i], "-h")) {
       usage(0);
     } else if (!std::strcmp(argv[i], "--builtin")) {
@@ -92,13 +116,28 @@ int main(int argc, char** argv) {
     } else if (!std::strcmp(argv[i], "--algorithm")) {
       algorithm = next();
     } else if (!std::strcmp(argv[i], "--ranks")) {
-      options.num_ranks = std::stoi(next());
+      options.num_ranks = static_cast<int>(next_number("--ranks"));
     } else if (!std::strcmp(argv[i], "--threads")) {
-      options.threads_per_rank = std::stoi(next());
+      options.threads_per_rank = static_cast<int>(next_number("--threads"));
     } else if (!std::strcmp(argv[i], "--partition")) {
       options.partition_reactions = split_csv(next());
     } else if (!std::strcmp(argv[i], "--qsub")) {
-      options.qsub = static_cast<std::size_t>(std::stoul(next()));
+      options.qsub = static_cast<std::size_t>(next_number("--qsub"));
+    } else if (!std::strcmp(argv[i], "--memory-budget")) {
+      options.memory_budget_per_rank =
+          static_cast<std::size_t>(next_number("--memory-budget"));
+    } else if (!std::strcmp(argv[i], "--max-extra-splits")) {
+      options.max_extra_splits =
+          static_cast<std::size_t>(next_number("--max-extra-splits"));
+    } else if (!std::strcmp(argv[i], "--retries")) {
+      options.retry.max_attempts =
+          static_cast<int>(next_number("--retries"));
+    } else if (!std::strcmp(argv[i], "--retry-serial")) {
+      options.retry.serial_final_attempt = true;
+    } else if (!std::strcmp(argv[i], "--checkpoint")) {
+      options.checkpoint_path = next();
+    } else if (!std::strcmp(argv[i], "--resume")) {
+      options.resume_from = next();
     } else if (!std::strcmp(argv[i], "--exact-rank-test")) {
       options.rank_backend = RankTestBackend::kExact;
     } else if (!std::strcmp(argv[i], "--stats")) {

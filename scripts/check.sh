@@ -1,0 +1,33 @@
+#!/usr/bin/env bash
+# Full verification sweep:
+#   1. plain build + entire ctest suite (tier-1 gate),
+#   2. ASan/UBSan build + entire ctest suite,
+#   3. TSan build + the threaded suites (the simulated MPI runtime, the
+#      shared-memory pool, and the fault-tolerance machinery).
+#
+# Usage: scripts/check.sh [-jN]
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+JOBS="${1:--j$(nproc)}"
+
+run() { echo "+ $*" >&2; "$@"; }
+
+echo "== 1/3 plain build =="
+run cmake -B build -S . >/dev/null
+run cmake --build build "${JOBS}"
+(cd build && run ctest --output-on-failure)
+
+echo "== 2/3 address+undefined sanitizers =="
+run cmake -B build-asan -S . -DELMO_SANITIZE=address,undefined >/dev/null
+run cmake --build build-asan "${JOBS}"
+(cd build-asan && run ctest --output-on-failure)
+
+echo "== 3/3 thread sanitizer (threaded suites) =="
+run cmake -B build-tsan -S . -DELMO_SANITIZE=thread >/dev/null
+run cmake --build build-tsan "${JOBS}" --target \
+    test_mpsim test_parallel test_fault_tolerance
+(cd build-tsan && run ctest --output-on-failure \
+    -R '^(test_mpsim|test_parallel|test_fault_tolerance)$')
+
+echo "all checks passed"

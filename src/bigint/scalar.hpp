@@ -51,6 +51,22 @@ T scalar_from_i64(std::int64_t v) {
   return scalar_from_i64(v, static_cast<const T*>(nullptr));
 }
 
+// Exact conversion from the archival BigInt form (checkpoint records are
+// scalar-agnostic).  The CheckedI64 overload throws OverflowError when the
+// value does not fit, which rides the solver's existing BigInt fallback.
+inline CheckedI64 scalar_from_bigint(const BigInt& v, const CheckedI64*) {
+  return CheckedI64(v.to_i64());
+}
+inline BigInt scalar_from_bigint(const BigInt& v, const BigInt*) { return v; }
+inline double scalar_from_bigint(const BigInt& v, const double*) {
+  return v.to_double();
+}
+
+template <typename T>
+T scalar_from_bigint(const BigInt& v) {
+  return scalar_from_bigint(v, static_cast<const T*>(nullptr));
+}
+
 inline double scalar_to_double(const CheckedI64& x) { return x.to_double(); }
 inline double scalar_to_double(const BigInt& x) { return x.to_double(); }
 inline double scalar_to_double(double x) { return x; }

@@ -56,6 +56,7 @@ EfmResult run_with(const CompressedProblem& compressed,
       parallel.threads_per_rank = options.threads_per_rank;
       parallel.solver = solver;
       parallel.memory_budget_per_rank = options.memory_budget_per_rank;
+      parallel.fault_plan = options.fault_plan;
       auto solved =
           solve_combinatorial_parallel<Scalar, Support>(problem, parallel);
       columns = std::move(solved.columns);
@@ -69,6 +70,7 @@ EfmResult run_with(const CompressedProblem& compressed,
       partitioned.num_ranks = options.num_ranks;
       partitioned.solver = solver;
       partitioned.memory_budget_per_rank = options.memory_budget_per_rank;
+      partitioned.fault_plan = options.fault_plan;
       auto solved =
           solve_partitioned_parallel<Scalar, Support>(problem, partitioned);
       columns = std::move(solved.columns);
@@ -89,9 +91,15 @@ EfmResult run_with(const CompressedProblem& compressed,
       combined.solver = solver;
       combined.memory_budget_per_rank = options.memory_budget_per_rank;
       combined.max_extra_splits = options.max_extra_splits;
+      combined.retry = options.retry;
+      combined.fault_plan = options.fault_plan;
+      combined.checkpoint_path = options.checkpoint_path;
+      combined.resume_from = options.resume_from;
       auto solved = solve_combined<Scalar, Support>(problem, combined);
       columns = std::move(solved.columns);
       result.stats = std::move(solved.total);
+      result.total_retries = solved.total_retries;
+      result.simulated_backoff_seconds = solved.simulated_backoff_seconds;
       for (const auto& subset : solved.subsets) {
         SubsetSummary summary;
         summary.label = subset.label;
@@ -104,6 +112,9 @@ EfmResult run_with(const CompressedProblem& compressed,
             subset.stats.phases.seconds("communicate");
         summary.merge_seconds = subset.stats.phases.seconds("merge");
         summary.extra_splits = subset.extra_splits;
+        summary.attempts = subset.attempts;
+        summary.backoff_seconds = subset.backoff_seconds;
+        summary.resumed = subset.resumed;
         result.subsets.push_back(std::move(summary));
         result.message_bytes += subset.ranks.total_bytes_sent();
         result.peak_rank_memory =
@@ -161,6 +172,15 @@ EfmResult compute_efms(const CompressedProblem& compressed,
                                         options);
   } catch (const OverflowError&) {
     // Values outgrew 64 bits mid-computation: redo exactly.
+    auto result = run_with_support<BigInt>(compressed,
+                                           original_reversibility, options);
+    result.stats.bigint_fallback = true;
+    return result;
+  } catch (const RetryExhaustedError&) {
+    if (!options.retry.bigint_fallback) throw;
+    // The retry ladder's last rung: rerun the whole computation in BigInt.
+    // A shared FaultPlan keeps its cumulative trigger state, so one-shot
+    // faults that doomed the int64 attempts do not refire here.
     auto result = run_with_support<BigInt>(compressed,
                                            original_reversibility, options);
     result.stats.bigint_fallback = true;

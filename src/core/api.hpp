@@ -19,15 +19,21 @@
 #pragma once
 
 #include <functional>
+#include <memory>
 #include <string>
 #include <vector>
 
 #include "bigint/bigint.hpp"
 #include "compress/compression.hpp"
+#include "core/retry.hpp"
 #include "network/network.hpp"
 #include "nullspace/solver.hpp"
 
 namespace elmo {
+
+namespace mpsim {
+struct FaultPlan;
+}  // namespace mpsim
 
 enum class Algorithm {
   kSerial,
@@ -65,6 +71,18 @@ struct EfmOptions {
   /// Skip the int64 kernel and compute in BigInt directly.
   bool force_bigint = false;
 
+  /// Per-subset retry behaviour (Algorithm 3).  With bigint_fallback set,
+  /// a run that exhausts its attempts under the int64 kernel is redone in
+  /// BigInt as a last resort, mirroring the overflow fallback.
+  RetryPolicy retry;
+  /// Deterministic fault injection for the simulated ranks (Algorithms
+  /// 2-4); shared so trigger state persists across worlds and retries.
+  std::shared_ptr<mpsim::FaultPlan> fault_plan;
+  /// Algorithm 3: append a record per completed subset to this file.
+  std::string checkpoint_path;
+  /// Algorithm 3: skip subsets already completed in this checkpoint.
+  std::string resume_from;
+
   /// Progress observer, invoked per iteration (from a worker thread for
   /// the parallel algorithms).
   std::function<void(const IterationStats&)> on_iteration;
@@ -81,6 +99,12 @@ struct SubsetSummary {
   double communicate_seconds = 0.0;
   double merge_seconds = 0.0;
   std::size_t extra_splits = 0;
+  /// Attempts the subset took under the retry policy (1 = clean first try).
+  std::size_t attempts = 1;
+  /// Simulated exponential backoff charged before the winning attempt.
+  double backoff_seconds = 0.0;
+  /// True if the subset was recovered from `resume_from`, not recomputed.
+  bool resumed = false;
 };
 
 struct EfmResult {
@@ -105,6 +129,11 @@ struct EfmResult {
 
   double seconds = 0.0;
   bool used_bigint = false;
+
+  /// Failed subset attempts re-queued by the retry policy (Algorithm 3).
+  std::size_t total_retries = 0;
+  /// Total simulated backoff those retries were charged, in seconds.
+  double simulated_backoff_seconds = 0.0;
 
   [[nodiscard]] std::size_t num_modes() const { return modes.size(); }
 };

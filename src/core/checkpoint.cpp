@@ -1,0 +1,149 @@
+#include "core/checkpoint.hpp"
+
+#include <cstring>
+#include <fstream>
+
+#include "mpsim/serialize.hpp"
+#include "support/error.hpp"
+
+namespace elmo {
+
+namespace {
+
+constexpr char kMagic[8] = {'E', 'L', 'M', 'O', 'C', 'K', 'P', '1'};
+
+using mpsim::Payload;
+using mpsim::detail::get_u64;
+using mpsim::detail::put_u64;
+
+void put_f64(Payload& out, double v) {
+  std::uint64_t bits;
+  static_assert(sizeof(bits) == sizeof(v));
+  std::memcpy(&bits, &v, sizeof(bits));
+  put_u64(out, bits);
+}
+
+double get_f64(const std::uint8_t*& cursor, const std::uint8_t* end) {
+  const std::uint64_t bits = get_u64(cursor, end);
+  double v;
+  std::memcpy(&v, &bits, sizeof(v));
+  return v;
+}
+
+Payload encode_record(const CheckpointRecord& record) {
+  Payload body;
+  put_u64(body, record.pattern.size());
+  for (const auto& [row, nonzero] : record.pattern) {
+    put_u64(body, row);
+    body.push_back(nonzero ? 1 : 0);
+  }
+  put_u64(body, record.candidate_pairs);
+  put_f64(body, record.seconds);
+  put_u64(body, record.extra_splits);
+  put_u64(body, record.attempts);
+  put_u64(body, record.modes.size());
+  for (const auto& mode : record.modes) {
+    put_u64(body, mode.size());
+    for (const auto& value : mode) value.serialize(body);
+  }
+  return body;
+}
+
+CheckpointRecord decode_record(const std::uint8_t* cursor,
+                               const std::uint8_t* end) {
+  CheckpointRecord record;
+  const std::uint64_t pattern_count = get_u64(cursor, end);
+  record.pattern.reserve(pattern_count);
+  for (std::uint64_t i = 0; i < pattern_count; ++i) {
+    const std::uint64_t row = get_u64(cursor, end);
+    if (cursor == end) throw ParseError("checkpoint: truncated pattern");
+    record.pattern.emplace_back(row, *cursor++ != 0);
+  }
+  record.candidate_pairs = get_u64(cursor, end);
+  record.seconds = get_f64(cursor, end);
+  record.extra_splits = get_u64(cursor, end);
+  record.attempts = get_u64(cursor, end);
+  const std::uint64_t mode_count = get_u64(cursor, end);
+  record.modes.reserve(mode_count);
+  for (std::uint64_t m = 0; m < mode_count; ++m) {
+    const std::uint64_t length = get_u64(cursor, end);
+    std::vector<BigInt> mode;
+    mode.reserve(length);
+    for (std::uint64_t v = 0; v < length; ++v)
+      mode.push_back(BigInt::deserialize(cursor, end));
+    record.modes.push_back(std::move(mode));
+  }
+  if (cursor != end)
+    throw ParseError("checkpoint: trailing bytes in record body");
+  return record;
+}
+
+}  // namespace
+
+void append_checkpoint_record(const std::string& path,
+                              const CheckpointRecord& record) {
+  bool needs_header = true;
+  {
+    std::ifstream probe(path, std::ios::binary | std::ios::ate);
+    needs_header = !probe || probe.tellg() == std::streampos(0);
+  }
+  std::ofstream out(path, std::ios::binary | std::ios::app);
+  if (!out)
+    throw InvalidArgumentError("checkpoint: cannot open for append: " + path);
+  if (needs_header) out.write(kMagic, sizeof kMagic);
+
+  const Payload body = encode_record(record);
+  Payload frame;
+  put_u64(frame, body.size());
+  frame.insert(frame.end(), body.begin(), body.end());
+  const std::uint32_t crc = mpsim::crc32(body);
+  for (int b = 0; b < 4; ++b)
+    frame.push_back(static_cast<std::uint8_t>(crc >> (8 * b)));
+  out.write(reinterpret_cast<const char*>(frame.data()),
+            static_cast<std::streamsize>(frame.size()));
+  out.flush();
+  if (!out)
+    throw InvalidArgumentError("checkpoint: short write to " + path);
+}
+
+std::vector<CheckpointRecord> load_checkpoint(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) return {};
+  std::vector<std::uint8_t> bytes((std::istreambuf_iterator<char>(in)),
+                                  std::istreambuf_iterator<char>());
+  if (bytes.empty()) return {};
+  if (bytes.size() < sizeof kMagic ||
+      std::memcmp(bytes.data(), kMagic, sizeof kMagic) != 0) {
+    throw ParseError("checkpoint: " + path + " is not a checkpoint file");
+  }
+
+  std::vector<CheckpointRecord> records;
+  std::size_t offset = sizeof kMagic;
+  while (offset < bytes.size()) {
+    // Each frame is [u64 size][body][u32 crc]; any shortfall or CRC
+    // mismatch marks the interrupted tail — stop and keep what we have.
+    if (bytes.size() - offset < 8) break;
+    std::uint64_t body_size = 0;
+    for (int b = 0; b < 8; ++b)
+      body_size |= static_cast<std::uint64_t>(bytes[offset + static_cast<std::size_t>(b)])
+                   << (8 * b);
+    offset += 8;
+    if (bytes.size() - offset < body_size + 4) break;
+    const std::uint8_t* body = bytes.data() + offset;
+    std::uint32_t stored = 0;
+    for (int b = 0; b < 4; ++b)
+      stored |= static_cast<std::uint32_t>(
+                    bytes[offset + body_size + static_cast<std::size_t>(b)])
+                << (8 * b);
+    if (mpsim::crc32(body, body_size) != stored) break;
+    try {
+      records.push_back(decode_record(body, body + body_size));
+    } catch (const ParseError&) {
+      break;  // CRC collided with garbage; treat as tail damage
+    }
+    offset += body_size + 4;
+  }
+  return records;
+}
+
+}  // namespace elmo

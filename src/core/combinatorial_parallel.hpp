@@ -37,6 +37,9 @@ struct ParallelOptions {
   /// Per-rank memory budget in bytes (0 = unlimited).  Exceeding it throws
   /// MemoryBudgetError out of solve_combinatorial_parallel.
   std::size_t memory_budget_per_rank = 0;
+  /// Optional deterministic fault injection (crashes, corruption, drops,
+  /// stragglers) applied to the simulated world; see mpsim/fault.hpp.
+  std::shared_ptr<mpsim::FaultPlan> fault_plan;
 };
 
 template <typename Scalar, typename Support>
@@ -249,6 +252,7 @@ ParallelSolveResult<Scalar, Support> solve_combinatorial_parallel(
 
   mpsim::RunOptions run_options;
   run_options.memory_budget_per_rank = options.memory_budget_per_rank;
+  run_options.fault_plan = options.fault_plan;
   auto report = mpsim::run_ranks(num_ranks, body, run_options);
 
   ParallelSolveResult<Scalar, Support> result;

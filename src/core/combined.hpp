@@ -19,13 +19,24 @@
 // one more partition reaction to just that subset and recurses — this is
 // precisely what the paper did on Network II, where subsets 1 and 3 of the
 // {R54r, R90r, R60r} split had to be re-split by R22r (Table IV).
+// Fault tolerance: each subset is an independent, restartable unit of
+// work.  A RetryPolicy re-queues subsets that fail transiently (injected
+// rank crashes, corrupted payloads) or persistently (budget exhausted
+// beyond max_extra_splits), optionally shrinking the world or finishing
+// serially; completed subsets can be appended to a checkpoint file and a
+// later run with resume_from skips them, bit-identically.
 #pragma once
 
 #include <deque>
+#include <map>
 #include <string>
 
+#include "core/checkpoint.hpp"
 #include "core/combinatorial_parallel.hpp"
+#include "core/retry.hpp"
 #include "core/subset_select.hpp"
+#include "mpsim/fault.hpp"
+#include "nullspace/efm.hpp"
 #include "support/format.hpp"
 
 namespace elmo {
@@ -49,6 +60,16 @@ struct CombinedOptions {
   /// the next unused trailing reversible reaction, up to this many extra
   /// reactions (0 disables re-splitting and the error propagates).
   std::size_t max_extra_splits = 0;
+
+  /// Per-subset retry behaviour for transient failures (rank crashes,
+  /// corrupted payloads) and for budget exhaustion past max_extra_splits.
+  RetryPolicy retry;
+  /// Deterministic fault injection shared by every world this run spawns.
+  std::shared_ptr<mpsim::FaultPlan> fault_plan;
+  /// When non-empty, append a record per completed subset to this file.
+  std::string checkpoint_path;
+  /// When non-empty, load this checkpoint and skip its completed subsets.
+  std::string resume_from;
 };
 
 /// One divide-and-conquer subtask: (reduced reaction index, must-be-nonzero)
@@ -79,6 +100,12 @@ struct SubsetReport {
   double seconds = 0.0;
   /// Number of extra partition reactions this subset needed (adaptive).
   std::size_t extra_splits = 0;
+  /// How many attempts the subset took (1 = first try succeeded).
+  std::size_t attempts = 1;
+  /// Simulated backoff charged before the successful attempt.
+  double backoff_seconds = 0.0;
+  /// True if the subset was recovered from a checkpoint, not computed.
+  bool resumed = false;
 };
 
 template <typename Scalar, typename Support>
@@ -88,6 +115,11 @@ struct CombinedResult {
   std::vector<SubsetReport> subsets;
   SolveStats total;
   double seconds = 0.0;
+  /// Failed subset attempts that were re-queued under the retry policy.
+  std::size_t total_retries = 0;
+  /// Sum of the exponential-backoff delays, in simulated seconds.  Nothing
+  /// actually sleeps; the ledger makes retry cost visible in reports.
+  double simulated_backoff_seconds = 0.0;
 };
 
 namespace detail {
@@ -161,10 +193,13 @@ CombinedResult<Scalar, Support> solve_combined(
   ELMO_REQUIRE(qsub > 0 && qsub < 63, "unreasonable partition subset size");
 
   // Trailing reversible reactions available for adaptive re-splitting.
+  // Best effort: a network with few reversible reactions simply yields
+  // fewer spares, and budget errors past the available depth fall through
+  // to the retry ladder instead of failing at setup.
   std::vector<std::size_t> spares;
   if (options.max_extra_splits > 0) {
-    auto trailing = select_partition_rows(problem, options.solver.ordering,
-                                          qsub + options.max_extra_splits);
+    auto trailing = select_partition_rows_up_to(
+        problem, options.solver.ordering, qsub + options.max_extra_splits);
     for (std::size_t row : trailing) {
       bool used = false;
       for (std::size_t p : partition_rows) used = used || p == row;
@@ -172,18 +207,68 @@ CombinedResult<Scalar, Support> solve_combined(
     }
   }
 
-  // Work queue of subtasks; adaptive re-splitting pushes refined subsets.
-  std::deque<SubsetSpec> queue;
+  // Subsets already completed by an earlier, interrupted run.  Keyed by
+  // the full pattern (including adaptive extra splits); last record wins
+  // so a file holding a retried subset twice resumes from the newest.
+  std::map<std::vector<std::pair<std::uint64_t, bool>>, CheckpointRecord>
+      completed;
+  if (!options.resume_from.empty()) {
+    for (auto& record : load_checkpoint(options.resume_from))
+      completed[record.pattern] = std::move(record);
+  }
+
+  // Work queue of subtasks; adaptive re-splitting pushes refined subsets,
+  // the retry policy re-queues failed ones with a higher attempt count.
+  struct Task {
+    SubsetSpec spec;
+    std::size_t attempt = 1;
+    double backoff = 0.0;
+  };
+  std::deque<Task> queue;
   for (std::uint64_t id = 0; id < (1ULL << qsub); ++id) {
     SubsetSpec spec;
     for (std::size_t k = 0; k < qsub; ++k)
       spec.pattern.emplace_back(partition_rows[k], (id >> k) & 1);
-    queue.push_back(std::move(spec));
+    queue.push_back(Task{std::move(spec), 1, 0.0});
   }
 
+  const std::size_t max_attempts =
+      options.retry.enabled() ? static_cast<std::size_t>(
+                                    options.retry.max_attempts)
+                              : 1;
+
   while (!queue.empty()) {
-    SubsetSpec spec = std::move(queue.front());
+    Task task = std::move(queue.front());
     queue.pop_front();
+    const SubsetSpec& spec = task.spec;
+
+    std::vector<std::pair<std::uint64_t, bool>> key;
+    for (const auto& [row, nz] : spec.pattern) key.emplace_back(row, nz);
+    if (auto it = completed.find(key); it != completed.end()) {
+      // Recovered from checkpoint: re-materialise the stored BigInt modes
+      // in this run's scalar type instead of recomputing the subset.
+      const CheckpointRecord& record = it->second;
+      SubsetReport report;
+      report.spec = spec;
+      report.label = spec.label(problem.reaction_names);
+      report.num_efms = record.modes.size();
+      report.stats.total_pairs_probed = record.candidate_pairs;
+      report.seconds = record.seconds;
+      report.extra_splits = record.extra_splits;
+      report.attempts = static_cast<std::size_t>(record.attempts);
+      report.resumed = true;
+      for (const auto& mode : record.modes) {
+        std::vector<Scalar> values;
+        values.reserve(mode.size());
+        for (const auto& v : mode)
+          values.push_back(scalar_from_bigint<Scalar>(v));
+        result.columns.push_back(
+            FluxColumn<Scalar, Support>::from_values(std::move(values)));
+      }
+      result.total.merge(report.stats);
+      result.subsets.push_back(std::move(report));
+      continue;
+    }
 
     Stopwatch subset_watch;
     auto sub = detail::make_subproblem<Scalar>(problem, spec);
@@ -193,23 +278,79 @@ CombinedResult<Scalar, Support> solve_combined(
     parallel.solver = options.solver;
     parallel.solver.exclude_rows = sub.nzf_sub_rows;
     parallel.memory_budget_per_rank = options.memory_budget_per_rank;
+    parallel.fault_plan = options.fault_plan;
+
+    // Attempt shaping: optionally shrink the world on every retry, and run
+    // the last permitted attempt serially — one rank, no budget, no fault
+    // plan — so the ladder always has a clean exit.
+    const bool serial_attempt = options.retry.serial_final_attempt &&
+                                task.attempt >= max_attempts &&
+                                max_attempts > 1;
+    if (options.retry.halve_ranks_on_retry && task.attempt > 1) {
+      parallel.num_ranks = std::max(
+          1, options.num_ranks >> static_cast<int>(task.attempt - 1));
+    }
+    if (serial_attempt) {
+      parallel.num_ranks = 1;
+      parallel.threads_per_rank = 1;
+      parallel.memory_budget_per_rank = 0;
+      parallel.fault_plan = nullptr;
+    }
 
     ParallelSolveResult<Scalar, Support> solved;
     try {
       solved =
           solve_combinatorial_parallel<Scalar, Support>(sub.problem, parallel);
-    } catch (const MemoryBudgetError&) {
+    } catch (const MemoryBudgetError& e) {
       const std::size_t depth = spec.pattern.size() - qsub;
-      if (depth >= options.max_extra_splits || depth >= spares.size())
-        throw;
-      // Re-split this subset on the next spare reaction (paper Table IV:
-      // the oversized three-reaction subsets gained R22r as a fourth).
-      const std::size_t extra = spares[depth];
-      for (bool nz : {false, true}) {
-        SubsetSpec refined = spec;
-        refined.pattern.emplace_back(extra, nz);
-        queue.push_front(refined);
+      if (depth < options.max_extra_splits && depth < spares.size()) {
+        // Re-split this subset on the next spare reaction (paper Table IV:
+        // the oversized three-reaction subsets gained R22r as a fourth).
+        const std::size_t extra = spares[depth];
+        for (bool nz : {false, true}) {
+          SubsetSpec refined = spec;
+          refined.pattern.emplace_back(extra, nz);
+          queue.push_front(Task{std::move(refined), 1, task.backoff});
+        }
+        continue;
       }
+      // No re-split headroom left: hand the subset to the retry policy
+      // (the serial final attempt ignores the budget and will finish it).
+      if (task.attempt >= max_attempts) {
+        if (max_attempts > 1)
+          throw RetryExhaustedError(spec.label(problem.reaction_names),
+                                    static_cast<int>(task.attempt), e.what());
+        throw;
+      }
+      ++result.total_retries;
+      result.simulated_backoff_seconds +=
+          options.retry.backoff_seconds *
+          static_cast<double>(1ULL << (task.attempt - 1));
+      queue.push_back(Task{spec, task.attempt + 1,
+                           task.backoff + options.retry.backoff_seconds *
+                               static_cast<double>(1ULL << (task.attempt - 1))});
+      continue;
+    } catch (const std::exception& e) {
+      // Transient failures — an injected crash, a world abort, a corrupted
+      // payload — are retryable; everything else is a real bug and
+      // propagates.
+      const bool retryable =
+          dynamic_cast<const mpsim::AbortedError*>(&e) != nullptr ||
+          dynamic_cast<const mpsim::InjectedFaultError*>(&e) != nullptr ||
+          dynamic_cast<const CorruptPayloadError*>(&e) != nullptr;
+      if (!retryable) throw;
+      if (task.attempt >= max_attempts) {
+        if (max_attempts > 1)
+          throw RetryExhaustedError(spec.label(problem.reaction_names),
+                                    static_cast<int>(task.attempt), e.what());
+        throw;
+      }
+      ++result.total_retries;
+      const double delay =
+          options.retry.backoff_seconds *
+          static_cast<double>(1ULL << (task.attempt - 1));
+      result.simulated_backoff_seconds += delay;
+      queue.push_back(Task{spec, task.attempt + 1, task.backoff + delay});
       continue;
     }
 
@@ -222,6 +363,9 @@ CombinedResult<Scalar, Support> solve_combined(
     report.stats = solved.stats;
     report.ranks = std::move(solved.ranks);
     report.extra_splits = spec.pattern.size() - qsub;
+    report.attempts = task.attempt;
+    report.backoff_seconds = task.backoff;
+    std::vector<FluxColumn<Scalar, Support>> subset_columns;
     for (auto& column : solved.columns) {
       bool keep = true;
       for (std::size_t sub_row : sub.nzf_sub_rows)
@@ -231,11 +375,25 @@ CombinedResult<Scalar, Support> solve_combined(
                                scalar_from_i64<Scalar>(0));
       for (std::size_t j = 0; j < sub.keep.size(); ++j)
         full[sub.keep[j]] = std::move(column.values[j]);
-      result.columns.push_back(
+      subset_columns.push_back(
           FluxColumn<Scalar, Support>::from_values(std::move(full)));
       ++report.num_efms;
     }
     report.seconds = subset_watch.seconds();
+
+    if (!options.checkpoint_path.empty()) {
+      CheckpointRecord record;
+      record.pattern = key;
+      record.modes = columns_to_bigint(subset_columns);
+      record.candidate_pairs = report.stats.total_pairs_probed;
+      record.seconds = report.seconds;
+      record.extra_splits = report.extra_splits;
+      record.attempts = report.attempts;
+      append_checkpoint_record(options.checkpoint_path, record);
+    }
+
+    for (auto& column : subset_columns)
+      result.columns.push_back(std::move(column));
     result.total.merge(report.stats);
     result.subsets.push_back(std::move(report));
   }

@@ -46,6 +46,8 @@ struct PartitionedOptions {
   int num_ranks = 4;
   SolverOptions solver;
   std::size_t memory_budget_per_rank = 0;
+  /// Optional deterministic fault injection; see mpsim/fault.hpp.
+  std::shared_ptr<mpsim::FaultPlan> fault_plan;
 };
 
 template <typename Scalar, typename Support>
@@ -306,6 +308,7 @@ PartitionedSolveResult<Scalar, Support> solve_partitioned_parallel(
 
   mpsim::RunOptions run_options;
   run_options.memory_budget_per_rank = options.memory_budget_per_rank;
+  run_options.fault_plan = options.fault_plan;
   auto report = mpsim::run_ranks(num_ranks, body, run_options);
 
   PartitionedSolveResult<Scalar, Support> result;

@@ -19,11 +19,11 @@
 
 namespace elmo {
 
-/// The last `count` processed rows of the reordered nullspace matrix (the
-/// paper's choice).  Throws InvalidArgumentError if fewer than `count` of
-/// them are reversible — partitioning requires sign-free rows.
+/// The last processed rows of the reordered nullspace matrix (the paper's
+/// choice), at most `count` of them — stops early when the trailing
+/// reversible rows run out.  Partitioning requires sign-free rows.
 template <typename Scalar>
-std::vector<std::size_t> select_partition_rows(
+std::vector<std::size_t> select_partition_rows_up_to(
     const EfmProblem<Scalar>& problem, const OrderingOptions& ordering,
     std::size_t count) {
   // The basis construction is cheap relative to any solve; recompute it.
@@ -41,12 +41,22 @@ std::vector<std::size_t> select_partition_rows(
     if (!problem.reversible[*it]) break;  // ran out of trailing reversibles
     rows.push_back(*it);
   }
-  ELMO_REQUIRE(rows.size() == count,
-               "network does not have enough trailing reversible reactions "
-               "for the requested partition size");
   // Reverse so rows[0] is the outermost (least significant bit), matching
   // the paper's R60r-corresponds-to-the-last-row convention.
   std::reverse(rows.begin(), rows.end());
+  return rows;
+}
+
+/// Exactly `count` trailing reversible rows.  Throws InvalidArgumentError
+/// if the network cannot supply them.
+template <typename Scalar>
+std::vector<std::size_t> select_partition_rows(
+    const EfmProblem<Scalar>& problem, const OrderingOptions& ordering,
+    std::size_t count) {
+  auto rows = select_partition_rows_up_to(problem, ordering, count);
+  ELMO_REQUIRE(rows.size() == count,
+               "network does not have enough trailing reversible reactions "
+               "for the requested partition size");
   return rows;
 }
 

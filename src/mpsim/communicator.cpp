@@ -1,9 +1,11 @@
 #include "mpsim/communicator.hpp"
 
+#include <chrono>
 #include <exception>
 #include <map>
 #include <thread>
 
+#include "mpsim/fault.hpp"
 #include "support/assert.hpp"
 
 namespace elmo::mpsim {
@@ -11,12 +13,16 @@ namespace elmo::mpsim {
 namespace detail {
 
 /// Shared state of one simulated machine.  All blocking waits watch the
-/// `aborted` flag so a failing rank can never deadlock its peers.
+/// `aborted` flag so a failing rank can never deadlock its peers; rank
+/// exits are tracked so a wait that can provably never be satisfied (recv
+/// from an exited source, a barrier an exited rank will never join) wakes
+/// promptly instead of hanging until process teardown.
 struct World {
   explicit World(int n, const RunOptions& opts) : size(n), options(opts) {
     mailboxes.resize(static_cast<std::size_t>(n));
     gather_slots.assign(static_cast<std::size_t>(n), {});
     reduce_slots.assign(static_cast<std::size_t>(n), 0);
+    exited.assign(static_cast<std::size_t>(n), false);
   }
 
   const int size;
@@ -25,6 +31,13 @@ struct World {
   std::mutex mutex;
   std::condition_variable cv;
   bool aborted = false;
+  int abort_origin = -1;
+  std::string abort_reason;
+
+  // Rank lifecycle: bodies that returned (normally or by throwing).
+  std::vector<bool> exited;
+  int num_exited = 0;
+  int first_exited = -1;
 
   // Point-to-point: per-destination map keyed by (source, tag).
   struct Mailbox {
@@ -40,8 +53,26 @@ struct World {
   std::vector<Payload> gather_slots;
   std::vector<std::uint64_t> reduce_slots;
 
-  void abort_locked() {
-    aborted = true;
+  void abort_locked(int origin, const std::string& reason) {
+    if (!aborted) {
+      aborted = true;
+      abort_origin = origin;
+      abort_reason = reason;
+    }
+    cv.notify_all();
+  }
+
+  void mark_exited_locked(int rank) {
+    exited[static_cast<std::size_t>(rank)] = true;
+    if (first_exited < 0) first_exited = rank;
+    ++num_exited;
+    // A rank that exits while peers sit inside a barrier guarantees
+    // deadlock: the barrier can never again reach full attendance.
+    if (barrier_waiting > 0 && !aborted) {
+      abort_locked(rank,
+                   "rank " + std::to_string(rank) +
+                       " exited while peers were blocked in a collective");
+    }
     cv.notify_all();
   }
 };
@@ -54,16 +85,32 @@ Communicator::Communicator(detail::World& world, int rank)
 int Communicator::size() const { return world_.size; }
 
 void Communicator::check_abort_locked(std::unique_lock<std::mutex>&) {
-  if (world_.aborted) throw AbortedError();
+  if (world_.aborted)
+    throw AbortedError(world_.abort_origin, world_.abort_reason);
+}
+
+void Communicator::enter_op(const char* where) {
+  FaultPlan* plan = world_.options.fault_plan.get();
+  if (plan == nullptr) return;
+  if (const std::uint32_t us = plan->straggler_delay_us(rank_)) {
+    std::this_thread::sleep_for(std::chrono::microseconds(us));
+  }
+  plan->on_op(rank_, where);  // throws InjectedFaultError on a crash trigger
 }
 
 void Communicator::send(int destination, int tag, Payload payload) {
   ELMO_REQUIRE(destination >= 0 && destination < world_.size,
                "send: bad destination rank");
+  enter_op("send");
+  FaultPlan* plan = world_.options.fault_plan.get();
+  if (plan != nullptr) plan->on_payload(rank_, payload);
   std::unique_lock lock(world_.mutex);
   check_abort_locked(lock);
   counters_.messages_sent += 1;
   counters_.bytes_sent += payload.size();
+  // A dropped message is "sent" from the sender's perspective (counters
+  // above reflect the traffic) but never reaches the destination mailbox.
+  if (plan != nullptr && plan->on_send(rank_, destination)) return;
   world_.mailboxes[static_cast<std::size_t>(destination)]
       .queues[{rank_, tag}]
       .push_back(std::move(payload));
@@ -72,24 +119,45 @@ void Communicator::send(int destination, int tag, Payload payload) {
 
 Payload Communicator::recv(int source, int tag) {
   ELMO_REQUIRE(source >= 0 && source < world_.size, "recv: bad source rank");
+  enter_op("recv");
   std::unique_lock lock(world_.mutex);
   auto& queues = world_.mailboxes[static_cast<std::size_t>(rank_)].queues;
   const auto key = std::make_pair(source, tag);
-  world_.cv.wait(lock, [&] {
+  auto has_message = [&] {
     auto it = queues.find(key);
-    return world_.aborted || (it != queues.end() && !it->second.empty());
+    return it != queues.end() && !it->second.empty();
+  };
+  world_.cv.wait(lock, [&] {
+    return world_.aborted || has_message() ||
+           world_.exited[static_cast<std::size_t>(source)];
   });
   check_abort_locked(lock);
+  // Deliver in-flight messages even from an exited source; only an empty
+  // queue with no possible future sender is a hang, not a wait.
+  if (!has_message()) {
+    throw AbortedError(source, "recv(source=" + std::to_string(source) +
+                                   ", tag=" + std::to_string(tag) +
+                                   "): source rank exited with no matching "
+                                   "message in flight");
+  }
   auto& queue = queues[key];
   Payload payload = std::move(queue.front());
   queue.pop_front();
   return payload;
 }
 
-void Communicator::barrier() {
+void Communicator::sync_barrier() {
   std::unique_lock lock(world_.mutex);
   check_abort_locked(lock);
-  ++counters_.collectives;
+  // An already-exited rank can never join this barrier, so entering it is
+  // a guaranteed deadlock for the whole world: fail fast instead.
+  if (world_.num_exited > 0) {
+    world_.abort_locked(
+        world_.first_exited,
+        "rank " + std::to_string(world_.first_exited) +
+            " exited before peers entered a collective");
+    throw AbortedError(world_.abort_origin, world_.abort_reason);
+  }
   const std::uint64_t generation = world_.barrier_generation;
   if (++world_.barrier_waiting == world_.size) {
     world_.barrier_waiting = 0;
@@ -100,62 +168,78 @@ void Communicator::barrier() {
   world_.cv.wait(lock, [&] {
     return world_.aborted || world_.barrier_generation != generation;
   });
+  if (world_.aborted && world_.barrier_generation == generation) {
+    // Wake released us, not barrier completion: withdraw before throwing.
+    --world_.barrier_waiting;
+  }
   check_abort_locked(lock);
 }
 
+void Communicator::barrier() {
+  enter_op("barrier");
+  ++counters_.collectives;
+  sync_barrier();
+}
+
 std::vector<Payload> Communicator::all_gather(Payload local) {
+  enter_op("all_gather");
+  FaultPlan* plan = world_.options.fault_plan.get();
+  if (plan != nullptr) plan->on_payload(rank_, local);
   {
     std::unique_lock lock(world_.mutex);
     check_abort_locked(lock);
+    ++counters_.collectives;
     counters_.messages_sent += static_cast<std::uint64_t>(world_.size - 1);
     counters_.bytes_sent +=
         local.size() * static_cast<std::uint64_t>(world_.size - 1);
     world_.gather_slots[static_cast<std::size_t>(rank_)] = std::move(local);
   }
-  barrier();  // everyone has published
+  sync_barrier();  // everyone has published
   std::vector<Payload> result;
   {
     std::unique_lock lock(world_.mutex);
     check_abort_locked(lock);
     result = world_.gather_slots;  // copy: each rank owns its view
   }
-  barrier();  // safe to overwrite slots in the next collective
+  sync_barrier();  // safe to overwrite slots in the next collective
   return result;
 }
 
 std::uint64_t Communicator::all_reduce_sum(std::uint64_t local) {
+  enter_op("all_reduce_sum");
   {
     std::unique_lock lock(world_.mutex);
     check_abort_locked(lock);
     ++counters_.collectives;
     world_.reduce_slots[static_cast<std::size_t>(rank_)] = local;
   }
-  barrier();
+  sync_barrier();
   std::uint64_t total = 0;
   {
     std::unique_lock lock(world_.mutex);
     check_abort_locked(lock);
     for (auto v : world_.reduce_slots) total += v;
   }
-  barrier();
+  sync_barrier();
   return total;
 }
 
 std::uint64_t Communicator::all_reduce_max(std::uint64_t local) {
+  enter_op("all_reduce_max");
   {
     std::unique_lock lock(world_.mutex);
     check_abort_locked(lock);
     ++counters_.collectives;
     world_.reduce_slots[static_cast<std::size_t>(rank_)] = local;
   }
-  barrier();
+  sync_barrier();
   std::uint64_t best = 0;
   {
     std::unique_lock lock(world_.mutex);
     check_abort_locked(lock);
     for (auto v : world_.reduce_slots) best = std::max(best, v);
   }
-  barrier();
+  sync_barrier();
   return best;
 }
 
@@ -192,10 +276,18 @@ RunReport run_ranks(int num_ranks,
     threads.emplace_back([&, r] {
       try {
         body(comms[static_cast<std::size_t>(r)]);
+        std::unique_lock lock(world.mutex);
+        world.mark_exited_locked(r);
+      } catch (const std::exception& e) {
+        errors[static_cast<std::size_t>(r)] = std::current_exception();
+        std::unique_lock lock(world.mutex);
+        world.abort_locked(r, e.what());
+        world.mark_exited_locked(r);
       } catch (...) {
         errors[static_cast<std::size_t>(r)] = std::current_exception();
         std::unique_lock lock(world.mutex);
-        world.abort_locked();
+        world.abort_locked(r, "unknown exception");
+        world.mark_exited_locked(r);
       }
     });
   }

@@ -11,14 +11,23 @@
 // physical speedup is bounded by the host's core count.
 //
 // Error handling: an exception escaping one rank aborts the world — blocked
-// peers throw AbortedError instead of deadlocking — and the original
-// exception is rethrown to the caller of run_ranks.
+// peers throw AbortedError (carrying the originating rank and root cause)
+// instead of deadlocking — and the original exception is rethrown to the
+// caller of run_ranks.  A rank that exits while peers are still blocked on
+// it (recv from an exited source, a barrier it will never join) likewise
+// wakes those peers promptly instead of hanging the world.
+//
+// Fault injection: RunOptions can carry a FaultPlan (fault.hpp) that
+// crashes ranks at chosen operations, corrupts or drops payloads, and slows
+// chosen ranks down — the substrate for the retry/checkpoint machinery in
+// the Algorithm-3 driver.
 #pragma once
 
 #include <condition_variable>
 #include <cstdint>
 #include <deque>
 #include <functional>
+#include <memory>
 #include <mutex>
 #include <vector>
 
@@ -26,10 +35,24 @@
 
 namespace elmo::mpsim {
 
-/// Thrown in ranks blocked on a collective/recv when another rank failed.
+struct FaultPlan;
+
+/// Thrown in ranks blocked on a collective/recv when another rank failed
+/// or exited while they could never be released.
 class AbortedError : public Error {
  public:
-  AbortedError() : Error("mpsim: world aborted by a failing rank") {}
+  AbortedError()
+      : Error("mpsim: world aborted by a failing rank"), origin_rank(-1) {}
+  AbortedError(int origin, const std::string& cause)
+      : Error("mpsim: world aborted (origin rank " + std::to_string(origin) +
+              "): " + cause),
+        origin_rank(origin),
+        root_cause(cause) {}
+
+  /// Rank whose failure/exit triggered the abort (-1 if unknown).
+  int origin_rank;
+  /// what() of the originating failure.
+  std::string root_cause;
 };
 
 using Payload = std::vector<std::uint8_t>;
@@ -57,6 +80,8 @@ class Communicator {
   [[nodiscard]] int size() const;
 
   /// Point-to-point: non-blocking buffered send, blocking tagged receive.
+  /// recv throws AbortedError instead of blocking forever when the source
+  /// rank has exited without a matching message in flight.
   void send(int destination, int tag, Payload payload);
   Payload recv(int source, int tag);
 
@@ -80,6 +105,12 @@ class Communicator {
 
  private:
   void check_abort_locked(std::unique_lock<std::mutex>& lock);
+  /// Fault hook run at the top of every primitive: applies the straggler
+  /// delay and the crash trigger of the configured FaultPlan (if any).
+  void enter_op(const char* where);
+  /// Generation-counting barrier shared by the collectives; detects ranks
+  /// that exited while peers were (or become) blocked in it.
+  void sync_barrier();
 
   detail::World& world_;
   int rank_;
@@ -89,6 +120,9 @@ class Communicator {
 struct RunOptions {
   /// 0 = unlimited.
   std::size_t memory_budget_per_rank = 0;
+  /// Optional deterministic fault injection (see fault.hpp).  Shared so
+  /// trigger state persists across retried worlds.
+  std::shared_ptr<FaultPlan> fault_plan;
 };
 
 /// Result of a world run: per-rank counters (index = rank).

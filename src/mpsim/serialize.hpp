@@ -3,8 +3,15 @@
 // Candidate EFMs exchanged in Communicate&Merge are encoded exactly as an
 // MPI implementation would pack them; message sizes reported by the
 // communicator therefore reflect real traffic volumes.
+//
+// Message integrity: every encoded batch carries a trailing CRC32 over the
+// body, verified before decoding.  A payload damaged in flight (or by
+// injected corruption, fault.hpp) therefore surfaces as a typed
+// CorruptPayloadError a caller can retry on, never as silently-decoded
+// garbage columns.
 #pragma once
 
+#include <array>
 #include <cstdint>
 #include <vector>
 
@@ -16,6 +23,57 @@
 #include "support/error.hpp"
 
 namespace elmo::mpsim {
+
+/// CRC32 (IEEE 802.3, reflected polynomial 0xEDB88320) of `size` bytes.
+inline std::uint32_t crc32(const std::uint8_t* data, std::size_t size) {
+  static const std::array<std::uint32_t, 256> table = [] {
+    std::array<std::uint32_t, 256> t{};
+    for (std::uint32_t i = 0; i < 256; ++i) {
+      std::uint32_t c = i;
+      for (int k = 0; k < 8; ++k)
+        c = (c & 1) ? 0xEDB88320u ^ (c >> 1) : c >> 1;
+      t[i] = c;
+    }
+    return t;
+  }();
+  std::uint32_t crc = 0xFFFFFFFFu;
+  for (std::size_t i = 0; i < size; ++i)
+    crc = table[(crc ^ data[i]) & 0xFFu] ^ (crc >> 8);
+  return crc ^ 0xFFFFFFFFu;
+}
+
+inline std::uint32_t crc32(const Payload& payload) {
+  return crc32(payload.data(), payload.size());
+}
+
+/// Append a little-endian CRC32 of the current contents to `payload`.
+inline void append_crc32(Payload& payload) {
+  const std::uint32_t crc = crc32(payload);
+  for (int b = 0; b < 4; ++b)
+    payload.push_back(static_cast<std::uint8_t>(crc >> (8 * b)));
+}
+
+/// Verify the trailing CRC32 and return the body size (payload size minus
+/// the 4 checksum bytes).  Throws CorruptPayloadError on mismatch or a
+/// payload too short to carry a checksum.
+inline std::size_t verify_crc32(const Payload& payload) {
+  if (payload.size() < 4) {
+    throw CorruptPayloadError("mpsim: payload too short for CRC32 framing",
+                              0, 0);
+  }
+  const std::size_t body = payload.size() - 4;
+  std::uint32_t stored = 0;
+  for (int b = 0; b < 4; ++b)
+    stored |= static_cast<std::uint32_t>(payload[body + static_cast<std::size_t>(b)])
+              << (8 * b);
+  const std::uint32_t actual = crc32(payload.data(), body);
+  if (stored != actual) {
+    throw CorruptPayloadError(
+        "mpsim: payload failed CRC32 verification (corrupted in flight)",
+        stored, actual);
+  }
+  return body;
+}
 
 namespace detail {
 
@@ -81,7 +139,7 @@ inline void get_support(const std::uint8_t*& cursor, const std::uint8_t* end,
 
 }  // namespace detail
 
-/// Encode a batch of columns into one message payload.
+/// Encode a batch of columns into one checksummed message payload.
 template <typename Scalar, typename Support>
 Payload encode_columns(const std::vector<FluxColumn<Scalar, Support>>& columns) {
   Payload out;
@@ -91,15 +149,18 @@ Payload encode_columns(const std::vector<FluxColumn<Scalar, Support>>& columns) 
     detail::put_u64(out, column.values.size());
     for (const auto& value : column.values) detail::put_scalar(out, value);
   }
+  append_crc32(out);
   return out;
 }
 
-/// Inverse of encode_columns.
+/// Inverse of encode_columns; verifies the CRC32 framing first and throws
+/// CorruptPayloadError on damaged bytes.
 template <typename Scalar, typename Support>
 std::vector<FluxColumn<Scalar, Support>> decode_columns(
     const Payload& payload) {
+  const std::size_t body = verify_crc32(payload);
   const std::uint8_t* cursor = payload.data();
-  const std::uint8_t* end = payload.data() + payload.size();
+  const std::uint8_t* end = payload.data() + body;
   std::vector<FluxColumn<Scalar, Support>> columns;
   const std::uint64_t count = detail::get_u64(cursor, end);
   columns.reserve(count);

@@ -7,6 +7,7 @@
 // divide-and-conquer re-splitting, mirroring the paper's Network II story).
 #pragma once
 
+#include <cstdint>
 #include <stdexcept>
 #include <string>
 
@@ -28,6 +29,20 @@ class OverflowError : public Error {
 class ParseError : public Error {
  public:
   explicit ParseError(const std::string& what) : Error(what) {}
+};
+
+/// A checksummed payload failed CRC verification: the bytes were damaged in
+/// flight (or by injected corruption) and must not be decoded.  Derives from
+/// ParseError because it is detected at the decoding layer, but callers with
+/// a retry policy treat it as a transient, retryable fault.
+class CorruptPayloadError : public ParseError {
+ public:
+  CorruptPayloadError(const std::string& what, std::uint32_t expected,
+                      std::uint32_t actual)
+      : ParseError(what), expected_crc(expected), actual_crc(actual) {}
+
+  std::uint32_t expected_crc;
+  std::uint32_t actual_crc;
 };
 
 /// Matrix/vector dimensions do not conform.
@@ -53,6 +68,25 @@ class MemoryBudgetError : public Error {
 
   std::size_t requested_bytes;
   std::size_t budget_bytes;
+};
+
+/// A divide-and-conquer subset kept failing after every attempt its
+/// RetryPolicy allowed; carries the subset identity, the attempt count and
+/// the final underlying failure for diagnostics.
+class RetryExhaustedError : public Error {
+ public:
+  RetryExhaustedError(const std::string& label, int attempt_count,
+                      const std::string& last_failure)
+      : Error("subset [" + label + "] failed after " +
+              std::to_string(attempt_count) +
+              " attempt(s); last error: " + last_failure),
+        subset_label(label),
+        attempts(attempt_count),
+        last_error(last_failure) {}
+
+  std::string subset_label;
+  int attempts;
+  std::string last_error;
 };
 
 /// Internal invariant violated; indicates a bug in elmo itself.

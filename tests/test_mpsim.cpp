@@ -4,9 +4,12 @@
 #include <gtest/gtest.h>
 
 #include <atomic>
+#include <memory>
 #include <numeric>
+#include <string>
 
 #include "bitset/bitset64.hpp"
+#include "mpsim/fault.hpp"
 #include "mpsim/serialize.hpp"
 #include "nullspace/flux_column.hpp"
 
@@ -192,6 +195,252 @@ TEST(MpsimSerialize, TruncatedBufferThrows) {
   auto payload = encode_columns(columns);
   payload.resize(payload.size() - 3);
   EXPECT_THROW((decode_columns<CheckedI64, Bitset64>(payload)), ParseError);
+}
+
+TEST(MpsimSerialize, Crc32KnownVector) {
+  const std::string check = "123456789";
+  EXPECT_EQ(crc32(reinterpret_cast<const std::uint8_t*>(check.data()),
+                  check.size()),
+            0xCBF43926u);
+  EXPECT_EQ(crc32(nullptr, 0), 0u);
+}
+
+TEST(MpsimSerialize, CrcFramingRoundTrip) {
+  Payload payload = {10, 20, 30, 40};
+  append_crc32(payload);
+  ASSERT_EQ(payload.size(), 8u);
+  EXPECT_EQ(verify_crc32(payload), 4u);  // body size, CRC stripped
+}
+
+TEST(MpsimSerialize, FlippedByteDetected) {
+  Payload payload = {10, 20, 30, 40};
+  append_crc32(payload);
+  payload[2] ^= 0x40;
+  try {
+    verify_crc32(payload);
+    FAIL() << "expected CorruptPayloadError";
+  } catch (const CorruptPayloadError& e) {
+    EXPECT_NE(e.expected_crc, e.actual_crc);
+  }
+}
+
+TEST(MpsimSerialize, CorruptedColumnBatchNeverDecodes) {
+  using Col = FluxColumn<CheckedI64, Bitset64>;
+  std::vector<Col> columns = {
+      Col::from_values({CheckedI64(3), CheckedI64(-9), CheckedI64(12)})};
+  auto payload = encode_columns(columns);
+  // Damage every byte position in turn: the CRC must catch each one.
+  for (std::size_t pos = 0; pos < payload.size(); ++pos) {
+    auto damaged = payload;
+    damaged[pos] ^= 0x01;
+    EXPECT_THROW((decode_columns<CheckedI64, Bitset64>(damaged)),
+                 CorruptPayloadError)
+        << "flip at byte " << pos;
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Abort propagation and exited-rank wakeups (satellite: no blocked primitive
+// may hang when its peer is gone).
+
+TEST(MpsimAbort, AbortedErrorCarriesOriginAndRootCause) {
+  std::atomic<int> observed_origin{-2};
+  std::atomic<bool> cause_mentions_boom{false};
+  EXPECT_THROW(
+      run_ranks(2,
+                [&](Communicator& comm) {
+                  if (comm.rank() == 1)
+                    throw InvalidArgumentError("rank 1 went boom");
+                  try {
+                    comm.recv(1, 99);  // blocked until the abort wakes us
+                  } catch (const AbortedError& e) {
+                    observed_origin = e.origin_rank;
+                    cause_mentions_boom =
+                        e.root_cause.find("boom") != std::string::npos;
+                    throw;
+                  }
+                }),
+      InvalidArgumentError);
+  EXPECT_EQ(observed_origin.load(), 1);
+  EXPECT_TRUE(cause_mentions_boom.load());
+}
+
+TEST(MpsimAbort, RecvFromExitedRankWakesPromptly) {
+  // Rank 1 exits without ever sending: rank 0's recv must throw, not hang.
+  try {
+    run_ranks(2, [](Communicator& comm) {
+      if (comm.rank() == 0) comm.recv(1, 5);
+    });
+    FAIL() << "expected AbortedError";
+  } catch (const AbortedError& e) {
+    EXPECT_EQ(e.origin_rank, 1);
+    EXPECT_NE(e.root_cause.find("exited"), std::string::npos);
+  }
+}
+
+TEST(MpsimAbort, InFlightMessageFromExitedSenderStillDelivered) {
+  run_ranks(2, [](Communicator& comm) {
+    if (comm.rank() == 0) {
+      comm.send(1, 3, {42});  // then exit immediately
+    } else {
+      EXPECT_EQ(comm.recv(0, 3), Payload{42});
+    }
+  });
+}
+
+TEST(MpsimAbort, ExitBeforeCollectiveAbortsWorld) {
+  // Rank 1 skips the barrier and exits; ranks 0 and 2 must not deadlock.
+  try {
+    run_ranks(3, [](Communicator& comm) {
+      if (comm.rank() != 1) comm.barrier();
+    });
+    FAIL() << "expected AbortedError";
+  } catch (const AbortedError& e) {
+    EXPECT_EQ(e.origin_rank, 1);
+    EXPECT_NE(e.root_cause.find("exited"), std::string::npos);
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Fault injection.
+
+TEST(MpsimFault, CrashAtFirstOpPropagatesInjectedFault) {
+  auto plan = std::make_shared<FaultPlan>();
+  plan->crash_rank(1, 0);
+  RunOptions options;
+  options.fault_plan = plan;
+  try {
+    run_ranks(
+        3, [](Communicator& comm) { comm.barrier(); }, options);
+    FAIL() << "expected InjectedFaultError";
+  } catch (const InjectedFaultError& e) {
+    EXPECT_EQ(e.rank, 1);
+  }
+  EXPECT_EQ(plan->totals().crashes, 1u);
+}
+
+/// Crash rank 1 at each primitive of a mixed collective sequence; whatever
+/// the peers are blocked in, the world must abort rather than hang.
+class MpsimCrashAtEachOp : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(MpsimCrashAtEachOp, WorldAbortsNotHangs) {
+  auto plan = std::make_shared<FaultPlan>();
+  plan->crash_rank(1, GetParam());
+  RunOptions options;
+  options.fault_plan = plan;
+  EXPECT_THROW(run_ranks(
+                   3,
+                   [](Communicator& comm) {
+                     comm.barrier();                             // op 0
+                     (void)comm.all_gather({static_cast<std::uint8_t>(
+                         comm.rank())});                         // op 1
+                     (void)comm.all_reduce_sum(1);               // op 2
+                     (void)comm.all_reduce_max(
+                         static_cast<std::uint64_t>(comm.rank()));  // op 3
+                     if (comm.rank() == 1) {
+                       comm.send(0, 9, {1});                     // op 4
+                     } else if (comm.rank() == 0) {
+                       (void)comm.recv(1, 9);
+                     }
+                     comm.barrier();                             // op 5 (4)
+                   },
+                   options),
+               InjectedFaultError);
+  EXPECT_EQ(plan->totals().crashes, 1u);
+}
+
+INSTANTIATE_TEST_SUITE_P(AllCollectives, MpsimCrashAtEachOp,
+                         ::testing::Values(0u, 1u, 2u, 3u, 4u, 5u));
+
+TEST(MpsimFault, OneShotCrashDoesNotRefire) {
+  auto plan = std::make_shared<FaultPlan>();
+  plan->crash_rank(0, 0, /*times=*/1);
+  RunOptions options;
+  options.fault_plan = plan;
+  auto body = [](Communicator& comm) {
+    comm.barrier();
+    (void)comm.all_reduce_sum(1);
+  };
+  EXPECT_THROW(run_ranks(2, body, options), InjectedFaultError);
+  // The retried world shares the plan; the exhausted trigger stays quiet.
+  run_ranks(2, body, options);
+  EXPECT_EQ(plan->totals().crashes, 1u);
+  EXPECT_GT(plan->ops_seen(0), 0u);
+}
+
+TEST(MpsimFault, CorruptedPayloadSurfacesAsCorruptPayloadError) {
+  auto plan = std::make_shared<FaultPlan>();
+  plan->corrupt_payload(0, 0);
+  RunOptions options;
+  options.fault_plan = plan;
+  using Col = FluxColumn<CheckedI64, Bitset64>;
+  EXPECT_THROW(
+      run_ranks(
+          2,
+          [](Communicator& comm) {
+            if (comm.rank() == 0) {
+              std::vector<Col> columns = {
+                  Col::from_values({CheckedI64(5), CheckedI64(10)})};
+              comm.send(1, 0, encode_columns(columns));
+            } else {
+              (void)decode_columns<CheckedI64, Bitset64>(comm.recv(0, 0));
+            }
+          },
+          options),
+      CorruptPayloadError);
+  EXPECT_EQ(plan->totals().corruptions, 1u);
+}
+
+TEST(MpsimFault, DroppedMessageWakesReceiverInsteadOfDeadlocking) {
+  auto plan = std::make_shared<FaultPlan>();
+  plan->drop_message(0, 1, 0);
+  RunOptions options;
+  options.fault_plan = plan;
+  EXPECT_THROW(run_ranks(
+                   2,
+                   [](Communicator& comm) {
+                     if (comm.rank() == 0) {
+                       comm.send(1, 0, {9});  // silently lost
+                     } else {
+                       (void)comm.recv(0, 0);
+                     }
+                   },
+                   options),
+               AbortedError);
+  EXPECT_EQ(plan->totals().drops, 1u);
+}
+
+TEST(MpsimFault, SecondMessageSurvivesDropOfFirst) {
+  auto plan = std::make_shared<FaultPlan>();
+  plan->drop_message(0, 1, 0);
+  RunOptions options;
+  options.fault_plan = plan;
+  run_ranks(
+      2,
+      [](Communicator& comm) {
+        if (comm.rank() == 0) {
+          comm.send(1, 0, {1});  // dropped
+          comm.send(1, 0, {2});  // delivered
+        } else {
+          EXPECT_EQ(comm.recv(0, 0), Payload{2});
+        }
+      },
+      options);
+}
+
+TEST(MpsimFault, StragglerDelaysAreCountedAndHarmless) {
+  auto plan = std::make_shared<FaultPlan>();
+  plan->straggle(1, /*delay_us=*/200);
+  RunOptions options;
+  options.fault_plan = plan;
+  run_ranks(
+      3,
+      [](Communicator& comm) {
+        for (int i = 0; i < 3; ++i)
+          EXPECT_EQ(comm.all_reduce_sum(1), 3u);
+      },
+      options);
+  EXPECT_GE(plan->totals().delays, 3u);
 }
 
 }  // namespace
