@@ -1,0 +1,119 @@
+// Microbenchmarks for the observability primitives.
+//
+// The numbers that justify the design decisions:
+//   - PhaseTimer: interned Phase enum add vs the historical string add
+//     (the satellite task that replaced the map<string,double> hot path),
+//   - Counter/Histogram: dormant (disabled registry) vs enabled cost,
+//   - TraceSpan/ScopedPhase: cost with tracing off (the shipping default).
+#include <benchmark/benchmark.h>
+
+#include <string>
+
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
+#include "support/timer.hpp"
+
+namespace {
+
+using namespace elmo;
+
+// --------------------------------------------------------------- PhaseTimer
+
+void BM_PhaseTimerAddEnum(benchmark::State& state) {
+  PhaseTimer timer;
+  for (auto _ : state) {
+    timer.add(Phase::kGenCand, 1e-9);
+    benchmark::DoNotOptimize(timer);
+  }
+}
+BENCHMARK(BM_PhaseTimerAddEnum);
+
+void BM_PhaseTimerAddInternedString(benchmark::State& state) {
+  // The pre-refactor hot path: phase named by string.  Now routed through
+  // phase_from_name onto the array — compare with the map fallback below.
+  PhaseTimer timer;
+  const std::string name = "gen cand";
+  for (auto _ : state) {
+    timer.add(name, 1e-9);
+    benchmark::DoNotOptimize(timer);
+  }
+}
+BENCHMARK(BM_PhaseTimerAddInternedString);
+
+void BM_PhaseTimerAddAdhocString(benchmark::State& state) {
+  // Non-interned name: the std::map path every add used to take.
+  PhaseTimer timer;
+  const std::string name = "custom phase";
+  for (auto _ : state) {
+    timer.add(name, 1e-9);
+    benchmark::DoNotOptimize(timer);
+  }
+}
+BENCHMARK(BM_PhaseTimerAddAdhocString);
+
+void BM_ScopedPhaseEnum(benchmark::State& state) {
+  PhaseTimer timer;
+  for (auto _ : state) {
+    ScopedPhase phase(timer, Phase::kRankTest);
+    benchmark::DoNotOptimize(timer);
+  }
+}
+BENCHMARK(BM_ScopedPhaseEnum);
+
+// ------------------------------------------------------------------ metrics
+
+void BM_CounterAddDisabled(benchmark::State& state) {
+  obs::Registry registry;  // disabled: the shipping default
+  obs::Counter counter = registry.counter("bench");
+  for (auto _ : state) {
+    counter.add(1);
+  }
+}
+BENCHMARK(BM_CounterAddDisabled);
+
+void BM_CounterAddEnabled(benchmark::State& state) {
+  obs::Registry registry;
+  registry.set_enabled(true);
+  obs::Counter counter = registry.counter("bench");
+  for (auto _ : state) {
+    counter.add(1);
+  }
+}
+BENCHMARK(BM_CounterAddEnabled);
+
+void BM_HistogramObserveEnabled(benchmark::State& state) {
+  obs::Registry registry;
+  registry.set_enabled(true);
+  obs::Histogram hist = registry.histogram("bench");
+  std::uint64_t value = 0;
+  for (auto _ : state) {
+    hist.observe(value++);
+  }
+}
+BENCHMARK(BM_HistogramObserveEnabled);
+
+// -------------------------------------------------------------------- trace
+
+void BM_TraceSpanDisabled(benchmark::State& state) {
+  // No recorder installed: construction must reduce to one relaxed load.
+  for (auto _ : state) {
+    obs::TraceSpan span("bench", "solve");
+    benchmark::DoNotOptimize(span);
+  }
+}
+BENCHMARK(BM_TraceSpanDisabled);
+
+void BM_TraceSpanEnabled(benchmark::State& state) {
+  obs::TraceRecorder recorder;
+  obs::install_trace(&recorder);
+  for (auto _ : state) {
+    obs::TraceSpan span("bench", "solve");
+    benchmark::DoNotOptimize(span);
+  }
+  obs::install_trace(nullptr);
+}
+BENCHMARK(BM_TraceSpanEnabled);
+
+}  // namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,197 @@
+// Observability overhead guard (ISSUE 2 acceptance criterion: with
+// observability disabled, solves must regress <2% vs a no-instrumentation
+// baseline).
+//
+// Runs the bench_scaling kernel — a serial Algorithm 1 solve of the demo
+// Network I instance — under three observability modes in interleaved
+// repetitions and reports the per-mode minimum:
+//
+//   off      instrumentation compiled in but dormant (the shipping default:
+//            every site is one relaxed load + branch),
+//   metrics  registry enabled (counters/gauges/histograms per iteration),
+//   trace    metrics + an installed TraceRecorder (spans per iteration,
+//            phase, and mpsim op).
+//
+// --json PATH writes a machine-readable record including kObsCompiledIn, so
+// scripts/check.sh can diff this binary against one configured with
+// -DELMO_OBS_DISABLE=ON (a true no-instrumentation baseline) and enforce
+// the <2% bound on the dormant path.
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <fstream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "bench_common.hpp"
+#include "obs/json.hpp"
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
+
+namespace {
+
+using namespace elmo;
+
+enum class Mode { kOff, kMetrics, kTrace };
+
+const char* mode_name(Mode mode) {
+  switch (mode) {
+    case Mode::kOff: return "off";
+    case Mode::kMetrics: return "metrics";
+    case Mode::kTrace: return "trace";
+  }
+  return "?";
+}
+
+struct RunOutcome {
+  double seconds = 0.0;
+  std::uint64_t num_efms = 0;
+  std::uint64_t pairs = 0;
+};
+
+RunOutcome run_once(const CompressedProblem& compressed,
+                    const std::vector<bool>& reversibility, Mode mode) {
+  auto& registry = obs::Registry::global();
+  registry.reset();
+  registry.set_enabled(mode != Mode::kOff);
+  obs::TraceRecorder recorder;
+  if (mode == Mode::kTrace) obs::install_trace(&recorder);
+
+  EfmOptions options;  // Algorithm 1, the bench_scaling sweep kernel
+  Stopwatch watch;
+  auto result = compute_efms(compressed, reversibility, options);
+  RunOutcome outcome{watch.seconds(), result.num_modes(),
+                     result.stats.total_pairs_probed};
+
+  obs::install_trace(nullptr);
+  registry.set_enabled(false);
+  registry.reset();
+  return outcome;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  using namespace elmo;
+  std::string json_path;
+  std::string baseline_path;
+  double max_overhead_pct = 2.0;
+  int reps = 3;
+  for (int i = 1; i < argc; ++i) {
+    if (!std::strcmp(argv[i], "--json") && i + 1 < argc) {
+      json_path = argv[++i];
+    } else if (!std::strcmp(argv[i], "--baseline") && i + 1 < argc) {
+      baseline_path = argv[++i];
+    } else if (!std::strcmp(argv[i], "--max-overhead-pct") && i + 1 < argc) {
+      max_overhead_pct = std::atof(argv[++i]);
+    } else if (!std::strcmp(argv[i], "--reps") && i + 1 < argc) {
+      reps = std::atoi(argv[++i]);
+      if (reps < 1) reps = 1;
+    }
+  }
+  const bool full = bench::full_scale(argc, argv);
+  bench::print_scale_banner(full,
+                            "Observability overhead (off / metrics / trace)");
+  std::printf("instrumentation compiled in: %s\n\n",
+              obs::kObsCompiledIn ? "yes" : "no (ELMO_OBS_DISABLE)");
+
+  Network network = bench::network_1(full);
+  auto compressed = compress(network);
+  const std::vector<bool> reversibility = network.reversibility();
+
+  // Warm-up run: touches every code path and page once so the first timed
+  // mode is not penalised.
+  run_once(compressed, reversibility, Mode::kOff);
+
+  const Mode modes[] = {Mode::kOff, Mode::kMetrics, Mode::kTrace};
+  double best[3] = {1e300, 1e300, 1e300};
+  RunOutcome last[3];
+  // Interleave modes within each repetition so frequency/thermal drift hits
+  // every mode equally.
+  for (int rep = 0; rep < reps; ++rep) {
+    for (int m = 0; m < 3; ++m) {
+      last[m] = run_once(compressed, reversibility, modes[m]);
+      if (last[m].seconds < best[m]) best[m] = last[m].seconds;
+    }
+  }
+
+  Table table({"mode", "best of reps (s)", "vs off", "# EFM"});
+  obs::JsonValue mode_json = obs::JsonValue::object();
+  for (int m = 0; m < 3; ++m) {
+    const double overhead_pct = (best[m] / best[0] - 1.0) * 100.0;
+    char vs[32];
+    std::snprintf(vs, sizeof vs, "%+.2f%%", overhead_pct);
+    table.add_row({mode_name(modes[m]), seconds_str(best[m]),
+                   m == 0 ? "-" : vs, with_commas(last[m].num_efms)});
+    obs::JsonValue entry = obs::JsonValue::object();
+    entry.set("seconds", obs::JsonValue(best[m]));
+    entry.set("overhead_pct", obs::JsonValue(m == 0 ? 0.0 : overhead_pct));
+    mode_json.set(mode_name(modes[m]), std::move(entry));
+  }
+  std::fputs(table.render("serial demo solve, interleaved reps").c_str(),
+             stdout);
+
+  // Acceptance gate: compare the dormant-instrumentation time against the
+  // "off" time recorded by a -DELMO_OBS_DISABLE=ON build of this binary (a
+  // true no-instrumentation baseline).
+  double baseline_off_seconds = -1.0;
+  double disabled_vs_baseline_pct = 0.0;
+  bool gate_failed = false;
+  if (!baseline_path.empty()) {
+    std::ifstream in(baseline_path, std::ios::binary);
+    std::ostringstream text;
+    text << in.rdbuf();
+    std::string error;
+    obs::JsonValue doc = obs::parse_json(text.str(), &error);
+    const obs::JsonValue* modes_node =
+        error.empty() ? doc.find("modes") : nullptr;
+    const obs::JsonValue* off_node =
+        modes_node != nullptr ? modes_node->find("off") : nullptr;
+    if (off_node == nullptr || off_node->find("seconds") == nullptr) {
+      std::fprintf(stderr, "cannot read baseline %s: %s\n",
+                   baseline_path.c_str(),
+                   error.empty() ? "missing modes.off.seconds"
+                                 : error.c_str());
+      return 1;
+    }
+    baseline_off_seconds = off_node->find("seconds")->as_double();
+    disabled_vs_baseline_pct =
+        (best[0] / baseline_off_seconds - 1.0) * 100.0;
+    gate_failed = disabled_vs_baseline_pct > max_overhead_pct;
+    std::printf(
+        "\ndormant instrumentation vs no-instrumentation baseline: "
+        "%+.2f%% (limit %+.2f%%) -> %s\n",
+        disabled_vs_baseline_pct, max_overhead_pct,
+        gate_failed ? "FAIL" : "ok");
+  }
+
+  if (!json_path.empty()) {
+    obs::JsonValue doc = obs::JsonValue::object();
+    doc.set("bench", obs::JsonValue("obs_overhead"));
+    doc.set("obs_compiled_in", obs::JsonValue(obs::kObsCompiledIn));
+    doc.set("instance",
+            obs::JsonValue(full ? "network1-full" : "network1-demo"));
+    doc.set("reps", obs::JsonValue(reps));
+    doc.set("num_efms", obs::JsonValue(last[0].num_efms));
+    doc.set("pairs_probed", obs::JsonValue(last[0].pairs));
+    doc.set("modes", std::move(mode_json));
+    if (baseline_off_seconds >= 0.0) {
+      doc.set("baseline_off_seconds", obs::JsonValue(baseline_off_seconds));
+      doc.set("disabled_vs_baseline_pct",
+              obs::JsonValue(disabled_vs_baseline_pct));
+      doc.set("max_overhead_pct", obs::JsonValue(max_overhead_pct));
+    }
+    std::FILE* out = std::fopen(json_path.c_str(), "wb");
+    if (out == nullptr) {
+      std::fprintf(stderr, "cannot write %s\n", json_path.c_str());
+      return 1;
+    }
+    const std::string text = doc.dump(2);
+    std::fwrite(text.data(), 1, text.size(), out);
+    std::fputc('\n', out);
+    std::fclose(out);
+    std::printf("\nwrote %s\n", json_path.c_str());
+  }
+  return gate_failed ? 2 : 0;
+}

@@ -14,10 +14,19 @@
 #include <cstring>
 #include <fstream>
 #include <sstream>
+#include <stdexcept>
 #include <string>
 
+#include <optional>
+
+#include "bitset/dynbitset.hpp"
+#include "core/estimate.hpp"
+#include "core/subset_select.hpp"
 #include "elmo/elmo.hpp"
 #include "models/ecoli_core.hpp"
+#include "obs/metrics.hpp"
+#include "obs/progress.hpp"
+#include "obs/trace.hpp"
 #include "support/format.hpp"
 
 namespace {
@@ -47,6 +56,16 @@ options:
   --stats                   print counters and phase times
   --validate                print structural warnings and exit
   --help
+
+observability:
+  --trace FILE              write a Chrome/Perfetto trace (trace_event JSON;
+                            open at https://ui.perfetto.dev)
+  --metrics FILE            write the metrics-registry snapshot as JSON
+  --report FILE             write a per-run report.json (stats, per-rank
+                            and per-subset breakdowns, growth history)
+  --progress                print live progress/ETA lines to stderr
+  --heartbeat FILE          append machine-readable JSONL heartbeats
+  (ELMO_TRACE / ELMO_METRICS environment variables preset --trace/--metrics)
 
 reaction-list format:
   # comment
@@ -84,6 +103,13 @@ int main(int argc, char** argv) {
   std::string algorithm = "serial";
   bool print_stats = false;
   bool validate_only = false;
+  std::string trace_path;
+  std::string metrics_path;
+  std::string report_path;
+  std::string heartbeat_path;
+  bool show_progress = false;
+  if (const char* env = std::getenv("ELMO_TRACE")) trace_path = env;
+  if (const char* env = std::getenv("ELMO_METRICS")) metrics_path = env;
   EfmOptions options;
   options.num_ranks = 4;
 
@@ -140,6 +166,16 @@ int main(int argc, char** argv) {
       options.resume_from = next();
     } else if (!std::strcmp(argv[i], "--exact-rank-test")) {
       options.rank_backend = RankTestBackend::kExact;
+    } else if (!std::strcmp(argv[i], "--trace")) {
+      trace_path = next();
+    } else if (!std::strcmp(argv[i], "--metrics")) {
+      metrics_path = next();
+    } else if (!std::strcmp(argv[i], "--report")) {
+      report_path = next();
+    } else if (!std::strcmp(argv[i], "--progress")) {
+      show_progress = true;
+    } else if (!std::strcmp(argv[i], "--heartbeat")) {
+      heartbeat_path = next();
     } else if (!std::strcmp(argv[i], "--stats")) {
       print_stats = true;
     } else if (!std::strcmp(argv[i], "--validate")) {
@@ -211,8 +247,117 @@ int main(int argc, char** argv) {
     return 3;
   }
 
+  const std::string label = !builtin.empty() ? builtin : input_path;
+
+  // Observability setup.  Tracing installs a process-global recorder;
+  // metrics flip the (otherwise free) registry on; the report needs both
+  // metrics and the per-iteration history.
+  obs::TraceRecorder recorder;
+  if (!trace_path.empty()) obs::install_trace(&recorder);
+  if (!metrics_path.empty() || !report_path.empty())
+    obs::Registry::global().set_enabled(true);
+  if (!report_path.empty()) options.record_history = true;
+
   try {
-    EfmResult result = compute_efms(network, options);
+    auto compressed = compress(network, options.compression);
+
+    std::optional<obs::ProgressReporter> progress;
+    if (show_progress || !heartbeat_path.empty()) {
+      obs::ProgressOptions popts;
+      popts.print = show_progress;
+      popts.heartbeat_path = heartbeat_path;
+      popts.label = label;
+      // A-priori pair estimate for the ETA: a cheap prefix run via the
+      // subset estimator.  For Algorithm 3 the whole-problem count would
+      // overshoot badly (splitting is the paper's point), so resolve the
+      // partition the driver will use and sum the 2^qsub subset estimates.
+      try {
+        auto problem = to_problem<CheckedI64>(compressed);
+        EstimateOptions eopts;
+        eopts.pair_budget = 200'000;
+        double estimated = 0.0;
+        std::vector<std::size_t> rows;
+        if (options.algorithm == Algorithm::kCombined) {
+          if (options.partition_reactions.empty()) {
+            rows = select_partition_rows(problem, options.ordering,
+                                         options.qsub);
+          } else {
+            for (const auto& name : options.partition_reactions) {
+              for (std::size_t j = 0; j < problem.num_reactions(); ++j) {
+                if (problem.reaction_names[j] == name) {
+                  rows.push_back(j);
+                  break;
+                }
+              }
+            }
+          }
+        }
+        if (rows.empty()) {
+          estimated = estimate_subset<CheckedI64, DynBitset>(
+                          problem, SubsetSpec{}, eopts)
+                          .estimated_pairs;
+        } else {
+          estimated = estimate_partition_cost<CheckedI64, DynBitset>(
+              problem, rows, eopts);
+        }
+        if (estimated > 0) {
+          popts.total_pairs_estimate = static_cast<std::uint64_t>(estimated);
+        }
+        // Iteration count: the solver processes one constrained row per
+        // iteration (~the reduced rank, = row count after compression);
+        // Algorithm 3 runs 2^qsub subsets stopped qsub iterations early.
+        const std::size_t m = problem.num_metabolites();
+        if (options.algorithm == Algorithm::kCombined && !rows.empty()) {
+          popts.total_iterations =
+              (std::uint64_t{1} << rows.size()) *
+              (m > rows.size() ? m - rows.size() : 1);
+        } else {
+          popts.total_iterations = m;
+        }
+      } catch (const Error&) {
+        // Estimation is best effort; progress falls back to pair counts
+        // with no completion fraction.
+      }
+      progress.emplace(std::move(popts));
+      auto user_callback = options.on_iteration;
+      auto* reporter = &*progress;
+      options.on_iteration = [reporter,
+                              user_callback](const IterationStats& it) {
+        obs::ProgressSample sample;
+        sample.iteration = 0;  // reporter counts iterations itself
+        // Parallel ranks report slice-local pairs_probed; positives x
+        // negatives is the iteration's GLOBAL pair count on any rank (the
+        // matrix is replicated), and equals pairs_probed for Algorithm 1.
+        sample.pairs_probed = it.positives * it.negatives;
+        sample.accepted = it.accepted;
+        sample.columns = it.columns_after;
+        reporter->on_iteration(sample);
+        if (user_callback) user_callback(it);
+      };
+    }
+
+    EfmResult result = compute_efms(compressed, network.reversibility(),
+                                    options);
+    if (progress) progress->finish(result.num_modes());
+    if (!trace_path.empty()) {
+      obs::install_trace(nullptr);
+      recorder.write(trace_path);
+      std::fprintf(stderr, "%zu trace events written to %s\n",
+                   recorder.event_count(), trace_path.c_str());
+    }
+    if (!metrics_path.empty()) {
+      std::ofstream out(metrics_path);
+      out << obs::Registry::global().snapshot().to_json().dump(2) << '\n';
+      if (!out) {
+        throw std::runtime_error("cannot write metrics file: " +
+                                 metrics_path);
+      }
+      std::fprintf(stderr, "metrics written to %s\n", metrics_path.c_str());
+    }
+    if (!report_path.empty()) {
+      make_solve_report(result, options, label).write(report_path);
+      std::fprintf(stderr, "report written to %s\n", report_path.c_str());
+    }
     if (output_path.empty()) {
       std::fputs(efms_to_text(result.modes, result.reaction_names).c_str(),
                  stdout);
@@ -234,6 +379,11 @@ int main(int argc, char** argv) {
                    result.used_bigint ? " (BigInt)" : "");
     }
   } catch (const Error& e) {
+    std::fprintf(stderr, "error: %s\n", e.what());
+    return 1;
+  } catch (const std::exception& e) {
+    // Observability I/O failures (unwritable --trace/--report/--heartbeat
+    // paths) surface as std::runtime_error; exit cleanly, not via abort.
     std::fprintf(stderr, "error: %s\n", e.what());
     return 1;
   }

@@ -1,0 +1,94 @@
+// json_check — tiny JSON validator for the observability smoke tests.
+//
+//   $ json_check report.json --require totals.pairs_probed --require subsets
+//
+// Exits 0 iff the file parses as JSON and every --require KEY (dot-
+// separated object path) resolves.  Keys may themselves contain dots
+// ("counters.solver.pairs_probed" matches {"counters":{"solver.pairs_probed":
+// ...}}): segments are matched longest-join first with backtracking.  Used
+// by scripts/check.sh to validate the artifacts elmo_cli
+// --trace/--metrics/--report emit.
+#include <cstdio>
+#include <cstring>
+#include <fstream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "obs/json.hpp"
+
+namespace {
+
+// Resolve a dot-separated path, preferring the longest object key that
+// matches a join of leading segments (metric names contain dots).
+const elmo::obs::JsonValue* resolve(const elmo::obs::JsonValue* node,
+                                    const std::vector<std::string>& parts,
+                                    std::size_t from) {
+  if (from == parts.size()) return node;
+  for (std::size_t to = parts.size(); to > from; --to) {
+    std::string key = parts[from];
+    for (std::size_t i = from + 1; i < to; ++i) key += "." + parts[i];
+    if (const elmo::obs::JsonValue* child = node->find(key)) {
+      if (const elmo::obs::JsonValue* hit = resolve(child, parts, to))
+        return hit;
+    }
+  }
+  return nullptr;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  std::string path;
+  std::vector<std::string> required;
+  for (int i = 1; i < argc; ++i) {
+    if (!std::strcmp(argv[i], "--require")) {
+      if (i + 1 >= argc) {
+        std::fprintf(stderr, "json_check: --require needs a key\n");
+        return 2;
+      }
+      required.push_back(argv[++i]);
+    } else if (path.empty()) {
+      path = argv[i];
+    } else {
+      std::fprintf(stderr, "usage: json_check FILE [--require KEY]...\n");
+      return 2;
+    }
+  }
+  if (path.empty()) {
+    std::fprintf(stderr, "usage: json_check FILE [--require KEY]...\n");
+    return 2;
+  }
+
+  std::ifstream in(path, std::ios::binary);
+  if (!in) {
+    std::fprintf(stderr, "json_check: cannot open %s\n", path.c_str());
+    return 1;
+  }
+  std::ostringstream text;
+  text << in.rdbuf();
+
+  std::string error;
+  elmo::obs::JsonValue root = elmo::obs::parse_json(text.str(), &error);
+  if (!error.empty()) {
+    std::fprintf(stderr, "json_check: %s: %s\n", path.c_str(), error.c_str());
+    return 1;
+  }
+
+  for (const auto& key : required) {
+    std::vector<std::string> parts;
+    std::size_t start = 0;
+    while (start <= key.size()) {
+      std::size_t dot = key.find('.', start);
+      if (dot == std::string::npos) dot = key.size();
+      parts.push_back(key.substr(start, dot - start));
+      start = dot + 1;
+    }
+    if (resolve(&root, parts, 0) == nullptr) {
+      std::fprintf(stderr, "json_check: %s: missing key '%s'\n",
+                   path.c_str(), key.c_str());
+      return 1;
+    }
+  }
+  return 0;
+}

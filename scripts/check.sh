@@ -3,7 +3,14 @@
 #   1. plain build + entire ctest suite (tier-1 gate),
 #   2. ASan/UBSan build + entire ctest suite,
 #   3. TSan build + the threaded suites (the simulated MPI runtime, the
-#      shared-memory pool, and the fault-tolerance machinery).
+#      shared-memory pool, the fault-tolerance machinery, and the metrics
+#      registry's concurrent writers),
+#   4. observability smoke: solve a toy model with --trace/--report/
+#      --metrics and validate every artifact with json_check,
+#   5. overhead guard: bench_obs_overhead from a -DELMO_OBS_DISABLE=ON
+#      build (true no-instrumentation baseline) vs the plain build's
+#      dormant instrumentation; emits BENCH_observability.json and fails
+#      above +2%.  Skip with ELMO_CHECK_SKIP_BENCH=1 (stages 1-4 stay).
 #
 # Usage: scripts/check.sh [-jN]
 set -euo pipefail
@@ -13,21 +20,55 @@ JOBS="${1:--j$(nproc)}"
 
 run() { echo "+ $*" >&2; "$@"; }
 
-echo "== 1/3 plain build =="
+echo "== 1/5 plain build =="
 run cmake -B build -S . >/dev/null
 run cmake --build build "${JOBS}"
 (cd build && run ctest --output-on-failure)
 
-echo "== 2/3 address+undefined sanitizers =="
+echo "== 2/5 address+undefined sanitizers =="
 run cmake -B build-asan -S . -DELMO_SANITIZE=address,undefined >/dev/null
 run cmake --build build-asan "${JOBS}"
 (cd build-asan && run ctest --output-on-failure)
 
-echo "== 3/3 thread sanitizer (threaded suites) =="
+echo "== 3/5 thread sanitizer (threaded suites) =="
 run cmake -B build-tsan -S . -DELMO_SANITIZE=thread >/dev/null
 run cmake --build build-tsan "${JOBS}" --target \
-    test_mpsim test_parallel test_fault_tolerance
+    test_mpsim test_parallel test_fault_tolerance test_obs
 (cd build-tsan && run ctest --output-on-failure \
-    -R '^(test_mpsim|test_parallel|test_fault_tolerance)$')
+    -R '^(test_mpsim|test_parallel|test_fault_tolerance|test_obs)$')
+
+echo "== 4/5 observability smoke =="
+SMOKE_DIR="$(mktemp -d)"
+trap 'rm -rf "${SMOKE_DIR}"' EXIT
+run ./build/examples/elmo_cli --builtin toy --algorithm combined --ranks 2 \
+    --partition r6r,r8r \
+    --trace "${SMOKE_DIR}/trace.json" \
+    --metrics "${SMOKE_DIR}/metrics.json" \
+    --report "${SMOKE_DIR}/report.json" \
+    --heartbeat "${SMOKE_DIR}/heartbeat.jsonl" \
+    -o "${SMOKE_DIR}/modes.csv"
+run ./build/examples/json_check "${SMOKE_DIR}/trace.json" \
+    --require traceEvents
+run ./build/examples/json_check "${SMOKE_DIR}/metrics.json" \
+    --require counters.solver.pairs_probed \
+    --require histograms.solver.iteration_pairs
+run ./build/examples/json_check "${SMOKE_DIR}/report.json" \
+    --require totals.pairs_probed --require subsets --require num_efms
+tail -n 1 "${SMOKE_DIR}/heartbeat.jsonl" > "${SMOKE_DIR}/heartbeat.last.json"
+run ./build/examples/json_check "${SMOKE_DIR}/heartbeat.last.json" \
+    --require done
+
+echo "== 5/5 observability overhead guard =="
+if [[ "${ELMO_CHECK_SKIP_BENCH:-0}" != "1" ]]; then
+  run cmake -B build-obsoff -S . -DELMO_OBS_DISABLE=ON >/dev/null
+  run cmake --build build-obsoff "${JOBS}" --target bench_obs_overhead
+  run ./build-obsoff/bench/bench_obs_overhead --reps 3 \
+      --json "${SMOKE_DIR}/BENCH_observability.baseline.json"
+  run ./build/bench/bench_obs_overhead --reps 3 \
+      --baseline "${SMOKE_DIR}/BENCH_observability.baseline.json" \
+      --max-overhead-pct 2 --json BENCH_observability.json
+else
+  echo "   (skipped: ELMO_CHECK_SKIP_BENCH=1)"
+fi
 
 echo "all checks passed"

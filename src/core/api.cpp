@@ -12,6 +12,31 @@ namespace elmo {
 
 namespace {
 
+/// Zip mpsim traffic counters with the matching per-rank solver ledgers
+/// into report entries (either side may be shorter; missing data stays 0).
+std::vector<obs::RankEntry> make_rank_entries(
+    const mpsim::RunReport& report,
+    const std::vector<SolveStats>& rank_stats) {
+  std::vector<obs::RankEntry> entries;
+  const std::size_t n = std::max(report.ranks.size(), rank_stats.size());
+  entries.reserve(n);
+  for (std::size_t r = 0; r < n; ++r) {
+    obs::RankEntry entry;
+    entry.rank = static_cast<int>(r);
+    if (r < report.ranks.size()) {
+      const auto& counters = report.ranks[r];
+      entry.messages_sent = counters.messages_sent;
+      entry.bytes_sent = counters.bytes_sent;
+      entry.collectives = counters.collectives;
+      entry.memory_peak_bytes = counters.memory_peak;
+    }
+    if (r < rank_stats.size())
+      entry.phase_seconds = rank_stats[r].phases.totals();
+    entries.push_back(std::move(entry));
+  }
+  return entries;
+}
+
 /// Map ORIGINAL partition reaction names to reduced-problem names.
 std::vector<std::string> reduced_partition_names(
     const CompressedProblem& compressed,
@@ -41,6 +66,7 @@ EfmResult run_with(const CompressedProblem& compressed,
   solver.test = options.test;
   solver.rank_backend = options.rank_backend;
   solver.on_iteration = options.on_iteration;
+  solver.record_history = options.record_history;
 
   std::vector<FluxColumn<Scalar, Support>> columns;
   switch (options.algorithm) {
@@ -63,6 +89,7 @@ EfmResult run_with(const CompressedProblem& compressed,
       result.stats = std::move(solved.stats);
       result.message_bytes = solved.ranks.total_bytes_sent();
       result.peak_rank_memory = solved.ranks.max_memory_peak();
+      result.ranks = make_rank_entries(solved.ranks, solved.per_rank);
       break;
     }
     case Algorithm::kPartitioned: {
@@ -77,6 +104,7 @@ EfmResult run_with(const CompressedProblem& compressed,
       result.stats = std::move(solved.stats);
       result.message_bytes = solved.ranks.total_bytes_sent();
       result.peak_rank_memory = solved.peak_rank_bytes;
+      result.ranks = make_rank_entries(solved.ranks, solved.per_rank);
       break;
     }
     case Algorithm::kCombined: {
@@ -100,21 +128,25 @@ EfmResult run_with(const CompressedProblem& compressed,
       result.stats = std::move(solved.total);
       result.total_retries = solved.total_retries;
       result.simulated_backoff_seconds = solved.simulated_backoff_seconds;
+      result.events = std::move(solved.events);
       for (const auto& subset : solved.subsets) {
         SubsetSummary summary;
         summary.label = subset.label;
         summary.num_efms = subset.num_efms;
         summary.candidate_pairs = subset.stats.total_pairs_probed;
         summary.seconds = subset.seconds;
-        summary.gen_cand_seconds = subset.stats.phases.seconds("gen cand");
-        summary.rank_test_seconds = subset.stats.phases.seconds("rank test");
+        summary.gen_cand_seconds =
+            subset.stats.phases.seconds(Phase::kGenCand);
+        summary.rank_test_seconds =
+            subset.stats.phases.seconds(Phase::kRankTest);
         summary.communicate_seconds =
-            subset.stats.phases.seconds("communicate");
-        summary.merge_seconds = subset.stats.phases.seconds("merge");
+            subset.stats.phases.seconds(Phase::kCommunicate);
+        summary.merge_seconds = subset.stats.phases.seconds(Phase::kMerge);
         summary.extra_splits = subset.extra_splits;
         summary.attempts = subset.attempts;
         summary.backoff_seconds = subset.backoff_seconds;
         summary.resumed = subset.resumed;
+        summary.ranks = make_rank_entries(subset.ranks, subset.rank_stats);
         result.subsets.push_back(std::move(summary));
         result.message_bytes += subset.ranks.total_bytes_sent();
         result.peak_rank_memory =
@@ -191,6 +223,111 @@ EfmResult compute_efms(const CompressedProblem& compressed,
 EfmResult compute_efms(const Network& network, const EfmOptions& options) {
   auto compressed = compress(network, options.compression);
   return compute_efms(compressed, network.reversibility(), options);
+}
+
+const char* algorithm_name(Algorithm algorithm) {
+  switch (algorithm) {
+    case Algorithm::kSerial:
+      return "serial";
+    case Algorithm::kCombinatorialParallel:
+      return "parallel";
+    case Algorithm::kCombined:
+      return "combined";
+    case Algorithm::kPartitioned:
+      return "partitioned";
+  }
+  return "unknown";
+}
+
+obs::SolveReport make_solve_report(const EfmResult& result,
+                                   const EfmOptions& options,
+                                   const std::string& network_label) {
+  obs::SolveReport report;
+  report.network = network_label;
+  report.algorithm = algorithm_name(options.algorithm);
+  report.num_ranks = options.num_ranks;
+  report.config["test"] = options.test == ElementarityTest::kRank
+                              ? "rank"
+                              : "combinatorial";
+  report.config["rank_backend"] =
+      options.rank_backend == RankTestBackend::kModular ? "modular" : "exact";
+  report.config["threads_per_rank"] =
+      std::to_string(options.threads_per_rank);
+  if (options.algorithm == Algorithm::kCombined) {
+    report.config["qsub"] = std::to_string(options.qsub);
+    report.config["max_extra_splits"] =
+        std::to_string(options.max_extra_splits);
+  }
+  if (options.memory_budget_per_rank != 0) {
+    report.config["memory_budget_per_rank"] =
+        std::to_string(options.memory_budget_per_rank);
+  }
+  if (!options.checkpoint_path.empty())
+    report.config["checkpoint_path"] = options.checkpoint_path;
+  if (!options.resume_from.empty())
+    report.config["resume_from"] = options.resume_from;
+  report.config["used_bigint"] = result.used_bigint ? "true" : "false";
+  report.config["reduced_reactions"] =
+      std::to_string(result.reduced_reactions);
+  report.config["reduced_metabolites"] =
+      std::to_string(result.reduced_metabolites);
+
+  report.num_efms = result.num_modes();
+  report.seconds = result.seconds;
+
+  const SolveStats& stats = result.stats;
+  report.totals["pairs_probed"] = stats.total_pairs_probed;
+  report.totals["pretest_survivors"] = stats.total_pretest_survivors;
+  report.totals["rank_tests"] = stats.total_rank_tests;
+  report.totals["accepted"] = stats.total_accepted;
+  report.totals["duplicates_removed"] = stats.total_duplicates_removed;
+  report.totals["iterations"] = stats.iterations;
+  report.totals["message_bytes"] = result.message_bytes;
+  report.totals["total_retries"] = result.total_retries;
+  report.peak_columns = stats.peak_columns;
+  report.peak_matrix_bytes = stats.peak_matrix_bytes;
+  report.bigint_fallback = stats.bigint_fallback;
+  report.phase_seconds = stats.phases.totals();
+  report.ranks = result.ranks;
+
+  for (const auto& subset : result.subsets) {
+    obs::SubsetEntry entry;
+    entry.label = subset.label;
+    entry.num_efms = subset.num_efms;
+    entry.seconds = subset.seconds;
+    entry.attempts = static_cast<int>(subset.attempts);
+    entry.extra_splits = static_cast<int>(subset.extra_splits);
+    entry.resumed = subset.resumed;
+    entry.totals["candidate_pairs"] = subset.candidate_pairs;
+    entry.phase_seconds[phase_name(Phase::kGenCand)] =
+        subset.gen_cand_seconds;
+    entry.phase_seconds[phase_name(Phase::kRankTest)] =
+        subset.rank_test_seconds;
+    entry.phase_seconds[phase_name(Phase::kCommunicate)] =
+        subset.communicate_seconds;
+    entry.phase_seconds[phase_name(Phase::kMerge)] = subset.merge_seconds;
+    entry.ranks = subset.ranks;
+    report.subsets.push_back(std::move(entry));
+  }
+
+  report.iterations.reserve(stats.history.size());
+  for (const auto& it : stats.history) {
+    obs::IterationEntry entry;
+    entry.row = static_cast<std::int64_t>(it.row);
+    entry.positives = it.positives;
+    entry.negatives = it.negatives;
+    entry.pairs_probed = it.pairs_probed;
+    entry.pretest_survivors = it.pretest_survivors;
+    entry.duplicates_removed = it.duplicates_removed;
+    entry.rank_tests = it.rank_tests;
+    entry.accepted = it.accepted;
+    entry.columns_after = it.columns_after;
+    report.iterations.push_back(entry);
+  }
+
+  report.events = result.events;
+  report.peak_rss_bytes = obs::process_peak_rss_bytes();
+  return report;
 }
 
 }  // namespace elmo

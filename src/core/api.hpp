@@ -28,6 +28,7 @@
 #include "core/retry.hpp"
 #include "network/network.hpp"
 #include "nullspace/solver.hpp"
+#include "obs/report.hpp"
 
 namespace elmo {
 
@@ -86,6 +87,10 @@ struct EfmOptions {
   /// Progress observer, invoked per iteration (from a worker thread for
   /// the parallel algorithms).
   std::function<void(const IterationStats&)> on_iteration;
+
+  /// Keep the per-iteration history on the returned stats (the run
+  /// report's column-growth curve).  One IterationStats per row processed.
+  bool record_history = false;
 };
 
 /// Per-subset summary of an Algorithm 3 run (one row of Tables III/IV).
@@ -105,6 +110,8 @@ struct SubsetSummary {
   double backoff_seconds = 0.0;
   /// True if the subset was recovered from `resume_from`, not recomputed.
   bool resumed = false;
+  /// Per-rank traffic + timing breakdown (empty for resumed subsets).
+  std::vector<obs::RankEntry> ranks;
 };
 
 struct EfmResult {
@@ -135,6 +142,13 @@ struct EfmResult {
   /// Total simulated backoff those retries were charged, in seconds.
   double simulated_backoff_seconds = 0.0;
 
+  /// Per-rank breakdown of the solve (Algorithms 2 and 4; Algorithm 3
+  /// reports ranks per subset instead).
+  std::vector<obs::RankEntry> ranks;
+  /// Timeline of notable events — retries, re-splits, checkpoints,
+  /// resumes (Algorithm 3).
+  std::vector<obs::TimelineEvent> events;
+
   [[nodiscard]] std::size_t num_modes() const { return modes.size(); }
 };
 
@@ -146,5 +160,15 @@ EfmResult compute_efms(const Network& network, const EfmOptions& options = {});
 EfmResult compute_efms(const CompressedProblem& compressed,
                        const std::vector<bool>& original_reversibility,
                        const EfmOptions& options = {});
+
+/// Human-readable name of an algorithm ("serial", "parallel", "combined",
+/// "partitioned").
+const char* algorithm_name(Algorithm algorithm);
+
+/// Assemble the machine-readable run report for a finished solve
+/// (elmo_cli --report; the totals mirror `result.stats` exactly).
+obs::SolveReport make_solve_report(const EfmResult& result,
+                                   const EfmOptions& options,
+                                   const std::string& network_label);
 
 }  // namespace elmo

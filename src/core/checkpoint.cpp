@@ -4,6 +4,8 @@
 #include <fstream>
 
 #include "mpsim/serialize.hpp"
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
 #include "support/error.hpp"
 
 namespace elmo {
@@ -82,6 +84,10 @@ CheckpointRecord decode_record(const std::uint8_t* cursor,
 
 void append_checkpoint_record(const std::string& path,
                               const CheckpointRecord& record) {
+  obs::TraceSpan span("checkpoint write", "checkpoint");
+  static const obs::Counter writes =
+      obs::Registry::global().counter("checkpoint.records_written");
+  writes.add(1);
   bool needs_header = true;
   {
     std::ifstream probe(path, std::ios::binary | std::ios::ate);
@@ -107,6 +113,7 @@ void append_checkpoint_record(const std::string& path,
 }
 
 std::vector<CheckpointRecord> load_checkpoint(const std::string& path) {
+  obs::TraceSpan span("checkpoint load", "checkpoint");
   std::ifstream in(path, std::ios::binary);
   if (!in) return {};
   std::vector<std::uint8_t> bytes((std::istreambuf_iterator<char>(in)),

@@ -47,6 +47,9 @@ struct ParallelSolveResult {
   std::vector<FluxColumn<Scalar, Support>> columns;
   SolveStats stats;
   mpsim::RunReport ranks;
+  /// Each rank's own ledger (slice-local counters and phase times), for
+  /// per-rank run reports.  per_rank[r] belongs to simulated rank r.
+  std::vector<SolveStats> per_rank;
 };
 
 template <typename Scalar, typename Support>
@@ -84,6 +87,10 @@ ParallelSolveResult<Scalar, Support> solve_combinatorial_parallel(
   auto body = [&](mpsim::Communicator& comm) {
     const int rank = comm.rank();
     SolveStats& stats = rank_stats[static_cast<std::size_t>(rank)];
+    // Rank 0's per-iteration rows carry the GLOBAL accepted count and
+    // matrix width (its slice-local counters stay slice-local); the run
+    // report plots the column-growth curve from them.
+    stats.keep_history = solver_options.record_history && rank == 0;
     auto basis = compute_initial_basis<Scalar, Support>(
         prepared.problem, solver_options.ordering,
         solver_options.exclude_rows);
@@ -110,6 +117,10 @@ ParallelSolveResult<Scalar, Support> solve_combinatorial_parallel(
     auto columns = std::move(basis.columns);
 
     for (std::size_t row : basis.processing_order) {
+      obs::TraceSpan iteration_span(
+          "iteration", "solve",
+          obs::trace() != nullptr ? "row " + std::to_string(row)
+                                  : std::string());
       IterationStats iteration;
       iteration.row = row;
       auto cls = classify_row(columns, row);
@@ -191,14 +202,14 @@ ParallelSolveResult<Scalar, Support> solve_combinatorial_parallel(
         // Wall-clock: threads run concurrently, so this iteration costs
         // the slowest worker's time; accumulate that into the rank totals.
         stats.phases.merge(slowest_worker);
-        ScopedPhase phase(stats.phases, "merge");
+        ScopedPhase phase(stats.phases, Phase::kMerge);
         sort_and_dedup(local, iteration);
       }
       // Communicate&Merge: exchange accepted candidates, rebuild the
       // replicated next matrix identically on every rank.
       std::vector<FluxColumn<Scalar, Support>> accepted;
       {
-        ScopedPhase phase(stats.phases, "communicate");
+        ScopedPhase phase(stats.phases, Phase::kCommunicate);
         auto batches = comm.all_gather(mpsim::encode_columns(local));
         for (const auto& batch : batches) {
           auto incoming = mpsim::decode_columns<Scalar, Support>(batch);
@@ -209,18 +220,18 @@ ParallelSolveResult<Scalar, Support> solve_combinatorial_parallel(
       }
       IterationStats merge_iteration;  // merged quantities, counted once
       {
-        ScopedPhase phase(stats.phases, "merge");
+        ScopedPhase phase(stats.phases, Phase::kMerge);
         // Cross-rank duplicates: different pairs on different ranks can
         // produce the same candidate.
         sort_and_dedup(accepted, merge_iteration);
       }
       if (solver_options.test == ElementarityTest::kCombinatorial) {
-        ScopedPhase test_phase(stats.phases, "rank test");
+        ScopedPhase test_phase(stats.phases, Phase::kRankTest);
         combinatorial_filter(columns, cls, prepared.problem.reversible[row],
                              accepted, merge_iteration);
       }
       {
-        ScopedPhase phase(stats.phases, "merge");
+        ScopedPhase phase(stats.phases, Phase::kMerge);
         merge_iteration.accepted = accepted.size();
         columns = merge_next(std::move(columns), cls,
                              prepared.problem.reversible[row],
@@ -229,7 +240,32 @@ ParallelSolveResult<Scalar, Support> solve_combinatorial_parallel(
       iteration.columns_after = columns.size();
       stats.peak_matrix_bytes =
           std::max(stats.peak_matrix_bytes, matrix_storage_bytes(columns));
+      // Rank 0 records the globally merged accepted count on its iteration
+      // row (process_pair_range left the slice-local pre-dedup count
+      // there), so history plots the true growth.  Harmless for the
+      // aggregate below: total_accepted is overwritten from the ledger.
+      if (rank == 0) iteration.accepted = merge_iteration.accepted;
       stats.absorb(iteration);
+      // History rows plot GLOBAL quantities: patch the pair count from rank
+      // 0's slice to the full pair set of this row (the matrix is
+      // replicated, so positives x negatives is known locally).  Slices
+      // partition the pair set, so summing these rows reproduces the
+      // aggregated total_pairs_probed exactly.  Done after absorb() so the
+      // rank totals keep their slice-local sums.
+      if (stats.keep_history && rank == 0) {
+        stats.history.back().pairs_probed = cls.pair_count();
+      }
+      // Metrics must count global quantities once: only rank 0 publishes
+      // accepted (merged) and it adds the cross-rank duplicates on top of
+      // its slice-local ones; other ranks publish 0 for both.
+      IterationStats published = iteration;
+      if (rank == 0) {
+        published.duplicates_removed += merge_iteration.duplicates_removed;
+      } else {
+        published.accepted = 0;
+      }
+      publish_iteration_metrics(published);
+      if (rank == 0) obs::trace_counter("columns", iteration.columns_after);
       // The merged candidate count and cross-rank duplicates are global
       // quantities; fold them into rank 0's ledger only.
       if (rank == 0) {
@@ -240,7 +276,6 @@ ParallelSolveResult<Scalar, Support> solve_combinatorial_parallel(
       // Memory accounting against the simulated per-rank budget.
       comm.set_memory_usage(stats.peak_matrix_bytes);
       if (options.solver.on_iteration && rank == 0) {
-        iteration.accepted = merge_iteration.accepted;
         options.solver.on_iteration(iteration);
       }
     }
@@ -279,6 +314,11 @@ ParallelSolveResult<Scalar, Support> solve_combinatorial_parallel(
   result.stats.total_accepted = merged_stats.total_accepted;
   result.stats.total_duplicates_removed +=
       merged_stats.total_duplicates_removed;
+  if (!rank_stats.empty() && rank_stats.front().keep_history) {
+    result.stats.keep_history = true;
+    result.stats.history = rank_stats.front().history;
+  }
+  result.per_rank = std::move(rank_stats);
   return result;
 }
 

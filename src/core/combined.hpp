@@ -37,6 +37,7 @@
 #include "core/subset_select.hpp"
 #include "mpsim/fault.hpp"
 #include "nullspace/efm.hpp"
+#include "obs/report.hpp"
 #include "support/format.hpp"
 
 namespace elmo {
@@ -106,6 +107,8 @@ struct SubsetReport {
   double backoff_seconds = 0.0;
   /// True if the subset was recovered from a checkpoint, not computed.
   bool resumed = false;
+  /// Each simulated rank's own solver ledger (empty for resumed subsets).
+  std::vector<SolveStats> rank_stats;
 };
 
 template <typename Scalar, typename Support>
@@ -120,6 +123,9 @@ struct CombinedResult {
   /// Sum of the exponential-backoff delays, in simulated seconds.  Nothing
   /// actually sleeps; the ledger makes retry cost visible in reports.
   double simulated_backoff_seconds = 0.0;
+  /// Timeline of notable moments (retries, re-splits, checkpoints,
+  /// resumes), timestamped relative to the start of solve_combined.
+  std::vector<obs::TimelineEvent> events;
 };
 
 namespace detail {
@@ -169,6 +175,27 @@ CombinedResult<Scalar, Support> solve_combined(
     const EfmProblem<Scalar>& problem, const CombinedOptions& options) {
   Stopwatch total_watch;
   CombinedResult<Scalar, Support> result;
+
+  // Timeline + instant-event recorder: one line in the run report, one
+  // instant in the trace (when tracing is on), one counter bump.
+  auto note_event = [&](const char* kind, std::string detail,
+                        const obs::Counter& counter) {
+    counter.add(1);
+    obs::trace_instant(kind, "combined", detail);
+    result.events.push_back(
+        obs::TimelineEvent{total_watch.seconds(), kind, std::move(detail)});
+  };
+  auto& registry = obs::Registry::global();
+  static const obs::Counter retries_counter =
+      registry.counter("combined.retries");
+  static const obs::Counter resplits_counter =
+      registry.counter("combined.resplits");
+  static const obs::Counter checkpoints_counter =
+      registry.counter("combined.checkpoints");
+  static const obs::Counter resumed_counter =
+      registry.counter("combined.subsets_resumed");
+  static const obs::Counter subsets_counter =
+      registry.counter("combined.subsets_solved");
 
   // Resolve the partition reactions.
   std::vector<std::size_t> partition_rows;
@@ -257,6 +284,7 @@ CombinedResult<Scalar, Support> solve_combined(
       report.extra_splits = record.extra_splits;
       report.attempts = static_cast<std::size_t>(record.attempts);
       report.resumed = true;
+      note_event("resume", report.label, resumed_counter);
       for (const auto& mode : record.modes) {
         std::vector<Scalar> values;
         values.reserve(mode.size());
@@ -270,6 +298,12 @@ CombinedResult<Scalar, Support> solve_combined(
       continue;
     }
 
+    // One span per subset ATTEMPT (failed attempts get their own spans);
+    // the label identifies the subset, Perfetto shows the retry pattern.
+    obs::TraceSpan subset_span(
+        "subset", "combined",
+        obs::trace() != nullptr ? spec.label(problem.reaction_names)
+                                : std::string());
     Stopwatch subset_watch;
     auto sub = detail::make_subproblem<Scalar>(problem, spec);
     ParallelOptions parallel = {};
@@ -307,6 +341,10 @@ CombinedResult<Scalar, Support> solve_combined(
         // Re-split this subset on the next spare reaction (paper Table IV:
         // the oversized three-reaction subsets gained R22r as a fourth).
         const std::size_t extra = spares[depth];
+        note_event("resplit",
+                   spec.label(problem.reaction_names) + " + " +
+                       problem.reaction_names[extra],
+                   resplits_counter);
         for (bool nz : {false, true}) {
           SubsetSpec refined = spec;
           refined.pattern.emplace_back(extra, nz);
@@ -323,6 +361,11 @@ CombinedResult<Scalar, Support> solve_combined(
         throw;
       }
       ++result.total_retries;
+      note_event("retry",
+                 spec.label(problem.reaction_names) +
+                     ": memory budget exceeded (attempt " +
+                     std::to_string(task.attempt) + ")",
+                 retries_counter);
       result.simulated_backoff_seconds +=
           options.retry.backoff_seconds *
           static_cast<double>(1ULL << (task.attempt - 1));
@@ -346,6 +389,10 @@ CombinedResult<Scalar, Support> solve_combined(
         throw;
       }
       ++result.total_retries;
+      note_event("retry",
+                 spec.label(problem.reaction_names) + ": " + e.what() +
+                     " (attempt " + std::to_string(task.attempt) + ")",
+                 retries_counter);
       const double delay =
           options.retry.backoff_seconds *
           static_cast<double>(1ULL << (task.attempt - 1));
@@ -362,6 +409,7 @@ CombinedResult<Scalar, Support> solve_combined(
     report.label = spec.label(problem.reaction_names);
     report.stats = solved.stats;
     report.ranks = std::move(solved.ranks);
+    report.rank_stats = std::move(solved.per_rank);
     report.extra_splits = spec.pattern.size() - qsub;
     report.attempts = task.attempt;
     report.backoff_seconds = task.backoff;
@@ -390,8 +438,10 @@ CombinedResult<Scalar, Support> solve_combined(
       record.extra_splits = report.extra_splits;
       record.attempts = report.attempts;
       append_checkpoint_record(options.checkpoint_path, record);
+      note_event("checkpoint", report.label, checkpoints_counter);
     }
 
+    subsets_counter.add(1);
     for (auto& column : subset_columns)
       result.columns.push_back(std::move(column));
     result.total.merge(report.stats);

@@ -58,6 +58,8 @@ struct PartitionedSolveResult {
   /// Peak per-rank bytes (shard + replicated positives) — the quantity
   /// Algorithm 4 is designed to shrink versus Algorithm 2's full replica.
   std::size_t peak_rank_bytes = 0;
+  /// Each rank's own ledger, for per-rank run reports.
+  std::vector<SolveStats> per_rank;
 };
 
 template <typename Scalar, typename Support>
@@ -113,6 +115,10 @@ PartitionedSolveResult<Scalar, Support> solve_partitioned_parallel(
     }
 
     for (std::size_t row : basis.processing_order) {
+      obs::TraceSpan iteration_span(
+          "iteration", "solve",
+          obs::trace() != nullptr ? "row " + std::to_string(row)
+                                  : std::string());
       IterationStats iteration;
       iteration.row = row;
       const bool row_reversible = prepared.problem.reversible[row];
@@ -126,7 +132,7 @@ PartitionedSolveResult<Scalar, Support> solve_partitioned_parallel(
       for (std::uint32_t j : cls.positive) local_positives.push_back(shard[j]);
       std::vector<Column> all_positives;
       {
-        ScopedPhase phase(stats.phases, "communicate");
+        ScopedPhase phase(stats.phases, Phase::kCommunicate);
         auto batches =
             comm.all_gather(mpsim::encode_columns(local_positives));
         for (auto& batch : batches) {
@@ -173,7 +179,7 @@ PartitionedSolveResult<Scalar, Support> solve_partitioned_parallel(
       // against other ranks' ZERO columns are caught the same way: each
       // rank contributes its zero-column supports tagged as "existing".
       {
-        ScopedPhase phase(stats.phases, "communicate");
+        ScopedPhase phase(stats.phases, Phase::kCommunicate);
         // Encode accepted supports + local zero supports into one batch.
         std::vector<Column> support_probe;
         support_probe.reserve(accepted.size());
@@ -183,7 +189,7 @@ PartitionedSolveResult<Scalar, Support> solve_partitioned_parallel(
           support_probe.push_back(std::move(probe));
         }
         auto batches = comm.all_gather(mpsim::encode_columns(support_probe));
-        ScopedPhase merge_phase(stats.phases, "merge");
+        ScopedPhase merge_phase(stats.phases, Phase::kMerge);
         std::vector<Support> earlier;  // supports owned by LOWER ranks
         for (int r = 0; r < rank; ++r) {
           auto incoming = mpsim::decode_columns<Scalar, Support>(
@@ -226,7 +232,7 @@ PartitionedSolveResult<Scalar, Support> solve_partitioned_parallel(
       // the lightest; implemented as a gather of sizes + deterministic
       // transfer plan executed with point-to-point messages).
       {
-        ScopedPhase phase(stats.phases, "communicate");
+        ScopedPhase phase(stats.phases, Phase::kCommunicate);
         const std::uint64_t total = comm.all_reduce_sum(shard.size());
         const std::uint64_t target = total / num_ranks;
         // Deterministic plan known to every rank: sizes via gather.
@@ -288,6 +294,8 @@ PartitionedSolveResult<Scalar, Support> solve_partitioned_parallel(
           std::max(stats.peak_matrix_bytes, shard_bytes + replica_bytes);
       comm.set_memory_usage(shard_bytes + replica_bytes);
       stats.absorb(iteration);
+      publish_iteration_metrics(iteration);
+      if (rank == 0) obs::trace_counter("shard columns", shard.size());
       if (options.solver.on_iteration && rank == 0)
         options.solver.on_iteration(iteration);
     }
@@ -327,6 +335,7 @@ PartitionedSolveResult<Scalar, Support> solve_partitioned_parallel(
   }
   result.stats.iterations =
       rank_stats.empty() ? 0 : rank_stats.front().iterations;
+  result.per_rank = std::move(rank_stats);
   return result;
 }
 

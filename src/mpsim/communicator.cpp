@@ -6,9 +6,31 @@
 #include <thread>
 
 #include "mpsim/fault.hpp"
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
 #include "support/assert.hpp"
 
 namespace elmo::mpsim {
+
+namespace {
+
+/// Cached instrument handles for the runtime's traffic metrics.
+struct MpsimMetrics {
+  obs::Counter messages = obs::Registry::global().counter(
+      "mpsim.messages_sent");
+  obs::Counter bytes = obs::Registry::global().counter("mpsim.bytes_sent");
+  obs::Counter collectives = obs::Registry::global().counter(
+      "mpsim.collectives");
+  obs::Histogram payload_bytes = obs::Registry::global().histogram(
+      "mpsim.payload_bytes");
+
+  static const MpsimMetrics& get() {
+    static const MpsimMetrics metrics;
+    return metrics;
+  }
+};
+
+}  // namespace
 
 namespace detail {
 
@@ -101,6 +123,11 @@ void Communicator::enter_op(const char* where) {
 void Communicator::send(int destination, int tag, Payload payload) {
   ELMO_REQUIRE(destination >= 0 && destination < world_.size,
                "send: bad destination rank");
+  obs::TraceSpan span("send", "mpsim");
+  const MpsimMetrics& metrics = MpsimMetrics::get();
+  metrics.messages.add(1);
+  metrics.bytes.add(payload.size());
+  metrics.payload_bytes.observe(payload.size());
   enter_op("send");
   FaultPlan* plan = world_.options.fault_plan.get();
   if (plan != nullptr) plan->on_payload(rank_, payload);
@@ -119,6 +146,7 @@ void Communicator::send(int destination, int tag, Payload payload) {
 
 Payload Communicator::recv(int source, int tag) {
   ELMO_REQUIRE(source >= 0 && source < world_.size, "recv: bad source rank");
+  obs::TraceSpan span("recv", "mpsim");
   enter_op("recv");
   std::unique_lock lock(world_.mutex);
   auto& queues = world_.mailboxes[static_cast<std::size_t>(rank_)].queues;
@@ -176,12 +204,21 @@ void Communicator::sync_barrier() {
 }
 
 void Communicator::barrier() {
+  obs::TraceSpan span("barrier", "mpsim");
+  MpsimMetrics::get().collectives.add(1);
   enter_op("barrier");
   ++counters_.collectives;
   sync_barrier();
 }
 
 std::vector<Payload> Communicator::all_gather(Payload local) {
+  obs::TraceSpan span("all_gather", "mpsim");
+  const MpsimMetrics& metrics = MpsimMetrics::get();
+  metrics.collectives.add(1);
+  metrics.messages.add(static_cast<std::uint64_t>(world_.size - 1));
+  metrics.bytes.add(local.size() *
+                    static_cast<std::uint64_t>(world_.size - 1));
+  metrics.payload_bytes.observe(local.size());
   enter_op("all_gather");
   FaultPlan* plan = world_.options.fault_plan.get();
   if (plan != nullptr) plan->on_payload(rank_, local);
@@ -206,6 +243,8 @@ std::vector<Payload> Communicator::all_gather(Payload local) {
 }
 
 std::uint64_t Communicator::all_reduce_sum(std::uint64_t local) {
+  obs::TraceSpan span("all_reduce_sum", "mpsim");
+  MpsimMetrics::get().collectives.add(1);
   enter_op("all_reduce_sum");
   {
     std::unique_lock lock(world_.mutex);
@@ -225,6 +264,8 @@ std::uint64_t Communicator::all_reduce_sum(std::uint64_t local) {
 }
 
 std::uint64_t Communicator::all_reduce_max(std::uint64_t local) {
+  obs::TraceSpan span("all_reduce_max", "mpsim");
+  MpsimMetrics::get().collectives.add(1);
   enter_op("all_reduce_max");
   {
     std::unique_lock lock(world_.mutex);
@@ -274,6 +315,7 @@ RunReport run_ranks(int num_ranks,
   threads.reserve(static_cast<std::size_t>(num_ranks));
   for (int r = 0; r < num_ranks; ++r) {
     threads.emplace_back([&, r] {
+      obs::set_current_thread_name("rank " + std::to_string(r));
       try {
         body(comms[static_cast<std::size_t>(r)]);
         std::unique_lock lock(world.mutex);

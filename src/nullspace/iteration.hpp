@@ -385,13 +385,13 @@ void process_pair_range(
   while (cursor < end) {
     refs.clear();
     {
-      ScopedPhase phase(phases, "gen cand");
+      ScopedPhase phase(phases, Phase::kGenCand);
       generate_candidate_refs(columns, row, cls, &cursor, end, rank, ref_cap,
                               refs, stats);
     }
     std::size_t block_first_accept = accepted_out.size();
     {
-      ScopedPhase phase(phases, "merge");
+      ScopedPhase phase(phases, Phase::kMerge);
       std::sort(refs.begin(), refs.end());
       auto last = std::unique(refs.begin(), refs.end(),
                               [](const auto& a, const auto& b) {
@@ -447,7 +447,7 @@ void process_pair_range(
       }
     }
     {
-      ScopedPhase phase(phases, "rank test");
+      ScopedPhase phase(phases, Phase::kRankTest);
       for (const auto& ref : refs) {
         ++stats.rank_tests;
         if (is_elementary(ref.support)) {
@@ -457,7 +457,7 @@ void process_pair_range(
     }
     if (cursor < end) {
       // More blocks follow: remember this block's accepted supports.
-      ScopedPhase phase(phases, "merge");
+      ScopedPhase phase(phases, Phase::kMerge);
       for (std::size_t a = block_first_accept; a < accepted_out.size(); ++a)
         accepted_supports.push_back(accepted_out[a].support);
       std::sort(accepted_supports.begin(), accepted_supports.end());

@@ -52,6 +52,9 @@ struct SolverOptions {
   /// Optional per-iteration observer (progress logging, memory budget
   /// enforcement).  Called after each iteration with its stats.
   std::function<void(const IterationStats&)> on_iteration;
+  /// Keep the per-iteration history on SolveStats (column-growth curve for
+  /// run reports).  One IterationStats per constrained row.
+  bool record_history = false;
 };
 
 template <typename Scalar, typename Support>
@@ -73,6 +76,7 @@ template <typename Scalar, typename Support>
 SolveResult<Scalar, Support> solve_nullspace(const EfmProblem<Scalar>& problem,
                                              const SolverOptions& options = {}) {
   SolveResult<Scalar, Support> result;
+  result.stats.keep_history = options.record_history;
   auto basis = compute_initial_basis<Scalar, Support>(
       problem, options.ordering, options.exclude_rows);
   result.stats.peak_columns = basis.columns.size();
@@ -92,6 +96,12 @@ SolveResult<Scalar, Support> solve_nullspace(const EfmProblem<Scalar>& problem,
   result.columns = std::move(basis.columns);
 
   for (std::size_t row : basis.processing_order) {
+    // Span label is the fixed literal; the row index goes in args.detail
+    // (formatted only when tracing is on).
+    obs::TraceSpan iteration_span(
+        "iteration", "solve",
+        obs::trace() != nullptr ? "row " + std::to_string(row)
+                                : std::string());
     IterationStats iteration;
     iteration.row = row;
     auto cls = classify_row(result.columns, row);
@@ -139,6 +149,8 @@ SolveResult<Scalar, Support> solve_nullspace(const EfmProblem<Scalar>& problem,
         std::max(result.stats.peak_matrix_bytes,
                  matrix_storage_bytes(result.columns));
     result.stats.absorb(iteration);
+    publish_iteration_metrics(iteration);
+    obs::trace_counter("columns", iteration.columns_after);
     if (options.on_iteration) options.on_iteration(iteration);
   }
   return result;

@@ -7,7 +7,9 @@
 #pragma once
 
 #include <cstdint>
+#include <vector>
 
+#include "obs/metrics.hpp"
 #include "support/timer.hpp"
 
 namespace elmo {
@@ -41,6 +43,12 @@ struct SolveStats {
   /// Phase timings: "gen cand", "rank test", "communicate", "merge" — the
   /// rows of Tables II and III.
   PhaseTimer phases;
+  /// When true, absorb() also appends each IterationStats to `history`, so
+  /// the run report can plot the column-growth curve.  Off by default: a
+  /// large solve has one entry per constrained row and most callers only
+  /// need the totals.
+  bool keep_history = false;
+  std::vector<IterationStats> history;
 
   void absorb(const IterationStats& it) {
     total_pairs_probed += it.pairs_probed;
@@ -50,9 +58,12 @@ struct SolveStats {
     total_duplicates_removed += it.duplicates_removed;
     peak_columns = std::max<std::uint64_t>(peak_columns, it.columns_after);
     ++iterations;
+    if (keep_history) history.push_back(it);
   }
 
-  /// Combine subproblem stats (divide-and-conquer aggregation).
+  /// Combine subproblem stats (divide-and-conquer aggregation).  Iteration
+  /// histories concatenate (they used to be silently dropped, losing the
+  /// growth curve of every subproblem after the first).
   void merge(const SolveStats& other) {
     total_pairs_probed += other.total_pairs_probed;
     total_pretest_survivors += other.total_pretest_survivors;
@@ -64,7 +75,38 @@ struct SolveStats {
     iterations += other.iterations;
     bigint_fallback = bigint_fallback || other.bigint_fallback;
     phases.merge(other.phases);
+    keep_history = keep_history || other.keep_history;
+    history.insert(history.end(), other.history.begin(),
+                   other.history.end());
   }
 };
+
+/// Publish one finished iteration to the global metrics registry.  Handles
+/// are interned once (function-local statics); every call thereafter is a
+/// handful of relaxed atomic ops, and a single relaxed load each when the
+/// registry is disabled.
+inline void publish_iteration_metrics(const IterationStats& it) {
+  if constexpr (!obs::kObsCompiledIn) return;
+  auto& registry = obs::Registry::global();
+  static const obs::Counter iterations = registry.counter("solver.iterations");
+  static const obs::Counter pairs = registry.counter("solver.pairs_probed");
+  static const obs::Counter survivors =
+      registry.counter("solver.pretest_survivors");
+  static const obs::Counter rank_tests = registry.counter("solver.rank_tests");
+  static const obs::Counter accepted = registry.counter("solver.accepted");
+  static const obs::Counter duplicates =
+      registry.counter("solver.duplicates_removed");
+  static const obs::Histogram iteration_pairs =
+      registry.histogram("solver.iteration_pairs");
+  static const obs::Gauge columns = registry.gauge("solver.columns");
+  iterations.add(1);
+  pairs.add(it.pairs_probed);
+  survivors.add(it.pretest_survivors);
+  rank_tests.add(it.rank_tests);
+  accepted.add(it.accepted);
+  duplicates.add(it.duplicates_removed);
+  iteration_pairs.observe(it.pairs_probed);
+  columns.set(it.columns_after);
+}
 
 }  // namespace elmo

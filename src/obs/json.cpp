@@ -1,0 +1,406 @@
+#include "obs/json.hpp"
+
+#include <cctype>
+#include <charconv>
+#include <cmath>
+#include <cstdio>
+#include <cstring>
+
+namespace elmo::obs {
+
+double JsonValue::as_double() const {
+  switch (kind_) {
+    case Kind::kInt:
+      return static_cast<double>(int_);
+    case Kind::kUint:
+      return static_cast<double>(uint_);
+    case Kind::kDouble:
+      return double_;
+    default:
+      return 0.0;
+  }
+}
+
+std::uint64_t JsonValue::as_uint() const {
+  switch (kind_) {
+    case Kind::kInt:
+      return int_ < 0 ? 0 : static_cast<std::uint64_t>(int_);
+    case Kind::kUint:
+      return uint_;
+    case Kind::kDouble:
+      return double_ < 0 ? 0 : static_cast<std::uint64_t>(double_);
+    default:
+      return 0;
+  }
+}
+
+std::int64_t JsonValue::as_int() const {
+  switch (kind_) {
+    case Kind::kInt:
+      return int_;
+    case Kind::kUint:
+      return static_cast<std::int64_t>(uint_);
+    case Kind::kDouble:
+      return static_cast<std::int64_t>(double_);
+    default:
+      return 0;
+  }
+}
+
+JsonValue& JsonValue::set(const std::string& key, JsonValue v) {
+  for (auto& [k, existing] : object_) {
+    if (k == key) {
+      existing = std::move(v);
+      return existing;
+    }
+  }
+  object_.emplace_back(key, std::move(v));
+  return object_.back().second;
+}
+
+const JsonValue* JsonValue::find(const std::string& key) const {
+  for (const auto& [k, v] : object_) {
+    if (k == key) return &v;
+  }
+  return nullptr;
+}
+
+std::string json_escape(const std::string& text) {
+  std::string out;
+  out.reserve(text.size());
+  for (unsigned char c : text) {
+    switch (c) {
+      case '"':
+        out += "\\\"";
+        break;
+      case '\\':
+        out += "\\\\";
+        break;
+      case '\n':
+        out += "\\n";
+        break;
+      case '\r':
+        out += "\\r";
+        break;
+      case '\t':
+        out += "\\t";
+        break;
+      default:
+        if (c < 0x20) {
+          char buffer[8];
+          std::snprintf(buffer, sizeof buffer, "\\u%04x", c);
+          out += buffer;
+        } else {
+          out.push_back(static_cast<char>(c));
+        }
+    }
+  }
+  return out;
+}
+
+namespace {
+
+void append_double(std::string& out, double value) {
+  if (!std::isfinite(value)) {
+    out += "0";  // JSON has no NaN/Inf; clamp rather than corrupt the file
+    return;
+  }
+  char buffer[32];
+  std::snprintf(buffer, sizeof buffer, "%.17g", value);
+  out += buffer;
+  // Keep a marker so the value parses back as a double, not an integer.
+  if (!std::strpbrk(buffer, ".eE")) out += ".0";
+}
+
+}  // namespace
+
+void JsonValue::dump_to(std::string& out, int indent, int depth) const {
+  const bool pretty = indent >= 0;
+  auto newline = [&](int level) {
+    if (!pretty) return;
+    out.push_back('\n');
+    out.append(static_cast<std::size_t>(indent * level), ' ');
+  };
+  switch (kind_) {
+    case Kind::kNull:
+      out += "null";
+      break;
+    case Kind::kBool:
+      out += bool_ ? "true" : "false";
+      break;
+    case Kind::kInt:
+      out += std::to_string(int_);
+      break;
+    case Kind::kUint:
+      out += std::to_string(uint_);
+      break;
+    case Kind::kDouble:
+      append_double(out, double_);
+      break;
+    case Kind::kString:
+      out.push_back('"');
+      out += json_escape(string_);
+      out.push_back('"');
+      break;
+    case Kind::kArray: {
+      out.push_back('[');
+      for (std::size_t i = 0; i < array_.size(); ++i) {
+        if (i) out.push_back(',');
+        newline(depth + 1);
+        array_[i].dump_to(out, indent, depth + 1);
+      }
+      if (!array_.empty()) newline(depth);
+      out.push_back(']');
+      break;
+    }
+    case Kind::kObject: {
+      out.push_back('{');
+      for (std::size_t i = 0; i < object_.size(); ++i) {
+        if (i) out.push_back(',');
+        newline(depth + 1);
+        out.push_back('"');
+        out += json_escape(object_[i].first);
+        out += pretty ? "\": " : "\":";
+        object_[i].second.dump_to(out, indent, depth + 1);
+      }
+      if (!object_.empty()) newline(depth);
+      out.push_back('}');
+      break;
+    }
+  }
+}
+
+std::string JsonValue::dump(int indent) const {
+  std::string out;
+  dump_to(out, indent, 0);
+  return out;
+}
+
+namespace {
+
+struct Parser {
+  const std::string& text;
+  std::size_t pos = 0;
+  std::string error;
+
+  [[nodiscard]] bool failed() const { return !error.empty(); }
+
+  void fail(const std::string& what) {
+    if (error.empty())
+      error = what + " at byte " + std::to_string(pos);
+  }
+
+  void skip_ws() {
+    while (pos < text.size() &&
+           (text[pos] == ' ' || text[pos] == '\t' || text[pos] == '\n' ||
+            text[pos] == '\r'))
+      ++pos;
+  }
+
+  [[nodiscard]] char peek() {
+    return pos < text.size() ? text[pos] : '\0';
+  }
+
+  bool consume(char c) {
+    if (peek() != c) return false;
+    ++pos;
+    return true;
+  }
+
+  bool expect(char c) {
+    if (consume(c)) return true;
+    fail(std::string("expected '") + c + "'");
+    return false;
+  }
+
+  bool literal(const char* word) {
+    const std::size_t n = std::strlen(word);
+    if (text.compare(pos, n, word) != 0) {
+      fail(std::string("expected '") + word + "'");
+      return false;
+    }
+    pos += n;
+    return true;
+  }
+
+  JsonValue parse_string() {
+    if (!expect('"')) return {};
+    std::string out;
+    while (pos < text.size()) {
+      char c = text[pos++];
+      if (c == '"') return JsonValue(std::move(out));
+      if (c == '\\') {
+        if (pos >= text.size()) break;
+        char esc = text[pos++];
+        switch (esc) {
+          case '"': out.push_back('"'); break;
+          case '\\': out.push_back('\\'); break;
+          case '/': out.push_back('/'); break;
+          case 'b': out.push_back('\b'); break;
+          case 'f': out.push_back('\f'); break;
+          case 'n': out.push_back('\n'); break;
+          case 'r': out.push_back('\r'); break;
+          case 't': out.push_back('\t'); break;
+          case 'u': {
+            if (pos + 4 > text.size()) {
+              fail("truncated \\u escape");
+              return {};
+            }
+            unsigned code = 0;
+            for (int i = 0; i < 4; ++i) {
+              char h = text[pos++];
+              code <<= 4;
+              if (h >= '0' && h <= '9') code |= static_cast<unsigned>(h - '0');
+              else if (h >= 'a' && h <= 'f') code |= static_cast<unsigned>(h - 'a' + 10);
+              else if (h >= 'A' && h <= 'F') code |= static_cast<unsigned>(h - 'A' + 10);
+              else {
+                fail("bad \\u escape");
+                return {};
+              }
+            }
+            // UTF-8 encode the BMP code point (no surrogate pairing; the
+            // writer only emits \u00xx control escapes).
+            if (code < 0x80) {
+              out.push_back(static_cast<char>(code));
+            } else if (code < 0x800) {
+              out.push_back(static_cast<char>(0xC0 | (code >> 6)));
+              out.push_back(static_cast<char>(0x80 | (code & 0x3F)));
+            } else {
+              out.push_back(static_cast<char>(0xE0 | (code >> 12)));
+              out.push_back(static_cast<char>(0x80 | ((code >> 6) & 0x3F)));
+              out.push_back(static_cast<char>(0x80 | (code & 0x3F)));
+            }
+            break;
+          }
+          default:
+            fail("bad escape character");
+            return {};
+        }
+      } else {
+        out.push_back(c);
+      }
+    }
+    fail("unterminated string");
+    return {};
+  }
+
+  JsonValue parse_number() {
+    const std::size_t start = pos;
+    if (peek() == '-') ++pos;
+    while (std::isdigit(static_cast<unsigned char>(peek()))) ++pos;
+    bool is_integer = true;
+    if (peek() == '.') {
+      is_integer = false;
+      ++pos;
+      while (std::isdigit(static_cast<unsigned char>(peek()))) ++pos;
+    }
+    if (peek() == 'e' || peek() == 'E') {
+      is_integer = false;
+      ++pos;
+      if (peek() == '+' || peek() == '-') ++pos;
+      while (std::isdigit(static_cast<unsigned char>(peek()))) ++pos;
+    }
+    const char* first = text.data() + start;
+    const char* last = text.data() + pos;
+    if (first == last || (*first == '-' && first + 1 == last)) {
+      fail("malformed number");
+      return {};
+    }
+    if (is_integer) {
+      if (*first == '-') {
+        std::int64_t value = 0;
+        auto [ptr, ec] = std::from_chars(first, last, value);
+        if (ec == std::errc() && ptr == last) return JsonValue(value);
+      } else {
+        std::uint64_t value = 0;
+        auto [ptr, ec] = std::from_chars(first, last, value);
+        if (ec == std::errc() && ptr == last) return JsonValue(value);
+      }
+      // Out of 64-bit range: fall through to double.
+    }
+    double value = std::strtod(first, nullptr);
+    return JsonValue(value);
+  }
+
+  JsonValue parse_value(int depth) {
+    if (depth > 200) {
+      fail("nesting too deep");
+      return {};
+    }
+    skip_ws();
+    switch (peek()) {
+      case '{': {
+        ++pos;
+        JsonValue obj = JsonValue::object();
+        skip_ws();
+        if (consume('}')) return obj;
+        for (;;) {
+          skip_ws();
+          JsonValue key = parse_string();
+          if (failed()) return {};
+          skip_ws();
+          if (!expect(':')) return {};
+          JsonValue value = parse_value(depth + 1);
+          if (failed()) return {};
+          obj.set(key.as_string(), std::move(value));
+          skip_ws();
+          if (consume(',')) continue;
+          if (consume('}')) return obj;
+          fail("expected ',' or '}'");
+          return {};
+        }
+      }
+      case '[': {
+        ++pos;
+        JsonValue arr = JsonValue::array();
+        skip_ws();
+        if (consume(']')) return arr;
+        for (;;) {
+          JsonValue value = parse_value(depth + 1);
+          if (failed()) return {};
+          arr.push_back(std::move(value));
+          skip_ws();
+          if (consume(',')) continue;
+          if (consume(']')) return arr;
+          fail("expected ',' or ']'");
+          return {};
+        }
+      }
+      case '"':
+        return parse_string();
+      case 't':
+        if (!literal("true")) return {};
+        return JsonValue(true);
+      case 'f':
+        if (!literal("false")) return {};
+        return JsonValue(false);
+      case 'n':
+        if (!literal("null")) return {};
+        return JsonValue();
+      default:
+        if (peek() == '-' || std::isdigit(static_cast<unsigned char>(peek())))
+          return parse_number();
+        fail("unexpected character");
+        return {};
+    }
+  }
+};
+
+}  // namespace
+
+JsonValue parse_json(const std::string& text, std::string* error) {
+  Parser parser{text, 0, {}};
+  JsonValue value = parser.parse_value(0);
+  if (!parser.failed()) {
+    parser.skip_ws();
+    if (parser.pos != text.size()) parser.fail("trailing content");
+  }
+  if (parser.failed()) {
+    if (error != nullptr) *error = parser.error;
+    return {};
+  }
+  if (error != nullptr) error->clear();
+  return value;
+}
+
+}  // namespace elmo::obs

@@ -1,0 +1,109 @@
+// Minimal JSON document model: build, serialise, parse.
+//
+// The observability layer emits three kinds of JSON artefacts — Chrome
+// trace_event files, metrics snapshots, and per-solve run reports — and the
+// test suite parses them back to assert well-formedness.  A dependency-free
+// ~300-line DOM covers both directions; it is NOT a general-purpose JSON
+// library (no surrogate-pair decoding on input, no comments, no trailing
+// commas) but accepts everything this repo writes and rejects malformed
+// input with a position-carrying error message.
+//
+// Numbers: unsigned/signed 64-bit integers are preserved exactly (candidate
+// pair counts exceed 2^53, where double would silently round); everything
+// else is double.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <string>
+#include <utility>
+#include <vector>
+
+namespace elmo::obs {
+
+class JsonValue {
+ public:
+  enum class Kind { kNull, kBool, kInt, kUint, kDouble, kString, kArray,
+                    kObject };
+
+  using Array = std::vector<JsonValue>;
+  /// Insertion-ordered object: reports read better when keys keep the
+  /// order they were written in (totals first, details last).
+  using Object = std::vector<std::pair<std::string, JsonValue>>;
+
+  JsonValue() : kind_(Kind::kNull) {}
+  JsonValue(bool b) : kind_(Kind::kBool), bool_(b) {}
+  JsonValue(std::int64_t v) : kind_(Kind::kInt), int_(v) {}
+  JsonValue(std::uint64_t v) : kind_(Kind::kUint), uint_(v) {}
+  JsonValue(int v) : kind_(Kind::kInt), int_(v) {}
+  JsonValue(unsigned v) : kind_(Kind::kUint), uint_(v) {}
+  JsonValue(double v) : kind_(Kind::kDouble), double_(v) {}
+  JsonValue(std::string s) : kind_(Kind::kString), string_(std::move(s)) {}
+  JsonValue(const char* s) : kind_(Kind::kString), string_(s) {}
+
+  static JsonValue array() {
+    JsonValue v;
+    v.kind_ = Kind::kArray;
+    return v;
+  }
+  static JsonValue object() {
+    JsonValue v;
+    v.kind_ = Kind::kObject;
+    return v;
+  }
+
+  [[nodiscard]] Kind kind() const { return kind_; }
+  [[nodiscard]] bool is_null() const { return kind_ == Kind::kNull; }
+  [[nodiscard]] bool is_number() const {
+    return kind_ == Kind::kInt || kind_ == Kind::kUint ||
+           kind_ == Kind::kDouble;
+  }
+
+  [[nodiscard]] bool as_bool() const { return bool_; }
+  [[nodiscard]] double as_double() const;
+  [[nodiscard]] std::uint64_t as_uint() const;
+  [[nodiscard]] std::int64_t as_int() const;
+  [[nodiscard]] const std::string& as_string() const { return string_; }
+  [[nodiscard]] const Array& as_array() const { return array_; }
+  [[nodiscard]] const Object& as_object() const { return object_; }
+
+  /// Append to an array value (kind must be kArray).
+  JsonValue& push_back(JsonValue v) {
+    array_.push_back(std::move(v));
+    return array_.back();
+  }
+
+  /// Set a key on an object value (kind must be kObject); replaces an
+  /// existing key in place, preserving its position.
+  JsonValue& set(const std::string& key, JsonValue v);
+
+  /// Object member lookup; nullptr if absent or not an object.
+  [[nodiscard]] const JsonValue* find(const std::string& key) const;
+
+  /// Serialise.  `indent` < 0 renders compact single-line JSON; >= 0
+  /// pretty-prints with that many spaces per level.
+  [[nodiscard]] std::string dump(int indent = -1) const;
+
+ private:
+  void dump_to(std::string& out, int indent, int depth) const;
+
+  Kind kind_;
+  bool bool_ = false;
+  std::int64_t int_ = 0;
+  std::uint64_t uint_ = 0;
+  double double_ = 0.0;
+  std::string string_;
+  Array array_;
+  Object object_;
+};
+
+/// Escape `text` for inclusion inside a JSON string literal (quotes not
+/// included).  Shared with the streaming trace writer.
+std::string json_escape(const std::string& text);
+
+/// Parse a complete JSON document.  On failure returns a null value and
+/// sets `*error` (when non-null) to a message with the byte offset.
+JsonValue parse_json(const std::string& text, std::string* error = nullptr);
+
+}  // namespace elmo::obs

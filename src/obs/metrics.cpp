@@ -1,0 +1,179 @@
+#include "obs/metrics.hpp"
+
+#include <bit>
+#include <deque>
+
+namespace elmo::obs {
+
+namespace detail {
+
+std::size_t metric_shard() {
+  static std::atomic<std::size_t> next{0};
+  thread_local const std::size_t shard =
+      next.fetch_add(1, std::memory_order_relaxed) % kMetricShards;
+  return shard;
+}
+
+}  // namespace detail
+
+std::size_t histogram_bucket(std::uint64_t value) {
+  return static_cast<std::size_t>(std::bit_width(value));
+}
+
+std::uint64_t histogram_bucket_low(std::size_t index) {
+  if (index <= 1) return index;  // bucket 0 = {0}, bucket 1 starts at 1
+  return std::uint64_t{1} << (index - 1);
+}
+
+/// Instrument storage.  Deques keep element addresses stable across
+/// registrations, so handles stay valid while new instruments appear.
+struct Registry::Impl {
+  std::deque<detail::CounterData> counters;
+  std::deque<detail::GaugeData> gauges;
+  std::deque<detail::HistogramData> histograms;
+  std::map<std::string, detail::CounterData*> counter_index;
+  std::map<std::string, detail::GaugeData*> gauge_index;
+  std::map<std::string, detail::HistogramData*> histogram_index;
+};
+
+Registry& Registry::global() {
+  // Heap-allocated and never destroyed: instrument handles cached in
+  // function-local statics all over the codebase must stay valid for the
+  // whole process lifetime, independent of static destruction order.
+  static Registry* registry = new Registry();
+  return *registry;
+}
+
+Registry::~Registry() { delete impl_; }
+
+Registry::Impl& Registry::impl() {
+  if (impl_ == nullptr) impl_ = new Impl();
+  return *impl_;
+}
+
+Counter Registry::counter(const std::string& name) {
+  if constexpr (!kObsCompiledIn) return Counter();
+  std::lock_guard lock(mutex_);
+  auto& data = impl().counter_index[name];
+  if (data == nullptr) {
+    impl().counters.emplace_back();
+    data = &impl().counters.back();
+    data->name = name;
+    data->enabled = &enabled_;
+  }
+  return Counter(data);
+}
+
+Gauge Registry::gauge(const std::string& name) {
+  if constexpr (!kObsCompiledIn) return Gauge();
+  std::lock_guard lock(mutex_);
+  auto& data = impl().gauge_index[name];
+  if (data == nullptr) {
+    impl().gauges.emplace_back();
+    data = &impl().gauges.back();
+    data->name = name;
+    data->enabled = &enabled_;
+  }
+  return Gauge(data);
+}
+
+Histogram Registry::histogram(const std::string& name) {
+  if constexpr (!kObsCompiledIn) return Histogram();
+  std::lock_guard lock(mutex_);
+  auto& data = impl().histogram_index[name];
+  if (data == nullptr) {
+    impl().histograms.emplace_back();
+    data = &impl().histograms.back();
+    data->name = name;
+    data->enabled = &enabled_;
+  }
+  return Histogram(data);
+}
+
+MetricsSnapshot Registry::snapshot() const {
+  MetricsSnapshot snapshot;
+  std::lock_guard lock(mutex_);
+  if (impl_ == nullptr) return snapshot;
+  for (const auto& counter : impl_->counters) {
+    std::uint64_t total = 0;
+    for (const auto& shard : counter.shards)
+      total += shard.value.load(std::memory_order_relaxed);
+    snapshot.counters[counter.name] = total;
+  }
+  for (const auto& gauge : impl_->gauges) {
+    snapshot.gauges[gauge.name] = {
+        gauge.value.load(std::memory_order_relaxed),
+        gauge.max.load(std::memory_order_relaxed)};
+  }
+  for (const auto& histogram : impl_->histograms) {
+    HistogramSnapshot merged;
+    for (const auto& shard : histogram.shards) {
+      for (std::size_t b = 0; b < kHistogramBuckets; ++b) {
+        const std::uint64_t n =
+            shard.buckets[b].load(std::memory_order_relaxed);
+        merged.buckets[b] += n;
+        merged.count += n;
+      }
+      merged.sum += shard.sum.load(std::memory_order_relaxed);
+    }
+    snapshot.histograms[histogram.name] = merged;
+  }
+  return snapshot;
+}
+
+void Registry::reset() {
+  std::lock_guard lock(mutex_);
+  if (impl_ == nullptr) return;
+  for (auto& counter : impl_->counters) {
+    for (auto& shard : counter.shards)
+      shard.value.store(0, std::memory_order_relaxed);
+  }
+  for (auto& gauge : impl_->gauges) {
+    gauge.value.store(0, std::memory_order_relaxed);
+    gauge.max.store(0, std::memory_order_relaxed);
+  }
+  for (auto& histogram : impl_->histograms) {
+    for (auto& shard : histogram.shards) {
+      for (auto& bucket : shard.buckets)
+        bucket.store(0, std::memory_order_relaxed);
+      shard.sum.store(0, std::memory_order_relaxed);
+    }
+  }
+}
+
+JsonValue MetricsSnapshot::to_json() const {
+  JsonValue root = JsonValue::object();
+  JsonValue counters_json = JsonValue::object();
+  for (const auto& [name, value] : counters)
+    counters_json.set(name, JsonValue(value));
+  root.set("counters", std::move(counters_json));
+
+  JsonValue gauges_json = JsonValue::object();
+  for (const auto& [name, gauge] : gauges) {
+    JsonValue entry = JsonValue::object();
+    entry.set("value", JsonValue(gauge.value));
+    entry.set("max", JsonValue(gauge.max));
+    gauges_json.set(name, std::move(entry));
+  }
+  root.set("gauges", std::move(gauges_json));
+
+  JsonValue histograms_json = JsonValue::object();
+  for (const auto& [name, histogram] : histograms) {
+    JsonValue entry = JsonValue::object();
+    entry.set("count", JsonValue(histogram.count));
+    entry.set("sum", JsonValue(histogram.sum));
+    // Sparse bucket map keyed by the bucket's inclusive lower bound.
+    JsonValue buckets_json = JsonValue::object();
+    for (std::size_t b = 0; b < kHistogramBuckets; ++b) {
+      if (histogram.buckets[b] == 0) continue;
+      buckets_json.set(std::to_string(histogram_bucket_low(b)),
+                       JsonValue(histogram.buckets[b]));
+    }
+    entry.set("buckets_by_low", std::move(buckets_json));
+    histograms_json.set(name, std::move(entry));
+  }
+  root.set("histograms", std::move(histograms_json));
+  return root;
+}
+
+}  // namespace elmo::obs

@@ -1,0 +1,207 @@
+// Metrics registry: named counters, gauges, and log2-bucket histograms.
+//
+// Design goals, in order:
+//   1. Lock-cheap hot path.  Counter/histogram writes go to a per-thread
+//      shard (a cache-line-padded atomic selected by a thread-local ordinal)
+//      with a single relaxed fetch_add — no mutex, no contention while the
+//      live thread count stays under kMetricShards.  Snapshots sum the
+//      shards; relaxed reads racing with writers are exact for quiesced
+//      instruments and at-most-one-op stale otherwise.
+//   2. Zero cost when disabled.  Every instrument op first checks one
+//      relaxed atomic bool; the registry starts DISABLED and is switched on
+//      by --metrics/--report/ELMO_METRICS.  Defining ELMO_OBS_DISABLE
+//      compiles the ops out entirely (kObsCompiledIn, obs/trace.hpp).
+//   3. Stable handles.  Instruments are interned by name once (mutex held)
+//      and the returned handle is two pointers; call sites cache them in
+//      function-local statics so steady-state cost is the enabled check.
+//
+// Instrumentation granularity: the solver publishes per ITERATION (summing
+// an IterationStats), mpsim per OPERATION — never per candidate pair — so
+// even the enabled path is far below 1% of solve time.
+//
+// Histograms use fixed log2 buckets: bucket 0 counts zero values, bucket i
+// (1..64) counts values in [2^(i-1), 2^i - 1].  That covers the full
+// uint64 range (candidate-pair counts reach billions) with a fixed 65-slot
+// footprint and no configuration.
+#pragma once
+
+#include <array>
+#include <atomic>
+#include <cstdint>
+#include <map>
+#include <mutex>
+#include <string>
+
+#include "obs/json.hpp"
+#include "obs/trace.hpp"  // kObsCompiledIn
+
+namespace elmo::obs {
+
+inline constexpr std::size_t kMetricShards = 32;
+inline constexpr std::size_t kHistogramBuckets = 65;
+
+namespace detail {
+
+/// Thread-local shard ordinal (round-robin, wraps past kMetricShards).
+std::size_t metric_shard();
+
+struct alignas(64) ShardCell {
+  std::atomic<std::uint64_t> value{0};
+};
+
+struct CounterData {
+  std::string name;
+  const std::atomic<bool>* enabled = nullptr;
+  std::array<ShardCell, kMetricShards> shards;
+};
+
+struct GaugeData {
+  std::string name;
+  const std::atomic<bool>* enabled = nullptr;
+  std::atomic<std::uint64_t> value{0};
+  std::atomic<std::uint64_t> max{0};
+};
+
+struct HistogramShard {
+  std::array<std::atomic<std::uint64_t>, kHistogramBuckets> buckets{};
+  std::atomic<std::uint64_t> sum{0};
+};
+
+struct HistogramData {
+  std::string name;
+  const std::atomic<bool>* enabled = nullptr;
+  std::array<HistogramShard, kMetricShards> shards;
+};
+
+}  // namespace detail
+
+/// Log2 bucket index of `value`: 0 for 0, else std::bit_width(value)
+/// (bucket i spans [2^(i-1), 2^i - 1]; bucket 64 ends at UINT64_MAX).
+[[nodiscard]] std::size_t histogram_bucket(std::uint64_t value);
+
+/// Inclusive lower bound of bucket `index` (0 for buckets 0 and... bucket 1
+/// starts at 1, bucket i>=1 starts at 2^(i-1)).
+[[nodiscard]] std::uint64_t histogram_bucket_low(std::size_t index);
+
+class Counter {
+ public:
+  Counter() = default;
+
+  void add(std::uint64_t n = 1) const {
+    if constexpr (!kObsCompiledIn) return;
+    if (data_ == nullptr ||
+        !data_->enabled->load(std::memory_order_relaxed) || n == 0)
+      return;
+    data_->shards[detail::metric_shard()].value.fetch_add(
+        n, std::memory_order_relaxed);
+  }
+
+ private:
+  friend class Registry;
+  explicit Counter(detail::CounterData* data) : data_(data) {}
+  detail::CounterData* data_ = nullptr;
+};
+
+class Gauge {
+ public:
+  Gauge() = default;
+
+  /// Set the current value, tracking the running maximum.
+  void set(std::uint64_t value) const {
+    if constexpr (!kObsCompiledIn) return;
+    if (data_ == nullptr || !data_->enabled->load(std::memory_order_relaxed))
+      return;
+    data_->value.store(value, std::memory_order_relaxed);
+    std::uint64_t seen = data_->max.load(std::memory_order_relaxed);
+    while (value > seen &&
+           !data_->max.compare_exchange_weak(seen, value,
+                                             std::memory_order_relaxed)) {
+    }
+  }
+
+ private:
+  friend class Registry;
+  explicit Gauge(detail::GaugeData* data) : data_(data) {}
+  detail::GaugeData* data_ = nullptr;
+};
+
+class Histogram {
+ public:
+  Histogram() = default;
+
+  void observe(std::uint64_t value) const {
+    if constexpr (!kObsCompiledIn) return;
+    if (data_ == nullptr || !data_->enabled->load(std::memory_order_relaxed))
+      return;
+    auto& shard = data_->shards[detail::metric_shard()];
+    shard.buckets[histogram_bucket(value)].fetch_add(
+        1, std::memory_order_relaxed);
+    shard.sum.fetch_add(value, std::memory_order_relaxed);
+  }
+
+ private:
+  friend class Registry;
+  explicit Histogram(detail::HistogramData* data) : data_(data) {}
+  detail::HistogramData* data_ = nullptr;
+};
+
+struct HistogramSnapshot {
+  std::array<std::uint64_t, kHistogramBuckets> buckets{};
+  std::uint64_t count = 0;
+  std::uint64_t sum = 0;  // wraps modulo 2^64 on overflow, like the shards
+};
+
+struct GaugeSnapshot {
+  std::uint64_t value = 0;
+  std::uint64_t max = 0;
+};
+
+/// A merged view of every registered instrument.
+struct MetricsSnapshot {
+  std::map<std::string, std::uint64_t> counters;
+  std::map<std::string, GaugeSnapshot> gauges;
+  std::map<std::string, HistogramSnapshot> histograms;
+
+  [[nodiscard]] JsonValue to_json() const;
+};
+
+class Registry {
+ public:
+  /// The process-global registry used by all built-in instrumentation.
+  static Registry& global();
+
+  Registry() = default;
+  Registry(const Registry&) = delete;
+  Registry& operator=(const Registry&) = delete;
+  ~Registry();
+
+  /// Intern an instrument by name (idempotent; handles are stable for the
+  /// registry's lifetime).
+  Counter counter(const std::string& name);
+  Gauge gauge(const std::string& name);
+  Histogram histogram(const std::string& name);
+
+  void set_enabled(bool enabled) {
+    enabled_.store(enabled, std::memory_order_relaxed);
+  }
+  [[nodiscard]] bool enabled() const {
+    return enabled_.load(std::memory_order_relaxed);
+  }
+
+  /// Merge all shards into one consistent view.  Safe to call while
+  /// writers are active (values may lag the newest writes by one op).
+  [[nodiscard]] MetricsSnapshot snapshot() const;
+
+  /// Zero every instrument (registrations are kept).
+  void reset();
+
+ private:
+  struct Impl;
+  Impl& impl();  // lazily constructed under mutex_
+
+  std::atomic<bool> enabled_{false};
+  Impl* impl_ = nullptr;
+  mutable std::mutex mutex_;
+};
+
+}  // namespace elmo::obs

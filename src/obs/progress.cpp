@@ -1,0 +1,176 @@
+#include "obs/progress.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+
+#include "obs/json.hpp"
+
+namespace elmo::obs {
+
+namespace {
+
+double seconds_between(std::chrono::steady_clock::time_point from,
+                       std::chrono::steady_clock::time_point to) {
+  return std::chrono::duration<double>(to - from).count();
+}
+
+}  // namespace
+
+std::string format_count(std::uint64_t value) {
+  char buffer[32];
+  if (value >= 1'000'000'000ull) {
+    std::snprintf(buffer, sizeof buffer, "%.1fG",
+                  static_cast<double>(value) / 1e9);
+  } else if (value >= 1'000'000ull) {
+    std::snprintf(buffer, sizeof buffer, "%.1fM",
+                  static_cast<double>(value) / 1e6);
+  } else if (value >= 10'000ull) {
+    std::snprintf(buffer, sizeof buffer, "%.1fk",
+                  static_cast<double>(value) / 1e3);
+  } else {
+    std::snprintf(buffer, sizeof buffer, "%llu",
+                  static_cast<unsigned long long>(value));
+  }
+  return buffer;
+}
+
+std::string format_duration(double seconds) {
+  char buffer[32];
+  if (seconds < 0.0) seconds = 0.0;
+  if (seconds < 100.0) {
+    std::snprintf(buffer, sizeof buffer, "%.1fs", seconds);
+  } else if (seconds < 3600.0) {
+    const int minutes = static_cast<int>(seconds) / 60;
+    const int rest = static_cast<int>(seconds) % 60;
+    std::snprintf(buffer, sizeof buffer, "%dm%02ds", minutes, rest);
+  } else {
+    const int hours = static_cast<int>(seconds) / 3600;
+    const int minutes = (static_cast<int>(seconds) % 3600) / 60;
+    std::snprintf(buffer, sizeof buffer, "%dh%02dm", hours, minutes);
+  }
+  return buffer;
+}
+
+ProgressReporter::ProgressReporter(ProgressOptions options)
+    : options_(std::move(options)),
+      start_(std::chrono::steady_clock::now()),
+      last_emit_(start_) {
+  if (!options_.heartbeat_path.empty()) {
+    heartbeat_ = std::fopen(options_.heartbeat_path.c_str(), "wb");
+    if (heartbeat_ == nullptr) {
+      throw std::runtime_error("cannot open heartbeat file: " +
+                               options_.heartbeat_path);
+    }
+  }
+}
+
+ProgressReporter::~ProgressReporter() {
+  if (heartbeat_ != nullptr) std::fclose(heartbeat_);
+}
+
+std::uint64_t ProgressReporter::pairs_so_far() const {
+  std::lock_guard lock(mutex_);
+  return cumulative_pairs_;
+}
+
+void ProgressReporter::on_iteration(const ProgressSample& sample) {
+  std::lock_guard lock(mutex_);
+  if (finished_) return;
+  // Callers either number their iterations (sample.iteration > 0) or let
+  // the reporter count calls (sample.iteration == 0).
+  iterations_seen_ = sample.iteration > 0
+                         ? std::max(iterations_seen_, sample.iteration)
+                         : iterations_seen_ + 1;
+  cumulative_pairs_ += sample.pairs_probed;
+  columns_ = sample.columns;
+  const auto now = std::chrono::steady_clock::now();
+  if (seconds_between(last_emit_, now) < options_.interval_seconds) return;
+  last_emit_ = now;
+  emit_locked(/*final_line=*/false, /*num_efms=*/0);
+}
+
+void ProgressReporter::finish(std::uint64_t num_efms) {
+  std::lock_guard lock(mutex_);
+  if (finished_) return;
+  finished_ = true;
+  emit_locked(/*final_line=*/true, num_efms);
+  if (heartbeat_ != nullptr) std::fflush(heartbeat_);
+}
+
+void ProgressReporter::emit_locked(bool final_line, std::uint64_t num_efms) {
+  const double elapsed =
+      seconds_between(start_, std::chrono::steady_clock::now());
+  const double pairs_per_sec =
+      elapsed > 0.0 ? static_cast<double>(cumulative_pairs_) / elapsed : 0.0;
+
+  // Fraction complete: the greater of the pair-based fraction (captures the
+  // quadratic cost profile, but the a-priori estimate can overshoot by
+  // orders of magnitude) and the iteration-based fraction (coarse but
+  // bounded).  Taking the max lets the reliable signal floor the other.
+  double fraction = -1.0;
+  if (options_.total_pairs_estimate > 0) {
+    fraction = std::min(1.0, static_cast<double>(cumulative_pairs_) /
+                                 static_cast<double>(
+                                     options_.total_pairs_estimate));
+  }
+  if (options_.total_iterations > 0) {
+    fraction = std::max(
+        fraction,
+        std::min(1.0, static_cast<double>(iterations_seen_) /
+                          static_cast<double>(options_.total_iterations)));
+  }
+  double eta_seconds = -1.0;
+  if (!final_line && fraction > 0.0 && elapsed > 0.0) {
+    eta_seconds = elapsed * (1.0 - fraction) / fraction;
+  }
+
+  if (options_.print) {
+    std::string line = "[elmo]";
+    if (!options_.label.empty()) line += " " + options_.label;
+    line += " iter " + std::to_string(iterations_seen_);
+    if (options_.total_iterations > 0)
+      line += "/" + std::to_string(options_.total_iterations);
+    line += " | cols " + format_count(columns_);
+    line += " | " + format_count(cumulative_pairs_) + " pairs";
+    if (fraction >= 0.0) {
+      char pct[16];
+      std::snprintf(pct, sizeof pct, " (%.1f%%)", fraction * 100.0);
+      line += pct;
+    }
+    line += " | " + format_count(static_cast<std::uint64_t>(pairs_per_sec)) +
+            " pairs/s";
+    if (final_line) {
+      line += " | done: " + format_count(num_efms) + " EFMs in " +
+              format_duration(elapsed);
+    } else if (eta_seconds >= 0.0) {
+      line += " | ETA " + format_duration(eta_seconds);
+    }
+    std::fprintf(stderr, "%s\n", line.c_str());
+  }
+
+  if (heartbeat_ != nullptr) {
+    JsonValue record = JsonValue::object();
+    record.set("t_seconds", JsonValue(elapsed));
+    record.set("iteration", JsonValue(iterations_seen_));
+    if (options_.total_iterations > 0)
+      record.set("total_iterations", JsonValue(options_.total_iterations));
+    record.set("columns", JsonValue(columns_));
+    record.set("pairs_probed", JsonValue(cumulative_pairs_));
+    if (options_.total_pairs_estimate > 0)
+      record.set("total_pairs_estimate",
+                 JsonValue(options_.total_pairs_estimate));
+    record.set("pairs_per_sec", JsonValue(pairs_per_sec));
+    if (eta_seconds >= 0.0)
+      record.set("eta_seconds", JsonValue(eta_seconds));
+    if (!options_.label.empty())
+      record.set("label", JsonValue(options_.label));
+    record.set("done", JsonValue(final_line));
+    if (final_line) record.set("num_efms", JsonValue(num_efms));
+    const std::string json = record.dump();
+    std::fwrite(json.data(), 1, json.size(), heartbeat_);
+    std::fputc('\n', heartbeat_);
+    std::fflush(heartbeat_);
+  }
+}
+
+}  // namespace elmo::obs

@@ -1,0 +1,135 @@
+#include "obs/report.hpp"
+
+#include <cstdio>
+#include <cstring>
+#include <stdexcept>
+
+namespace elmo::obs {
+
+namespace {
+
+JsonValue to_json(const std::map<std::string, std::uint64_t>& map) {
+  JsonValue out = JsonValue::object();
+  for (const auto& [key, value] : map) out.set(key, JsonValue(value));
+  return out;
+}
+
+JsonValue to_json(const std::map<std::string, double>& map) {
+  JsonValue out = JsonValue::object();
+  for (const auto& [key, value] : map) out.set(key, JsonValue(value));
+  return out;
+}
+
+JsonValue rank_to_json(const RankEntry& rank) {
+  JsonValue out = JsonValue::object();
+  out.set("rank", JsonValue(rank.rank));
+  out.set("messages_sent", JsonValue(rank.messages_sent));
+  out.set("bytes_sent", JsonValue(rank.bytes_sent));
+  out.set("collectives", JsonValue(rank.collectives));
+  out.set("memory_peak_bytes", JsonValue(rank.memory_peak_bytes));
+  out.set("phase_seconds", to_json(rank.phase_seconds));
+  return out;
+}
+
+JsonValue ranks_to_json(const std::vector<RankEntry>& ranks) {
+  JsonValue out = JsonValue::array();
+  for (const auto& rank : ranks) out.push_back(rank_to_json(rank));
+  return out;
+}
+
+}  // namespace
+
+JsonValue SolveReport::to_json() const {
+  JsonValue root = JsonValue::object();
+  root.set("network", JsonValue(network));
+  root.set("algorithm", JsonValue(algorithm));
+  root.set("num_ranks", JsonValue(num_ranks));
+  JsonValue config_json = JsonValue::object();
+  for (const auto& [key, value] : config)
+    config_json.set(key, JsonValue(value));
+  root.set("config", std::move(config_json));
+
+  root.set("num_efms", JsonValue(num_efms));
+  root.set("seconds", JsonValue(seconds));
+  root.set("totals", obs::to_json(totals));
+  root.set("peak_columns", JsonValue(peak_columns));
+  root.set("peak_matrix_bytes", JsonValue(peak_matrix_bytes));
+  root.set("bigint_fallback", JsonValue(bigint_fallback));
+  root.set("phase_seconds", obs::to_json(phase_seconds));
+  root.set("peak_rss_bytes", JsonValue(peak_rss_bytes));
+
+  root.set("ranks", ranks_to_json(ranks));
+
+  JsonValue subsets_json = JsonValue::array();
+  for (const auto& subset : subsets) {
+    JsonValue entry = JsonValue::object();
+    entry.set("label", JsonValue(subset.label));
+    entry.set("num_efms", JsonValue(subset.num_efms));
+    entry.set("seconds", JsonValue(subset.seconds));
+    entry.set("attempts", JsonValue(subset.attempts));
+    entry.set("extra_splits", JsonValue(subset.extra_splits));
+    entry.set("resumed", JsonValue(subset.resumed));
+    entry.set("totals", obs::to_json(subset.totals));
+    entry.set("phase_seconds", obs::to_json(subset.phase_seconds));
+    entry.set("ranks", ranks_to_json(subset.ranks));
+    subsets_json.push_back(std::move(entry));
+  }
+  root.set("subsets", std::move(subsets_json));
+
+  JsonValue iterations_json = JsonValue::array();
+  for (const auto& it : iterations) {
+    JsonValue entry = JsonValue::object();
+    entry.set("row", JsonValue(it.row));
+    entry.set("positives", JsonValue(it.positives));
+    entry.set("negatives", JsonValue(it.negatives));
+    entry.set("pairs_probed", JsonValue(it.pairs_probed));
+    entry.set("pretest_survivors", JsonValue(it.pretest_survivors));
+    entry.set("duplicates_removed", JsonValue(it.duplicates_removed));
+    entry.set("rank_tests", JsonValue(it.rank_tests));
+    entry.set("accepted", JsonValue(it.accepted));
+    entry.set("columns_after", JsonValue(it.columns_after));
+    iterations_json.push_back(std::move(entry));
+  }
+  root.set("iterations", std::move(iterations_json));
+
+  JsonValue events_json = JsonValue::array();
+  for (const auto& event : events) {
+    JsonValue entry = JsonValue::object();
+    entry.set("t_seconds", JsonValue(event.t_seconds));
+    entry.set("kind", JsonValue(event.kind));
+    entry.set("detail", JsonValue(event.detail));
+    events_json.push_back(std::move(entry));
+  }
+  root.set("events", std::move(events_json));
+  return root;
+}
+
+void SolveReport::write(const std::string& path) const {
+  const std::string json = to_json().dump(2);
+  std::FILE* file = std::fopen(path.c_str(), "wb");
+  if (file == nullptr)
+    throw std::runtime_error("cannot open report output file: " + path);
+  const std::size_t written = std::fwrite(json.data(), 1, json.size(), file);
+  const bool newline_ok = std::fputc('\n', file) != EOF;
+  const bool ok =
+      written == json.size() && newline_ok && std::fclose(file) == 0;
+  if (!ok) throw std::runtime_error("failed writing report file: " + path);
+}
+
+std::uint64_t process_peak_rss_bytes() {
+  std::FILE* status = std::fopen("/proc/self/status", "r");
+  if (status == nullptr) return 0;
+  char line[256];
+  std::uint64_t kib = 0;
+  while (std::fgets(line, sizeof line, status) != nullptr) {
+    if (std::strncmp(line, "VmHWM:", 6) == 0) {
+      unsigned long long value = 0;
+      if (std::sscanf(line + 6, "%llu", &value) == 1) kib = value;
+      break;
+    }
+  }
+  std::fclose(status);
+  return kib * 1024;
+}
+
+}  // namespace elmo::obs

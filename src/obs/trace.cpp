@@ -1,0 +1,157 @@
+#include "obs/trace.hpp"
+
+#include <cstdio>
+#include <stdexcept>
+
+#include "obs/json.hpp"
+
+namespace elmo::obs {
+
+namespace detail {
+
+std::atomic<TraceRecorder*>& trace_slot() {
+  static std::atomic<TraceRecorder*> slot{nullptr};
+  return slot;
+}
+
+std::uint32_t current_tid() {
+  static std::atomic<std::uint32_t> next{0};
+  thread_local const std::uint32_t tid =
+      next.fetch_add(1, std::memory_order_relaxed);
+  return tid;
+}
+
+}  // namespace detail
+
+void install_trace(TraceRecorder* recorder) {
+  detail::trace_slot().store(recorder, std::memory_order_release);
+}
+
+void TraceRecorder::record_complete(std::string name, const char* category,
+                                    double ts_us, double dur_us,
+                                    std::string detail) {
+  TraceEvent event;
+  event.name = std::move(name);
+  event.category = category;
+  event.phase = 'X';
+  event.tid = detail::current_tid();
+  event.ts_us = ts_us;
+  event.dur_us = dur_us;
+  event.detail = std::move(detail);
+  std::lock_guard lock(mutex_);
+  events_.push_back(std::move(event));
+}
+
+void TraceRecorder::record_instant(std::string name, const char* category,
+                                   std::string detail) {
+  TraceEvent event;
+  event.name = std::move(name);
+  event.category = category;
+  event.phase = 'i';
+  event.tid = detail::current_tid();
+  event.ts_us = now_us();
+  event.detail = std::move(detail);
+  std::lock_guard lock(mutex_);
+  events_.push_back(std::move(event));
+}
+
+void TraceRecorder::record_counter(std::string name, std::uint64_t value) {
+  TraceEvent event;
+  event.name = std::move(name);
+  event.category = "counter";
+  event.phase = 'C';
+  event.tid = detail::current_tid();
+  event.ts_us = now_us();
+  event.value = value;
+  std::lock_guard lock(mutex_);
+  events_.push_back(std::move(event));
+}
+
+void TraceRecorder::set_thread_name(std::string name) {
+  const std::uint32_t tid = detail::current_tid();
+  std::lock_guard lock(mutex_);
+  thread_names_[tid] = std::move(name);
+}
+
+std::size_t TraceRecorder::event_count() const {
+  std::lock_guard lock(mutex_);
+  return events_.size();
+}
+
+std::string TraceRecorder::to_json() const {
+  std::lock_guard lock(mutex_);
+  std::string out;
+  out.reserve(events_.size() * 96 + 256);
+  out += "{\"traceEvents\":[";
+  bool first = true;
+  char buffer[64];
+  auto append_ts = [&](const char* key, double us) {
+    std::snprintf(buffer, sizeof buffer, ",\"%s\":%.3f", key, us);
+    out += buffer;
+  };
+  // Thread-name metadata first, so viewers label tracks before events.
+  for (const auto& [tid, name] : thread_names_) {
+    if (!first) out += ',';
+    first = false;
+    out += "{\"name\":\"thread_name\",\"ph\":\"M\",\"pid\":1,\"tid\":";
+    out += std::to_string(tid);
+    out += ",\"args\":{\"name\":\"";
+    out += json_escape(name);
+    out += "\"}}";
+  }
+  for (const auto& event : events_) {
+    if (!first) out += ',';
+    first = false;
+    out += "{\"name\":\"";
+    out += json_escape(event.name);
+    out += "\",\"cat\":\"";
+    out += event.category;
+    out += "\",\"ph\":\"";
+    out.push_back(event.phase);
+    out += "\",\"pid\":1,\"tid\":";
+    out += std::to_string(event.tid);
+    append_ts("ts", event.ts_us);
+    if (event.phase == 'X') append_ts("dur", event.dur_us);
+    if (event.phase == 'i') out += ",\"s\":\"t\"";
+    if (event.phase == 'C') {
+      out += ",\"args\":{\"value\":";
+      out += std::to_string(event.value);
+      out += "}";
+    } else if (!event.detail.empty()) {
+      out += ",\"args\":{\"detail\":\"";
+      out += json_escape(event.detail);
+      out += "\"}}";
+      continue;
+    }
+    out += "}";
+  }
+  out += "],\"displayTimeUnit\":\"ms\"}";
+  return out;
+}
+
+void TraceRecorder::write(const std::string& path) const {
+  const std::string json = to_json();
+  std::FILE* file = std::fopen(path.c_str(), "wb");
+  if (file == nullptr)
+    throw std::runtime_error("cannot open trace output file: " + path);
+  const std::size_t written = std::fwrite(json.data(), 1, json.size(), file);
+  const bool ok = written == json.size() && std::fclose(file) == 0;
+  if (!ok) throw std::runtime_error("failed writing trace file: " + path);
+}
+
+void set_current_thread_name(const std::string& name) {
+  if (TraceRecorder* recorder = trace()) recorder->set_thread_name(name);
+}
+
+void trace_instant(const char* name, const char* category,
+                   std::string detail) {
+  if (TraceRecorder* recorder = trace())
+    recorder->record_instant(name, category, std::move(detail));
+}
+
+void trace_counter(const char* name, std::uint64_t value) {
+  if (TraceRecorder* recorder = trace())
+    recorder->record_counter(name, value);
+}
+
+}  // namespace elmo::obs

@@ -12,6 +12,7 @@
 #include <thread>
 #include <vector>
 
+#include "obs/trace.hpp"
 #include "support/assert.hpp"
 
 namespace elmo {
@@ -22,7 +23,10 @@ class ThreadPool {
     ELMO_REQUIRE(num_threads > 0, "ThreadPool: need at least one thread");
     workers_.reserve(num_threads);
     for (std::size_t i = 0; i < num_threads; ++i) {
-      workers_.emplace_back([this] { worker_loop(); });
+      workers_.emplace_back([this, i] {
+        obs::set_current_thread_name("pool worker " + std::to_string(i));
+        worker_loop();
+      });
     }
   }
 

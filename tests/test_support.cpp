@@ -73,6 +73,47 @@ TEST(Timer, PhaseTimerAccumulatesAndMerges) {
   EXPECT_DOUBLE_EQ(peak.seconds("rank test"), 3.0);
 }
 
+TEST(Timer, PhaseEnumAndStringApisAreEquivalent) {
+  // The interned enum names ARE the historical string keys.
+  EXPECT_EQ(phase_from_name("gen cand"), Phase::kGenCand);
+  EXPECT_EQ(phase_from_name("rank test"), Phase::kRankTest);
+  EXPECT_EQ(phase_from_name("communicate"), Phase::kCommunicate);
+  EXPECT_EQ(phase_from_name("merge"), Phase::kMerge);
+  EXPECT_EQ(phase_from_name("checkpoint"), Phase::kCheckpoint);
+  EXPECT_EQ(phase_from_name("gen cand "), std::nullopt);
+  EXPECT_EQ(phase_from_name(""), std::nullopt);
+  for (std::size_t p = 0; p < kNumPhases; ++p) {
+    const Phase phase = static_cast<Phase>(p);
+    EXPECT_EQ(phase_from_name(phase_name(phase)), phase);
+  }
+
+  // Adds through either API land in the same slot.
+  PhaseTimer timer;
+  timer.add(Phase::kGenCand, 1.0);
+  timer.add("gen cand", 2.0);
+  EXPECT_DOUBLE_EQ(timer.seconds(Phase::kGenCand), 3.0);
+  EXPECT_DOUBLE_EQ(timer.seconds("gen cand"), 3.0);
+
+  // Ad-hoc names still work via the fallback map, and totals() shows both
+  // kinds (zero-valued interned phases are omitted).
+  timer.add("custom phase", 0.5);
+  auto totals = timer.totals();
+  EXPECT_EQ(totals.size(), 2u);
+  EXPECT_DOUBLE_EQ(totals.at("gen cand"), 3.0);
+  EXPECT_DOUBLE_EQ(totals.at("custom phase"), 0.5);
+
+  PhaseTimer other;
+  other.add(Phase::kGenCand, 5.0);
+  other.add("custom phase", 0.25);
+  PhaseTimer peak = timer;
+  peak.merge_max(other);
+  EXPECT_DOUBLE_EQ(peak.seconds(Phase::kGenCand), 5.0);
+  EXPECT_DOUBLE_EQ(peak.seconds("custom phase"), 0.5);
+
+  timer.clear();
+  EXPECT_TRUE(timer.totals().empty());
+}
+
 TEST(Timer, ScopedPhaseAddsOnDestruction) {
   PhaseTimer timer;
   {
