@@ -20,6 +20,7 @@
 #include <optional>
 
 #include "bitset/dynbitset.hpp"
+#include "check/audit.hpp"
 #include "core/estimate.hpp"
 #include "core/subset_select.hpp"
 #include "elmo/elmo.hpp"
@@ -53,6 +54,10 @@ options:
                             continues appending to FILE unless --checkpoint
                             names a different one
   --exact-rank-test         use the exact Bareiss backend
+  --audit                   re-verify the algorithm's invariants at runtime
+                            (S*R = 0 per iteration, exact rank-nullity,
+                            support minimality, subset partition coverage,
+                            pair conservation) and print the audit tally
   --stats                   print counters and phase times
   --validate                print structural warnings and exit
   --help
@@ -166,6 +171,8 @@ int main(int argc, char** argv) {
       options.resume_from = next();
     } else if (!std::strcmp(argv[i], "--exact-rank-test")) {
       options.rank_backend = RankTestBackend::kExact;
+    } else if (!std::strcmp(argv[i], "--audit")) {
+      options.audit = true;
     } else if (!std::strcmp(argv[i], "--trace")) {
       trace_path = next();
     } else if (!std::strcmp(argv[i], "--metrics")) {
@@ -366,6 +373,22 @@ int main(int argc, char** argv) {
       out << efms_to_csv(result.modes, result.reaction_names);
       std::fprintf(stderr, "%zu modes written to %s\n", result.num_modes(),
                    output_path.c_str());
+    }
+    if (options.audit) {
+      const auto audit = check::AuditLedger::global().snapshot();
+      std::fprintf(stderr,
+                   "audit: all invariants passed (%llu checks: "
+                   "%llu nullspace products, %llu rank-nullity, "
+                   "%llu minimality pairs, %llu partition, "
+                   "%llu proposition-1, %llu pair-conservation)\n",
+                   static_cast<unsigned long long>(audit.total_checks()),
+                   static_cast<unsigned long long>(audit.nullspace_products),
+                   static_cast<unsigned long long>(audit.rank_nullity_checks),
+                   static_cast<unsigned long long>(audit.minimality_checks),
+                   static_cast<unsigned long long>(audit.partition_checks),
+                   static_cast<unsigned long long>(audit.proposition1_checks),
+                   static_cast<unsigned long long>(
+                       audit.pair_conservation_checks));
     }
     if (print_stats) {
       std::fprintf(stderr,

@@ -10,7 +10,9 @@
 #   5. overhead guard: bench_obs_overhead from a -DELMO_OBS_DISABLE=ON
 #      build (true no-instrumentation baseline) vs the plain build's
 #      dormant instrumentation; emits BENCH_observability.json and fails
-#      above +2%.  Skip with ELMO_CHECK_SKIP_BENCH=1 (stages 1-4 stay).
+#      above +2%.  Skip with ELMO_CHECK_SKIP_BENCH=1 (other stages stay),
+#   6. static analysis: scripts/lint.sh (elmo_lint custom checks, header
+#      self-containedness, clang-tidy/clang-format when available).
 #
 # Usage: scripts/check.sh [-jN]
 set -euo pipefail
@@ -20,28 +22,28 @@ JOBS="${1:--j$(nproc)}"
 
 run() { echo "+ $*" >&2; "$@"; }
 
-echo "== 1/5 plain build =="
+echo "== 1/6 plain build =="
 run cmake -B build -S . >/dev/null
 run cmake --build build "${JOBS}"
 (cd build && run ctest --output-on-failure)
 
-echo "== 2/5 address+undefined sanitizers =="
+echo "== 2/6 address+undefined sanitizers =="
 run cmake -B build-asan -S . -DELMO_SANITIZE=address,undefined >/dev/null
 run cmake --build build-asan "${JOBS}"
 (cd build-asan && run ctest --output-on-failure)
 
-echo "== 3/5 thread sanitizer (threaded suites) =="
+echo "== 3/6 thread sanitizer (threaded suites) =="
 run cmake -B build-tsan -S . -DELMO_SANITIZE=thread >/dev/null
 run cmake --build build-tsan "${JOBS}" --target \
     test_mpsim test_parallel test_fault_tolerance test_obs
 (cd build-tsan && run ctest --output-on-failure \
     -R '^(test_mpsim|test_parallel|test_fault_tolerance|test_obs)$')
 
-echo "== 4/5 observability smoke =="
+echo "== 4/6 observability smoke =="
 SMOKE_DIR="$(mktemp -d)"
 trap 'rm -rf "${SMOKE_DIR}"' EXIT
 run ./build/examples/elmo_cli --builtin toy --algorithm combined --ranks 2 \
-    --partition r6r,r8r \
+    --partition r6r,r8r --audit \
     --trace "${SMOKE_DIR}/trace.json" \
     --metrics "${SMOKE_DIR}/metrics.json" \
     --report "${SMOKE_DIR}/report.json" \
@@ -58,7 +60,7 @@ tail -n 1 "${SMOKE_DIR}/heartbeat.jsonl" > "${SMOKE_DIR}/heartbeat.last.json"
 run ./build/examples/json_check "${SMOKE_DIR}/heartbeat.last.json" \
     --require done
 
-echo "== 5/5 observability overhead guard =="
+echo "== 5/6 observability overhead guard =="
 if [[ "${ELMO_CHECK_SKIP_BENCH:-0}" != "1" ]]; then
   run cmake -B build-obsoff -S . -DELMO_OBS_DISABLE=ON >/dev/null
   run cmake --build build-obsoff "${JOBS}" --target bench_obs_overhead
@@ -70,5 +72,8 @@ if [[ "${ELMO_CHECK_SKIP_BENCH:-0}" != "1" ]]; then
 else
   echo "   (skipped: ELMO_CHECK_SKIP_BENCH=1)"
 fi
+
+echo "== 6/6 static analysis =="
+run scripts/lint.sh
 
 echo "all checks passed"

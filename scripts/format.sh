@@ -1,0 +1,23 @@
+#!/usr/bin/env bash
+# Apply (default) or verify (--check) clang-format over every tracked C++
+# source, using the repo's .clang-format (Google style, 80 columns).
+#
+# Usage: scripts/format.sh [--check]
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+if ! command -v clang-format >/dev/null 2>&1; then
+  echo "format.sh: clang-format not installed" >&2
+  exit 1
+fi
+
+mapfile -t files < <(find src tools tests examples bench \
+    \( -name '*.cpp' -o -name '*.hpp' \) | sort)
+
+if [ "${1:-}" = "--check" ]; then
+  clang-format --dry-run --Werror "${files[@]}"
+  echo "format OK (${#files[@]} files)"
+else
+  clang-format -i "${files[@]}"
+  echo "formatted ${#files[@]} files"
+fi

@@ -1,0 +1,67 @@
+#!/usr/bin/env bash
+# Static-analysis sweep:
+#   1. elmo_lint — the repo's own checker (tools/elmo_lint.cpp): no naked
+#      `new`, no rand()/srand(), no swallowing `catch (...)`, every
+#      reinterpret_cast annotated.  Runs over src/, tools/, tests/,
+#      examples/ and bench/.
+#   2. header self-containedness — every src/**/*.hpp must compile on its
+#      own (g++ -fsyntax-only), so include order can never hide a missing
+#      include.
+#   3. clang-tidy — bugprone/concurrency/performance checks from
+#      .clang-tidy over the compilation database.  Skipped with a notice
+#      when clang-tidy is not installed (the container ships g++ only);
+#      stages 1-2 still carry the project-specific rules.
+#   4. format check — scripts/format.sh --check (skipped without
+#      clang-format).
+#
+# Usage: scripts/lint.sh [-jN]        exit 0 = clean
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+JOBS="${1:--j$(nproc)}"
+
+run() { echo "+ $*" >&2; "$@"; }
+
+echo "== 1/4 elmo_lint (project rules) =="
+mkdir -p build-lint
+run g++ -std=c++20 -O1 -Wall -Wextra -o build-lint/elmo_lint \
+    tools/elmo_lint.cpp
+# shellcheck disable=SC2046
+run ./build-lint/elmo_lint $(find src tools tests examples bench \
+    \( -name '*.cpp' -o -name '*.hpp' \) | sort)
+
+echo "== 2/4 header self-containedness =="
+header_fails=0
+for header in $(find src -name '*.hpp' | sort); do
+  # -include of the header into an empty TU keeps g++ from warning about
+  # `#pragma once in main file`.
+  if ! g++ -std=c++20 -fsyntax-only -I src -x c++ -include "$header" \
+      /dev/null; then
+    echo "not self-contained: $header" >&2
+    header_fails=$((header_fails + 1))
+  fi
+done
+if [ "$header_fails" -ne 0 ]; then
+  echo "lint: $header_fails header(s) do not compile standalone" >&2
+  exit 1
+fi
+
+echo "== 3/4 clang-tidy =="
+if command -v clang-tidy >/dev/null 2>&1; then
+  run cmake -B build -S . >/dev/null   # refresh compile_commands.json
+  # shellcheck disable=SC2046
+  run clang-tidy -p build --quiet \
+      $(find src -name '*.cpp' | sort)
+else
+  echo "clang-tidy not installed — skipped (stages 1-2 enforce the" \
+       "project-specific rules)" >&2
+fi
+
+echo "== 4/4 format check =="
+if command -v clang-format >/dev/null 2>&1; then
+  run scripts/format.sh --check
+else
+  echo "clang-format not installed — skipped" >&2
+fi
+
+echo "lint OK"

@@ -1,0 +1,158 @@
+#include "check/audit.hpp"
+
+#include <atomic>
+
+#include "support/assert.hpp"
+
+namespace elmo::check {
+
+struct AuditLedger::Impl {
+  std::atomic<std::uint64_t> nullspace_products{0};
+  std::atomic<std::uint64_t> rank_nullity_checks{0};
+  std::atomic<std::uint64_t> minimality_checks{0};
+  std::atomic<std::uint64_t> partition_checks{0};
+  std::atomic<std::uint64_t> proposition1_checks{0};
+  std::atomic<std::uint64_t> pair_conservation_checks{0};
+  std::atomic<std::uint64_t> failures{0};
+};
+
+// Intentionally leaked process singleton; outlives every auditing thread
+// so counters stay valid during teardown.  lint:allow(naked-new)
+AuditLedger::AuditLedger() : impl_(new Impl()) {}
+
+AuditLedger& AuditLedger::global() {
+  static AuditLedger ledger;
+  return ledger;
+}
+
+void AuditLedger::add_nullspace_products(std::uint64_t n) {
+  impl_->nullspace_products.fetch_add(n, std::memory_order_relaxed);
+}
+void AuditLedger::add_rank_nullity_checks(std::uint64_t n) {
+  impl_->rank_nullity_checks.fetch_add(n, std::memory_order_relaxed);
+}
+void AuditLedger::add_minimality_checks(std::uint64_t n) {
+  impl_->minimality_checks.fetch_add(n, std::memory_order_relaxed);
+}
+void AuditLedger::add_partition_checks(std::uint64_t n) {
+  impl_->partition_checks.fetch_add(n, std::memory_order_relaxed);
+}
+void AuditLedger::add_proposition1_checks(std::uint64_t n) {
+  impl_->proposition1_checks.fetch_add(n, std::memory_order_relaxed);
+}
+void AuditLedger::add_pair_conservation_checks(std::uint64_t n) {
+  impl_->pair_conservation_checks.fetch_add(n, std::memory_order_relaxed);
+}
+void AuditLedger::add_failure() {
+  impl_->failures.fetch_add(1, std::memory_order_relaxed);
+}
+
+AuditStats AuditLedger::snapshot() const {
+  AuditStats s;
+  s.nullspace_products =
+      impl_->nullspace_products.load(std::memory_order_relaxed);
+  s.rank_nullity_checks =
+      impl_->rank_nullity_checks.load(std::memory_order_relaxed);
+  s.minimality_checks =
+      impl_->minimality_checks.load(std::memory_order_relaxed);
+  s.partition_checks = impl_->partition_checks.load(std::memory_order_relaxed);
+  s.proposition1_checks =
+      impl_->proposition1_checks.load(std::memory_order_relaxed);
+  s.pair_conservation_checks =
+      impl_->pair_conservation_checks.load(std::memory_order_relaxed);
+  s.failures = impl_->failures.load(std::memory_order_relaxed);
+  return s;
+}
+
+void AuditLedger::reset() {
+  impl_->nullspace_products.store(0, std::memory_order_relaxed);
+  impl_->rank_nullity_checks.store(0, std::memory_order_relaxed);
+  impl_->minimality_checks.store(0, std::memory_order_relaxed);
+  impl_->partition_checks.store(0, std::memory_order_relaxed);
+  impl_->proposition1_checks.store(0, std::memory_order_relaxed);
+  impl_->pair_conservation_checks.store(0, std::memory_order_relaxed);
+  impl_->failures.store(0, std::memory_order_relaxed);
+}
+
+void audit_failed(const char* invariant, const std::string& detail) {
+  AuditLedger::global().add_failure();
+  throw ContractViolation(std::string("audit[") + invariant +
+                          "]: " + detail);
+}
+
+void check_subset_partition(const std::vector<SubsetPattern>& patterns,
+                            const std::vector<std::string>& labels) {
+  ELMO_REQUIRE(labels.empty() || labels.size() == patterns.size(),
+               "check_subset_partition: labels/patterns size mismatch");
+  auto label_of = [&](std::size_t i) {
+    if (i < labels.size() && !labels[i].empty()) return labels[i];
+    return "pattern " + std::to_string(i);
+  };
+
+  // Universe: every reduced row any pattern constrains.  Each pattern
+  // covers 2^(|universe| - |pattern|) cells of the 2^|universe| cube of
+  // zero/nonzero assignments; the set is an exact cover iff patterns are
+  // pairwise disjoint and the weights sum to the full cube.
+  std::vector<std::size_t> universe;
+  for (const auto& pattern : patterns) {
+    for (const auto& [row, nz] : pattern) {
+      bool seen = false;
+      for (std::size_t u : universe) seen = seen || u == row;
+      if (!seen) universe.push_back(row);
+    }
+  }
+  ELMO_REQUIRE(universe.size() < 63,
+               "check_subset_partition: pattern universe too wide");
+
+  // Within one pattern, a row constrained twice is malformed.
+  for (std::size_t i = 0; i < patterns.size(); ++i) {
+    for (std::size_t a = 0; a < patterns[i].size(); ++a) {
+      for (std::size_t b = a + 1; b < patterns[i].size(); ++b) {
+        if (patterns[i][a].first == patterns[i][b].first) {
+          audit_failed("subset-partition",
+                       label_of(i) + " constrains row " +
+                           std::to_string(patterns[i][a].first) + " twice");
+        }
+      }
+    }
+  }
+
+  // Pairwise disjoint: two patterns are disjoint iff they disagree on at
+  // least one shared row.  Agreement on every shared row means both admit a
+  // common zero/nonzero assignment — an EFM could be produced twice.
+  for (std::size_t i = 0; i < patterns.size(); ++i) {
+    for (std::size_t j = i + 1; j < patterns.size(); ++j) {
+      bool conflict = false;
+      for (const auto& [row_i, nz_i] : patterns[i]) {
+        for (const auto& [row_j, nz_j] : patterns[j]) {
+          if (row_i == row_j && nz_i != nz_j) conflict = true;
+        }
+      }
+      if (!conflict) {
+        audit_failed("subset-partition",
+                     label_of(i) + " and " + label_of(j) +
+                         " overlap: no shared row separates them, so their "
+                         "zero/nonzero subsets intersect");
+      }
+    }
+  }
+
+  std::uint64_t covered = 0;
+  for (const auto& pattern : patterns) {
+    ELMO_REQUIRE(pattern.size() <= universe.size(),
+                 "check_subset_partition: pattern wider than its universe");
+    covered += std::uint64_t{1} << (universe.size() - pattern.size());
+  }
+  const std::uint64_t cube = std::uint64_t{1} << universe.size();
+  if (covered != cube) {
+    audit_failed("subset-partition",
+                 "patterns cover " + std::to_string(covered) + " of " +
+                     std::to_string(cube) +
+                     " zero/nonzero cells: the subsets do not partition the "
+                     "EFM set");
+  }
+  AuditLedger::global().add_partition_checks(
+      patterns.size() * (patterns.size() + 1) / 2);
+}
+
+}  // namespace elmo::check

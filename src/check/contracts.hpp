@@ -1,0 +1,105 @@
+// Contract macros for debug/audit builds.
+//
+// Three levels, complementing the always-on macros in support/assert.hpp:
+//
+//   ELMO_REQUIRE    (support/assert.hpp) - precondition, always on, throws.
+//   ELMO_CHECK      (support/assert.hpp) - internal check, always on, throws.
+//   ELMO_ENSURE     (here) - postcondition; compiled out in release builds.
+//   ELMO_INVARIANT  (here) - algebraic/structural invariant; compiled out
+//                            in release builds.
+//
+// ELMO_ENSURE/ELMO_INVARIANT are active when the build defines ELMO_AUDIT
+// (cmake -DELMO_AUDIT=ON) or is a debug build (!NDEBUG); otherwise they
+// compile to nothing and their arguments are not evaluated.  On failure the
+// full context — expression, file:line, contract level, message — is
+// written to stderr and the installed failure handler runs.  The default
+// handler throws ContractViolation so library users and tests can observe
+// the failure; set_contract_abort(true) (or ELMO_CONTRACT_ABORT=1 in the
+// environment) switches to abort-with-context for debugging with a core
+// dump.
+#pragma once
+
+#include <atomic>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <sstream>
+#include <string>
+
+#include "support/error.hpp"
+
+#if defined(ELMO_AUDIT) || !defined(NDEBUG)
+#define ELMO_CONTRACTS_ENABLED 1
+#else
+#define ELMO_CONTRACTS_ENABLED 0
+#endif
+
+namespace elmo {
+
+/// A postcondition or invariant contract failed; indicates a bug in elmo
+/// (or deliberately corrupted state under test).
+class ContractViolation : public InternalError {
+ public:
+  explicit ContractViolation(const std::string& what) : InternalError(what) {}
+};
+
+namespace check {
+
+namespace detail {
+inline std::atomic<bool>& abort_flag() {
+  static std::atomic<bool> flag{[] {
+    const char* env = std::getenv("ELMO_CONTRACT_ABORT");
+    return env != nullptr && std::strcmp(env, "0") != 0;
+  }()};
+  return flag;
+}
+}  // namespace detail
+
+/// When true, contract failures abort after printing context instead of
+/// throwing ContractViolation.  Also settable via ELMO_CONTRACT_ABORT=1.
+inline void set_contract_abort(bool abort_on_failure) {
+  detail::abort_flag().store(abort_on_failure, std::memory_order_relaxed);
+}
+
+[[noreturn]] inline void contract_failed(const char* level, const char* expr,
+                                         const char* file, int line,
+                                         const std::string& msg) {
+  std::ostringstream os;
+  os << level << " violated: (" << expr << ") at " << file << ':' << line;
+  if (!msg.empty()) os << ": " << msg;
+  const std::string text = os.str();
+  std::fprintf(stderr, "elmo: %s\n", text.c_str());
+  if (detail::abort_flag().load(std::memory_order_relaxed)) std::abort();
+  throw ContractViolation(text);
+}
+
+}  // namespace check
+}  // namespace elmo
+
+#if ELMO_CONTRACTS_ENABLED
+
+#define ELMO_ENSURE(expr, msg)                                          \
+  do {                                                                  \
+    if (!(expr))                                                        \
+      ::elmo::check::contract_failed("postcondition", #expr, __FILE__,  \
+                                     __LINE__, msg);                    \
+  } while (false)
+
+#define ELMO_INVARIANT(expr, msg)                                     \
+  do {                                                                \
+    if (!(expr))                                                      \
+      ::elmo::check::contract_failed("invariant", #expr, __FILE__,    \
+                                     __LINE__, msg);                  \
+  } while (false)
+
+#else
+
+#define ELMO_ENSURE(expr, msg) \
+  do {                         \
+  } while (false)
+
+#define ELMO_INVARIANT(expr, msg) \
+  do {                            \
+  } while (false)
+
+#endif

@@ -1,0 +1,97 @@
+#include "check/lockorder.hpp"
+
+#include <algorithm>
+#include <map>
+#include <mutex>
+#include <set>
+
+namespace elmo::check {
+
+struct LockOrderGraph::Impl {
+  std::mutex mutex;
+  // Adjacency: edge from -> {to...}.  Names are interned copies; the graph
+  // stays small (one node per instrumented lock name).
+  std::map<std::string, std::set<std::string>> edges;
+
+  // Per-thread stack of currently held instrumented locks.
+  static std::vector<std::string>& held() {
+    thread_local std::vector<std::string> stack;
+    return stack;
+  }
+
+  /// Is `target` reachable from `start` following recorded edges?  Returns
+  /// the path if so (graph is tiny; recursive DFS with a visited set).
+  bool path_to(const std::string& start, const std::string& target,
+               std::set<std::string>& visited,
+               std::vector<std::string>& path) {
+    if (start == target) {
+      path.push_back(start);
+      return true;
+    }
+    if (!visited.insert(start).second) return false;
+    auto it = edges.find(start);
+    if (it == edges.end()) return false;
+    for (const auto& next : it->second) {
+      if (path_to(next, target, visited, path)) {
+        path.push_back(start);
+        return true;
+      }
+    }
+    return false;
+  }
+};
+
+// Intentionally leaked process singleton; threads may record acquisitions
+// during static teardown.  lint:allow(naked-new)
+LockOrderGraph::LockOrderGraph() : impl_(new Impl()) {}
+
+LockOrderGraph& LockOrderGraph::global() {
+  static LockOrderGraph graph;
+  return graph;
+}
+
+void LockOrderGraph::on_acquire(const char* name) {
+  auto& held = Impl::held();
+  {
+    std::unique_lock lock(impl_->mutex);
+    for (const auto& outer : held) {
+      if (outer == name) continue;  // recursive use of one name: not an edge
+      // Adding outer -> name closes a cycle iff outer is already reachable
+      // from name.
+      std::set<std::string> visited;
+      std::vector<std::string> path;
+      if (impl_->path_to(name, outer, visited, path)) {
+        // path holds [outer, ..., name]; reversed it reads name..outer, so
+        // prefixing the held lock renders outer -> name -> ... -> outer.
+        std::string cycle = outer;
+        for (auto it = path.rbegin(); it != path.rend(); ++it)
+          cycle += " -> " + *it;
+        lock.unlock();
+        throw ContractViolation("lock-order cycle: " + cycle);
+      }
+      impl_->edges[outer].insert(name);
+    }
+  }
+  held.emplace_back(name);
+}
+
+void LockOrderGraph::on_release(const char* name) {
+  auto& held = Impl::held();
+  auto it = std::find(held.rbegin(), held.rend(), std::string(name));
+  if (it != held.rend()) held.erase(std::next(it).base());
+}
+
+std::vector<std::string> LockOrderGraph::edges() const {
+  std::vector<std::string> out;
+  std::unique_lock lock(impl_->mutex);
+  for (const auto& [from, tos] : impl_->edges)
+    for (const auto& to : tos) out.push_back(from + " -> " + to);
+  return out;
+}
+
+void LockOrderGraph::reset() {
+  std::unique_lock lock(impl_->mutex);
+  impl_->edges.clear();
+}
+
+}  // namespace elmo::check

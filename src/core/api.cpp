@@ -67,6 +67,7 @@ EfmResult run_with(const CompressedProblem& compressed,
   solver.rank_backend = options.rank_backend;
   solver.on_iteration = options.on_iteration;
   solver.record_history = options.record_history;
+  solver.audit = options.audit;
 
   std::vector<FluxColumn<Scalar, Support>> columns;
   switch (options.algorithm) {

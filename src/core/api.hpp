@@ -91,6 +91,13 @@ struct EfmOptions {
   /// Keep the per-iteration history on the returned stats (the run
   /// report's column-growth curve).  One IterationStats per row processed.
   bool record_history = false;
+
+  /// Runtime invariant auditing (elmo_cli --audit): re-verify S*R = 0 after
+  /// every iteration, exact rank-nullity of accepted candidates, support
+  /// minimality of the final set, bitwise disjointness + exact coverage of
+  /// Algorithm 3's subset patterns, and pair-count conservation across the
+  /// simulated ranks.  Opt-in; failures throw check::ContractViolation.
+  bool audit = false;
 };
 
 /// Per-subset summary of an Algorithm 3 run (one row of Tables III/IV).

@@ -105,6 +105,8 @@ void append_checkpoint_record(const std::string& path,
   const std::uint32_t crc = mpsim::crc32(body);
   for (int b = 0; b < 4; ++b)
     frame.push_back(static_cast<std::uint8_t>(crc >> (8 * b)));
+  // Byte-for-byte frame write; uint8_t -> char is always representable.
+  // lint:allow(reinterpret-cast)
   out.write(reinterpret_cast<const char*>(frame.data()),
             static_cast<std::streamsize>(frame.size()));
   out.flush();

@@ -17,6 +17,7 @@
 #include "mpsim/communicator.hpp"
 #include "mpsim/serialize.hpp"
 #include "nullspace/solver.hpp"
+#include "obs/suppressed.hpp"
 #include "parallel/partitioner.hpp"
 #include "parallel/thread_pool.hpp"
 
@@ -182,7 +183,13 @@ ParallelSolveResult<Scalar, Support> solve_combinatorial_parallel(
           try {
             future.get();
           } catch (...) {
-            if (!first) first = std::current_exception();
+            if (!first) {
+              first = std::current_exception();
+            } else {
+              // Secondary worker failure: recorded on the obs layer (counter
+              // + trace instant) instead of being silently dropped.
+              obs::record_suppressed_exception("combinatorial_parallel.smp");
+            }
           }
         }
         if (first) std::rethrow_exception(first);
@@ -204,6 +211,26 @@ ParallelSolveResult<Scalar, Support> solve_combinatorial_parallel(
         stats.phases.merge(slowest_worker);
         ScopedPhase phase(stats.phases, Phase::kMerge);
         sort_and_dedup(local, iteration);
+      }
+      if (solver_options.audit) {
+        check::InvariantAuditor auditor;
+        // pair-conservation: rank slices must partition the global pair
+        // set — an all-reduce over slice-local probed counts has to land
+        // exactly on positives x negatives.  (Collective: every rank
+        // participates, every rank verifies the same sum.)
+        const std::uint64_t world_pairs =
+            comm.all_reduce_sum(iteration.pairs_probed);
+        auditor.check_pair_conservation(
+            world_pairs, cls.pair_count(),
+            "solve_combinatorial_parallel row " + std::to_string(row));
+        if (solver_options.test == ElementarityTest::kRank) {
+          // rank-nullity: re-verify this rank's accepted slice with the
+          // exact backend before it enters the all-gather.
+          auditor.check_rank_nullity(
+              exact_testers[0], local,
+              "solve_combinatorial_parallel rank " + std::to_string(rank) +
+                  " row " + std::to_string(row));
+        }
       }
       // Communicate&Merge: exchange accepted candidates, rebuild the
       // replicated next matrix identically on every rank.
@@ -275,9 +302,21 @@ ParallelSolveResult<Scalar, Support> solve_combinatorial_parallel(
       }
       // Memory accounting against the simulated per-rank budget.
       comm.set_memory_usage(stats.peak_matrix_bytes);
+      if (solver_options.audit && rank == 0) {
+        // The next matrix is replicated, so auditing S*R = 0 on one rank
+        // covers the world.
+        check::InvariantAuditor{}.check_nullspace_product(
+            prepared.problem.stoichiometry, columns,
+            "solve_combinatorial_parallel after row " + std::to_string(row));
+      }
       if (options.solver.on_iteration && rank == 0) {
         options.solver.on_iteration(iteration);
       }
+    }
+    if (solver_options.audit && rank == 0 &&
+        options.solver.exclude_rows.empty()) {
+      check::InvariantAuditor{}.check_support_minimality(
+          columns, "solve_combinatorial_parallel final");
     }
     if (rank == 0) {
       final_columns =

@@ -31,6 +31,7 @@
 #include <map>
 #include <string>
 
+#include "check/audit.hpp"
 #include "core/checkpoint.hpp"
 #include "core/combinatorial_parallel.hpp"
 #include "core/retry.hpp"
@@ -285,14 +286,23 @@ CombinedResult<Scalar, Support> solve_combined(
       report.attempts = static_cast<std::size_t>(record.attempts);
       report.resumed = true;
       note_event("resume", report.label, resumed_counter);
+      std::vector<FluxColumn<Scalar, Support>> restored;
       for (const auto& mode : record.modes) {
         std::vector<Scalar> values;
         values.reserve(mode.size());
         for (const auto& v : mode)
           values.push_back(scalar_from_bigint<Scalar>(v));
-        result.columns.push_back(
+        restored.push_back(
             FluxColumn<Scalar, Support>::from_values(std::move(values)));
       }
+      if (options.solver.audit) {
+        // Checkpointed modes must still honour their subset's zero/nonzero
+        // pattern — guards against stale or corrupted checkpoint files.
+        check::InvariantAuditor{}.check_proposition1(
+            restored, spec.pattern, "resumed subset " + report.label);
+      }
+      for (auto& column : restored)
+        result.columns.push_back(std::move(column));
       result.total.merge(report.stats);
       result.subsets.push_back(std::move(report));
       continue;
@@ -429,6 +439,15 @@ CombinedResult<Scalar, Support> solve_combined(
     }
     report.seconds = subset_watch.seconds();
 
+    if (options.solver.audit) {
+      // Proposition 1, re-checked from first principles: every reported
+      // column has nonzero flux on all nonzero-pattern rows and exact
+      // zeros on all removed rows (the filter above and the re-embedding
+      // must agree with the subset's defining pattern).
+      check::InvariantAuditor{}.check_proposition1(
+          subset_columns, spec.pattern, "subset " + report.label);
+    }
+
     if (!options.checkpoint_path.empty()) {
       CheckpointRecord record;
       record.pattern = key;
@@ -446,6 +465,23 @@ CombinedResult<Scalar, Support> solve_combined(
       result.columns.push_back(std::move(column));
     result.total.merge(report.stats);
     result.subsets.push_back(std::move(report));
+  }
+
+  if (options.solver.audit) {
+    // The executed subsets (including adaptive re-splits and resumed ones)
+    // must tile the zero/nonzero pattern space: pairwise disjoint, exact
+    // cover (Proposition 1's premise — every EFM lands in exactly one).
+    std::vector<check::SubsetPattern> patterns;
+    std::vector<std::string> labels;
+    for (const auto& subset : result.subsets) {
+      patterns.push_back(subset.spec.pattern);
+      labels.push_back(subset.label);
+    }
+    check::check_subset_partition(patterns, labels);
+    check::InvariantAuditor auditor;
+    auditor.check_nullspace_product(problem.stoichiometry, result.columns,
+                                    "solve_combined final");
+    auditor.check_support_minimality(result.columns, "solve_combined final");
   }
 
   result.seconds = total_watch.seconds();

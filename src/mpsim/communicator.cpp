@@ -5,6 +5,7 @@
 #include <map>
 #include <thread>
 
+#include "check/lockorder.hpp"
 #include "mpsim/fault.hpp"
 #include "obs/metrics.hpp"
 #include "obs/trace.hpp"
@@ -21,6 +22,12 @@ struct MpsimMetrics {
   obs::Counter bytes = obs::Registry::global().counter("mpsim.bytes_sent");
   obs::Counter collectives = obs::Registry::global().counter(
       "mpsim.collectives");
+  obs::Counter rank_failures = obs::Registry::global().counter(
+      "mpsim.rank_failures");
+  obs::Counter suppressed_errors = obs::Registry::global().counter(
+      "mpsim.secondary_errors_suppressed");
+  obs::Counter deadlocks = obs::Registry::global().counter(
+      "mpsim.deadlocks_detected");
   obs::Histogram payload_bytes = obs::Registry::global().histogram(
       "mpsim.payload_bytes");
 
@@ -45,6 +52,7 @@ struct World {
     gather_slots.assign(static_cast<std::size_t>(n), {});
     reduce_slots.assign(static_cast<std::size_t>(n), 0);
     exited.assign(static_cast<std::size_t>(n), false);
+    waits.assign(static_cast<std::size_t>(n), {});
   }
 
   const int size;
@@ -75,6 +83,36 @@ struct World {
   std::vector<Payload> gather_slots;
   std::vector<std::uint64_t> reduce_slots;
 
+  // Progress checker: what each rank is blocked on right now.  A rank
+  // registers its wait (predicate already false, mutex held) before
+  // blocking; the moment no runnable rank remains the stall is provable
+  // and the world aborts with a per-rank diagnostic.
+  struct WaitInfo {
+    enum class Kind { kNone, kRecv, kBarrier };
+    Kind kind = Kind::kNone;
+    int source = -1;
+    int tag = 0;
+    // Barrier waits record the generation they entered; a registration
+    // whose generation has since advanced is already released (the thread
+    // just hasn't re-acquired the mutex yet) and must not count as stalled.
+    std::uint64_t generation = 0;
+
+    [[nodiscard]] std::string describe() const {
+      switch (kind) {
+        case Kind::kRecv:
+          return "recv(source=" + std::to_string(source) +
+                 ", tag=" + std::to_string(tag) + ")";
+        case Kind::kBarrier:
+          return "barrier";
+        case Kind::kNone:
+          break;
+      }
+      return "running";
+    }
+  };
+  std::vector<WaitInfo> waits;
+  int num_waiting = 0;
+
   void abort_locked(int origin, const std::string& reason) {
     if (!aborted) {
       aborted = true;
@@ -95,8 +133,81 @@ struct World {
                    "rank " + std::to_string(rank) +
                        " exited while peers were blocked in a collective");
     }
+    detect_stall_locked();
     cv.notify_all();
   }
+
+  /// Fires when no runnable rank remains: every non-exited rank is blocked
+  /// and none of their waits can resolve without a runnable peer.  A wait
+  /// whose predicate has already turned true (message in flight, barrier
+  /// generation advanced, source exited) is excluded — that rank holds a
+  /// wake-up it simply hasn't consumed yet, so the world can still make
+  /// progress.  This keeps the check sound: it fires iff every registered
+  /// predicate is false while no runnable rank exists to flip one.
+  void detect_stall_locked() {
+    if (!options.detect_deadlock || aborted) return;
+    if (num_waiting == 0 || num_waiting + num_exited < size) return;
+    for (int r = 0; r < size; ++r) {
+      const auto& wait = waits[static_cast<std::size_t>(r)];
+      switch (wait.kind) {
+        case WaitInfo::Kind::kNone:
+          // Counted neither waiting nor exited: rank is runnable.
+          if (!exited[static_cast<std::size_t>(r)]) return;
+          break;
+        case WaitInfo::Kind::kRecv: {
+          if (exited[static_cast<std::size_t>(wait.source)]) {
+            return;  // self-resolving: that rank wakes and aborts on its own
+          }
+          const auto& queues = mailboxes[static_cast<std::size_t>(r)].queues;
+          auto it = queues.find({wait.source, wait.tag});
+          if (it != queues.end() && !it->second.empty()) {
+            return;  // matching message already delivered; rank will wake
+          }
+          break;
+        }
+        case WaitInfo::Kind::kBarrier:
+          if (barrier_generation != wait.generation) {
+            return;  // barrier already released; rank will wake
+          }
+          break;
+      }
+    }
+    std::string diagnosis = "deadlock detected, no runnable rank remains:";
+    for (int r = 0; r < size; ++r) {
+      diagnosis += " rank " + std::to_string(r) + " ";
+      diagnosis += exited[static_cast<std::size_t>(r)]
+                       ? "exited"
+                       : waits[static_cast<std::size_t>(r)].describe();
+      if (r + 1 < size) diagnosis += ';';
+    }
+    MpsimMetrics::get().deadlocks.add(1);
+    obs::trace_instant("deadlock", "mpsim", diagnosis);
+    abort_locked(-1, diagnosis);
+  }
+};
+
+/// RAII wait registration for the progress checker.  Construct with the
+/// world mutex held and the wait predicate known false; destruct (mutex
+/// again held after cv.wait) to mark the rank runnable.
+class ScopedWait {
+ public:
+  ScopedWait(World& world, int rank, World::WaitInfo info)
+      : world_(world), rank_(rank) {
+    world_.waits[static_cast<std::size_t>(rank_)] = info;
+    ++world_.num_waiting;
+    world_.detect_stall_locked();
+  }
+  ~ScopedWait() {
+    world_.waits[static_cast<std::size_t>(rank_)] = {};
+    --world_.num_waiting;
+  }
+
+  ScopedWait(const ScopedWait&) = delete;
+  ScopedWait& operator=(const ScopedWait&) = delete;
+
+ private:
+  World& world_;
+  int rank_;
 };
 
 }  // namespace detail
@@ -131,6 +242,7 @@ void Communicator::send(int destination, int tag, Payload payload) {
   enter_op("send");
   FaultPlan* plan = world_.options.fault_plan.get();
   if (plan != nullptr) plan->on_payload(rank_, payload);
+  ELMO_LOCK_ORDER("mpsim.world");
   std::unique_lock lock(world_.mutex);
   check_abort_locked(lock);
   counters_.messages_sent += 1;
@@ -148,6 +260,7 @@ Payload Communicator::recv(int source, int tag) {
   ELMO_REQUIRE(source >= 0 && source < world_.size, "recv: bad source rank");
   obs::TraceSpan span("recv", "mpsim");
   enter_op("recv");
+  ELMO_LOCK_ORDER("mpsim.world");
   std::unique_lock lock(world_.mutex);
   auto& queues = world_.mailboxes[static_cast<std::size_t>(rank_)].queues;
   const auto key = std::make_pair(source, tag);
@@ -155,10 +268,18 @@ Payload Communicator::recv(int source, int tag) {
     auto it = queues.find(key);
     return it != queues.end() && !it->second.empty();
   };
-  world_.cv.wait(lock, [&] {
+  auto ready = [&] {
     return world_.aborted || has_message() ||
            world_.exited[static_cast<std::size_t>(source)];
-  });
+  };
+  if (!ready()) {
+    // Predicate is false under the mutex: this rank is now provably
+    // blocked, so register the wait for the progress checker.
+    detail::ScopedWait wait(
+        world_, rank_,
+        {detail::World::WaitInfo::Kind::kRecv, source, tag});
+    world_.cv.wait(lock, ready);
+  }
   check_abort_locked(lock);
   // Deliver in-flight messages even from an exited source; only an empty
   // queue with no possible future sender is a hang, not a wait.
@@ -175,6 +296,7 @@ Payload Communicator::recv(int source, int tag) {
 }
 
 void Communicator::sync_barrier() {
+  ELMO_LOCK_ORDER("mpsim.world");
   std::unique_lock lock(world_.mutex);
   check_abort_locked(lock);
   // An already-exited rank can never join this barrier, so entering it is
@@ -193,9 +315,14 @@ void Communicator::sync_barrier() {
     world_.cv.notify_all();
     return;
   }
-  world_.cv.wait(lock, [&] {
-    return world_.aborted || world_.barrier_generation != generation;
-  });
+  {
+    detail::ScopedWait wait(
+        world_, rank_,
+        {detail::World::WaitInfo::Kind::kBarrier, -1, 0, generation});
+    world_.cv.wait(lock, [&] {
+      return world_.aborted || world_.barrier_generation != generation;
+    });
+  }
   if (world_.aborted && world_.barrier_generation == generation) {
     // Wake released us, not barrier completion: withdraw before throwing.
     --world_.barrier_waiting;
@@ -322,11 +449,20 @@ RunReport run_ranks(int num_ranks,
         world.mark_exited_locked(r);
       } catch (const std::exception& e) {
         errors[static_cast<std::size_t>(r)] = std::current_exception();
+        MpsimMetrics::get().rank_failures.add(1);
+        obs::trace_instant("rank-failure", "mpsim",
+                           "rank " + std::to_string(r) + ": " + e.what());
         std::unique_lock lock(world.mutex);
         world.abort_locked(r, e.what());
         world.mark_exited_locked(r);
       } catch (...) {
+        // Non-std exception: captured (never swallowed) and recorded on
+        // the obs layer before the world is torn down.
         errors[static_cast<std::size_t>(r)] = std::current_exception();
+        MpsimMetrics::get().rank_failures.add(1);
+        obs::trace_instant("rank-failure", "mpsim",
+                           "rank " + std::to_string(r) +
+                               ": non-standard exception");
         std::unique_lock lock(world.mutex);
         world.abort_locked(r, "unknown exception");
         world.mark_exited_locked(r);
@@ -335,18 +471,30 @@ RunReport run_ranks(int num_ranks,
   }
   for (auto& thread : threads) thread.join();
 
-  // Rethrow the first real failure (skip secondary AbortedErrors).
+  // Rethrow the first real failure (skip secondary AbortedErrors; each one
+  // suppressed here is tallied so cascade failures stay visible).
   std::exception_ptr first;
+  std::uint64_t suppressed = 0;
   for (const auto& error : errors) {
     if (!error) continue;
     try {
       std::rethrow_exception(error);
     } catch (const AbortedError&) {
-      if (!first) first = error;
-    } catch (...) {
+      if (!first) {
+        first = error;
+      } else {
+        ++suppressed;
+      }
+    } catch (...) {  // lint:allow(catch-all): rethrown to the caller below
       first = error;
       break;
     }
+  }
+  if (suppressed > 0) {
+    MpsimMetrics::get().suppressed_errors.add(suppressed);
+    obs::trace_instant("suppressed-aborts", "mpsim",
+                       std::to_string(suppressed) +
+                           " secondary AbortedError(s) suppressed");
   }
   if (first) std::rethrow_exception(first);
 

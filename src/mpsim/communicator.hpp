@@ -123,6 +123,12 @@ struct RunOptions {
   /// Optional deterministic fault injection (see fault.hpp).  Shared so
   /// trigger state persists across retried worlds.
   std::shared_ptr<FaultPlan> fault_plan;
+  /// Progress checker: when every non-exited rank is blocked in a wait no
+  /// peer can ever satisfy, abort the world with a per-rank diagnostic
+  /// instead of hanging.  Deterministic (fires on the first stalled run,
+  /// no timeouts involved); costs one scan at the moment the last runnable
+  /// rank blocks, nothing on the fast path.
+  bool detect_deadlock = true;
 };
 
 /// Result of a world run: per-rank counters (index = rank).

@@ -37,11 +37,12 @@ namespace elmo::mpsim {
 /// Thrown inside a rank body when the fault plan crashes that rank.
 class InjectedFaultError : public Error {
  public:
-  InjectedFaultError(int rank, std::uint64_t op, const std::string& where)
-      : Error("mpsim: injected crash on rank " + std::to_string(rank) +
-              " at op " + std::to_string(op) + " (" + where + ")"),
-        rank(rank),
-        op(op) {}
+  InjectedFaultError(int fault_rank, std::uint64_t fault_op,
+                     const std::string& where)
+      : Error("mpsim: injected crash on rank " + std::to_string(fault_rank) +
+              " at op " + std::to_string(fault_op) + " (" + where + ")"),
+        rank(fault_rank),
+        op(fault_op) {}
 
   int rank;
   std::uint64_t op;

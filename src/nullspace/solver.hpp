@@ -11,6 +11,7 @@
 #include <optional>
 #include <vector>
 
+#include "check/audit.hpp"
 #include "nullspace/initial_basis.hpp"
 #include "nullspace/modular_rank.hpp"
 #include "nullspace/iteration.hpp"
@@ -55,6 +56,11 @@ struct SolverOptions {
   /// Keep the per-iteration history on SolveStats (column-growth curve for
   /// run reports).  One IterationStats per constrained row.
   bool record_history = false;
+  /// Re-verify the algorithm's algebraic invariants at runtime (S*R = 0
+  /// after every iteration, exact rank-nullity of accepted candidates,
+  /// support minimality of the final set).  Opt-in: audit mode costs extra
+  /// passes per iteration.  See check/audit.hpp.
+  bool audit = false;
 };
 
 template <typename Scalar, typename Support>
@@ -142,6 +148,15 @@ SolveResult<Scalar, Support> solve_nullspace(const EfmProblem<Scalar>& problem,
     if (options.test == ElementarityTest::kCombinatorial)
       cross_candidate_subset_filter(candidates, iteration);
 
+    if (options.audit && options.test == ElementarityTest::kRank) {
+      // Re-verify every accepted candidate with the exact Bareiss backend,
+      // independent of the (possibly Monte-Carlo modular) test that
+      // accepted it.
+      check::InvariantAuditor{}.check_rank_nullity(
+          exact_tester, candidates,
+          "solve_nullspace row " + std::to_string(row));
+    }
+
     result.columns = merge_next(std::move(result.columns), cls,
                                 row_reversible, std::move(candidates));
     iteration.columns_after = result.columns.size();
@@ -151,7 +166,20 @@ SolveResult<Scalar, Support> solve_nullspace(const EfmProblem<Scalar>& problem,
     result.stats.absorb(iteration);
     publish_iteration_metrics(iteration);
     obs::trace_counter("columns", iteration.columns_after);
+    if (options.audit) {
+      // Columns must stay inside null(S) across every Merge (paper §II.A).
+      check::InvariantAuditor{}.check_nullspace_product(
+          problem.stoichiometry, result.columns,
+          "solve_nullspace after row " + std::to_string(row));
+    }
     if (options.on_iteration) options.on_iteration(iteration);
+  }
+  if (options.audit && options.exclude_rows.empty()) {
+    // Final column set is a support antichain (elementarity).  Skipped for
+    // divide-and-conquer sub-solves: the combined driver audits its merged
+    // final set instead.
+    check::InvariantAuditor{}.check_support_minimality(
+        result.columns, "solve_nullspace final");
   }
   return result;
 }

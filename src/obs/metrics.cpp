@@ -40,6 +40,7 @@ Registry& Registry::global() {
   // Heap-allocated and never destroyed: instrument handles cached in
   // function-local statics all over the codebase must stay valid for the
   // whole process lifetime, independent of static destruction order.
+  // lint:allow(naked-new)
   static Registry* registry = new Registry();
   return *registry;
 }
@@ -47,6 +48,7 @@ Registry& Registry::global() {
 Registry::~Registry() { delete impl_; }
 
 Registry::Impl& Registry::impl() {
+  // Lazy pimpl, deleted in ~Registry.  lint:allow(naked-new)
   if (impl_ == nullptr) impl_ = new Impl();
   return *impl_;
 }

@@ -1,0 +1,36 @@
+// Fan-in points that join many workers can only rethrow ONE exception; the
+// rest used to vanish in `catch (...) {}` blocks.  This helper makes every
+// such drop observable: the suppressed exception is counted on the metrics
+// registry ("errors.suppressed") and its what() preserved as a trace
+// instant, so a cascade of secondary failures never hides behind the first.
+#pragma once
+
+#include <exception>
+#include <string>
+
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
+
+namespace elmo::obs {
+
+/// Record an exception a fan-in point intentionally drops.  MUST be called
+/// from inside a catch block (it rethrows the in-flight exception to read
+/// its what()); never throws itself.
+inline void record_suppressed_exception(const char* where) noexcept {
+  std::string detail = std::string(where) + ": ";
+  try {
+    throw;  // re-enter the active exception to classify it
+  } catch (const std::exception& e) {
+    detail += e.what();
+  } catch (...) {  // lint:allow(catch-all): recorded below, not swallowed
+    detail += "non-standard exception";
+  }
+  try {
+    Registry::global().counter("errors.suppressed").add(1);
+    trace_instant("suppressed-exception", "errors", detail);
+  } catch (...) {  // lint:allow(catch-all): best-effort reporting must not
+    // mask the primary failure currently unwinding at the call site.
+  }
+}
+
+}  // namespace elmo::obs

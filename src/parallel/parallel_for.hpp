@@ -3,6 +3,7 @@
 
 #include <vector>
 
+#include "obs/suppressed.hpp"
 #include "parallel/partitioner.hpp"
 #include "parallel/thread_pool.hpp"
 
@@ -33,7 +34,13 @@ void parallel_for_chunks(ThreadPool& pool, std::uint64_t total,
     try {
       future.get();
     } catch (...) {
-      if (!first) first = std::current_exception();
+      if (!first) {
+        first = std::current_exception();
+      } else {
+        // Secondary failure: only one exception can propagate, but the
+        // others are recorded, never silently dropped.
+        obs::record_suppressed_exception("parallel_for_chunks");
+      }
     }
   }
   if (first) std::rethrow_exception(first);

@@ -32,7 +32,7 @@ TEST(BigInt, ConstructFromInt64Extremes) {
   // One beyond either extreme no longer fits.
   EXPECT_FALSE((max + BigInt(1)).fits_i64());
   EXPECT_FALSE((min - BigInt(1)).fits_i64());
-  EXPECT_THROW((max + BigInt(1)).to_i64(), OverflowError);
+  EXPECT_THROW((void)(max + BigInt(1)).to_i64(), OverflowError);
 }
 
 TEST(BigInt, FromStringRoundTrip) {
@@ -193,7 +193,9 @@ TEST(BigIntProperty, DivmodIdentityLargeRandom) {
     EXPECT_EQ(q * divisor + r, dividend);
     EXPECT_LT(r.abs(), divisor.abs());
     // Remainder sign follows the dividend (C semantics).
-    if (!r.is_zero()) EXPECT_EQ(r.sign(), dividend.sign());
+    if (!r.is_zero()) {
+      EXPECT_EQ(r.sign(), dividend.sign());
+    }
   }
 }
 

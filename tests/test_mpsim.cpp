@@ -199,6 +199,7 @@ TEST(MpsimSerialize, TruncatedBufferThrows) {
 
 TEST(MpsimSerialize, Crc32KnownVector) {
   const std::string check = "123456789";
+  // char -> uint8_t view of the CRC test vector.  lint:allow(reinterpret-cast)
   EXPECT_EQ(crc32(reinterpret_cast<const std::uint8_t*>(check.data()),
                   check.size()),
             0xCBF43926u);
