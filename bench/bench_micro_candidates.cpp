@@ -40,9 +40,12 @@ std::vector<FluxColumn<CheckedI64, Support>> synthetic_columns(
   return columns;
 }
 
+// `reference` selects the pre-engine scalar row-major loop
+// (generate_candidate_refs_reference) so the engine's gain stays measurable
+// in-tree; the default runs the tiled/pruned/SIMD engine (pairgen.hpp).
 template <typename Support>
 void pair_probe_benchmark(benchmark::State& state, std::size_t q,
-                          std::size_t rank) {
+                          std::size_t rank, bool reference = false) {
   auto columns = synthetic_columns<Support>(2048, q, 5);
   // Pick a processing row most columns touch with both signs.
   std::size_t row = 0;
@@ -58,8 +61,14 @@ void pair_probe_benchmark(benchmark::State& state, std::size_t q,
     IterationStats stats;
     std::vector<CandidateRef<Support>> refs;
     std::uint64_t cursor = 0;
-    generate_candidate_refs(columns, row, cls, &cursor, cls.pair_count(),
-                            rank, SIZE_MAX, refs, stats);
+    if (reference) {
+      generate_candidate_refs_reference(columns, row, cls, &cursor,
+                                        cls.pair_count(), rank, SIZE_MAX,
+                                        refs, stats);
+    } else {
+      generate_candidate_refs(columns, row, cls, &cursor, cls.pair_count(),
+                              rank, SIZE_MAX, refs, stats);
+    }
     state.counters["pairs/s"] = benchmark::Counter(
         static_cast<double>(stats.pairs_probed),
         benchmark::Counter::kIsIterationInvariantRate);
@@ -94,6 +103,34 @@ void BM_PairProbe_DynBitset8Words(benchmark::State& state) {
   pair_probe_benchmark<DynBitset>(state, 500, 35);  // genome-scale width
 }
 BENCHMARK(BM_PairProbe_DynBitset8Words);
+
+// Pre-engine reference loop on the same workloads (the old inner loop, kept
+// as the differential oracle); the gap to the variants above is the engine.
+void BM_PairProbe_Bitset64_Reference(benchmark::State& state) {
+  pair_probe_benchmark<Bitset64>(state, 60, 35, /*reference=*/true);
+}
+BENCHMARK(BM_PairProbe_Bitset64_Reference);
+
+void BM_PairProbe_Bitset64_RejectPath_Reference(benchmark::State& state) {
+  pair_probe_benchmark<Bitset64>(state, 60, 8, /*reference=*/true);
+}
+BENCHMARK(BM_PairProbe_Bitset64_RejectPath_Reference);
+
+void BM_PairProbe_DynBitset2Words_Reference(benchmark::State& state) {
+  pair_probe_benchmark<DynBitset>(state, 66, 35, /*reference=*/true);
+}
+BENCHMARK(BM_PairProbe_DynBitset2Words_Reference);
+
+void BM_PairProbe_DynBitset2Words_RejectPath_Reference(
+    benchmark::State& state) {
+  pair_probe_benchmark<DynBitset>(state, 66, 8, /*reference=*/true);
+}
+BENCHMARK(BM_PairProbe_DynBitset2Words_RejectPath_Reference);
+
+void BM_PairProbe_DynBitset8Words_Reference(benchmark::State& state) {
+  pair_probe_benchmark<DynBitset>(state, 500, 35, /*reference=*/true);
+}
+BENCHMARK(BM_PairProbe_DynBitset8Words_Reference);
 
 void BM_YeastFirstIterations(benchmark::State& state) {
   // End-to-end cost of the first eight iterations on the real reduced

@@ -1,0 +1,66 @@
+#!/usr/bin/env bash
+# Candidate-generation performance record: runs bench_candidates and writes
+# BENCH_candidates.json (per-scenario pairs/sec, survivors/sec, and the
+# engine-vs-reference speedup, plus the end-to-end first-iterations time on
+# the real yeast network).
+#
+# Usage:
+#   scripts/bench.sh                      measure, write BENCH_candidates.json
+#   scripts/bench.sh --compare [FILE]     also gate against a committed
+#                                         baseline (default: the repo's
+#                                         BENCH_candidates.json): fails when
+#                                         any scenario's speedup drops more
+#                                         than 10% relative, or the yeast-
+#                                         width pretest speedup falls under
+#                                         2x (the ISSUE 4 acceptance bound).
+#   BENCH_OUT=path                        override the output file.
+#
+# Speedups are in-binary ratios (engine vs the reference loop compiled into
+# the same binary), so the gate is portable across machines; absolute
+# seconds in the record are informational.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+COMPARE=0
+BASELINE="BENCH_candidates.json"
+OUT="${BENCH_OUT:-BENCH_candidates.json}"
+REPS="${BENCH_REPS:-5}"
+while [[ $# -gt 0 ]]; do
+  case "$1" in
+    --compare)
+      COMPARE=1
+      if [[ $# -gt 1 && "$2" != --* ]]; then
+        BASELINE="$2"
+        shift
+      fi
+      ;;
+    *)
+      echo "unknown argument: $1" >&2
+      exit 1
+      ;;
+  esac
+  shift
+done
+
+run() { echo "+ $*" >&2; "$@"; }
+
+run cmake -B build -S . >/dev/null
+run cmake --build build -j"$(nproc)" --target bench_candidates
+
+ARGS=(--reps "${REPS}" --json "${OUT}")
+if [[ "${COMPARE}" == "1" ]]; then
+  if [[ ! -f "${BASELINE}" ]]; then
+    echo "baseline ${BASELINE} not found" >&2
+    exit 1
+  fi
+  # Gate against a copy: when OUT == BASELINE the fresh record must not
+  # clobber the baseline before it is read.
+  BASELINE_COPY="$(mktemp)"
+  trap 'rm -f "${BASELINE_COPY}"' EXIT
+  cp "${BASELINE}" "${BASELINE_COPY}"
+  ARGS+=(--baseline "${BASELINE_COPY}" --max-regression-pct 10
+         --min-speedup 2)
+fi
+
+run ./build/bench/bench_candidates "${ARGS[@]}"
+echo "wrote ${OUT}"

@@ -135,6 +135,12 @@ class DynBitset {
     out.words_ = std::move(words);
     return out;
   }
+  /// Surrender the word buffer (leaves the set empty).  The candidate
+  /// engine's slab recycles survivor supports through this to avoid one
+  /// heap round trip per pre-test survivor.
+  [[nodiscard]] std::vector<std::uint64_t> take_words() && {
+    return std::move(words_);
+  }
 
  private:
   std::vector<std::uint64_t> words_;

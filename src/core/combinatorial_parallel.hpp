@@ -17,11 +17,9 @@
 #include "mpsim/communicator.hpp"
 #include "mpsim/serialize.hpp"
 #include "nullspace/solver.hpp"
-#include "obs/suppressed.hpp"
+#include "parallel/parallel_for.hpp"
 #include "parallel/partitioner.hpp"
 #include "parallel/thread_pool.hpp"
-
-#include <future>
 
 namespace elmo {
 
@@ -155,48 +153,41 @@ ParallelSolveResult<Scalar, Support> solve_combinatorial_parallel(
                            solver_options.block_ref_cap, make_oracle(0),
                            iteration, stats.phases, local);
       } else {
-        // SMP mode: split this rank's slice across shared-memory workers,
-        // then merge + dedup the thread-local results exactly like the
-        // cross-rank merge does (distinct sub-slices can still produce the
-        // same candidate).
+        // SMP mode: workers steal adaptive batches of this rank's slice
+        // off a shared cursor (survivor density is wildly skewed across
+        // the pair space; the static per-thread sub-slices this replaces
+        // idled every worker but the unluckiest), all probing against one
+        // shared set of per-iteration engine tables.  Thread-local results
+        // are merged + deduped exactly like the cross-rank merge (distinct
+        // batches can still produce the same candidate).
+        PairGenTables<Scalar, Support> tables(
+            columns, row, cls.positive, cls.negative, cls.zero,
+            basis.stoichiometry_rank);
         std::vector<IterationStats> thread_stats(
             static_cast<std::size_t>(threads_per_rank));
         std::vector<PhaseTimer> thread_phases(
             static_cast<std::size_t>(threads_per_rank));
         std::vector<std::vector<FluxColumn<Scalar, Support>>> thread_local_(
             static_cast<std::size_t>(threads_per_rank));
-        std::vector<std::future<void>> futures;
-        for (int t = 0; t < threads_per_rank; ++t) {
-          PairRange sub = pair_slice(slice.count(), t, threads_per_rank);
-          futures.push_back(pool->submit([&, t, sub] {
-            auto st = static_cast<std::size_t>(t);
-            process_pair_range(columns, row, cls, basis.stoichiometry_rank,
-                               slice.begin + sub.begin,
-                               slice.begin + sub.end,
-                               solver_options.block_ref_cap, make_oracle(t),
-                               thread_stats[st], thread_phases[st],
-                               thread_local_[st]);
-          }));
-        }
-        std::exception_ptr first;
-        for (auto& future : futures) {
-          try {
-            future.get();
-          } catch (...) {
-            if (!first) {
-              first = std::current_exception();
-            } else {
-              // Secondary worker failure: recorded on the obs layer (counter
-              // + trace instant) instead of being silently dropped.
-              obs::record_suppressed_exception("combinatorial_parallel.smp");
-            }
-          }
-        }
-        if (first) std::rethrow_exception(first);
+        // Batches small enough to balance a skewed tail, large enough that
+        // the per-batch engine setup (a cursor, no tables) stays noise.
+        constexpr std::uint64_t kMinGrain = 4096;
+        parallel_for_dynamic(
+            *pool, slice.count(), kMinGrain,
+            [&](int t, std::uint64_t sub_begin, std::uint64_t sub_end) {
+              auto st = static_cast<std::size_t>(t);
+              process_pair_range(columns, row, cls, basis.stoichiometry_rank,
+                                 slice.begin + sub_begin,
+                                 slice.begin + sub_end,
+                                 solver_options.block_ref_cap, make_oracle(t),
+                                 thread_stats[st], thread_phases[st],
+                                 thread_local_[st], &tables);
+            });
         PhaseTimer slowest_worker;  // per-iteration max across threads
         for (int t = 0; t < threads_per_rank; ++t) {
           auto st = static_cast<std::size_t>(t);
           iteration.pairs_probed += thread_stats[st].pairs_probed;
+          iteration.pairs_pruned += thread_stats[st].pairs_pruned;
           iteration.pretest_survivors += thread_stats[st].pretest_survivors;
           iteration.rank_tests += thread_stats[st].rank_tests;
           iteration.duplicates_removed +=

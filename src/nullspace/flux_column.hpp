@@ -69,6 +69,34 @@ struct FluxColumn {
   }
 };
 
+/// Compute the combination values of `combine_columns` into `out`,
+/// normalised to primitive form, reusing out's capacity.  Duplicate
+/// detection compares many transient combinations against existing
+/// columns; this entry point avoids materialising a FluxColumn (and its
+/// support) per probe.
+template <typename Scalar, typename Support>
+void combine_values_into(const FluxColumn<Scalar, Support>& positive,
+                         const FluxColumn<Scalar, Support>& negative,
+                         std::size_t k, std::vector<Scalar>& out) {
+  const Scalar a = -negative.values[k];  // > 0
+  const Scalar b = positive.values[k];   // > 0
+  out.assign(positive.values.size(), scalar_from_i64<Scalar>(0));
+  // Only rows in either support can be nonzero.
+  for (std::size_t i = 0; i < out.size(); ++i) {
+    const bool in_p = positive.support.test(i);
+    const bool in_n = negative.support.test(i);
+    if (!in_p && !in_n) continue;
+    if (in_p && in_n) {
+      out[i] = a * positive.values[i] + b * negative.values[i];
+    } else if (in_p) {
+      out[i] = a * positive.values[i];
+    } else {
+      out[i] = b * negative.values[i];
+    }
+  }
+  make_primitive(out);
+}
+
 /// Convex combination of a positive and a negative column that annihilates
 /// row `k`:  w = (-v[k]) * u + (u[k]) * v, both coefficients positive.
 /// Returns the primitive form.  Throws OverflowError with CheckedI64 when
@@ -77,22 +105,8 @@ template <typename Scalar, typename Support>
 FluxColumn<Scalar, Support> combine_columns(
     const FluxColumn<Scalar, Support>& positive,
     const FluxColumn<Scalar, Support>& negative, std::size_t k) {
-  const Scalar a = -negative.values[k];  // > 0
-  const Scalar b = positive.values[k];   // > 0
-  std::vector<Scalar> w(positive.values.size(), scalar_from_i64<Scalar>(0));
-  // Only rows in either support can be nonzero.
-  for (std::size_t i = 0; i < w.size(); ++i) {
-    const bool in_p = positive.support.test(i);
-    const bool in_n = negative.support.test(i);
-    if (!in_p && !in_n) continue;
-    if (in_p && in_n) {
-      w[i] = a * positive.values[i] + b * negative.values[i];
-    } else if (in_p) {
-      w[i] = a * positive.values[i];
-    } else {
-      w[i] = b * negative.values[i];
-    }
-  }
+  std::vector<Scalar> w;
+  combine_values_into(positive, negative, k, w);
   return FluxColumn<Scalar, Support>::from_values(std::move(w));
 }
 

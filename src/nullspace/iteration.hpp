@@ -14,14 +14,19 @@
 // The cardinality pre-test inside generate_candidates is the hot loop: an
 // OR + popcount per pair; pairs failing it are counted but never
 // materialised.  This is what the paper's per-iteration "generated
-// candidate modes" numbers count.
+// candidate modes" numbers count.  Production traversal runs through the
+// tiled/pruned/SIMD engine in nullspace/pairgen.hpp; the straight scalar
+// loop is kept here as generate_candidate_refs_reference, the differential
+// oracle the engine is tested against.
 #pragma once
 
 #include <algorithm>
 #include <cstdint>
+#include <optional>
 #include <vector>
 
 #include "nullspace/flux_column.hpp"
+#include "nullspace/pairgen.hpp"
 #include "nullspace/rank_test.hpp"
 #include "nullspace/stats.hpp"
 
@@ -100,30 +105,16 @@ class FlatSupports {
   std::vector<std::uint64_t> words_;
 };
 
-/// A candidate before materialisation: its exact support (cancellations
-/// included) plus the generating positive/negative column indices.  The
-/// rank test and duplicate removal need only the support, so full value
-/// vectors are built exclusively for ACCEPTED candidates — the pretest
-/// survivor stream on the yeast networks is orders of magnitude larger
-/// than the accepted stream and must never be materialised wholesale.
-template <typename Support>
-struct CandidateRef {
-  Support support;
-  std::uint32_t positive = 0;  // column index into the current matrix
-  std::uint32_t negative = 0;
-
-  friend bool operator<(const CandidateRef& a, const CandidateRef& b) {
-    // Support-major order; the pair indices break ties deterministically
-    // so results do not depend on generation order (rank count, blocking).
-    if (auto cmp = a.support <=> b.support; cmp != 0) return cmp < 0;
-    if (a.positive != b.positive) return a.positive < b.positive;
-    return a.negative < b.negative;
-  }
-};
-
-/// Generate candidate refs for flattened pair indices starting at `*cursor`
-/// until either the pair range [begin, end) is exhausted or `out` reaches
-/// `ref_cap` entries (bounded-memory blocking).  Updates `*cursor`.
+/// REFERENCE generator: the straight scalar loop over row-major pair
+/// indices, kept as the differential oracle for the engine in pairgen.hpp
+/// (tests assert both paths produce the same candidate multiset and the
+/// same survivor counts).  Production code calls generate_candidate_refs /
+/// process_pair_range, which run the tiled/pruned/SIMD engine.
+///
+/// Generates candidate refs for flattened pair indices starting at
+/// `*cursor` until either the pair range [begin, end) is exhausted or
+/// `out` reaches `ref_cap` entries (bounded-memory blocking).  Updates
+/// `*cursor`.
 ///
 /// Pair p maps to (positive[p / negatives], negative[p % negatives]).
 /// The cheap pre-test bounds the support union: |supp(u) ∪ supp(v)| <=
@@ -132,7 +123,7 @@ struct CandidateRef {
 /// and candidates whose support is empty (mirror columns) or still larger
 /// than rank + 1 are dropped immediately.
 template <typename Scalar, typename Support>
-void generate_candidate_refs(
+void generate_candidate_refs_reference(
     const std::vector<FluxColumn<Scalar, Support>>& columns, std::size_t row,
     const RowClassification& cls, std::uint64_t* cursor, std::uint64_t end,
     std::size_t rank, std::size_t ref_cap,
@@ -222,6 +213,40 @@ void generate_candidate_refs(
     }
   }
   *cursor = p;
+}
+
+/// Generate candidate refs through the tiled/pruned/SIMD engine
+/// (nullspace/pairgen.hpp) for ENGINE indices starting at `*cursor` until
+/// either [begin, end) is exhausted or `out` reaches `ref_cap` entries.
+///
+/// Engine indices enumerate the same pos x neg pair space as the reference
+/// generator but in tile-major order over popcount-sorted sides; any
+/// partition of [0, pair_count) still covers every pair exactly once, so
+/// rank slicing and pair-count conservation are unaffected.  The candidate
+/// multiset for a full range is identical to the reference (the engine
+/// only reorders the probes and skips provably-dead ones).
+///
+/// This convenience wrapper builds the lookup tables per call; block loops
+/// should build PairGenTables once and drive a PairGen directly (see
+/// process_pair_range).
+template <typename Scalar, typename Support>
+void generate_candidate_refs(
+    const std::vector<FluxColumn<Scalar, Support>>& columns, std::size_t row,
+    const RowClassification& cls, std::uint64_t* cursor, std::uint64_t end,
+    std::size_t rank, std::size_t ref_cap,
+    std::vector<CandidateRef<Support>>& out, IterationStats& stats,
+    PairGenConfig config = {}) {
+  if (cls.negative.empty() || cls.positive.empty() || *cursor >= end) {
+    *cursor = end;
+    return;
+  }
+  PairGenTables<Scalar, Support> tables(columns, row, cls.positive,
+                                        cls.negative, cls.zero, rank, config);
+  PairGen<Scalar, Support> gen(tables, *cursor, end);
+  out.reserve(out.size() + static_cast<std::size_t>(std::min<std::uint64_t>(
+                               {ref_cap, end - *cursor, std::uint64_t{1} << 20})));
+  gen.generate(ref_cap, out, stats);
+  *cursor = gen.cursor();
 }
 
 /// Materialise an accepted ref into a full column.
@@ -350,10 +375,26 @@ void combinatorial_filter(
   candidates.resize(kept);
 }
 
+/// Empty existing-column index: substituted when a block produced no refs
+/// so tables.existing() is never forced just to loop over zero candidates.
+template <typename Scalar, typename Support>
+inline const std::vector<const FluxColumn<Scalar, Support>*> kNoExisting{};
+
 /// Process one rank's pair range [begin, end) for `row` in bounded-memory
-/// blocks: generate refs, dedup (within block, across blocks, and against
-/// existing zero columns), apply `is_elementary(support)`, and materialise
-/// accepted candidates into `accepted_out`.
+/// blocks: generate refs through the pairgen engine, dedup (within block,
+/// across blocks, and against existing zero columns), apply
+/// `is_elementary(support)`, and materialise accepted candidates into
+/// `accepted_out` (appended; earlier content is left untouched).
+///
+/// [begin, end) are ENGINE indices (tile-major over popcount-sorted sides;
+/// see pairgen.hpp).  Any partition of [0, cls.pair_count()) covers every
+/// pair exactly once, so rank slicing and the pair-conservation audit are
+/// unaffected by the reordering.
+///
+/// `shared_tables`, when given, must have been built from the same
+/// (columns, row, cls, rank); dynamic schedulers build the tables once per
+/// iteration and fan worker ranges out against them.  When null the tables
+/// are built locally.
 ///
 /// Blocking bounds transient memory by ~ref_cap refs regardless of how many
 /// pretest survivors the pair range produces (the full Network I run
@@ -364,35 +405,47 @@ void process_pair_range(
     const RowClassification& cls, std::size_t rank, std::uint64_t begin,
     std::uint64_t end, std::size_t ref_cap, const TestFn& is_elementary,
     IterationStats& stats, PhaseTimer& phases,
-    std::vector<FluxColumn<Scalar, Support>>& accepted_out) {
+    std::vector<FluxColumn<Scalar, Support>>& accepted_out,
+    const PairGenTables<Scalar, Support>* shared_tables = nullptr) {
   if (cls.positive.empty() || cls.negative.empty() || begin >= end) {
     stats.pairs_probed += (begin < end) ? end - begin : 0;
     return;
   }
 
-  // Existing zero columns indexed by support once per iteration; a
-  // candidate whose support AND values duplicate one of them is dropped
-  // (the paper's Fig. 2 fourth iteration), mirrors are kept.
-  std::vector<const FluxColumn<Scalar, Support>*> existing;
-  existing.reserve(cls.zero.size());
-  for (std::uint32_t z : cls.zero) existing.push_back(&columns[z]);
-  std::sort(existing.begin(), existing.end(),
-            [](const auto* a, const auto* b) { return a->support < b->support; });
+  std::optional<PairGenTables<Scalar, Support>> local_tables;
+  if (shared_tables == nullptr) {
+    ScopedPhase phase(phases, Phase::kGenCand);
+    local_tables.emplace(columns, row, cls.positive, cls.negative, cls.zero,
+                         rank);
+  }
+  const PairGenTables<Scalar, Support>& tables =
+      shared_tables != nullptr ? *shared_tables : *local_tables;
 
+  const std::size_t initial_accepted = accepted_out.size();
   std::vector<Support> accepted_supports;  // sorted, for cross-block dedup
   std::vector<CandidateRef<Support>> refs;
-  std::uint64_t cursor = begin;
-  while (cursor < end) {
+  refs.reserve(static_cast<std::size_t>(std::min<std::uint64_t>(
+      {ref_cap, end - begin, std::uint64_t{1} << 20})));
+  ValueSlab<Scalar> value_slab;  // recycles duplicate-probe value buffers
+  PairGen<Scalar, Support> gen(tables, begin, end);
+  while (!gen.done()) {
+    gen.recycle(refs);  // return last block's support buffers to the slab
     refs.clear();
     {
       ScopedPhase phase(phases, Phase::kGenCand);
-      generate_candidate_refs(columns, row, cls, &cursor, end, rank, ref_cap,
-                              refs, stats);
+      gen.generate(ref_cap, refs, stats);
     }
     std::size_t block_first_accept = accepted_out.size();
     {
       ScopedPhase phase(phases, Phase::kMerge);
-      std::sort(refs.begin(), refs.end());
+      // Stable sort by support ONLY: among equal supports the FIRST ref in
+      // engine order survives.  Cross-block dedup keeps the earliest
+      // block's ref, so first-in-engine-order is the one winner rule that
+      // makes the result independent of ref_cap blocking.
+      std::stable_sort(refs.begin(), refs.end(),
+                       [](const auto& a, const auto& b) {
+                         return a.support < b.support;
+                       });
       auto last = std::unique(refs.begin(), refs.end(),
                               [](const auto& a, const auto& b) {
                                 return a.support == b.support;
@@ -415,8 +468,15 @@ void process_pair_range(
         }
         refs.resize(kept);
       }
-      // Duplicates of existing zero columns (value-exact only).
-      if (!existing.empty()) {
+      // Duplicates of existing zero columns (value-exact only).  The
+      // sorted-by-support index is built inside the tables on first use —
+      // guarding on refs keeps pure probe passes from ever paying for the
+      // sort.  A candidate whose support AND values duplicate an existing
+      // column is dropped (the paper's Fig. 2 fourth iteration), mirrors
+      // are kept.
+      if (const auto& existing =
+              refs.empty() ? kNoExisting<Scalar, Support> : tables.existing();
+          !existing.empty()) {
         std::size_t kept = 0;
         for (std::size_t c = 0; c < refs.size(); ++c) {
           auto range = std::equal_range(
@@ -430,11 +490,16 @@ void process_pair_range(
               });
           bool duplicate = false;
           if (range.first != range.second) {
-            auto value = materialize(columns, row, refs[c]);
+            // Support collision: compare primitive values without
+            // materialising a column (the buffer is recycled).
+            auto probe = value_slab.acquire();
+            combine_values_into(columns[refs[c].positive],
+                                columns[refs[c].negative], row, probe);
             for (auto it = range.first; it != range.second && !duplicate;
                  ++it) {
-              duplicate = (*it)->values == value.values;
+              duplicate = (*it)->values == probe;
             }
+            value_slab.release(std::move(probe));
           }
           if (duplicate) {
             ++stats.duplicates_removed;
@@ -448,22 +513,37 @@ void process_pair_range(
     }
     {
       ScopedPhase phase(phases, Phase::kRankTest);
-      for (const auto& ref : refs) {
+      for (auto& ref : refs) {
         ++stats.rank_tests;
-        if (is_elementary(ref.support)) {
-          accepted_out.push_back(materialize(columns, row, ref));
-        }
+        if (!is_elementary(ref.support)) continue;
+        // Materialise in place: combine_values_into yields the primitive
+        // value vector and the ref already carries the exact support, so
+        // neither is recomputed by FluxColumn::from_values.
+        FluxColumn<Scalar, Support> column;
+        auto values = value_slab.acquire();
+        combine_values_into(columns[ref.positive], columns[ref.negative], row,
+                            values);
+        column.values = std::move(values);
+        column.support = std::move(ref.support);
+        accepted_out.push_back(std::move(column));
       }
     }
-    if (cursor < end) {
-      // More blocks follow: remember this block's accepted supports.
+    if (!gen.done()) {
+      // More blocks follow: remember this block's accepted supports.  The
+      // block's refs were support-sorted, so its accepted slice already is;
+      // one in-place merge keeps the running index sorted in linear time.
       ScopedPhase phase(phases, Phase::kMerge);
+      const auto mid = static_cast<std::ptrdiff_t>(accepted_supports.size());
+      accepted_supports.reserve(accepted_out.size() - initial_accepted);
       for (std::size_t a = block_first_accept; a < accepted_out.size(); ++a)
         accepted_supports.push_back(accepted_out[a].support);
-      std::sort(accepted_supports.begin(), accepted_supports.end());
+      std::inplace_merge(accepted_supports.begin(),
+                         accepted_supports.begin() + mid,
+                         accepted_supports.end());
     }
   }
-  stats.accepted += accepted_out.size();
+  stats.accepted +=
+      static_cast<std::uint64_t>(accepted_out.size() - initial_accepted);
 }
 
 /// Remove accepted candidates whose support strictly contains another
@@ -474,16 +554,47 @@ template <typename Scalar, typename Support>
 void cross_candidate_subset_filter(
     std::vector<FluxColumn<Scalar, Support>>& accepted,
     IterationStats& stats) {
-  std::size_t kept = 0;
-  for (std::size_t c = 0; c < accepted.size(); ++c) {
-    bool elementary = true;
-    for (std::size_t d = 0; d < accepted.size() && elementary; ++d) {
-      if (d == c) continue;
-      if (accepted[d].support != accepted[c].support &&
-          accepted[d].support.is_subset_of(accepted[c].support))
-        elementary = false;
+  const std::size_t n = accepted.size();
+  if (n < 2) return;
+
+  // A strict subset has strictly smaller popcount, so candidate c only
+  // needs testing against the popcount band BELOW its own: walk candidates
+  // in popcount order and stop each scan at the first equal-or-larger
+  // popcount (candidates with equal supports were already deduped, and
+  // equal popcounts cannot strictly contain each other).  Worst case is
+  // still quadratic but the common band structure makes it near-linear,
+  // versus the unconditional O(n^2) subset scan this replaces.
+  std::vector<std::uint32_t> pop(n);
+  std::vector<std::uint32_t> order(n);
+  for (std::size_t c = 0; c < n; ++c) {
+    pop[c] = static_cast<std::uint32_t>(accepted[c].support.count());
+    order[c] = static_cast<std::uint32_t>(c);
+  }
+  std::sort(order.begin(), order.end(),
+            [&pop](std::uint32_t a, std::uint32_t b) {
+              if (pop[a] != pop[b]) return pop[a] < pop[b];
+              return a < b;
+            });
+
+  std::vector<char> dead(n, 0);
+  for (std::size_t oc = 0; oc < n; ++oc) {
+    const std::uint32_t c = order[oc];
+    for (std::size_t od = 0; od < oc; ++od) {
+      const std::uint32_t d = order[od];
+      if (pop[d] >= pop[c]) break;  // band cut-off
+      // Subset status is judged against the FULL accepted set (a removed
+      // candidate still disqualifies its supersets), matching the
+      // reference all-pairs scan.
+      if (accepted[d].support.is_subset_of(accepted[c].support)) {
+        dead[c] = 1;
+        break;
+      }
     }
-    if (!elementary) {
+  }
+
+  std::size_t kept = 0;
+  for (std::size_t c = 0; c < n; ++c) {
+    if (dead[c]) {
       --stats.accepted;
       continue;
     }

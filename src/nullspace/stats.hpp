@@ -19,6 +19,11 @@ struct IterationStats {
   std::uint64_t positives = 0;         // columns with positive entry
   std::uint64_t negatives = 0;         // columns with negative entry
   std::uint64_t pairs_probed = 0;      // = positives * negatives
+  /// Subset of pairs_probed dismissed in bulk by the popcount bound
+  /// (max(|u|,|v|) > rank+2 implies the union bound fails) without an
+  /// OR+popcount probe.  Pruned pairs still count as probed — the paper's
+  /// "# candidate modes" and the pair-conservation audit both charge them.
+  std::uint64_t pairs_pruned = 0;
   std::uint64_t pretest_survivors = 0; // pairs past the cardinality test
   std::uint64_t duplicates_removed = 0;
   std::uint64_t rank_tests = 0;
@@ -28,6 +33,7 @@ struct IterationStats {
 
 struct SolveStats {
   std::uint64_t total_pairs_probed = 0;
+  std::uint64_t total_pairs_pruned = 0;
   std::uint64_t total_pretest_survivors = 0;
   std::uint64_t total_rank_tests = 0;
   std::uint64_t total_accepted = 0;
@@ -52,6 +58,7 @@ struct SolveStats {
 
   void absorb(const IterationStats& it) {
     total_pairs_probed += it.pairs_probed;
+    total_pairs_pruned += it.pairs_pruned;
     total_pretest_survivors += it.pretest_survivors;
     total_rank_tests += it.rank_tests;
     total_accepted += it.accepted;
@@ -66,6 +73,7 @@ struct SolveStats {
   /// growth curve of every subproblem after the first).
   void merge(const SolveStats& other) {
     total_pairs_probed += other.total_pairs_probed;
+    total_pairs_pruned += other.total_pairs_pruned;
     total_pretest_survivors += other.total_pretest_survivors;
     total_rank_tests += other.total_rank_tests;
     total_accepted += other.total_accepted;
@@ -90,6 +98,7 @@ inline void publish_iteration_metrics(const IterationStats& it) {
   auto& registry = obs::Registry::global();
   static const obs::Counter iterations = registry.counter("solver.iterations");
   static const obs::Counter pairs = registry.counter("solver.pairs_probed");
+  static const obs::Counter pruned = registry.counter("solver.pairs_pruned");
   static const obs::Counter survivors =
       registry.counter("solver.pretest_survivors");
   static const obs::Counter rank_tests = registry.counter("solver.rank_tests");
@@ -101,6 +110,7 @@ inline void publish_iteration_metrics(const IterationStats& it) {
   static const obs::Gauge columns = registry.gauge("solver.columns");
   iterations.add(1);
   pairs.add(it.pairs_probed);
+  pruned.add(it.pairs_pruned);
   survivors.add(it.pretest_survivors);
   rank_tests.add(it.rank_tests);
   accepted.add(it.accepted);

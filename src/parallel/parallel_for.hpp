@@ -1,6 +1,15 @@
-// Chunked parallel loop over an index range on a ThreadPool.
+// Parallel loops over an index range on a ThreadPool.
+//
+// parallel_for_dynamic is the scheduling primitive: workers grab adaptive
+// batches off a shared atomic cursor, so ranges with wildly skewed
+// per-index cost (the candidate pair space: survivor density varies by
+// orders of magnitude across tiles) no longer idle workers the way static
+// slicing does.  parallel_for_chunks keeps its old signature but now runs
+// on the dynamic scheduler.
 #pragma once
 
+#include <algorithm>
+#include <atomic>
 #include <vector>
 
 #include "obs/suppressed.hpp"
@@ -9,25 +18,51 @@
 
 namespace elmo {
 
-/// Apply body(begin, end) over near-equal chunks of [0, total) in parallel.
-/// Exceptions from any chunk propagate (first one wins); remaining chunks
-/// still run to completion.
+/// Apply body(worker, begin, end) over dynamically stolen batches of
+/// [0, total).  Each worker repeatedly claims the next batch from a shared
+/// cursor; the batch size adapts as max(min_grain, remaining / (4 *
+/// workers)), so early grabs are large (amortising the claim) and late
+/// grabs shrink toward min_grain (balancing the tail).  `worker` is the
+/// claiming lane in [0, pool.size()) — stable across all of one lane's
+/// batches, for per-worker accumulators.
+///
+/// Exceptions from any batch propagate (first one wins); a failed lane
+/// stops claiming but other lanes run the range to completion, and
+/// secondary exceptions are recorded, never silently dropped.
 template <typename Body>
-void parallel_for_chunks(ThreadPool& pool, std::uint64_t total,
-                         const Body& body) {
-  const int workers = static_cast<int>(pool.size());
+void parallel_for_dynamic(ThreadPool& pool, std::uint64_t total,
+                          std::uint64_t min_grain, const Body& body) {
   if (total == 0) return;
-  if (workers == 1) {
-    body(std::uint64_t{0}, total);
+  const auto workers = static_cast<std::uint64_t>(pool.size());
+  min_grain = std::max<std::uint64_t>(min_grain, 1);
+  if (workers <= 1 || total <= min_grain) {
+    body(0, std::uint64_t{0}, total);
     return;
   }
+
+  std::atomic<std::uint64_t> cursor{0};
+  auto lane = [&cursor, &body, total, min_grain, workers](int worker) {
+    std::uint64_t begin = cursor.load(std::memory_order_relaxed);
+    for (;;) {
+      if (begin >= total) return;
+      const std::uint64_t remaining = total - begin;
+      const std::uint64_t grab =
+          std::min(remaining,
+                   std::max(min_grain, remaining / (4 * workers)));
+      // On CAS failure `begin` reloads the cursor and the size recomputes.
+      if (!cursor.compare_exchange_weak(begin, begin + grab,
+                                        std::memory_order_relaxed)) {
+        continue;
+      }
+      body(worker, begin, begin + grab);
+      begin = cursor.load(std::memory_order_relaxed);
+    }
+  };
+
   std::vector<std::future<void>> futures;
   futures.reserve(static_cast<std::size_t>(workers));
-  for (int w = 0; w < workers; ++w) {
-    PairRange range = pair_slice(total, w, workers);
-    if (range.count() == 0) continue;
-    futures.push_back(
-        pool.submit([&body, range] { body(range.begin, range.end); }));
+  for (std::uint64_t w = 0; w < workers; ++w) {
+    futures.push_back(pool.submit([&lane, w] { lane(static_cast<int>(w)); }));
   }
   std::exception_ptr first;
   for (auto& future : futures) {
@@ -39,11 +74,30 @@ void parallel_for_chunks(ThreadPool& pool, std::uint64_t total,
       } else {
         // Secondary failure: only one exception can propagate, but the
         // others are recorded, never silently dropped.
-        obs::record_suppressed_exception("parallel_for_chunks");
+        obs::record_suppressed_exception("parallel_for_dynamic");
       }
     }
   }
   if (first) std::rethrow_exception(first);
+}
+
+/// Apply body(begin, end) over [0, total) in parallel.  Historically this
+/// issued one static near-equal slice per worker; it now rides the dynamic
+/// scheduler (callers were already required to accept arbitrary disjoint
+/// sub-ranges), with a grain that bounds the claim overhead at a few dozen
+/// batches per worker.
+template <typename Body>
+void parallel_for_chunks(ThreadPool& pool, std::uint64_t total,
+                         const Body& body) {
+  const auto workers = static_cast<std::uint64_t>(
+      std::max<std::size_t>(pool.size(), 1));
+  const std::uint64_t min_grain =
+      std::max<std::uint64_t>(1, total / (16 * workers));
+  parallel_for_dynamic(
+      pool, total, min_grain,
+      [&body](int, std::uint64_t begin, std::uint64_t end) {
+        body(begin, end);
+      });
 }
 
 }  // namespace elmo

@@ -93,5 +93,77 @@ TEST(ParallelFor, PropagatesFirstException) {
       InvalidArgumentError);
 }
 
+TEST(ParallelForDynamic, CoversRangeExactlyOnce) {
+  ThreadPool pool(4);
+  for (std::uint64_t total : {1ULL, 7ULL, 100ULL, 4099ULL}) {
+    for (std::uint64_t grain : {1ULL, 16ULL, 5000ULL}) {
+      std::vector<std::atomic<int>> touched(total);
+      for (auto& t : touched) t.store(0);
+      parallel_for_dynamic(
+          pool, total, grain,
+          [&](int worker, std::uint64_t begin, std::uint64_t end) {
+            EXPECT_GE(worker, 0);
+            EXPECT_LT(worker, 4);
+            EXPECT_LT(begin, end);
+            for (std::uint64_t i = begin; i < end; ++i)
+              touched[i].fetch_add(1);
+          });
+      for (std::uint64_t i = 0; i < total; ++i)
+        EXPECT_EQ(touched[i].load(), 1) << "index " << i;
+    }
+  }
+}
+
+TEST(ParallelForDynamic, BatchesRespectMinGrain) {
+  // Every batch except possibly the final one must be at least min_grain.
+  ThreadPool pool(3);
+  constexpr std::uint64_t kGrain = 32;
+  std::atomic<std::uint64_t> small_batches{0};
+  std::atomic<std::uint64_t> covered{0};
+  parallel_for_dynamic(pool, 1000, kGrain,
+                       [&](int, std::uint64_t begin, std::uint64_t end) {
+                         if (end - begin < kGrain) small_batches.fetch_add(1);
+                         covered.fetch_add(end - begin);
+                       });
+  EXPECT_EQ(covered.load(), 1000u);
+  EXPECT_LE(small_batches.load(), 1u);
+}
+
+TEST(ParallelForDynamic, EmptyRangeIsNoop) {
+  ThreadPool pool(2);
+  parallel_for_dynamic(pool, 0, 8, [](int, std::uint64_t, std::uint64_t) {
+    FAIL() << "body must not run";
+  });
+}
+
+TEST(ParallelForDynamic, SmallRangeRunsInline) {
+  ThreadPool pool(4);
+  int calls = 0;
+  parallel_for_dynamic(pool, 10, 64,
+                       [&](int worker, std::uint64_t begin,
+                           std::uint64_t end) {
+                         ++calls;
+                         EXPECT_EQ(worker, 0);
+                         EXPECT_EQ(begin, 0u);
+                         EXPECT_EQ(end, 10u);
+                       });
+  EXPECT_EQ(calls, 1);
+}
+
+TEST(ParallelForDynamic, PropagatesFirstExceptionAndFinishesRange) {
+  ThreadPool pool(4);
+  std::atomic<std::uint64_t> covered{0};
+  EXPECT_THROW(
+      parallel_for_dynamic(pool, 10000, 8,
+                           [&](int, std::uint64_t begin, std::uint64_t end) {
+                             if (begin == 0)
+                               throw InvalidArgumentError("batch failed");
+                             covered.fetch_add(end - begin);
+                           }),
+      InvalidArgumentError);
+  // Other lanes keep draining the cursor; only the failed batch is lost.
+  EXPECT_GT(covered.load(), 0u);
+}
+
 }  // namespace
 }  // namespace elmo
