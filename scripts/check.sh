@@ -11,12 +11,17 @@
 #      build (true no-instrumentation baseline) vs the plain build's
 #      dormant instrumentation; emits BENCH_observability.json and fails
 #      above +2%.  Skip with ELMO_CHECK_SKIP_BENCH=1 (other stages stay),
-#   6. static analysis: scripts/lint.sh (elmo_lint custom checks, header
-#      self-containedness, clang-tidy/clang-format when available),
+#   6. static analysis: scripts/lint.sh (the elmo_analyze gate, the lint
+#      rules over the non-src trees, header self-containedness,
+#      clang-tidy/clang-format when available),
 #   7. candidate-engine perf gate: scripts/bench.sh --compare against the
 #      committed BENCH_candidates.json — fails when any scenario's
 #      engine-vs-reference speedup drops >10% relative or the yeast-width
-#      pretest speedup falls under 2x.  Skip with ELMO_CHECK_SKIP_BENCH=1.
+#      pretest speedup falls under 2x.  Skip with ELMO_CHECK_SKIP_BENCH=1,
+#   8. analyzer artifact gate: the CMake-built elmo_analyze re-runs over
+#      src/ against the committed baseline, and its machine-readable JSON
+#      report is validated with json_check (the same tool that guards the
+#      observability artifacts).
 #
 # Usage: scripts/check.sh [-jN]
 set -euo pipefail
@@ -26,24 +31,24 @@ JOBS="${1:--j$(nproc)}"
 
 run() { echo "+ $*" >&2; "$@"; }
 
-echo "== 1/7 plain build =="
+echo "== 1/8 plain build =="
 run cmake -B build -S . >/dev/null
 run cmake --build build "${JOBS}"
 (cd build && run ctest --output-on-failure)
 
-echo "== 2/7 address+undefined sanitizers =="
+echo "== 2/8 address+undefined sanitizers =="
 run cmake -B build-asan -S . -DELMO_SANITIZE=address,undefined >/dev/null
 run cmake --build build-asan "${JOBS}"
 (cd build-asan && run ctest --output-on-failure)
 
-echo "== 3/7 thread sanitizer (threaded suites) =="
+echo "== 3/8 thread sanitizer (threaded suites) =="
 run cmake -B build-tsan -S . -DELMO_SANITIZE=thread >/dev/null
 run cmake --build build-tsan "${JOBS}" --target \
     test_mpsim test_parallel test_fault_tolerance test_obs
 (cd build-tsan && run ctest --output-on-failure \
     -R '^(test_mpsim|test_parallel|test_fault_tolerance|test_obs)$')
 
-echo "== 4/7 observability smoke =="
+echo "== 4/8 observability smoke =="
 SMOKE_DIR="$(mktemp -d)"
 trap 'rm -rf "${SMOKE_DIR}"' EXIT
 run ./build/examples/elmo_cli --builtin toy --algorithm combined --ranks 2 \
@@ -64,7 +69,7 @@ tail -n 1 "${SMOKE_DIR}/heartbeat.jsonl" > "${SMOKE_DIR}/heartbeat.last.json"
 run ./build/examples/json_check "${SMOKE_DIR}/heartbeat.last.json" \
     --require done
 
-echo "== 5/7 observability overhead guard =="
+echo "== 5/8 observability overhead guard =="
 if [[ "${ELMO_CHECK_SKIP_BENCH:-0}" != "1" ]]; then
   run cmake -B build-obsoff -S . -DELMO_OBS_DISABLE=ON >/dev/null
   run cmake --build build-obsoff "${JOBS}" --target bench_obs_overhead
@@ -77,10 +82,10 @@ else
   echo "   (skipped: ELMO_CHECK_SKIP_BENCH=1)"
 fi
 
-echo "== 6/7 static analysis =="
+echo "== 6/8 static analysis =="
 run scripts/lint.sh
 
-echo "== 7/7 candidate-engine perf gate =="
+echo "== 7/8 candidate-engine perf gate =="
 if [[ "${ELMO_CHECK_SKIP_BENCH:-0}" != "1" ]]; then
   # Fresh record lands in the smoke dir; the committed baseline is only read.
   run env BENCH_OUT="${SMOKE_DIR}/BENCH_candidates.json" \
@@ -88,5 +93,15 @@ if [[ "${ELMO_CHECK_SKIP_BENCH:-0}" != "1" ]]; then
 else
   echo "   (skipped: ELMO_CHECK_SKIP_BENCH=1)"
 fi
+
+echo "== 8/8 analyzer artifact gate =="
+run cmake --build build "${JOBS}" --target elmo_analyze
+run ./build/tools/elmo_analyze --root=. \
+    --baseline=tools/analyze_baseline.txt \
+    --json="${SMOKE_DIR}/analyze.json" \
+    --dot="${SMOKE_DIR}/modules.dot"
+run ./build/examples/json_check "${SMOKE_DIR}/analyze.json" \
+    --require summary.total --require summary.active \
+    --require summary.baselined
 
 echo "all checks passed"

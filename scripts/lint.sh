@@ -1,17 +1,24 @@
 #!/usr/bin/env bash
 # Static-analysis sweep:
-#   1. elmo_lint — the repo's own checker (tools/elmo_lint.cpp): no naked
-#      `new`, no rand()/srand(), no swallowing `catch (...)`, every
-#      reinterpret_cast annotated.  Runs over src/, tools/, tests/,
-#      examples/ and bench/.
-#   2. header self-containedness — every src/**/*.hpp must compile on its
+#   1. elmo_analyze — the project's multi-pass static analyzer
+#      (tools/analyze/): include-graph layering/facade/cycle/IWYU-lite
+#      enforcement, lock-discipline, the overflow boundary around the
+#      exact-arithmetic kernels, and the historical lint rules — gated
+#      against the committed baseline (tools/analyze_baseline.txt).
+#      Bootstrapped with bare g++ so it works before any CMake tree
+#      exists.
+#   2. elmo_lint compatibility pass — the lint rules (naked new, rand,
+#      catch-all, reinterpret_cast) over tools/, tests/, examples/ and
+#      bench/ (src/ is already covered by stage 1; the seeded-violation
+#      corpus under tests/analyze_fixtures/ is excluded by design).
+#   3. header self-containedness — every src/**/*.hpp must compile on its
 #      own (g++ -fsyntax-only), so include order can never hide a missing
 #      include.
-#   3. clang-tidy — bugprone/concurrency/performance checks from
+#   4. clang-tidy — bugprone/concurrency/performance checks from
 #      .clang-tidy over the compilation database.  Skipped with a notice
 #      when clang-tidy is not installed (the container ships g++ only);
-#      stages 1-2 still carry the project-specific rules.
-#   4. format check — scripts/format.sh --check (skipped without
+#      stages 1-3 still carry the project-specific rules.
+#   5. format check — scripts/format.sh --check (skipped without
 #      clang-format).
 #
 # Usage: scripts/lint.sh [-jN]        exit 0 = clean
@@ -22,15 +29,21 @@ JOBS="${1:--j$(nproc)}"
 
 run() { echo "+ $*" >&2; "$@"; }
 
-echo "== 1/4 elmo_lint (project rules) =="
+echo "== 1/5 elmo_analyze (include graph, locks, overflow, lint) =="
 mkdir -p build-lint
-run g++ -std=c++20 -O1 -Wall -Wextra -o build-lint/elmo_lint \
-    tools/elmo_lint.cpp
-# shellcheck disable=SC2046
-run ./build-lint/elmo_lint $(find src tools tests examples bench \
-    \( -name '*.cpp' -o -name '*.hpp' \) | sort)
+run g++ -std=c++17 -O1 -Wall -Wextra -I tools -o build-lint/elmo_analyze \
+    tools/analyze/*.cpp
+run ./build-lint/elmo_analyze --root=. \
+    --baseline=tools/analyze_baseline.txt
 
-echo "== 2/4 header self-containedness =="
+echo "== 2/5 elmo_lint rules over tools/tests/examples/bench =="
+# shellcheck disable=SC2046
+run ./build-lint/elmo_analyze --pass=lint --lint-compat \
+    $(find tools tests examples bench \
+        \( -name '*.cpp' -o -name '*.hpp' \) \
+        -not -path 'tests/analyze_fixtures/*' | sort)
+
+echo "== 3/5 header self-containedness =="
 header_fails=0
 for header in $(find src -name '*.hpp' | sort); do
   # -include of the header into an empty TU keeps g++ from warning about
@@ -46,18 +59,18 @@ if [ "$header_fails" -ne 0 ]; then
   exit 1
 fi
 
-echo "== 3/4 clang-tidy =="
+echo "== 4/5 clang-tidy =="
 if command -v clang-tidy >/dev/null 2>&1; then
   run cmake -B build -S . >/dev/null   # refresh compile_commands.json
   # shellcheck disable=SC2046
   run clang-tidy -p build --quiet \
       $(find src -name '*.cpp' | sort)
 else
-  echo "clang-tidy not installed — skipped (stages 1-2 enforce the" \
+  echo "clang-tidy not installed — skipped (stages 1-3 enforce the" \
        "project-specific rules)" >&2
 fi
 
-echo "== 4/4 format check =="
+echo "== 5/5 format check =="
 if command -v clang-format >/dev/null 2>&1; then
   run scripts/format.sh --check
 else

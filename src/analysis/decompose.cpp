@@ -2,6 +2,7 @@
 
 #include <cmath>
 
+#include "bigint/bigint.hpp"
 #include "support/assert.hpp"
 
 namespace elmo {

@@ -1,5 +1,7 @@
 #include "analysis/knockout.hpp"
 
+#include "bigint/bigint.hpp"
+#include "network/network.hpp"
 #include "support/assert.hpp"
 
 namespace elmo {

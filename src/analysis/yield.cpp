@@ -1,5 +1,8 @@
 #include "analysis/yield.hpp"
 
+#include "bigint/bigint.hpp"
+#include "bigint/rational.hpp"
+#include "network/network.hpp"
 #include "support/assert.hpp"
 
 namespace elmo {

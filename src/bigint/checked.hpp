@@ -110,4 +110,43 @@ class CheckedI64 {
   std::int64_t value_ = 0;
 };
 
+// Free-function helpers for code that keeps raw std::int64_t (sizes,
+// counters, work estimates) but must not overflow silently.  These are what
+// elmo_analyze's overflow-boundary pass points at when it flags raw `*`,
+// `+` or `<<` on int64 expressions in the numeric kernels.
+
+/// a + b, throwing OverflowError instead of wrapping.
+inline std::int64_t checked_add(std::int64_t a, std::int64_t b) {
+  std::int64_t out = 0;
+  if (__builtin_add_overflow(a, b, &out))
+    throw OverflowError("checked_add: addition overflow");
+  return out;
+}
+
+/// a - b, throwing OverflowError instead of wrapping.
+inline std::int64_t checked_sub(std::int64_t a, std::int64_t b) {
+  std::int64_t out = 0;
+  if (__builtin_sub_overflow(a, b, &out))
+    throw OverflowError("checked_sub: subtraction overflow");
+  return out;
+}
+
+/// a * b, throwing OverflowError instead of wrapping.
+inline std::int64_t checked_mul(std::int64_t a, std::int64_t b) {
+  std::int64_t out = 0;
+  if (__builtin_mul_overflow(a, b, &out))
+    throw OverflowError("checked_mul: multiplication overflow");
+  return out;
+}
+
+/// a << shift for non-negative a, throwing OverflowError when a bit would
+/// be shifted out (signed left shift past the value range is UB before it
+/// is ever a wrong answer).
+inline std::int64_t checked_shl(std::int64_t a, unsigned shift) {
+  if (a < 0) throw InvalidArgumentError("checked_shl: negative value");
+  if (shift >= 63 || (shift > 0 && a > (INT64_MAX >> shift)))
+    throw OverflowError("checked_shl: shift overflow");
+  return a << shift;  // lint:allow(overflow) guarded by the range check above
+}
+
 }  // namespace elmo

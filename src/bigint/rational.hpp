@@ -9,6 +9,8 @@
 #include <compare>
 #include <string>
 
+#include "bigint/bigint.hpp"
+#include "bigint/checked.hpp"
 #include "bigint/scalar.hpp"
 #include "support/error.hpp"
 

@@ -2,6 +2,7 @@
 
 #include <atomic>
 
+#include "check/contracts.hpp"
 #include "support/assert.hpp"
 
 namespace elmo::check {

@@ -38,6 +38,7 @@
 #include <string>
 #include <vector>
 
+#include "bigint/bigint.hpp"
 #include "check/contracts.hpp"
 #include "linalg/matrix.hpp"
 #include "nullspace/flux_column.hpp"

@@ -1,0 +1,21 @@
+// check — correctness facade.
+//
+// The check module is cross-cutting: any layer may use it, but (enforced
+// by elmo_analyze's include-graph pass) only through its facade headers.
+// There are three sanctioned entry points:
+//
+//   check/check.hpp      this header — the full diagnostics surface,
+//                        including the InvariantAuditor.  Because the
+//                        auditor re-derives nullspace invariants it pulls
+//                        linalg/nullspace headers, so in practice only
+//                        layer-2+ code (core, mpsim, elmo) includes it.
+//   check/contracts.hpp  dependency-free ELMO_ENSURE/ELMO_INVARIANT
+//                        macros — usable from any layer, including the
+//                        leaf utilities the auditor itself builds on.
+//   check/lockorder.hpp  dependency-free ELMO_LOCK_ORDER instrumentation
+//                        — usable from any layer that owns a mutex.
+#pragma once
+
+#include "check/audit.hpp"      // lint:allow(unused-include) facade re-export
+#include "check/contracts.hpp"  // lint:allow(unused-include) facade re-export
+#include "check/lockorder.hpp"  // lint:allow(unused-include) facade re-export

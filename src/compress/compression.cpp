@@ -3,8 +3,11 @@
 #include <algorithm>
 #include <utility>
 
+#include "bigint/bigint.hpp"
 #include "linalg/gauss.hpp"
+#include "linalg/matrix.hpp"
 #include "linalg/scale.hpp"
+#include "network/network.hpp"
 #include "support/assert.hpp"
 
 namespace elmo {

@@ -1,11 +1,22 @@
 #include "core/api.hpp"
 
+#include "bigint/bigint.hpp"
+#include "bigint/checked.hpp"
 #include "bitset/bitset64.hpp"
 #include "bitset/dynbitset.hpp"
+#include "compress/compression.hpp"
+#include "core/combinatorial_parallel.hpp"
 #include "core/combined.hpp"
 #include "core/partitioned_parallel.hpp"
-#include "core/combinatorial_parallel.hpp"
+#include "mpsim/communicator.hpp"
+#include "network/network.hpp"
 #include "nullspace/efm.hpp"
+#include "nullspace/flux_column.hpp"
+#include "nullspace/solver.hpp"
+#include "nullspace/stats.hpp"
+#include "obs/obs.hpp"
+#include "support/assert.hpp"
+#include "support/error.hpp"
 #include "support/timer.hpp"
 
 namespace elmo {

@@ -27,8 +27,10 @@
 #include "compress/compression.hpp"
 #include "core/retry.hpp"
 #include "network/network.hpp"
+#include "nullspace/initial_basis.hpp"
 #include "nullspace/solver.hpp"
-#include "obs/report.hpp"
+#include "nullspace/stats.hpp"
+#include "obs/obs.hpp"
 
 namespace elmo {
 

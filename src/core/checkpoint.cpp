@@ -3,9 +3,10 @@
 #include <cstring>
 #include <fstream>
 
+#include "bigint/bigint.hpp"
+#include "mpsim/communicator.hpp"
 #include "mpsim/serialize.hpp"
-#include "obs/metrics.hpp"
-#include "obs/trace.hpp"
+#include "obs/obs.hpp"
 #include "support/error.hpp"
 
 namespace elmo {

@@ -14,12 +14,22 @@
 
 #include <optional>
 
+#include "check/check.hpp"
 #include "mpsim/communicator.hpp"
 #include "mpsim/serialize.hpp"
+#include "nullspace/flux_column.hpp"
+#include "nullspace/modular_rank.hpp"
+#include "nullspace/pairgen.hpp"
+#include "nullspace/problem.hpp"
+#include "nullspace/rank_test.hpp"
 #include "nullspace/solver.hpp"
+#include "nullspace/stats.hpp"
+#include "obs/obs.hpp"
 #include "parallel/parallel_for.hpp"
 #include "parallel/partitioner.hpp"
 #include "parallel/thread_pool.hpp"
+#include "support/assert.hpp"
+#include "support/timer.hpp"
 
 namespace elmo {
 

@@ -31,15 +31,19 @@
 #include <map>
 #include <string>
 
-#include "check/audit.hpp"
+#include "check/check.hpp"
 #include "core/checkpoint.hpp"
 #include "core/combinatorial_parallel.hpp"
 #include "core/retry.hpp"
 #include "core/subset_select.hpp"
+#include "mpsim/communicator.hpp"
 #include "mpsim/fault.hpp"
 #include "nullspace/efm.hpp"
-#include "obs/report.hpp"
-#include "support/format.hpp"
+#include "nullspace/problem.hpp"
+#include "nullspace/solver.hpp"
+#include "nullspace/stats.hpp"
+#include "obs/obs.hpp"
+#include "support/timer.hpp"
 
 namespace elmo {
 

@@ -20,6 +20,12 @@
 #include <cmath>
 
 #include "core/combined.hpp"
+#include "nullspace/flux_column.hpp"
+#include "nullspace/initial_basis.hpp"
+#include "nullspace/problem.hpp"
+#include "nullspace/rank_test.hpp"
+#include "nullspace/stats.hpp"
+#include "support/timer.hpp"
 
 namespace elmo {
 

@@ -36,9 +36,19 @@
 
 #include <optional>
 
+#include "bigint/checked.hpp"
 #include "mpsim/communicator.hpp"
 #include "mpsim/serialize.hpp"
+#include "nullspace/flux_column.hpp"
+#include "nullspace/iteration.hpp"
+#include "nullspace/modular_rank.hpp"
+#include "nullspace/problem.hpp"
+#include "nullspace/rank_test.hpp"
 #include "nullspace/solver.hpp"
+#include "nullspace/stats.hpp"
+#include "obs/obs.hpp"
+#include "support/assert.hpp"
+#include "support/timer.hpp"
 
 namespace elmo {
 
@@ -253,7 +263,8 @@ PartitionedSolveResult<Scalar, Support> solve_partitioned_parallel(
         };
         std::vector<Move> plan;
         for (int from = 0; from < num_ranks; ++from) {
-          while (sizes[from] > static_cast<std::int64_t>(target) + 1) {
+          while (sizes[from] >
+                 checked_add(static_cast<std::int64_t>(target), 1)) {
             int to = 0;
             for (int r = 1; r < num_ranks; ++r)
               if (sizes[r] < sizes[to]) to = r;
@@ -272,7 +283,7 @@ PartitionedSolveResult<Scalar, Support> solve_partitioned_parallel(
         for (const auto& move : plan) {
           if (move.from == rank) {
             std::vector<Column> shipped;
-            for (std::int64_t k = 0; k < move.count; ++k) {
+            for (std::int64_t moved = 0; moved < move.count; ++moved) {
               shipped.push_back(std::move(shard.back()));
               shard.pop_back();
             }

@@ -16,6 +16,7 @@
 #include "nullspace/initial_basis.hpp"
 #include "nullspace/problem.hpp"
 #include "nullspace/reversible_split.hpp"
+#include "support/assert.hpp"
 
 namespace elmo {
 

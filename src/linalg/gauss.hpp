@@ -14,6 +14,7 @@
 #include <vector>
 
 #include "linalg/matrix.hpp"
+#include "support/assert.hpp"
 
 namespace elmo {
 

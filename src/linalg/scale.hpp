@@ -8,7 +8,6 @@
 #include <vector>
 
 #include "bigint/rational.hpp"
-#include "support/assert.hpp"
 
 namespace elmo {
 

@@ -1,5 +1,6 @@
 #include "models/ecoli_core.hpp"
 
+#include "network/network.hpp"
 #include "network/parser.hpp"
 
 namespace elmo::models {

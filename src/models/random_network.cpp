@@ -2,6 +2,7 @@
 
 #include <string>
 
+#include "network/network.hpp"
 #include "support/random.hpp"
 
 namespace elmo::models {

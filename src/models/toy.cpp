@@ -1,5 +1,7 @@
 #include "models/toy.hpp"
 
+#include "network/network.hpp"
+
 namespace elmo::models {
 
 Network toy_network() {

@@ -7,8 +7,7 @@
 
 #include "check/lockorder.hpp"
 #include "mpsim/fault.hpp"
-#include "obs/metrics.hpp"
-#include "obs/trace.hpp"
+#include "obs/obs.hpp"
 #include "support/assert.hpp"
 
 namespace elmo::mpsim {

@@ -15,6 +15,8 @@
 #include <cstdint>
 #include <vector>
 
+#include "bigint/bigint.hpp"
+#include "bigint/checked.hpp"
 #include "bigint/scalar.hpp"
 #include "bitset/bitset64.hpp"
 #include "bitset/dynbitset.hpp"

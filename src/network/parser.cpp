@@ -5,6 +5,7 @@
 #include <sstream>
 #include <vector>
 
+#include "network/network.hpp"
 #include "support/error.hpp"
 
 namespace elmo {

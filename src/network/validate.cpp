@@ -2,6 +2,8 @@
 
 #include <map>
 
+#include "network/network.hpp"
+
 namespace elmo {
 
 namespace {

@@ -11,6 +11,7 @@
 #include <utility>
 #include <vector>
 
+#include "bigint/bigint.hpp"
 #include "bigint/scalar.hpp"
 #include "bitset/traits.hpp"
 #include "linalg/scale.hpp"

@@ -13,10 +13,13 @@
 #include <algorithm>
 #include <vector>
 
+#include "bigint/bigint.hpp"
 #include "bigint/rational.hpp"
 #include "linalg/gauss.hpp"
+#include "linalg/matrix.hpp"
 #include "nullspace/flux_column.hpp"
 #include "nullspace/problem.hpp"
+#include "support/assert.hpp"
 
 namespace elmo {
 

@@ -25,10 +25,14 @@
 #include <optional>
 #include <vector>
 
+#include "bitset/bitset64.hpp"
+#include "bitset/dynbitset.hpp"
 #include "nullspace/flux_column.hpp"
 #include "nullspace/pairgen.hpp"
 #include "nullspace/rank_test.hpp"
 #include "nullspace/stats.hpp"
+#include "support/assert.hpp"
+#include "support/timer.hpp"
 
 namespace elmo {
 

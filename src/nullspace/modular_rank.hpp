@@ -27,6 +27,8 @@
 #include <cstdint>
 #include <vector>
 
+#include "bigint/bigint.hpp"
+#include "bigint/checked.hpp"
 #include "bigint/scalar.hpp"
 #include "linalg/matrix.hpp"
 #include "nullspace/flux_column.hpp"
@@ -68,6 +70,9 @@ inline std::uint64_t invmod(std::uint64_t a) {
 
 inline std::uint64_t from_i64(std::int64_t v) {
   if (v >= 0) return static_cast<std::uint64_t>(v) % kPrime;
+  // v < 0 here, so v + 1 cannot overflow and -(v + 1) fits in int64 even
+  // for v == INT64_MIN; the + 1 after the cast is unsigned (wrap-defined).
+  // lint:allow(overflow) deliberate INT64_MIN-safe negation
   std::uint64_t mag = static_cast<std::uint64_t>(-(v + 1)) + 1;
   std::uint64_t m = mag % kPrime;
   return m == 0 ? 0 : kPrime - m;

@@ -43,6 +43,7 @@
 #include <type_traits>
 #include <vector>
 
+#include "bitset/bitset64.hpp"
 #include "bitset/traits.hpp"
 #include "nullspace/flux_column.hpp"
 #include "nullspace/stats.hpp"

@@ -8,10 +8,10 @@
 #include <string>
 #include <vector>
 
+#include "bigint/bigint.hpp"
 #include "bigint/scalar.hpp"
 #include "compress/compression.hpp"
 #include "linalg/matrix.hpp"
-#include "support/assert.hpp"
 
 namespace elmo {
 

@@ -18,8 +18,11 @@
 
 #include <vector>
 
+#include "bigint/bigint.hpp"
+#include "bigint/checked.hpp"
 #include "bigint/scalar.hpp"
 #include "linalg/gauss.hpp"
+#include "linalg/matrix.hpp"
 #include "nullspace/flux_column.hpp"
 #include "support/error.hpp"
 

@@ -17,8 +17,10 @@
 #include <string>
 #include <vector>
 
+#include "bigint/bigint.hpp"
 #include "bigint/rational.hpp"
 #include "linalg/gauss.hpp"
+#include "linalg/matrix.hpp"
 #include "nullspace/flux_column.hpp"
 #include "nullspace/initial_basis.hpp"
 #include "nullspace/problem.hpp"

@@ -11,14 +11,15 @@
 #include <optional>
 #include <vector>
 
-#include "check/audit.hpp"
+#include "check/check.hpp"
 #include "nullspace/initial_basis.hpp"
-#include "nullspace/modular_rank.hpp"
 #include "nullspace/iteration.hpp"
+#include "nullspace/modular_rank.hpp"
 #include "nullspace/problem.hpp"
 #include "nullspace/rank_test.hpp"
 #include "nullspace/reversible_split.hpp"
 #include "nullspace/stats.hpp"
+#include "obs/obs.hpp"
 #include "support/timer.hpp"
 
 namespace elmo {

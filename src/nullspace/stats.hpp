@@ -9,7 +9,7 @@
 #include <cstdint>
 #include <vector>
 
-#include "obs/metrics.hpp"
+#include "obs/obs.hpp"
 #include "support/timer.hpp"
 
 namespace elmo {

@@ -3,6 +3,8 @@
 #include <bit>
 #include <deque>
 
+#include "obs/json.hpp"
+
 namespace elmo::obs {
 
 namespace detail {

@@ -1,0 +1,23 @@
+// obs — observability facade.
+//
+// The obs module is cross-cutting: any layer may use it, but (enforced by
+// elmo_analyze's include-graph pass) only through this header.  Keeping a
+// single entry point means the rest of the tree never wires itself to the
+// internal file layout of the diagnostics stack, and lets the individual
+// headers split or merge without a tree-wide include rewrite.
+//
+// Re-exports:
+//   obs/trace.hpp       Chrome/Perfetto trace_event recording
+//   obs/metrics.hpp     counters/gauges/histograms registry
+//   obs/progress.hpp    progress + ETA reporting
+//   obs/report.hpp      end-of-run machine-readable report
+//   obs/json.hpp        the minimal JSON value/writer the above share
+//   obs/suppressed.hpp  suppressed-diagnostic accounting
+#pragma once
+
+#include "obs/json.hpp"        // lint:allow(unused-include) facade re-export
+#include "obs/metrics.hpp"     // lint:allow(unused-include) facade re-export
+#include "obs/progress.hpp"    // lint:allow(unused-include) facade re-export
+#include "obs/report.hpp"      // lint:allow(unused-include) facade re-export
+#include "obs/suppressed.hpp"  // lint:allow(unused-include) facade re-export
+#include "obs/trace.hpp"       // lint:allow(unused-include) facade re-export

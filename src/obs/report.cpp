@@ -4,6 +4,8 @@
 #include <cstring>
 #include <stdexcept>
 
+#include "obs/json.hpp"
+
 namespace elmo::obs {
 
 namespace {

@@ -12,8 +12,7 @@
 #include <atomic>
 #include <vector>
 
-#include "obs/suppressed.hpp"
-#include "parallel/partitioner.hpp"
+#include "obs/obs.hpp"
 #include "parallel/thread_pool.hpp"
 
 namespace elmo {

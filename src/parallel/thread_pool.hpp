@@ -12,7 +12,8 @@
 #include <thread>
 #include <vector>
 
-#include "obs/trace.hpp"
+#include "check/lockorder.hpp"
+#include "obs/obs.hpp"
 #include "support/assert.hpp"
 
 namespace elmo {
@@ -35,6 +36,7 @@ class ThreadPool {
 
   ~ThreadPool() {
     {
+      ELMO_LOCK_ORDER("pool.queue");
       std::unique_lock lock(mutex_);
       stopping_ = true;
     }
@@ -51,6 +53,7 @@ class ThreadPool {
         std::make_shared<std::packaged_task<void()>>(std::move(task));
     auto future = packaged->get_future();
     {
+      ELMO_LOCK_ORDER("pool.queue");
       std::unique_lock lock(mutex_);
       ELMO_CHECK(!stopping_, "ThreadPool: submit after shutdown");
       tasks_.emplace_back([packaged] { (*packaged)(); });
@@ -64,6 +67,7 @@ class ThreadPool {
     for (;;) {
       std::function<void()> task;
       {
+        ELMO_LOCK_ORDER("pool.queue");
         std::unique_lock lock(mutex_);
         cv_.wait(lock, [this] { return stopping_ || !tasks_.empty(); });
         if (stopping_ && tasks_.empty()) return;

@@ -21,7 +21,7 @@
 #include <string>
 #include <string_view>
 
-#include "obs/trace.hpp"
+#include "obs/obs.hpp"
 
 namespace elmo {
 

@@ -1,0 +1,5 @@
+// Seeds include:pragma-once — the guard line is missing on purpose.
+
+struct NoPragma {
+  int x = 0;
+};

@@ -1,0 +1,6 @@
+// Seeds include:self-contained — UtilThing with no include path at all.
+#pragma once
+
+struct Orphan {
+  UtilThing dangling;
+};

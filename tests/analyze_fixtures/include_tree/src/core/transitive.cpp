@@ -1,0 +1,8 @@
+// Seeds include:missing-include — UtilThing arrives only via middle.hpp.
+#include "support/middle.hpp"
+
+int use_both() {
+  MiddleThing m;
+  UtilThing u;
+  return m.inner.value + u.value;
+}

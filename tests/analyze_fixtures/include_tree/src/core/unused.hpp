@@ -1,0 +1,8 @@
+// Seeds include:unused-include — util.hpp contributes nothing here.
+#pragma once
+
+#include "support/util.hpp"
+
+struct StandsAlone {
+  int y = 0;
+};

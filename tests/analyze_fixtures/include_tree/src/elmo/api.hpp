@@ -1,0 +1,6 @@
+// Layer-3 public API header.
+#pragma once
+
+struct ApiThing {
+  int id = 0;
+};

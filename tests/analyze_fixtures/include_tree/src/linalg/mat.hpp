@@ -1,0 +1,8 @@
+// Seeds include:facade — reaches into obs internals instead of the facade.
+#pragma once
+
+#include "obs/trace.hpp"
+
+struct Mat {
+  FixTracer tracer;
+};

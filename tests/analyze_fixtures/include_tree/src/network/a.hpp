@@ -1,0 +1,10 @@
+// Seeds include:cycle (with b.hpp).
+#pragma once
+
+#include "network/b.hpp"
+
+struct AThing {
+  int a = 0;
+};
+
+inline int use_b_from_a() { return BThing{}.b; }

@@ -1,0 +1,10 @@
+// Seeds include:cycle (with a.hpp).
+#pragma once
+
+#include "network/a.hpp"
+
+struct BThing {
+  int b = 0;
+};
+
+inline int use_a_from_b() { return AThing{}.a; }

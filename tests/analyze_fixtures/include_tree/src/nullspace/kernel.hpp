@@ -1,0 +1,8 @@
+// Seeds include:layering — layer-2 nullspace reaching up into layer-3 elmo.
+#pragma once
+
+#include "elmo/api.hpp"
+
+struct Kernel {
+  ApiThing handle;
+};

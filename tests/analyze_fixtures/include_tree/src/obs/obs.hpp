@@ -1,0 +1,4 @@
+// The obs facade: re-exporting internals is its job (no unused-include).
+#pragma once
+
+#include "obs/trace.hpp"

@@ -1,0 +1,6 @@
+// Internal obs header: only the facade may re-export it.
+#pragma once
+
+struct FixTracer {
+  int events = 0;
+};

@@ -1,0 +1,8 @@
+// Middle layer: re-exports util transitively.
+#pragma once
+
+#include "support/util.hpp"
+
+struct MiddleThing {
+  UtilThing inner;
+};

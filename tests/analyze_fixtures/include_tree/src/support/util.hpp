@@ -1,0 +1,6 @@
+// Leaf utility: provides UtilThing.
+#pragma once
+
+struct UtilThing {
+  int value = 0;
+};

@@ -1,0 +1,16 @@
+// Seeds every lint rule: naked-new, no-rand, catch-all, reinterpret-cast.
+#include <cstdlib>
+
+int* leak_it() { return new int(3); }
+
+int weak_random() { return rand(); }
+
+int swallow() {
+  try {
+    return weak_random();
+  } catch (...) {
+    return -1;
+  }
+}
+
+long as_long(int* p) { return *reinterpret_cast<long*>(p); }

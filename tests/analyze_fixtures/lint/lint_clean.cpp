@@ -1,0 +1,22 @@
+// Clean counterpart for every lint rule.
+#include <memory>
+#include <random>
+#include <stdexcept>
+
+std::unique_ptr<int> owned() { return std::make_unique<int>(3); }
+
+int seeded_random() {
+  std::mt19937 engine(42);
+  return static_cast<int>(engine());
+}
+
+int rethrows() {
+  try {
+    return seeded_random();
+  } catch (...) {
+    throw;
+  }
+}
+
+// lint:allow(reinterpret-cast) fixture: demonstrating the annotation form
+long as_long(int* p) { return *reinterpret_cast<long*>(p); }

@@ -1,0 +1,10 @@
+// Seeds lock:lock-blocking — a guard held across a blocking receive.
+#include <mutex>
+
+std::mutex queue_mutex;
+long recv(int source);
+
+long drain_while_locked() {
+  std::lock_guard<std::mutex> guard(queue_mutex);
+  return recv(3);
+}

@@ -1,0 +1,31 @@
+// Clean counterpart: consistent order, blocking only after release, and
+// the condition-variable wait exemption (the guard is an argument).
+#include <condition_variable>
+#include <mutex>
+
+std::mutex order_a;
+std::mutex order_b;
+std::condition_variable ready_cv;
+long recv(int source);
+
+void consistent_one() {
+  std::lock_guard<std::mutex> guard_a(order_a);
+  std::lock_guard<std::mutex> guard_b(order_b);
+}
+
+void consistent_two() {
+  std::lock_guard<std::mutex> guard_a(order_a);
+  std::lock_guard<std::mutex> guard_b(order_b);
+}
+
+long block_after_release() {
+  {
+    std::lock_guard<std::mutex> guard_a(order_a);
+  }
+  return recv(1);
+}
+
+void wait_with_guard() {
+  std::unique_lock<std::mutex> held(order_a);
+  ready_cv.wait(held);
+}

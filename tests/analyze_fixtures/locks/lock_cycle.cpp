@@ -1,0 +1,20 @@
+// Seeds lock:lock-cycle — fix.a and fix.b acquired in both orders — and
+// lock:lock-unexercised when the runtime dump only saw fix.a -> fix.b.
+#include <mutex>
+
+std::mutex fixture_a;
+std::mutex fixture_b;
+
+void take_ab() {
+  ELMO_LOCK_ORDER("fix.a");
+  std::lock_guard<std::mutex> guard_a(fixture_a);
+  ELMO_LOCK_ORDER("fix.b");
+  std::lock_guard<std::mutex> guard_b(fixture_b);
+}
+
+void take_ba() {
+  ELMO_LOCK_ORDER("fix.b");
+  std::lock_guard<std::mutex> guard_b(fixture_b);
+  ELMO_LOCK_ORDER("fix.a");
+  std::lock_guard<std::mutex> guard_a(fixture_a);
+}

@@ -1,0 +1,10 @@
+// Seeds overflow:unchecked-arith — raw int64 multiply and add.
+#include <cstdint>
+
+std::int64_t area(std::int64_t width, std::int64_t height) {
+  return width * height;
+}
+
+std::int64_t off_by_one(std::int64_t base) {
+  return base + 1;
+}

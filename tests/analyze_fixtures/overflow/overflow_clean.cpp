@@ -1,0 +1,12 @@
+// Clean counterpart: checked helpers, or an annotated deliberate raw op.
+#include <cstdint>
+
+std::int64_t checked_mul(std::int64_t a, std::int64_t b);
+
+std::int64_t area(std::int64_t width, std::int64_t height) {
+  return checked_mul(width, height);
+}
+
+std::int64_t doubled(std::int64_t small) {
+  return small + small;  // lint:allow(overflow) bounded by construction
+}

@@ -1,0 +1,227 @@
+// End-to-end tests for tools/elmo_analyze: every pass must trip on its
+// seeded fixture (tests/analyze_fixtures/) and stay silent on the clean
+// counterparts, with the --json reports matching the committed goldens
+// byte-for-byte.  The lock-discipline test is the full static-vs-runtime
+// diff: the runtime edge dump is produced in-process by the real
+// elmo::check::LockOrderGraph, then handed to the analyzer, proving the
+// two lockdep graphs speak the same format.  Finally the analyzer runs
+// over this repository's own src/ against the committed baseline — the
+// tree must be clean.
+//
+// The analyzer binaries are spawned via std::system; paths arrive as
+// compile definitions (ANALYZE_BIN, LINT_BIN, FIXTURES_DIR, SOURCE_ROOT).
+#include <gtest/gtest.h>
+
+#include <cstdlib>
+#include <fstream>
+#include <sstream>
+#include <string>
+
+#include "check/lockorder.hpp"
+
+namespace {
+
+struct RunResult {
+  int exit_code = -1;
+  std::string output;  // merged stdout+stderr
+};
+
+std::string slurp(const std::string& path) {
+  std::ifstream in(path);
+  std::ostringstream out;
+  out << in.rdbuf();
+  return out.str();
+}
+
+/// Run `cmd` with cwd `dir`, capturing merged output; returns the child's
+/// exit status (not the raw std::system encoding).
+RunResult run_in(const std::string& dir, const std::string& cmd) {
+  const std::string out_path = ::testing::TempDir() + "analyze_out.txt";
+  const std::string full =
+      "cd '" + dir + "' && " + cmd + " > '" + out_path + "' 2>&1";
+  const int raw = std::system(full.c_str());
+  RunResult result;
+  result.output = slurp(out_path);
+#if defined(WIFEXITED)
+  result.exit_code = WIFEXITED(raw) ? WEXITSTATUS(raw) : -1;
+#else
+  result.exit_code = raw;
+#endif
+  return result;
+}
+
+const std::string kBin = ANALYZE_BIN;
+const std::string kLintBin = LINT_BIN;
+const std::string kFixtures = FIXTURES_DIR;
+const std::string kSourceRoot = SOURCE_ROOT;
+
+TEST(AnalyzeInclude, SeededTreeMatchesGolden) {
+  const std::string json = ::testing::TempDir() + "include_tree.json";
+  RunResult r = run_in(kFixtures, kBin +
+                                      " --pass=include --root=include_tree"
+                                      " --json=" +
+                                      json);
+  EXPECT_EQ(r.exit_code, 1) << r.output;
+  // One seeded violation per rule.
+  for (const char* rule :
+       {"pragma-once", "self-contained", "missing-include", "unused-include",
+        "facade", "cycle", "layering"}) {
+    EXPECT_NE(r.output.find(std::string("[include:") + rule + "]"),
+              std::string::npos)
+        << "rule did not fire: " << rule << "\n"
+        << r.output;
+  }
+  EXPECT_EQ(slurp(json), slurp(kFixtures + "/golden/include_tree.json"));
+}
+
+TEST(AnalyzeInclude, ModuleGraphDotDump) {
+  const std::string dot = ::testing::TempDir() + "modules.dot";
+  RunResult r = run_in(
+      kFixtures,
+      kBin + " --pass=include --root=include_tree --dot=" + dot);
+  EXPECT_EQ(r.exit_code, 1) << r.output;
+  const std::string graph = slurp(dot);
+  EXPECT_NE(graph.find("digraph"), std::string::npos);
+  EXPECT_NE(graph.find("nullspace"), std::string::npos);
+}
+
+TEST(AnalyzeLock, DiffsStaticGraphAgainstRuntimeLockdep) {
+  // Exercise ONE of the two statically-possible orders through the real
+  // runtime lockdep recorder, exactly as instrumented code would.
+  auto& graph = elmo::check::LockOrderGraph::global();
+  graph.reset();
+  graph.on_acquire("fix.a");
+  graph.on_acquire("fix.b");  // edge fix.a -> fix.b while holding fix.a
+  graph.on_release("fix.b");
+  graph.on_release("fix.a");
+  const std::string edges_path = ::testing::TempDir() + "runtime_edges.txt";
+  {
+    std::ofstream out(edges_path);
+    for (const std::string& edge : graph.edges()) out << edge << "\n";
+  }
+  graph.reset();
+  ASSERT_NE(slurp(edges_path).find("fix.a -> fix.b"), std::string::npos);
+
+  const std::string json = ::testing::TempDir() + "locks.json";
+  RunResult r = run_in(kFixtures,
+                       kBin +
+                           " --pass=lock --lockdep-edges=" + edges_path +
+                           " --json=" + json +
+                           " locks/lock_cycle.cpp locks/lock_blocking.cpp"
+                           " locks/lock_clean.cpp");
+  EXPECT_EQ(r.exit_code, 1) << r.output;
+  // The static graph sees both orders -> cycle; the runtime graph only saw
+  // fix.a -> fix.b, so fix.b -> fix.a is a coverage hole.
+  EXPECT_NE(r.output.find("[lock:lock-cycle]"), std::string::npos)
+      << r.output;
+  EXPECT_NE(r.output.find("fix.a -> fix.b -> fix.a"), std::string::npos)
+      << r.output;
+  EXPECT_NE(r.output.find("[lock:lock-unexercised]"), std::string::npos)
+      << r.output;
+  EXPECT_NE(r.output.find("fix.b -> fix.a"), std::string::npos) << r.output;
+  EXPECT_NE(r.output.find("[lock:lock-blocking]"), std::string::npos)
+      << r.output;
+  EXPECT_EQ(slurp(json), slurp(kFixtures + "/golden/locks.json"));
+}
+
+TEST(AnalyzeLock, CleanFileStaysSilent) {
+  RunResult r = run_in(kFixtures, kBin + " --pass=lock locks/lock_clean.cpp");
+  EXPECT_EQ(r.exit_code, 0) << r.output;
+}
+
+TEST(AnalyzeOverflow, SeededArithMatchesGolden) {
+  const std::string json = ::testing::TempDir() + "overflow.json";
+  RunResult r = run_in(kFixtures,
+                       kBin +
+                           " --pass=overflow --json=" + json +
+                           " overflow/overflow_bad.cpp"
+                           " overflow/overflow_clean.cpp");
+  EXPECT_EQ(r.exit_code, 1) << r.output;
+  EXPECT_NE(r.output.find("[overflow:unchecked-arith]"), std::string::npos)
+      << r.output;
+  EXPECT_EQ(r.output.find("overflow_clean"), std::string::npos) << r.output;
+  EXPECT_EQ(slurp(json), slurp(kFixtures + "/golden/overflow.json"));
+}
+
+TEST(AnalyzeLint, SeededRulesMatchGolden) {
+  const std::string json = ::testing::TempDir() + "lint.json";
+  RunResult r = run_in(kFixtures,
+                       kBin + " --pass=lint --json=" + json +
+                           " lint/lint_bad.cpp lint/lint_clean.cpp");
+  EXPECT_EQ(r.exit_code, 1) << r.output;
+  for (const char* rule :
+       {"naked-new", "no-rand", "catch-all", "reinterpret-cast"}) {
+    EXPECT_NE(r.output.find(std::string("[lint:") + rule + "]"),
+              std::string::npos)
+        << "rule did not fire: " << rule << "\n"
+        << r.output;
+  }
+  EXPECT_EQ(r.output.find("lint_clean"), std::string::npos) << r.output;
+  EXPECT_EQ(slurp(json), slurp(kFixtures + "/golden/lint.json"));
+}
+
+TEST(AnalyzeLint, ShimKeepsHistoricalInterface) {
+  RunResult bad = run_in(kFixtures, kLintBin + " lint/lint_bad.cpp");
+  EXPECT_EQ(bad.exit_code, 1) << bad.output;
+  // Historical format: `file:line: [rule] message` + count trailer.
+  EXPECT_NE(bad.output.find("lint/lint_bad.cpp:4: [naked-new]"),
+            std::string::npos)
+      << bad.output;
+  EXPECT_NE(bad.output.find("elmo_lint: 4 finding(s)"), std::string::npos)
+      << bad.output;
+
+  RunResult clean = run_in(kFixtures, kLintBin + " lint/lint_clean.cpp");
+  EXPECT_EQ(clean.exit_code, 0) << clean.output;
+
+  RunResult usage = run_in(kFixtures, kLintBin);
+  EXPECT_EQ(usage.exit_code, 2) << usage.output;
+}
+
+TEST(AnalyzeBaseline, SuppressesListedKeysOnly) {
+  const std::string baseline = ::testing::TempDir() + "baseline.txt";
+  {
+    std::ofstream out(baseline);
+    out << "# grandfathered fixture findings\n"
+        << "overflow:unchecked-arith:overflow/overflow_bad.cpp:5\n"
+        << "overflow:unchecked-arith:overflow/overflow_bad.cpp:9\n";
+  }
+  RunResult all = run_in(kFixtures,
+                         kBin + " --pass=overflow --baseline=" + baseline +
+                             " overflow/overflow_bad.cpp");
+  EXPECT_EQ(all.exit_code, 0) << all.output;
+  EXPECT_NE(all.output.find("2 baselined"), std::string::npos) << all.output;
+
+  // A baseline listing only one of the two keys must still fail.
+  {
+    std::ofstream out(baseline);
+    out << "overflow:unchecked-arith:overflow/overflow_bad.cpp:5\n";
+  }
+  RunResult partial = run_in(kFixtures,
+                             kBin + " --pass=overflow --baseline=" +
+                                 baseline + " overflow/overflow_bad.cpp");
+  EXPECT_EQ(partial.exit_code, 1) << partial.output;
+}
+
+TEST(AnalyzeBaseline, WriteBaselineRoundTrips) {
+  const std::string baseline = ::testing::TempDir() + "written_baseline.txt";
+  RunResult write = run_in(kFixtures,
+                           kBin + " --pass=overflow --write-baseline=" +
+                               baseline + " overflow/overflow_bad.cpp");
+  EXPECT_EQ(write.exit_code, 1) << write.output;
+  RunResult reread = run_in(kFixtures,
+                            kBin + " --pass=overflow --baseline=" + baseline +
+                                " overflow/overflow_bad.cpp");
+  EXPECT_EQ(reread.exit_code, 0) << reread.output;
+}
+
+TEST(AnalyzeSelfCheck, RepoSourceTreeIsCleanUnderCommittedBaseline) {
+  RunResult r = run_in(kSourceRoot,
+                       kBin + " --root=. --baseline=tools/analyze_baseline.txt");
+  EXPECT_EQ(r.exit_code, 0)
+      << "elmo_analyze reports findings over src/ not covered by "
+         "tools/analyze_baseline.txt — fix them or (after review) "
+         "regenerate the baseline:\n"
+      << r.output;
+}
+
+}  // namespace

@@ -1,0 +1,7 @@
+// elmo_analyze CLI entry point.  All logic lives in the analyze/ library
+// so the elmo_lint compatibility shim can share it.
+#include "analyze/analyzer.hpp"
+
+int main(int argc, char** argv) {
+  return elmo_analyze::run_cli(argc, argv);
+}

@@ -1,0 +1,210 @@
+#include "analyze/analyzer.hpp"
+
+#include <algorithm>
+#include <cstdio>
+#include <cstring>
+#include <filesystem>
+#include <string>
+#include <vector>
+
+namespace elmo_analyze {
+
+namespace fs = std::filesystem;
+
+std::size_t Project::find(const std::string& path) const {
+  for (std::size_t i = 0; i < files.size(); ++i) {
+    if (files[i].path == path) return i;
+  }
+  return std::string::npos;
+}
+
+namespace {
+
+bool has_suffix(const std::string& s, const char* suffix) {
+  const std::size_t n = std::strlen(suffix);
+  return s.size() >= n && s.compare(s.size() - n, n, suffix) == 0;
+}
+
+/// Path of `p` relative to `root` when `p` lies under it, else `p`
+/// unchanged; always forward slashes.
+std::string relativize(const fs::path& p, const fs::path& root) {
+  std::error_code ec;
+  fs::path rel = fs::relative(p, root, ec);
+  std::string out =
+      (ec || rel.empty() || *rel.begin() == "..") ? p.generic_string()
+                                                  : rel.generic_string();
+  if (out.rfind("./", 0) == 0) out = out.substr(2);
+  return out;
+}
+
+void usage() {
+  std::fprintf(
+      stderr,
+      "usage: elmo_analyze [options] [FILE...]\n"
+      "  --root=DIR            project root (default .); without FILE\n"
+      "                        arguments, analyzes every *.hpp/*.cpp under\n"
+      "                        DIR/src\n"
+      "  --pass=LIST           comma list of include,lock,overflow,lint\n"
+      "                        (default: all)\n"
+      "  --baseline=FILE       suppress finding keys listed in FILE\n"
+      "  --write-baseline=FILE write current finding keys as a baseline\n"
+      "  --json=FILE           machine-readable findings + summary\n"
+      "  --dot=FILE            Graphviz dump of the module include graph\n"
+      "  --lockdep-edges=FILE  runtime lockdep edges (\"A -> B\" per line)\n"
+      "                        to diff against the static acquisition graph\n"
+      "exit: 0 clean, 1 non-baselined findings, 2 usage/IO error\n");
+}
+
+bool parse_passes(const std::string& list, Options& opts) {
+  opts.pass_include = opts.pass_lock = opts.pass_overflow = opts.pass_lint =
+      false;
+  std::size_t start = 0;
+  while (start <= list.size()) {
+    std::size_t comma = list.find(',', start);
+    const std::string item = list.substr(
+        start, comma == std::string::npos ? std::string::npos : comma - start);
+    if (item == "include") {
+      opts.pass_include = true;
+    } else if (item == "lock") {
+      opts.pass_lock = true;
+    } else if (item == "overflow") {
+      opts.pass_overflow = true;
+    } else if (item == "lint") {
+      opts.pass_lint = true;
+    } else if (item == "all") {
+      opts.pass_include = opts.pass_lock = opts.pass_overflow =
+          opts.pass_lint = true;
+    } else if (!item.empty()) {
+      std::fprintf(stderr, "elmo_analyze: unknown pass '%s'\n", item.c_str());
+      return false;
+    }
+    if (comma == std::string::npos) break;
+    start = comma + 1;
+  }
+  return true;
+}
+
+}  // namespace
+
+bool load_project(const Options& opts, Project& project, std::string& error) {
+  const fs::path root(opts.root);
+  if (!opts.files.empty()) {
+    for (const std::string& f : opts.files) {
+      SourceFile sf;
+      if (!load_source(f, relativize(fs::path(f), root), sf)) {
+        error = "cannot open file: " + f;
+        return false;
+      }
+      project.files.push_back(std::move(sf));
+    }
+    return true;
+  }
+  const fs::path src = root / "src";
+  std::error_code ec;
+  if (!fs::is_directory(src, ec)) {
+    error = "no src/ directory under root: " + root.generic_string();
+    return false;
+  }
+  std::vector<fs::path> paths;
+  for (fs::recursive_directory_iterator it(src, ec), end; it != end;
+       it.increment(ec)) {
+    if (ec) {
+      error = "cannot walk " + src.generic_string() + ": " + ec.message();
+      return false;
+    }
+    if (!it->is_regular_file()) continue;
+    const std::string p = it->path().generic_string();
+    if (has_suffix(p, ".hpp") || has_suffix(p, ".cpp")) {
+      paths.push_back(it->path());
+    }
+  }
+  std::sort(paths.begin(), paths.end());
+  for (const fs::path& p : paths) {
+    SourceFile sf;
+    if (!load_source(p.string(), relativize(p, root), sf)) {
+      error = "cannot open file: " + p.generic_string();
+      return false;
+    }
+    project.files.push_back(std::move(sf));
+  }
+  return true;
+}
+
+int run_cli(int argc, char** argv) {
+  Options opts;
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    auto value = [&arg](const char* prefix) -> std::string {
+      return arg.substr(std::strlen(prefix));
+    };
+    if (arg.rfind("--root=", 0) == 0) {
+      opts.root = value("--root=");
+    } else if (arg.rfind("--pass=", 0) == 0) {
+      if (!parse_passes(value("--pass="), opts)) return 2;
+    } else if (arg.rfind("--baseline=", 0) == 0) {
+      opts.baseline_path = value("--baseline=");
+    } else if (arg.rfind("--write-baseline=", 0) == 0) {
+      opts.write_baseline_path = value("--write-baseline=");
+    } else if (arg.rfind("--json=", 0) == 0) {
+      opts.json_path = value("--json=");
+    } else if (arg.rfind("--dot=", 0) == 0) {
+      opts.dot_path = value("--dot=");
+    } else if (arg.rfind("--lockdep-edges=", 0) == 0) {
+      opts.lockdep_edges_path = value("--lockdep-edges=");
+    } else if (arg == "--lint-compat") {
+      opts.lint_compat = true;
+      opts.tool_name = "elmo_lint";
+    } else if (arg == "--help" || arg == "-h") {
+      usage();
+      return 0;
+    } else if (arg.rfind("--", 0) == 0) {
+      std::fprintf(stderr, "elmo_analyze: unknown option '%s'\n", arg.c_str());
+      usage();
+      return 2;
+    } else {
+      opts.files.push_back(arg);
+    }
+  }
+
+  Project project;
+  std::string error;
+  if (!load_project(opts, project, error)) {
+    std::fprintf(stderr, "%s: %s\n", opts.tool_name.c_str(), error.c_str());
+    return 2;
+  }
+
+  std::vector<Finding> findings;
+  if (opts.pass_include) pass_include(project, opts, findings);
+  if (opts.pass_lock) pass_lock(project, opts, findings);
+  if (opts.pass_overflow) pass_overflow(project, opts, findings);
+  if (opts.pass_lint) pass_lint(project, opts, findings);
+  std::sort(findings.begin(), findings.end(), finding_less);
+
+  if (!opts.baseline_path.empty()) {
+    Baseline baseline;
+    if (!baseline.load(opts.baseline_path)) {
+      std::fprintf(stderr, "%s: cannot read baseline %s\n",
+                   opts.tool_name.c_str(), opts.baseline_path.c_str());
+      return 2;
+    }
+    apply_baseline(baseline, findings);
+  }
+  if (!opts.write_baseline_path.empty()) {
+    if (!write_baseline(opts.write_baseline_path, findings)) {
+      std::fprintf(stderr, "%s: cannot write baseline %s\n",
+                   opts.tool_name.c_str(), opts.write_baseline_path.c_str());
+      return 2;
+    }
+  }
+  if (!opts.json_path.empty()) {
+    if (!write_json(opts.json_path, findings)) {
+      std::fprintf(stderr, "%s: cannot write JSON %s\n",
+                   opts.tool_name.c_str(), opts.json_path.c_str());
+      return 2;
+    }
+  }
+  write_text(findings, opts.tool_name, opts.lint_compat);
+  return count_active(findings) == 0 ? 0 : 1;
+}
+
+}  // namespace elmo_analyze

@@ -1,0 +1,74 @@
+// elmo_analyze — driver: option parsing, file discovery, pass dispatch.
+//
+// The analyzer is self-contained C++17 (no libclang, no third-party
+// dependencies) so it can be bootstrapped with a bare `g++ -std=c++17`
+// before the CMake tree exists — scripts/lint.sh does exactly that.
+//
+// Passes (select with --pass=LIST, default all):
+//   include   module layering DAG, facade enforcement for obs/check,
+//             include cycles, #pragma once, IWYU-lite unused/missing
+//             includes, Graphviz module-graph dump (--dot)
+//   lock      static mutex acquisition graph: nested-guard edges with
+//             enclosing-function attribution, one-level interprocedural
+//             propagation, cycle detection, locks held across blocking
+//             calls, and a diff against a runtime lockdep edge dump
+//             (--lockdep-edges, format: one "A -> B" per line as printed
+//             by elmo::check::LockOrderGraph::edges())
+//   overflow  raw * / + / << on int64_t-typed expressions inside
+//             src/nullspace, src/linalg, src/core that bypass the
+//             bigint/checked.hpp helpers
+//   lint      the historical elmo_lint rules (naked-new, no-rand,
+//             catch-all, reinterpret-cast)
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "analyze/findings.hpp"
+#include "analyze/source.hpp"
+
+namespace elmo_analyze {
+
+struct Options {
+  std::string root = ".";
+  bool pass_include = true;
+  bool pass_lock = true;
+  bool pass_overflow = true;
+  bool pass_lint = true;
+  std::string baseline_path;
+  std::string write_baseline_path;
+  std::string json_path;
+  std::string dot_path;
+  std::string lockdep_edges_path;
+  std::vector<std::string> files;  // explicit file arguments, if any
+  bool lint_compat = false;        // elmo_lint-shim output format
+  std::string tool_name = "elmo_analyze";
+};
+
+struct Project {
+  std::vector<SourceFile> files;
+
+  /// Index into `files` by root-relative path, or npos.
+  [[nodiscard]] std::size_t find(const std::string& path) const;
+};
+
+/// Load the project: explicit files when given, otherwise every
+/// *.hpp/*.cpp under <root>/src.  Returns false on IO failure (missing
+/// file, unreadable root).
+bool load_project(const Options& opts, Project& project,
+                  std::string& error);
+
+void pass_include(const Project& project, const Options& opts,
+                  std::vector<Finding>& findings);
+void pass_lock(const Project& project, const Options& opts,
+               std::vector<Finding>& findings);
+void pass_overflow(const Project& project, const Options& opts,
+                   std::vector<Finding>& findings);
+void pass_lint(const Project& project, const Options& opts,
+               std::vector<Finding>& findings);
+
+/// Full CLI: parse argv, run passes, emit reports.
+/// Exit codes: 0 clean, 1 non-baselined findings, 2 usage/IO error.
+int run_cli(int argc, char** argv);
+
+}  // namespace elmo_analyze

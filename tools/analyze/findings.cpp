@@ -1,0 +1,154 @@
+#include "analyze/findings.hpp"
+
+#include <cstdio>
+#include <fstream>
+#include <tuple>
+
+namespace elmo_analyze {
+
+namespace {
+
+std::string json_escape(const std::string& s) {
+  std::string out;
+  out.reserve(s.size() + 8);
+  for (char c : s) {
+    switch (c) {
+      case '"':
+        out += "\\\"";
+        break;
+      case '\\':
+        out += "\\\\";
+        break;
+      case '\n':
+        out += "\\n";
+        break;
+      case '\t':
+        out += "\\t";
+        break;
+      case '\r':
+        out += "\\r";
+        break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof buf, "\\u%04x",
+                        static_cast<unsigned>(static_cast<unsigned char>(c)));
+          out += buf;
+        } else {
+          out += c;
+        }
+    }
+  }
+  return out;
+}
+
+}  // namespace
+
+std::string Finding::key() const {
+  return pass + ":" + rule + ":" + file + ":" + std::to_string(line);
+}
+
+bool finding_less(const Finding& a, const Finding& b) {
+  return std::tie(a.file, a.line, a.pass, a.rule, a.message) <
+         std::tie(b.file, b.line, b.pass, b.rule, b.message);
+}
+
+bool Baseline::load(const std::string& path) {
+  std::ifstream in(path);
+  if (!in) return false;
+  std::string line;
+  while (std::getline(in, line)) {
+    // Trim trailing whitespace/CR.
+    while (!line.empty() &&
+           (line.back() == ' ' || line.back() == '\t' || line.back() == '\r')) {
+      line.pop_back();
+    }
+    std::size_t start = line.find_first_not_of(" \t");
+    if (start == std::string::npos) continue;
+    if (line[start] == '#') continue;
+    keys.insert(line.substr(start));
+  }
+  return true;
+}
+
+void apply_baseline(const Baseline& baseline, std::vector<Finding>& findings) {
+  for (Finding& f : findings) {
+    if (baseline.keys.count(f.key()) != 0) f.baselined = true;
+  }
+}
+
+void write_text(const std::vector<Finding>& findings, const std::string& tool,
+                bool lint_compat) {
+  std::size_t active = 0;
+  std::size_t baselined = 0;
+  for (const Finding& f : findings) {
+    if (f.baselined) {
+      ++baselined;
+      continue;
+    }
+    ++active;
+    const std::string rule =
+        lint_compat ? f.rule : (f.pass + ":" + f.rule);
+    std::fprintf(stderr, "%s:%zu: [%s] %s\n", f.file.c_str(), f.line,
+                 rule.c_str(), f.message.c_str());
+  }
+  if (active != 0 || baselined != 0) {
+    if (baselined != 0) {
+      std::fprintf(stderr, "%s: %zu finding(s), %zu baselined\n", tool.c_str(),
+                   active, baselined);
+    } else {
+      std::fprintf(stderr, "%s: %zu finding(s)\n", tool.c_str(), active);
+    }
+  }
+}
+
+bool write_json(const std::string& path,
+                const std::vector<Finding>& findings) {
+  std::ofstream out(path);
+  if (!out) return false;
+  std::size_t active = 0;
+  std::size_t baselined = 0;
+  out << "{\n  \"findings\": [";
+  bool first = true;
+  for (const Finding& f : findings) {
+    if (f.baselined) {
+      ++baselined;
+    } else {
+      ++active;
+    }
+    out << (first ? "\n" : ",\n");
+    first = false;
+    out << "    {\"key\": \"" << json_escape(f.key()) << "\", \"pass\": \""
+        << json_escape(f.pass) << "\", \"rule\": \"" << json_escape(f.rule)
+        << "\", \"file\": \"" << json_escape(f.file) << "\", \"line\": "
+        << f.line << ", \"baselined\": " << (f.baselined ? "true" : "false")
+        << ", \"message\": \"" << json_escape(f.message) << "\"}";
+  }
+  out << (first ? "" : "\n  ") << "],\n";
+  out << "  \"summary\": {\"total\": " << findings.size()
+      << ", \"active\": " << active << ", \"baselined\": " << baselined
+      << "}\n}\n";
+  return static_cast<bool>(out);
+}
+
+bool write_baseline(const std::string& path,
+                    const std::vector<Finding>& findings) {
+  std::ofstream out(path);
+  if (!out) return false;
+  out << "# elmo_analyze baseline — one tolerated finding key per line.\n"
+      << "# Regenerate with: elmo_analyze --write-baseline=" << path << "\n"
+      << "# Keep this near-empty: fix true positives, annotate intentional\n"
+      << "# sites with lint:allow(<rule>) instead of baselining them.\n";
+  for (const Finding& f : findings) out << f.key() << "\n";
+  return static_cast<bool>(out);
+}
+
+std::size_t count_active(const std::vector<Finding>& findings) {
+  std::size_t active = 0;
+  for (const Finding& f : findings) {
+    if (!f.baselined) ++active;
+  }
+  return active;
+}
+
+}  // namespace elmo_analyze

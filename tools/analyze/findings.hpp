@@ -1,0 +1,61 @@
+// elmo_analyze — findings, baseline suppression, and emission.
+//
+// Every finding carries a stable key `pass:rule:file:line`.  A committed
+// baseline file lists keys that are tolerated (legacy debt, accepted
+// exceptions); the gate fails only on NON-baselined findings, so the tree
+// can adopt a new rule before every historical violation is fixed.  The
+// project's own baseline is kept near-empty: true positives get fixed,
+// intentional sites carry inline lint:allow(<rule>) annotations instead.
+#pragma once
+
+#include <cstddef>
+#include <set>
+#include <string>
+#include <vector>
+
+namespace elmo_analyze {
+
+struct Finding {
+  std::string pass;     // include | lock | overflow | lint
+  std::string rule;     // e.g. layering, facade, unchecked-arith
+  std::string file;     // root-relative path
+  std::size_t line = 0; // 1-based; 0 = whole file
+  std::string message;
+  bool baselined = false;
+
+  [[nodiscard]] std::string key() const;
+};
+
+/// Stable ordering: file, line, pass, rule, message.
+bool finding_less(const Finding& a, const Finding& b);
+
+struct Baseline {
+  std::set<std::string> keys;
+
+  /// Load keys (one per line, `#` comments and blanks ignored).  Returns
+  /// false when the file cannot be read.
+  bool load(const std::string& path);
+};
+
+/// Mark findings whose key appears in the baseline.
+void apply_baseline(const Baseline& baseline, std::vector<Finding>& findings);
+
+/// Human-readable report to stderr.  `tool` controls the prefix of the
+/// trailer line ("elmo_analyze" or the compat "elmo_lint").  When
+/// `lint_compat` is set the rule is printed bare (no pass prefix), matching
+/// the historical elmo_lint output that editors and scripts parse.
+void write_text(const std::vector<Finding>& findings, const std::string& tool,
+                bool lint_compat);
+
+/// Machine-readable JSON: {"findings": [...], "summary": {...}}.
+/// Returns false on IO error.
+bool write_json(const std::string& path, const std::vector<Finding>& findings);
+
+/// Write every finding key as a fresh baseline.  Returns false on IO error.
+bool write_baseline(const std::string& path,
+                    const std::vector<Finding>& findings);
+
+/// Count of findings not excused by the baseline.
+std::size_t count_active(const std::vector<Finding>& findings);
+
+}  // namespace elmo_analyze

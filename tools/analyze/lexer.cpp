@@ -1,0 +1,149 @@
+#include "analyze/lexer.hpp"
+
+#include <cctype>
+
+namespace elmo_analyze {
+
+namespace {
+
+bool ident_start(char c) {
+  return std::isalpha(static_cast<unsigned char>(c)) != 0 || c == '_';
+}
+
+bool ident_char(char c) {
+  return std::isalnum(static_cast<unsigned char>(c)) != 0 || c == '_';
+}
+
+// Two/three-character operators the passes care about.  Longest match
+// first; everything else falls back to single-character punctuation.
+const char* const kMultiOps[] = {
+    "<<=", ">>=", "->*", "...", "::", "<<", ">>", "->", "==", "!=",
+    "<=",  ">=",  "&&",  "||",  "+=", "-=", "*=", "/=", "%=", "&=",
+    "|=",  "^=",  "++",  "--",
+};
+
+}  // namespace
+
+std::vector<Token> lex(const std::string& stripped) {
+  std::vector<Token> toks;
+  std::size_t line = 1;
+  std::size_t i = 0;
+  const std::size_t n = stripped.size();
+  while (i < n) {
+    const char c = stripped[i];
+    if (c == '\n') {
+      ++line;
+      ++i;
+      continue;
+    }
+    if (std::isspace(static_cast<unsigned char>(c)) != 0) {
+      ++i;
+      continue;
+    }
+    if (c == '#') {
+      // Preprocessor directive: skip to end of line, honouring backslash
+      // continuations.
+      while (i < n) {
+        std::size_t nl = stripped.find('\n', i);
+        if (nl == std::string::npos) {
+          i = n;
+          break;
+        }
+        // Find last non-space character before the newline.
+        std::size_t last = nl;
+        while (last > i &&
+               std::isspace(static_cast<unsigned char>(stripped[last - 1])) !=
+                   0) {
+          --last;
+        }
+        const bool continued = last > i && stripped[last - 1] == '\\';
+        i = nl + 1;
+        ++line;
+        if (!continued) break;
+      }
+      continue;
+    }
+    if (ident_start(c)) {
+      std::size_t j = i + 1;
+      while (j < n && ident_char(stripped[j])) ++j;
+      toks.push_back({Token::Kind::kIdent, stripped.substr(i, j - i), line});
+      i = j;
+      continue;
+    }
+    if (std::isdigit(static_cast<unsigned char>(c)) != 0) {
+      std::size_t j = i + 1;
+      while (j < n && (ident_char(stripped[j]) || stripped[j] == '.')) ++j;
+      toks.push_back({Token::Kind::kNumber, stripped.substr(i, j - i), line});
+      i = j;
+      continue;
+    }
+    bool matched = false;
+    for (const char* op : kMultiOps) {
+      const std::size_t len = std::char_traits<char>::length(op);
+      if (stripped.compare(i, len, op) == 0) {
+        toks.push_back({Token::Kind::kPunct, op, line});
+        i += len;
+        matched = true;
+        break;
+      }
+    }
+    if (matched) continue;
+    toks.push_back({Token::Kind::kPunct, std::string(1, c), line});
+    ++i;
+  }
+  return toks;
+}
+
+std::size_t match_backward(const std::vector<Token>& toks,
+                           std::size_t close_idx) {
+  if (close_idx >= toks.size()) return std::string::npos;
+  const std::string& close = toks[close_idx].text;
+  std::string open;
+  if (close == ")") {
+    open = "(";
+  } else if (close == "]") {
+    open = "[";
+  } else if (close == "}") {
+    open = "{";
+  } else {
+    return std::string::npos;
+  }
+  int depth = 0;
+  for (std::size_t i = close_idx + 1; i-- > 0;) {
+    if (toks[i].text == close) {
+      ++depth;
+    } else if (toks[i].text == open) {
+      --depth;
+      if (depth == 0) return i;
+    }
+  }
+  return std::string::npos;
+}
+
+std::size_t match_forward(const std::vector<Token>& toks,
+                          std::size_t open_idx) {
+  if (open_idx >= toks.size()) return std::string::npos;
+  const std::string& open = toks[open_idx].text;
+  std::string close;
+  if (open == "(") {
+    close = ")";
+  } else if (open == "[") {
+    close = "]";
+  } else if (open == "{") {
+    close = "}";
+  } else {
+    return std::string::npos;
+  }
+  int depth = 0;
+  for (std::size_t i = open_idx; i < toks.size(); ++i) {
+    if (toks[i].text == open) {
+      ++depth;
+    } else if (toks[i].text == close) {
+      --depth;
+      if (depth == 0) return i;
+    }
+  }
+  return std::string::npos;
+}
+
+}  // namespace elmo_analyze

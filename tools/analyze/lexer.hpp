@@ -1,0 +1,39 @@
+// elmo_analyze — minimal C++ lexer over stripped source text.
+//
+// Produces identifiers, numbers and punctuation with line numbers; skips
+// whitespace and preprocessor directives (those are handled by line-level
+// scans — lexing a #define body would attribute its tokens to phantom
+// scopes).  Multi-character operators that matter to the passes (::, <<,
+// >>, ->, compound assignments) come out as single tokens.
+#pragma once
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+namespace elmo_analyze {
+
+struct Token {
+  enum class Kind { kIdent, kNumber, kPunct };
+  Kind kind = Kind::kPunct;
+  std::string text;
+  std::size_t line = 0;  // 1-based
+
+  [[nodiscard]] bool is(const char* s) const { return text == s; }
+  [[nodiscard]] bool ident() const { return kind == Kind::kIdent; }
+};
+
+/// Tokenize stripped text (see strip_noncode); never throws.
+std::vector<Token> lex(const std::string& stripped);
+
+/// Index of the token matching the opener at `close_idx` (which must be
+/// `)`, `]` or `}`), scanning backwards.  Returns npos when unbalanced.
+std::size_t match_backward(const std::vector<Token>& toks,
+                           std::size_t close_idx);
+
+/// Index of the token matching the opener at `open_idx` (`(`, `[`, `{`),
+/// scanning forwards.  Returns npos when unbalanced.
+std::size_t match_forward(const std::vector<Token>& toks,
+                          std::size_t open_idx);
+
+}  // namespace elmo_analyze

@@ -1,0 +1,595 @@
+// Pass 1 — include graph.
+//
+// Parses every `#include` edge under src/ and enforces the module layering
+// DAG:
+//
+//   layer 0: support, bitset, bigint          (leaf utilities, exact ints)
+//   layer 1: linalg, network, io, parallel    (matrices, models, threads)
+//   layer 2: compress, models, nullspace, mpsim, core, analysis
+//   layer 3: elmo                             (public umbrella)
+//
+// A module may include its own layer or below, never above.  The two
+// cross-cutting diagnostics modules — obs (tracing/metrics) and check
+// (contracts/audit/lockdep) — are reachable from ANY module, but only via
+// their facade headers (obs/obs.hpp; check/check.hpp, plus the
+// dependency-free macro facades check/contracts.hpp and
+// check/lockorder.hpp which instrumented code at any layer may use).
+// Everything else the pass emits: include cycles at file
+// and module granularity, missing `#pragma once`, IWYU-lite unused and
+// transitive-only ("missing") includes, and a Graphviz dump of the module
+// graph (--dot).
+#include <algorithm>
+#include <cctype>
+#include <fstream>
+#include <map>
+#include <set>
+#include <string>
+#include <vector>
+
+#include "analyze/analyzer.hpp"
+#include "analyze/lexer.hpp"
+
+namespace elmo_analyze {
+
+namespace {
+
+struct Include {
+  std::string target;       // as written between the delimiters
+  bool quoted = false;      // "..." vs <...>
+  std::size_t line = 0;     // 1-based
+  std::size_t resolved;     // index into project.files, or npos
+};
+
+int module_layer(const std::string& module) {
+  if (module == "support" || module == "bitset" || module == "bigint")
+    return 0;
+  if (module == "linalg" || module == "network" || module == "io" ||
+      module == "parallel")
+    return 1;
+  if (module == "compress" || module == "models" || module == "nullspace" ||
+      module == "mpsim" || module == "core" || module == "analysis")
+    return 2;
+  if (module == "elmo") return 3;
+  return -1;  // unknown (fixtures, future modules): layering not enforced
+}
+
+bool is_cross_module(const std::string& module) {
+  return module == "obs" || module == "check";
+}
+
+/// Facade entry headers for the cross-cutting modules, as include targets.
+/// obs has a single facade; check has the full diagnostics facade
+/// (check.hpp, pulls the audit machinery and therefore nullspace/linalg —
+/// layer 2+ only in practice) plus the two dependency-free macro facades
+/// (contracts.hpp, lockorder.hpp) that instrumented code at ANY layer may
+/// use.
+bool is_facade_target(const std::string& target) {
+  return target == "obs/obs.hpp" || target == "check/check.hpp" ||
+         target == "check/contracts.hpp" || target == "check/lockorder.hpp";
+}
+
+/// Umbrella headers whose whole transitive closure counts as directly
+/// included (including them *is* the API).
+bool is_umbrella_target(const std::string& target) {
+  return is_facade_target(target) || target == "elmo/elmo.hpp";
+}
+
+const char* kLayerSummary =
+    "support/bitset/bigint <- linalg/network/io/parallel <- "
+    "compress/models/nullspace/mpsim/core/analysis <- elmo";
+
+std::vector<Include> extract_includes(const SourceFile& file,
+                                      const Project& project) {
+  std::vector<Include> out;
+  for (std::size_t i = 0; i < file.stripped_lines.size(); ++i) {
+    const std::string& line = file.stripped_lines[i];
+    std::size_t pos = line.find_first_not_of(" \t");
+    if (pos == std::string::npos || line[pos] != '#') continue;
+    pos = line.find_first_not_of(" \t", pos + 1);
+    if (pos == std::string::npos || line.compare(pos, 7, "include") != 0)
+      continue;
+    // The stripper blanks the quoted target as if it were a string
+    // literal, so the delimiter and target must be read from the RAW
+    // line (same length, so offsets agree).
+    const std::string& src_line = file.raw_lines[i];
+    pos = src_line.find_first_not_of(" \t", pos + 7);
+    if (pos == std::string::npos) continue;
+    char close = 0;
+    if (src_line[pos] == '<') {
+      close = '>';
+    } else if (src_line[pos] == '"') {
+      close = '"';
+    } else {
+      continue;
+    }
+    std::size_t open = pos;
+    if (open == std::string::npos) continue;
+    std::size_t end = src_line.find(close, open + 1);
+    if (end == std::string::npos) continue;
+    Include inc;
+    inc.target = src_line.substr(open + 1, end - open - 1);
+    inc.quoted = close == '"';
+    inc.line = i + 1;
+    inc.resolved = std::string::npos;
+    if (inc.quoted) {
+      // Root-relative-to-src resolution (the project style), with a
+      // same-directory fallback.
+      inc.resolved = project.find("src/" + inc.target);
+      if (inc.resolved == std::string::npos) {
+        std::size_t slash = file.path.rfind('/');
+        if (slash != std::string::npos) {
+          inc.resolved =
+              project.find(file.path.substr(0, slash + 1) + inc.target);
+        }
+      }
+    }
+    out.push_back(std::move(inc));
+  }
+  return out;
+}
+
+/// Identifiers a header "provides": macro names, type names
+/// (class/struct/enum/union, using/typedef aliases), function and method
+/// declaration names, and constexpr/inline variable names.  Heuristic but
+/// deliberately biased: extra identifiers make the unused-include rule
+/// MORE conservative, never less.
+std::set<std::string> extract_provides(const SourceFile& file) {
+  std::set<std::string> provides;
+  // #define NAME — from the line scan (the lexer skips directives).
+  for (const std::string& line : file.stripped_lines) {
+    std::size_t pos = line.find_first_not_of(" \t");
+    if (pos == std::string::npos || line[pos] != '#') continue;
+    pos = line.find_first_not_of(" \t", pos + 1);
+    if (pos == std::string::npos || line.compare(pos, 6, "define") != 0)
+      continue;
+    pos = line.find_first_not_of(" \t", pos + 6);
+    if (pos == std::string::npos) continue;
+    std::size_t end = pos;
+    while (end < line.size() && is_ident_char(line[end])) ++end;
+    if (end > pos) provides.insert(line.substr(pos, end - pos));
+  }
+  const std::vector<Token> toks = lex(file.stripped);
+  static const std::set<std::string> kNotType = {
+      "if",     "for",   "while",  "switch", "return", "sizeof",
+      "catch",  "new",   "delete", "throw",  "else",   "do",
+      "case",   "const", "static", "public", "private", "protected",
+      "typename", "template", "operator", "noexcept", "alignof",
+      "decltype", "co_return", "co_await", "co_yield", "requires",
+  };
+  for (std::size_t i = 0; i < toks.size(); ++i) {
+    const Token& t = toks[i];
+    if (!t.ident()) continue;
+    if (t.text == "class" || t.text == "struct" || t.text == "enum" ||
+        t.text == "union") {
+      std::size_t j = i + 1;
+      if (j < toks.size() && toks[j].is("class")) ++j;  // enum class
+      if (j < toks.size() && toks[j].ident() &&
+          kNotType.count(toks[j].text) == 0) {
+        provides.insert(toks[j].text);
+      }
+      continue;
+    }
+    if (t.text == "using" && i + 2 < toks.size() && toks[i + 1].ident() &&
+        toks[i + 2].is("=")) {
+      provides.insert(toks[i + 1].text);
+      continue;
+    }
+    if (t.text == "typedef") {
+      // Last identifier before the terminating ';'.
+      std::string name;
+      for (std::size_t j = i + 1; j < toks.size() && !toks[j].is(";"); ++j) {
+        if (toks[j].ident()) name = toks[j].text;
+      }
+      if (!name.empty()) provides.insert(name);
+      continue;
+    }
+    if ((t.text == "constexpr" || t.text == "inline" || t.text == "extern")) {
+      // Variable declaration: last identifier before '=' or ';' on this
+      // statement (bounded lookahead; function definitions hit '(' first).
+      for (std::size_t j = i + 1; j < toks.size() && j < i + 12; ++j) {
+        if (toks[j].is("(") || toks[j].is(";") || toks[j].is("{")) break;
+        if (toks[j].is("=") && j > i + 1 && toks[j - 1].ident()) {
+          provides.insert(toks[j - 1].text);
+          break;
+        }
+      }
+    }
+    // Function/method declaration: IDENT '(' preceded by a type-ish token.
+    if (i + 1 < toks.size() && toks[i + 1].is("(") && i > 0 &&
+        kNotType.count(t.text) == 0) {
+      const Token& prev = toks[i - 1];
+      const bool typeish = (prev.ident() && kNotType.count(prev.text) == 0) ||
+                           prev.is(">") || prev.is("*") || prev.is("&") ||
+                           prev.is("~");
+      if (typeish) provides.insert(t.text);
+    }
+  }
+  return provides;
+}
+
+/// Every identifier the file refers to: all lexed identifier tokens plus
+/// identifiers on preprocessor conditional lines (#if/#ifdef/... use
+/// config macros that an include may exist solely to provide).
+std::set<std::string> extract_uses(const SourceFile& file) {
+  std::set<std::string> uses;
+  for (const Token& t : lex(file.stripped)) {
+    if (t.ident()) uses.insert(t.text);
+  }
+  for (const std::string& line : file.stripped_lines) {
+    std::size_t pos = line.find_first_not_of(" \t");
+    if (pos == std::string::npos || line[pos] != '#') continue;
+    pos = line.find_first_not_of(" \t", pos + 1);
+    if (pos == std::string::npos) continue;
+    if (line.compare(pos, 2, "if") != 0 && line.compare(pos, 4, "elif") != 0)
+      continue;
+    std::size_t i = pos;
+    while (i < line.size()) {
+      if (is_ident_char(line[i])) {
+        std::size_t end = i;
+        while (end < line.size() && is_ident_char(line[end])) ++end;
+        uses.insert(line.substr(i, end - i));
+        i = end;
+      } else {
+        ++i;
+      }
+    }
+  }
+  return uses;
+}
+
+std::string file_stem(const std::string& path) {
+  std::size_t slash = path.rfind('/');
+  std::string base =
+      slash == std::string::npos ? path : path.substr(slash + 1);
+  std::size_t dot = base.rfind('.');
+  return dot == std::string::npos ? base : base.substr(0, dot);
+}
+
+}  // namespace
+
+void pass_include(const Project& project, const Options& opts,
+                  std::vector<Finding>& findings) {
+  const std::size_t n = project.files.size();
+  std::vector<std::vector<Include>> includes(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    includes[i] = extract_includes(project.files[i], project);
+  }
+
+  // ---- layering + facade + pragma-once ----
+  for (std::size_t i = 0; i < n; ++i) {
+    const SourceFile& f = project.files[i];
+    if (f.is_header &&
+        f.stripped.find("#pragma once") == std::string::npos &&
+        !f.allows(1, "pragma-once")) {
+      findings.push_back({"include", "pragma-once", f.path, 1,
+                          "header is missing #pragma once", false});
+    }
+    if (f.module.empty()) continue;
+    for (const Include& inc : includes[i]) {
+      if (!inc.quoted || inc.resolved == std::string::npos) continue;
+      const SourceFile& target = project.files[inc.resolved];
+      if (target.module.empty() || target.module == f.module) continue;
+      if (is_cross_module(target.module)) {
+        if (!is_facade_target(inc.target) &&
+            !f.allows(inc.line, "facade")) {
+          findings.push_back(
+              {"include", "facade", f.path, inc.line,
+               "include of " + inc.target + " from module '" + f.module +
+                   "': the cross-cutting '" + target.module +
+                   "' module is reachable only via its facade header (" +
+                   (target.module == "obs"
+                        ? "obs/obs.hpp"
+                        : "check/check.hpp, or the macro facades "
+                          "check/contracts.hpp / check/lockorder.hpp") +
+                   ")",
+               false});
+        }
+        continue;
+      }
+      if (is_cross_module(f.module)) continue;  // diagnostics see everything
+      const int from = module_layer(f.module);
+      const int to = module_layer(target.module);
+      if (from >= 0 && to >= 0 && to > from &&
+          !f.allows(inc.line, "layering")) {
+        findings.push_back(
+            {"include", "layering", f.path, inc.line,
+             "module '" + f.module + "' (layer " + std::to_string(from) +
+                 ") must not include '" + target.module + "' (layer " +
+                 std::to_string(to) + "); the layering DAG is " +
+                 kLayerSummary,
+             false});
+      }
+    }
+  }
+
+  // ---- file-level include cycles ----
+  {
+    // Colors: 0 = unvisited, 1 = on stack, 2 = done.
+    std::vector<int> color(n, 0);
+    std::vector<std::size_t> stack;
+    // Iterative DFS with an explicit edge cursor per frame.
+    struct Frame {
+      std::size_t file;
+      std::size_t next_edge;
+    };
+    for (std::size_t start = 0; start < n; ++start) {
+      if (color[start] != 0) continue;
+      std::vector<Frame> frames{{start, 0}};
+      color[start] = 1;
+      stack.push_back(start);
+      while (!frames.empty()) {
+        Frame& fr = frames.back();
+        bool descended = false;
+        while (fr.next_edge < includes[fr.file].size()) {
+          const Include& inc = includes[fr.file][fr.next_edge++];
+          if (inc.resolved == std::string::npos) continue;
+          const std::size_t tgt = inc.resolved;
+          if (color[tgt] == 1) {
+            // Back edge: report the cycle path once, at this include site.
+            std::string cycle;
+            bool in_cycle = false;
+            for (std::size_t s : stack) {
+              if (s == tgt) in_cycle = true;
+              if (in_cycle) cycle += project.files[s].path + " -> ";
+            }
+            cycle += project.files[tgt].path;
+            findings.push_back({"include", "cycle",
+                                project.files[fr.file].path, inc.line,
+                                "include cycle: " + cycle, false});
+            continue;
+          }
+          if (color[tgt] == 0) {
+            color[tgt] = 1;
+            stack.push_back(tgt);
+            frames.push_back({tgt, 0});
+            descended = true;
+            break;
+          }
+        }
+        if (!descended && !frames.empty() &&
+            frames.back().next_edge >= includes[frames.back().file].size()) {
+          color[frames.back().file] = 2;
+          stack.pop_back();
+          frames.pop_back();
+        }
+      }
+    }
+  }
+
+  // ---- module-level cycles (normal modules only; file-level acyclicity
+  // does not imply module-level acyclicity) ----
+  {
+    std::map<std::string, std::set<std::string>> mod_edges;
+    for (std::size_t i = 0; i < n; ++i) {
+      const std::string& from = project.files[i].module;
+      if (from.empty() || is_cross_module(from)) continue;
+      for (const Include& inc : includes[i]) {
+        if (inc.resolved == std::string::npos) continue;
+        const std::string& to = project.files[inc.resolved].module;
+        if (to.empty() || to == from || is_cross_module(to)) continue;
+        mod_edges[from].insert(to);
+      }
+    }
+    std::map<std::string, int> color;
+    std::vector<std::string> order;
+    // Small graph: recursive lambda is fine.
+    std::vector<std::string> path;
+    struct Dfs {
+      std::map<std::string, std::set<std::string>>& edges;
+      std::map<std::string, int>& color;
+      std::vector<std::string>& path;
+      std::vector<Finding>& findings;
+      void visit(const std::string& m) {
+        color[m] = 1;
+        path.push_back(m);
+        for (const std::string& to : edges[m]) {
+          if (color[to] == 1) {
+            std::string cycle;
+            bool in_cycle = false;
+            for (const std::string& p : path) {
+              if (p == to) in_cycle = true;
+              if (in_cycle) cycle += p + " -> ";
+            }
+            cycle += to;
+            findings.push_back({"include", "cycle", "src/" + m, 0,
+                                "module cycle: " + cycle, false});
+          } else if (color[to] == 0) {
+            visit(to);
+          }
+        }
+        path.pop_back();
+        color[m] = 2;
+      }
+    } dfs{mod_edges, color, path, findings};
+    for (const auto& entry : mod_edges) {
+      if (color[entry.first] == 0) dfs.visit(entry.first);
+    }
+    (void)order;
+  }
+
+  // ---- IWYU-lite: unused and transitive-only includes ----
+  std::vector<std::set<std::string>> provides(n);
+  std::vector<std::set<std::string>> uses(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    provides[i] = extract_provides(project.files[i]);
+    uses[i] = extract_uses(project.files[i]);
+  }
+  // Transitive include closure per file (indices), memoized.
+  std::vector<std::set<std::size_t>> closure(n);
+  std::vector<int> closure_state(n, 0);
+  struct Closure {
+    const std::vector<std::vector<Include>>& includes;
+    std::vector<std::set<std::size_t>>& closure;
+    std::vector<int>& state;
+    void visit(std::size_t i) {
+      if (state[i] != 0) return;  // done or in-progress (cycle guard)
+      state[i] = 1;
+      for (const Include& inc : includes[i]) {
+        if (inc.resolved == std::string::npos) continue;
+        visit(inc.resolved);
+        closure[i].insert(inc.resolved);
+        closure[i].insert(closure[inc.resolved].begin(),
+                          closure[inc.resolved].end());
+      }
+      state[i] = 2;
+    }
+  } closure_builder{includes, closure, closure_state};
+  for (std::size_t i = 0; i < n; ++i) closure_builder.visit(i);
+
+  // Provider map for the missing/self-contained rules: identifier ->
+  // headers whose DIRECT provides contain it.  Restricted to type-like
+  // names (LeadingUpper) and macros (ALL_CAPS) — the full provides sets
+  // also contain parameter and method names, which are far too ambiguous
+  // to attribute to a unique provider.
+  auto providerworthy = [](const std::string& ident) {
+    if (ident.size() < 2) return false;
+    if (std::isupper(static_cast<unsigned char>(ident[0])) == 0) return false;
+    return true;
+  };
+  std::map<std::string, std::vector<std::size_t>> providers;
+  for (std::size_t i = 0; i < n; ++i) {
+    if (!project.files[i].is_header) continue;
+    for (const std::string& p : provides[i]) {
+      if (providerworthy(p)) providers[p].push_back(i);
+    }
+  }
+
+  for (std::size_t i = 0; i < n; ++i) {
+    const SourceFile& f = project.files[i];
+    const std::string stem = file_stem(f.path);
+    // Identifiers available through direct includes (umbrellas count with
+    // their whole closure — including them *is* the API).
+    std::set<std::string> direct_avail = provides[i];
+    for (const Include& inc : includes[i]) {
+      if (inc.resolved == std::string::npos) continue;
+      direct_avail.insert(provides[inc.resolved].begin(),
+                          provides[inc.resolved].end());
+      if (is_umbrella_target(inc.target)) {
+        for (std::size_t c : closure[inc.resolved]) {
+          direct_avail.insert(provides[c].begin(), provides[c].end());
+        }
+      }
+    }
+
+    // Umbrella/facade headers re-export their includes — that IS their
+    // API surface, so the unused rule does not apply to them as includers.
+    const bool f_is_umbrella =
+        f.is_header && (is_umbrella_target(f.path.size() > 4 &&
+                                                   f.path.compare(0, 4, "src/") == 0
+                                               ? f.path.substr(4)
+                                               : f.path));
+
+    // unused: a direct include whose whole closure contributes nothing.
+    for (const Include& inc : includes[i]) {
+      if (f_is_umbrella) break;
+      if (inc.resolved == std::string::npos) continue;
+      if (file_stem(inc.target) == stem) continue;  // foo.cpp -> foo.hpp
+      if (is_umbrella_target(inc.target)) continue;
+      std::set<std::string> contributed = provides[inc.resolved];
+      for (std::size_t c : closure[inc.resolved]) {
+        contributed.insert(provides[c].begin(), provides[c].end());
+      }
+      if (contributed.empty()) continue;  // nothing extractable: stay quiet
+      bool used = false;
+      for (const std::string& ident : contributed) {
+        if (uses[i].count(ident) != 0) {
+          used = true;
+          break;
+        }
+      }
+      if (!used && !f.allows(inc.line, "unused-include")) {
+        findings.push_back({"include", "unused-include", f.path, inc.line,
+                            "include " + inc.target +
+                                " contributes no identifier used in this "
+                                "file; drop it or annotate "
+                                "lint:allow(unused-include)",
+                            false});
+      }
+    }
+
+    // missing / self-contained: identifiers with a unique provider that is
+    // not directly included.
+    if (f.module.empty()) continue;
+    std::set<std::string> reported;
+    for (const std::string& ident : uses[i]) {
+      if (direct_avail.count(ident) != 0) continue;
+      auto it = providers.find(ident);
+      if (it == providers.end() || it->second.size() != 1) continue;
+      const std::size_t p = it->second[0];
+      if (p == i) continue;
+      const SourceFile& provider = project.files[p];
+      if (reported.count(provider.path) != 0) continue;
+      reported.insert(provider.path);
+      const bool reachable = closure[i].count(p) != 0;
+      // Find the first use line for attribution.
+      std::size_t line = 0;
+      std::size_t off = find_word(f.stripped, ident);
+      if (off != std::string::npos) line = line_of_offset(f.stripped, off);
+      const std::string rule = reachable ? "missing-include"
+                                         : "self-contained";
+      if (f.allows(line, rule)) continue;
+      // The include to recommend.  When the provider lives in a
+      // cross-cutting module and the user is outside it, the fix is the
+      // module's facade, never the internal header (the facade rule would
+      // reject the direct include).
+      std::string want = provider.path;
+      if (want.compare(0, 4, "src/") == 0) want = want.substr(4);
+      if (is_cross_module(provider.module) &&
+          f.module != provider.module && !is_facade_target(want)) {
+        want = provider.module == "obs" ? "obs/obs.hpp" : "check/check.hpp";
+      }
+      if (reachable) {
+        findings.push_back(
+            {"include", "missing-include", f.path, line,
+             "uses '" + ident + "' from " + provider.path +
+                 " which arrives only transitively; include " + want +
+                 " directly",
+             false});
+      } else if (f.is_header) {
+        findings.push_back(
+            {"include", "self-contained", f.path, line,
+             "uses '" + ident + "' from " + provider.path +
+                 " with no include path reaching it; the header is not "
+                 "self-contained — include " + want + " directly",
+             false});
+      }
+    }
+  }
+
+  // ---- Graphviz dump ----
+  if (!opts.dot_path.empty()) {
+    std::ofstream dot(opts.dot_path);
+    if (dot) {
+      dot << "digraph elmo_modules {\n  rankdir=BT;\n";
+      std::set<std::string> mods;
+      for (const SourceFile& f : project.files) {
+        if (!f.module.empty()) mods.insert(f.module);
+      }
+      for (const std::string& m : mods) {
+        dot << "  \"" << m << "\" [label=\"" << m;
+        const int layer = module_layer(m);
+        if (layer >= 0) dot << "\\nlayer " << layer;
+        if (is_cross_module(m)) dot << "\\ncross-cutting";
+        dot << "\"" << (is_cross_module(m) ? ", style=dashed" : "")
+            << "];\n";
+      }
+      std::set<std::string> emitted;
+      for (std::size_t i = 0; i < n; ++i) {
+        const std::string& from = project.files[i].module;
+        if (from.empty()) continue;
+        for (const Include& inc : includes[i]) {
+          if (inc.resolved == std::string::npos) continue;
+          const std::string& to = project.files[inc.resolved].module;
+          if (to.empty() || to == from) continue;
+          const std::string edge = from + "->" + to;
+          if (!emitted.insert(edge).second) continue;
+          dot << "  \"" << from << "\" -> \"" << to << "\""
+              << (is_cross_module(to) ? " [style=dashed]" : "") << ";\n";
+        }
+      }
+      dot << "}\n";
+    }
+  }
+}
+
+}  // namespace elmo_analyze

@@ -1,0 +1,121 @@
+// Pass 4 — the historical elmo_lint project rules, migrated onto the
+// shared SourceFile core (same stripping, same lint:allow escapes):
+//
+//   naked-new         no `new` outside an owning wrapper
+//   no-rand           no rand()/srand(): runs must be deterministic
+//   catch-all         `catch (...)` must rethrow, capture
+//                     std::current_exception(), or be annotated
+//   reinterpret-cast  every reinterpret_cast carries an annotation with a
+//                     justification
+#include <string>
+#include <vector>
+
+#include "analyze/analyzer.hpp"
+
+namespace elmo_analyze {
+
+namespace {
+
+/// `catch (...)` handler bodies must not swallow: look for a rethrow or an
+/// exception_ptr capture inside the matching brace block.
+bool catch_block_handles(const std::string& stripped, std::size_t from) {
+  std::size_t open = stripped.find('{', from);
+  if (open == std::string::npos) return false;
+  int depth = 0;
+  std::size_t end = open;
+  for (std::size_t i = open; i < stripped.size(); ++i) {
+    if (stripped[i] == '{') ++depth;
+    if (stripped[i] == '}') {
+      --depth;
+      if (depth == 0) {
+        end = i;
+        break;
+      }
+    }
+  }
+  const std::string block = stripped.substr(open, end - open + 1);
+  return find_word(block, "throw") != std::string::npos ||
+         block.find("current_exception") != std::string::npos ||
+         block.find("rethrow_exception") != std::string::npos;
+}
+
+/// Position of `catch` immediately followed by `( ... )` with only dots
+/// and whitespace between the parentheses.
+std::size_t find_catch_all(const std::string& stripped, std::size_t from) {
+  std::size_t pos = from;
+  while ((pos = find_word(stripped, "catch", pos)) != std::string::npos) {
+    std::size_t p = pos + 5;
+    while (p < stripped.size() &&
+           std::isspace(static_cast<unsigned char>(stripped[p])) != 0) {
+      ++p;
+    }
+    if (p < stripped.size() && stripped[p] == '(') {
+      ++p;
+      std::size_t dots = 0;
+      while (p < stripped.size() &&
+             (stripped[p] == '.' ||
+              std::isspace(static_cast<unsigned char>(stripped[p])) != 0)) {
+        if (stripped[p] == '.') ++dots;
+        ++p;
+      }
+      if (p < stripped.size() && stripped[p] == ')' && dots == 3) return pos;
+    }
+    pos += 5;
+  }
+  return std::string::npos;
+}
+
+}  // namespace
+
+void pass_lint(const Project& project, const Options& opts,
+               std::vector<Finding>& findings) {
+  (void)opts;
+  for (const SourceFile& f : project.files) {
+    for (std::size_t i = 0; i < f.stripped_lines.size(); ++i) {
+      const std::string& line = f.stripped_lines[i];
+      const std::size_t lineno = i + 1;
+      if (find_word(line, "new") != std::string::npos &&
+          !f.allows(lineno, "naked-new")) {
+        findings.push_back(
+            {"lint", "naked-new", f.path, lineno,
+             "raw `new`: use std::make_unique/containers, or annotate an "
+             "intentional leak with lint:allow(naked-new)",
+             false});
+      }
+      if ((find_word(line, "rand") != std::string::npos ||
+           find_word(line, "srand") != std::string::npos) &&
+          !f.allows(lineno, "no-rand")) {
+        findings.push_back({"lint", "no-rand", f.path, lineno,
+                            "rand()/srand() breaks deterministic runs: use a "
+                            "seeded <random> engine",
+                            false});
+      }
+      if (line.find("reinterpret_cast") != std::string::npos &&
+          !f.allows(lineno, "reinterpret-cast")) {
+        findings.push_back(
+            {"lint", "reinterpret-cast", f.path, lineno,
+             "unannotated reinterpret_cast: justify it with "
+             "lint:allow(reinterpret-cast) on this or the previous line",
+             false});
+      }
+    }
+
+    // catch-all needs the whole text (handler blocks span lines).
+    std::size_t pos = 0;
+    while ((pos = find_catch_all(f.stripped, pos)) != std::string::npos) {
+      const std::size_t lineno = line_of_offset(f.raw, pos);
+      if (!f.allows(lineno, "catch-all") &&
+          !catch_block_handles(f.stripped, pos)) {
+        findings.push_back(
+            {"lint", "catch-all", f.path, lineno,
+             "catch (...) swallows the exception: rethrow, capture "
+             "std::current_exception(), or annotate with "
+             "lint:allow(catch-all)",
+             false});
+      }
+      pos += 5;
+    }
+  }
+}
+
+}  // namespace elmo_analyze

@@ -1,0 +1,583 @@
+// Pass 2 — lock discipline.
+//
+// Extracts the STATIC mutex acquisition graph: every
+// lock_guard/unique_lock/scoped_lock site, attributed to its enclosing
+// function via a lightweight scope tracker; an edge A -> B is recorded
+// when guard B is constructed while guard A's scope is still open —
+// directly, or through a call to another indexed function that acquires B
+// (one-level interprocedural propagation with memoized transitive
+// acquisition sets, matched by name).
+//
+// Lock identity: the string from an adjacent ELMO_LOCK_ORDER("name")
+// instrumentation macro when present (those names are what the runtime
+// lockdep graph in src/check/lockorder.hpp records); otherwise a synthetic
+// `file-stem.expr` id derived from the mutex expression.
+//
+// Rules:
+//   lock-cycle        the static acquisition graph has a cycle — an
+//                     inconsistent lock order that runtime lockdep only
+//                     catches on a run that exercises both orders
+//   lock-unexercised  a statically-possible acquisition order between two
+//                     ELMO_LOCK_ORDER-instrumented locks that a supplied
+//                     runtime edge dump (--lockdep-edges) never saw: the
+//                     runtime tests have a coverage hole
+//   lock-blocking     a lock held across a blocking call (mpsim
+//                     recv/barrier/reduce, thread join, sleep) — the
+//                     classic convoy/deadlock shape.  Calls that take the
+//                     guard itself as an argument (condition_variable
+//                     wait) release the lock and are exempt.
+#include <fstream>
+#include <map>
+#include <set>
+#include <string>
+#include <vector>
+
+#include "analyze/analyzer.hpp"
+#include "analyze/lexer.hpp"
+
+namespace elmo_analyze {
+
+namespace {
+
+bool is_guard_type(const std::string& s) {
+  return s == "lock_guard" || s == "unique_lock" || s == "scoped_lock";
+}
+
+bool is_blocking_call(const std::string& s) {
+  static const std::set<std::string> kBlocking = {
+      "recv",       "barrier",   "reduce",      "allgather",
+      "gather",     "broadcast", "send_recv",   "join",
+      "sleep_for",  "sleep_until", "wait_for_all",
+  };
+  return kBlocking.count(s) != 0;
+}
+
+bool is_keywordish(const std::string& s) {
+  static const std::set<std::string> kKeywords = {
+      "if",    "for",    "while",  "switch", "return", "sizeof", "catch",
+      "new",   "delete", "throw",  "else",   "do",     "case",   "not",
+      "and",   "or",     "assert", "static_assert", "defined", "alignof",
+      "decltype", "noexcept", "operator",
+  };
+  return kKeywords.count(s) != 0;
+}
+
+struct GuardSite {
+  std::string lock_id;     // ELMO_LOCK_ORDER name or synthetic id
+  bool named = false;      // true when from ELMO_LOCK_ORDER
+  std::string var;         // guard variable name ("" for temporaries)
+  std::size_t line = 0;
+  std::string function;    // qualified enclosing function
+  std::string file;
+};
+
+struct StaticEdge {
+  std::string from;
+  std::string to;
+  std::string file;
+  std::size_t line = 0;
+  std::string function;
+  bool from_named = false;
+  bool to_named = false;
+  std::string via;  // callee name for interprocedural edges ("" = direct)
+};
+
+struct CallSite {
+  std::string callee;
+  std::vector<std::string> held;        // lock ids held at the call
+  std::vector<bool> held_named;
+  std::size_t line = 0;
+  std::string function;
+  std::string file;
+  bool passes_guard = false;  // a held guard variable appears in the args
+};
+
+/// Per-file extraction state, appended into project-wide tables.
+struct LockModel {
+  std::vector<GuardSite> guards;
+  std::vector<StaticEdge> edges;
+  std::vector<CallSite> calls;
+  // function -> lock ids it acquires directly (any nesting).
+  std::map<std::string, std::set<std::string>> fn_acquires;
+  std::map<std::string, bool> lock_named;
+};
+
+/// ELMO_LOCK_ORDER("name") on raw line `line` (1-based) or up to two lines
+/// above — the instrumentation convention puts the macro directly before
+/// the guard.
+std::string nearby_lock_name(const SourceFile& file, std::size_t line) {
+  const std::size_t idx = line - 1;
+  for (std::size_t back = 0; back <= 2 && back <= idx; ++back) {
+    const std::string& raw = file.raw_lines[idx - back];
+    std::size_t pos = raw.find("ELMO_LOCK_ORDER");
+    if (pos == std::string::npos) continue;
+    std::size_t open = raw.find('"', pos);
+    if (open == std::string::npos) continue;
+    std::size_t close = raw.find('"', open + 1);
+    if (close == std::string::npos) continue;
+    return raw.substr(open + 1, close - open - 1);
+  }
+  return std::string();
+}
+
+std::string synth_lock_id(const SourceFile& file, const std::string& expr) {
+  std::size_t slash = file.path.rfind('/');
+  std::string base =
+      slash == std::string::npos ? file.path : file.path.substr(slash + 1);
+  std::size_t dot = base.rfind('.');
+  if (dot != std::string::npos) base = base.substr(0, dot);
+  return base + "." + expr;
+}
+
+/// Normalized text of tokens [first, last): identifiers and punctuation
+/// joined without spaces, `this->` dropped.
+std::string expr_text(const std::vector<Token>& toks, std::size_t first,
+                      std::size_t last) {
+  std::string out;
+  for (std::size_t i = first; i < last; ++i) {
+    if (toks[i].is("this") && i + 1 < last && toks[i + 1].is("->")) {
+      ++i;
+      continue;
+    }
+    out += toks[i].text;
+  }
+  return out;
+}
+
+struct Scope {
+  enum class Kind { kNamespace, kClass, kFunction, kBlock };
+  Kind kind = Kind::kBlock;
+  std::string name;
+  int depth = 0;  // brace depth AFTER the opening brace
+};
+
+struct HeldGuard {
+  std::string lock_id;
+  bool named = false;
+  std::string var;
+  int depth = 0;  // brace depth the guard lives at
+};
+
+void analyze_file_locks(const SourceFile& file, LockModel& model) {
+  const std::vector<Token> toks = lex(file.stripped);
+  std::vector<Scope> scopes;
+  std::vector<HeldGuard> held;
+  int depth = 0;
+
+  auto current_function = [&]() -> std::string {
+    for (std::size_t i = scopes.size(); i-- > 0;) {
+      if (scopes[i].kind == Scope::Kind::kFunction) return scopes[i].name;
+    }
+    return std::string();
+  };
+  auto qualify = [&](const std::string& name) {
+    std::string out;
+    for (const Scope& s : scopes) {
+      if (s.kind == Scope::Kind::kNamespace || s.kind == Scope::Kind::kClass) {
+        if (!s.name.empty()) out += s.name + "::";
+      }
+    }
+    return out + name;
+  };
+
+  for (std::size_t i = 0; i < toks.size(); ++i) {
+    const Token& t = toks[i];
+    if (t.is("{")) {
+      Scope sc;
+      sc.depth = depth + 1;
+      // Classify by look-back.
+      if (i >= 2 && toks[i - 1].ident() && toks[i - 2].is("namespace")) {
+        sc.kind = Scope::Kind::kNamespace;
+        sc.name = toks[i - 1].text;
+      } else if (i >= 1 && toks[i - 1].is("namespace")) {
+        sc.kind = Scope::Kind::kNamespace;  // anonymous
+      } else {
+        // Scan back over qualifiers to a ')' (function) or a class head.
+        std::size_t j = i;
+        while (j > 0) {
+          const Token& b = toks[j - 1];
+          if (b.ident() &&
+              (b.text == "const" || b.text == "noexcept" ||
+               b.text == "override" || b.text == "final" ||
+               b.text == "try" || b.text == "mutable")) {
+            --j;
+            continue;
+          }
+          // Trailing return type `-> Type` (possibly qualified/templated).
+          if (b.ident() || b.is("::") || b.is(">") || b.is("*") || b.is("&") ||
+              b.is("->")) {
+            --j;
+            continue;
+          }
+          break;
+        }
+        if (j > 0 && toks[j - 1].is(")")) {
+          const std::size_t open = match_backward(toks, j - 1);
+          if (open != std::string::npos && open > 0 &&
+              toks[open - 1].ident() && !is_keywordish(toks[open - 1].text) &&
+              !toks[open - 1].is("operator")) {
+            sc.kind = Scope::Kind::kFunction;
+            // Qualified name: absorb leading `A::B::name`.
+            std::string name = toks[open - 1].text;
+            std::size_t q = open - 1;
+            while (q >= 2 && toks[q - 1].is("::") && toks[q - 2].ident()) {
+              name = toks[q - 2].text + "::" + name;
+              q -= 2;
+            }
+            sc.name = current_function().empty() ? qualify(name) : name;
+          }
+        }
+        if (sc.kind == Scope::Kind::kBlock) {
+          // Class head: `class/struct NAME ... {` without intervening ';'.
+          for (std::size_t k = i; k-- > 0;) {
+            const Token& b = toks[k];
+            if (b.is(";") || b.is("}") || b.is("{")) break;
+            if (b.ident() && (b.text == "class" || b.text == "struct")) {
+              if (k + 1 < i && toks[k + 1].ident()) {
+                sc.kind = Scope::Kind::kClass;
+                sc.name = toks[k + 1].text;
+              }
+              break;
+            }
+          }
+        }
+      }
+      scopes.push_back(sc);
+      ++depth;
+      continue;
+    }
+    if (t.is("}")) {
+      while (!held.empty() && held.back().depth >= depth) held.pop_back();
+      while (!scopes.empty() && scopes.back().depth >= depth) {
+        scopes.pop_back();
+      }
+      if (depth > 0) --depth;
+      continue;
+    }
+
+    const std::string fn = current_function();
+    if (fn.empty()) continue;
+
+    // Early release: `guard_var.unlock()`.
+    if (t.ident() && i + 3 < toks.size() && toks[i + 1].is(".") &&
+        toks[i + 2].is("unlock") && toks[i + 3].is("(")) {
+      for (std::size_t g = held.size(); g-- > 0;) {
+        if (held[g].var == t.text) {
+          held.erase(held.begin() + static_cast<std::ptrdiff_t>(g));
+          break;
+        }
+      }
+    }
+
+    // Guard construction: [std ::] guard_type [<...>] var ( args ) ;
+    if (t.ident() && is_guard_type(t.text)) {
+      std::size_t j = i + 1;
+      if (j < toks.size() && toks[j].is("<")) {
+        int tdepth = 0;
+        while (j < toks.size()) {
+          if (toks[j].is("<")) ++tdepth;
+          if (toks[j].is(">")) {
+            --tdepth;
+            if (tdepth == 0) {
+              ++j;
+              break;
+            }
+          }
+          if (toks[j].is(">>")) {
+            tdepth -= 2;
+            if (tdepth <= 0) {
+              ++j;
+              break;
+            }
+          }
+          ++j;
+        }
+      }
+      std::string var;
+      if (j < toks.size() && toks[j].ident()) {
+        var = toks[j].text;
+        ++j;
+      }
+      if (j >= toks.size() || !toks[j].is("(") || var.empty()) continue;
+      const std::size_t close = match_forward(toks, j);
+      if (close == std::string::npos) continue;
+      // Split top-level commas; drop tag arguments and deferred locks.
+      std::vector<std::string> args;
+      {
+        std::size_t arg_start = j + 1;
+        int pdepth = 0;
+        for (std::size_t k = j + 1; k <= close; ++k) {
+          if (toks[k].is("(") || toks[k].is("[")) ++pdepth;
+          if (toks[k].is(")") || toks[k].is("]")) --pdepth;
+          if ((toks[k].is(",") && pdepth == 0) || k == close) {
+            if (k > arg_start) {
+              args.push_back(expr_text(toks, arg_start, k));
+            }
+            arg_start = k + 1;
+          }
+        }
+      }
+      bool deferred = false;
+      std::vector<std::string> mutexes;
+      for (const std::string& a : args) {
+        if (a.find("defer_lock") != std::string::npos) deferred = true;
+        if (a.find("defer_lock") != std::string::npos ||
+            a.find("adopt_lock") != std::string::npos ||
+            a.find("try_to_lock") != std::string::npos) {
+          continue;
+        }
+        mutexes.push_back(a);
+      }
+      if (deferred || mutexes.empty()) {
+        i = close;
+        continue;
+      }
+      const std::string annotated = nearby_lock_name(file, t.line);
+      for (std::size_t m = 0; m < mutexes.size(); ++m) {
+        GuardSite site;
+        site.named = !annotated.empty();
+        site.lock_id = site.named && m == 0
+                           ? annotated
+                           : synth_lock_id(file, mutexes[m]);
+        if (site.named && m > 0) site.named = false;
+        site.var = var;
+        site.line = t.line;
+        site.function = fn;
+        site.file = file.path;
+        for (const HeldGuard& h : held) {
+          if (h.lock_id == site.lock_id) continue;
+          model.edges.push_back({h.lock_id, site.lock_id, file.path, t.line,
+                                 fn, h.named, site.named, ""});
+        }
+        held.push_back({site.lock_id, site.named, var, depth});
+        model.fn_acquires[fn].insert(site.lock_id);
+        model.lock_named[site.lock_id] = site.named;
+        model.guards.push_back(site);
+      }
+      i = close;
+      continue;
+    }
+
+    // Call site: IDENT '(' — record what is held at the call.
+    if (t.ident() && i + 1 < toks.size() && toks[i + 1].is("(") &&
+        !is_keywordish(t.text) && !is_guard_type(t.text)) {
+      if (held.empty()) continue;
+      const std::size_t close = match_forward(toks, i + 1);
+      CallSite call;
+      call.callee = t.text;
+      call.line = t.line;
+      call.function = fn;
+      call.file = file.path;
+      for (const HeldGuard& h : held) {
+        call.held.push_back(h.lock_id);
+        call.held_named.push_back(h.named);
+        if (close != std::string::npos) {
+          for (std::size_t k = i + 2; k < close; ++k) {
+            if (toks[k].ident() && toks[k].text == h.var) {
+              call.passes_guard = true;
+            }
+          }
+        }
+      }
+      model.calls.push_back(std::move(call));
+    }
+  }
+}
+
+}  // namespace
+
+void pass_lock(const Project& project, const Options& opts,
+               std::vector<Finding>& findings) {
+  LockModel model;
+  for (const SourceFile& f : project.files) analyze_file_locks(f, model);
+
+  // Transitive acquisition sets per function (memoized DFS over the
+  // name-matched call graph).
+  std::map<std::string, std::set<std::string>> callee_map;
+  for (const CallSite& c : model.calls) {
+    callee_map[c.function].insert(c.callee);
+  }
+  // Also include calls made while NOT holding locks: rebuild from guards
+  // is not enough, so conservatively treat fn_acquires as the base and
+  // propagate through recorded call sites only (calls with locks held are
+  // what matters for edges; transitive acquisition only needs the callee's
+  // own base set, recursively).
+  std::map<std::string, std::set<std::string>> trans;
+  std::set<std::string> visiting;
+  struct Trans {
+    std::map<std::string, std::set<std::string>>& fn_acquires;
+    std::map<std::string, std::set<std::string>>& callee_map;
+    std::map<std::string, std::set<std::string>>& trans;
+    std::set<std::string>& visiting;
+    const std::set<std::string>& resolve(const std::string& fn) {
+      auto it = trans.find(fn);
+      if (it != trans.end()) return it->second;
+      if (visiting.count(fn) != 0) {
+        static const std::set<std::string> kEmpty;
+        return kEmpty;  // recursion cycle: stop
+      }
+      visiting.insert(fn);
+      std::set<std::string> acc = fn_acquires[fn];
+      // Match callees by both bare and suffix-qualified name.
+      for (const auto& entry : callee_map[fn]) {
+        for (const auto& candidate : fn_acquires) {
+          const std::string& name = candidate.first;
+          const bool match =
+              name == entry ||
+              (name.size() > entry.size() &&
+               name.compare(name.size() - entry.size(), entry.size(),
+                            entry) == 0 &&
+               name[name.size() - entry.size() - 1] == ':');
+          if (match) {
+            const std::set<std::string>& sub = resolve(name);
+            acc.insert(sub.begin(), sub.end());
+          }
+        }
+      }
+      visiting.erase(fn);
+      return trans.emplace(fn, std::move(acc)).first->second;
+    }
+  } resolver{model.fn_acquires, callee_map, trans, visiting};
+
+  // Interprocedural edges: held H at a call whose callee transitively
+  // acquires L => H -> L.
+  std::vector<StaticEdge> all_edges = model.edges;
+  for (const CallSite& c : model.calls) {
+    for (const auto& candidate : model.fn_acquires) {
+      const std::string& name = candidate.first;
+      const bool match =
+          name == c.callee ||
+          (name.size() > c.callee.size() &&
+           name.compare(name.size() - c.callee.size(), c.callee.size(),
+                        c.callee) == 0 &&
+           name[name.size() - c.callee.size() - 1] == ':');
+      if (!match) continue;
+      for (const std::string& acquired : resolver.resolve(name)) {
+        for (std::size_t h = 0; h < c.held.size(); ++h) {
+          if (c.held[h] == acquired) continue;
+          StaticEdge e;
+          e.from = c.held[h];
+          e.to = acquired;
+          e.file = c.file;
+          e.line = c.line;
+          e.function = c.function;
+          e.from_named = c.held_named[h];
+          e.to_named = model.lock_named[acquired];
+          e.via = c.callee;
+          all_edges.push_back(std::move(e));
+        }
+      }
+    }
+  }
+
+  // Deduplicate edges by (from, to), keeping the first site.
+  std::map<std::pair<std::string, std::string>, StaticEdge> edge_map;
+  for (const StaticEdge& e : all_edges) {
+    edge_map.emplace(std::make_pair(e.from, e.to), e);
+  }
+
+  // ---- lock-cycle: DFS over the static graph ----
+  {
+    std::map<std::string, std::vector<std::string>> adj;
+    for (const auto& entry : edge_map) {
+      adj[entry.first.first].push_back(entry.first.second);
+    }
+    std::map<std::string, int> color;
+    std::vector<std::string> path;
+    struct Dfs {
+      std::map<std::string, std::vector<std::string>>& adj;
+      std::map<std::string, int>& color;
+      std::vector<std::string>& path;
+      std::map<std::pair<std::string, std::string>, StaticEdge>& edge_map;
+      std::vector<Finding>& findings;
+      void visit(const std::string& v) {
+        color[v] = 1;
+        path.push_back(v);
+        for (const std::string& to : adj[v]) {
+          if (color[to] == 1) {
+            std::string cycle;
+            bool in_cycle = false;
+            for (const std::string& p : path) {
+              if (p == to) in_cycle = true;
+              if (in_cycle) cycle += p + " -> ";
+            }
+            cycle += to;
+            const StaticEdge& site = edge_map.at({v, to});
+            findings.push_back(
+                {"lock", "lock-cycle", site.file, site.line,
+                 "lock-order cycle: " + cycle + " (closing edge in " +
+                     site.function +
+                     (site.via.empty() ? "" : " via call to " + site.via) +
+                     ")",
+                 false});
+          } else if (color[to] == 0) {
+            visit(to);
+          }
+        }
+        path.pop_back();
+        color[v] = 2;
+      }
+    } dfs{adj, color, path, edge_map, findings};
+    for (const auto& entry : adj) {
+      if (color[entry.first] == 0) dfs.visit(entry.first);
+    }
+  }
+
+  // ---- lock-unexercised: diff named static edges against a runtime
+  // lockdep dump ----
+  if (!opts.lockdep_edges_path.empty()) {
+    std::set<std::pair<std::string, std::string>> runtime;
+    std::ifstream in(opts.lockdep_edges_path);
+    std::string line;
+    while (in && std::getline(in, line)) {
+      const std::size_t arrow = line.find(" -> ");
+      if (arrow == std::string::npos) continue;
+      std::string from = line.substr(0, arrow);
+      std::string to = line.substr(arrow + 4);
+      while (!to.empty() && (to.back() == '\r' || to.back() == ' ')) {
+        to.pop_back();
+      }
+      runtime.emplace(from, to);
+    }
+    for (const auto& entry : edge_map) {
+      const StaticEdge& e = entry.second;
+      if (!e.from_named || !e.to_named) continue;
+      if (runtime.count({e.from, e.to}) != 0) continue;
+      findings.push_back(
+          {"lock", "lock-unexercised", e.file, e.line,
+           "statically-possible acquisition order " + e.from + " -> " + e.to +
+               " (in " + e.function +
+               (e.via.empty() ? "" : " via call to " + e.via) +
+               ") was never exercised by the runtime lockdep graph — the "
+               "runtime tests have a lock-order coverage hole",
+           false});
+    }
+  }
+
+  // ---- lock-blocking: a lock held across a blocking call ----
+  for (const CallSite& c : model.calls) {
+    if (!is_blocking_call(c.callee) || c.passes_guard || c.held.empty())
+      continue;
+    const std::size_t file_idx = [&] {
+      for (std::size_t i = 0; i < project.files.size(); ++i) {
+        if (project.files[i].path == c.file) return i;
+      }
+      return std::size_t{0};
+    }();
+    if (project.files[file_idx].allows(c.line, "lock-blocking")) continue;
+    std::string held_list;
+    for (std::size_t h = 0; h < c.held.size(); ++h) {
+      if (h != 0) held_list += ", ";
+      held_list += c.held[h];
+    }
+    findings.push_back(
+        {"lock", "lock-blocking", c.file, c.line,
+         "lock(s) " + held_list + " held across blocking call '" + c.callee +
+             "' in " + c.function +
+             " — release before blocking or annotate "
+             "lint:allow(lock-blocking)",
+         false});
+  }
+}
+
+}  // namespace elmo_analyze

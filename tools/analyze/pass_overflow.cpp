@@ -1,0 +1,259 @@
+// Pass 3 — overflow boundary.
+//
+// The Nullspace Algorithm's rank test is only meaningful under EXACT
+// arithmetic: a silently wrapped int64 multiply produces a wrong rank and
+// a wrong (not just slow) answer, which is why all kernel arithmetic goes
+// through bigint/checked.hpp (CheckedI64 operators, or the checked_add/
+// checked_mul/checked_shl free helpers for raw std::int64_t).  This pass
+// flags raw `*`, `+` and `<<` where an operand is statically known to be
+// int64-typed, inside the exact-arithmetic modules src/nullspace,
+// src/linalg and src/core.
+//
+// Type knowledge is heuristic and local to each file: declarations
+// (variables, parameters, data members) of std::int64_t, functions
+// declared to return std::int64_t, static_cast<std::int64_t>(...),
+// std::vector<std::int64_t>/std::array<std::int64_t,...> elements, and
+// CheckedI64::value() results.  `<<` is only flagged when the LEFT operand
+// is int64-typed (stream insertion constantly puts integers on the
+// right).  Intentionally-unchecked sites (counters that provably cannot
+// wrap) carry lint:allow(overflow) with a justification.
+#include <set>
+#include <string>
+#include <vector>
+
+#include "analyze/analyzer.hpp"
+#include "analyze/lexer.hpp"
+
+namespace elmo_analyze {
+
+namespace {
+
+bool in_target_module(const SourceFile& f) {
+  return f.module == "nullspace" || f.module == "linalg" || f.module == "core";
+}
+
+/// Tokens `[std ::] int64_t` ending at index `i` (i.e. toks[i] ==
+/// "int64_t").
+bool is_i64_type_at(const std::vector<Token>& toks, std::size_t i) {
+  return toks[i].ident() && toks[i].text == "int64_t";
+}
+
+struct TypeIndex {
+  std::set<std::string> vars;  // int64-typed variables/members/params
+  std::set<std::string> fns;   // functions returning int64
+};
+
+TypeIndex build_type_index(const std::vector<Token>& toks) {
+  TypeIndex idx;
+  for (std::size_t i = 0; i < toks.size(); ++i) {
+    if (!is_i64_type_at(toks, i)) continue;
+    // `int64_t NAME` — variable, parameter, member or function.
+    if (i + 1 < toks.size() && toks[i + 1].ident()) {
+      const std::string& name = toks[i + 1].text;
+      if (i + 2 < toks.size() && toks[i + 2].is("(")) {
+        idx.fns.insert(name);
+      } else {
+        idx.vars.insert(name);
+      }
+      continue;
+    }
+    // `vector<int64_t> NAME` / `array<int64_t, N> NAME`: elements of NAME
+    // are int64; indexing is handled by treating NAME as int64-valued
+    // through subscripts.
+    if (i + 1 < toks.size() && toks[i + 1].is(">") && i + 2 < toks.size() &&
+        toks[i + 2].ident()) {
+      idx.vars.insert(toks[i + 2].text);
+      continue;
+    }
+    if (i + 1 < toks.size() && toks[i + 1].is(",")) {
+      // array<int64_t, N> NAME
+      std::size_t j = i + 1;
+      while (j < toks.size() && !toks[j].is(">") && !toks[j].is(";")) ++j;
+      if (j + 1 < toks.size() && toks[j].is(">") && toks[j + 1].ident()) {
+        idx.vars.insert(toks[j + 1].text);
+      }
+    }
+  }
+  // `auto NAME = <expr involving .value()>` — CheckedI64 extraction.
+  for (std::size_t i = 0; i + 3 < toks.size(); ++i) {
+    if (toks[i].ident() && toks[i].text == "auto" && toks[i + 1].ident() &&
+        toks[i + 2].is("=")) {
+      for (std::size_t j = i + 3; j < toks.size() && !toks[j].is(";"); ++j) {
+        if (toks[j].ident() && toks[j].text == "value" && j > 0 &&
+            (toks[j - 1].is(".") || toks[j - 1].is("->"))) {
+          idx.vars.insert(toks[i + 1].text);
+          break;
+        }
+      }
+    }
+  }
+  return idx;
+}
+
+/// Does the `)` at `close` end an int64-producing expression?  Handles
+/// x.value(), int64-returning calls, static_cast<std::int64_t>(...), and
+/// grouping parens containing an int64 variable.
+bool close_paren_is_i64(const std::vector<Token>& toks, std::size_t close,
+                        const TypeIndex& idx) {
+  const std::size_t open = match_backward(toks, close);
+  if (open == std::string::npos) return false;
+  if (open == 0) return false;
+  const Token& before = toks[open - 1];
+  if (before.ident()) {
+    if (before.text == "value" && open >= 2 &&
+        (toks[open - 2].is(".") || toks[open - 2].is("->"))) {
+      return true;
+    }
+    return idx.fns.count(before.text) != 0;
+  }
+  if (before.is(">")) {
+    // `static_cast < std :: int64_t > ( ... )` or int64_t{...}-style
+    // functional casts through templates.
+    for (std::size_t j = open - 1; j-- > 0 && j + 8 > open;) {
+      if (toks[j].is("<")) {
+        for (std::size_t k = j + 1; k < open - 1; ++k) {
+          if (is_i64_type_at(toks, k)) return true;
+        }
+        return false;
+      }
+    }
+    return false;
+  }
+  // Grouping parens: int64 if any contained identifier is an int64 var.
+  for (std::size_t k = open + 1; k < close; ++k) {
+    if (toks[k].ident() && idx.vars.count(toks[k].text) != 0) return true;
+  }
+  return false;
+}
+
+/// Does the `]` at `close` end an int64 element access?
+bool close_bracket_is_i64(const std::vector<Token>& toks, std::size_t close,
+                          const TypeIndex& idx) {
+  const std::size_t open = match_backward(toks, close);
+  if (open == std::string::npos || open == 0) return false;
+  return toks[open - 1].ident() && idx.vars.count(toks[open - 1].text) != 0;
+}
+
+/// Int64-typedness of the operand ENDING at token index `i` (for the left
+/// side of a binary operator at i+1).
+bool left_operand_is_i64(const std::vector<Token>& toks, std::size_t i,
+                         const TypeIndex& idx) {
+  const Token& t = toks[i];
+  if (t.ident()) return idx.vars.count(t.text) != 0;
+  if (t.is(")")) return close_paren_is_i64(toks, i, idx);
+  if (t.is("]")) return close_bracket_is_i64(toks, i, idx);
+  return false;
+}
+
+/// Int64-typedness of the operand STARTING at token index `i` (for the
+/// right side of a binary operator at i-1).  Looks through member access
+/// chains (a.b, a->b) and calls.
+bool right_operand_is_i64(const std::vector<Token>& toks, std::size_t i,
+                          const TypeIndex& idx) {
+  // Skip unary prefixes.
+  while (i < toks.size() &&
+         (toks[i].is("-") || toks[i].is("+") || toks[i].is("~"))) {
+    ++i;
+  }
+  if (i >= toks.size()) return false;
+  const Token& t = toks[i];
+  if (t.ident()) {
+    // `x` or `x.value()` where x is anything and value() marks CheckedI64
+    // extraction; or a call to an int64-returning function.
+    if (idx.vars.count(t.text) != 0) {
+      // Direct variable — but `x.foo` means the OUTER expression decides;
+      // only accept when not a call on a non-int64 base... keep simple:
+      // the variable itself is int64-typed.
+      return true;
+    }
+    if (idx.fns.count(t.text) != 0 && i + 1 < toks.size() &&
+        toks[i + 1].is("(")) {
+      return true;
+    }
+    // Member-access chain ending in value().
+    std::size_t j = i;
+    while (j + 2 < toks.size() &&
+           (toks[j + 1].is(".") || toks[j + 1].is("->")) &&
+           toks[j + 2].ident()) {
+      j += 2;
+    }
+    if (j != i && toks[j].text == "value" && j + 1 < toks.size() &&
+        toks[j + 1].is("(")) {
+      return true;
+    }
+    return false;
+  }
+  if (t.is("(")) {
+    const std::size_t close = match_forward(toks, i);
+    if (close == std::string::npos) return false;
+    for (std::size_t k = i + 1; k < close; ++k) {
+      if (toks[k].ident() && idx.vars.count(toks[k].text) != 0) return true;
+    }
+    return false;
+  }
+  if (t.ident() || t.kind == Token::Kind::kNumber) return false;
+  // static_cast < ... int64_t ... > ( ... )
+  if (t.is("static_cast")) return false;  // handled via ident path? no:
+  return false;
+}
+
+bool prev_means_binary(const std::vector<Token>& toks, std::size_t i) {
+  if (i == 0) return false;
+  const Token& p = toks[i - 1];
+  return p.ident() || p.kind == Token::Kind::kNumber || p.is(")") ||
+         p.is("]");
+}
+
+}  // namespace
+
+void pass_overflow(const Project& project, const Options& opts,
+                   std::vector<Finding>& findings) {
+  (void)opts;
+  for (const SourceFile& f : project.files) {
+    // Scanned trees: only the exact-arithmetic modules.  Explicit file
+    // arguments (fixtures, ad-hoc runs) are always analyzed.
+    if (!f.module.empty() && !in_target_module(f)) continue;
+    const std::vector<Token> toks = lex(f.stripped);
+    const TypeIndex idx = build_type_index(toks);
+    if (idx.vars.empty() && idx.fns.empty()) continue;
+    for (std::size_t i = 1; i + 1 < toks.size(); ++i) {
+      const Token& t = toks[i];
+      const bool is_mul = t.is("*");
+      const bool is_add = t.is("+");
+      const bool is_shl = t.is("<<");
+      if (!is_mul && !is_add && !is_shl) continue;
+      if (!prev_means_binary(toks, i)) continue;  // unary +/- or deref
+      // `*` followed by ident then `(`/`)`/`,`/`;` could be a pointer
+      // declarator — `int64_t* p` never reaches here because prev is the
+      // type name... it IS an ident.  Exclude declarator shapes: `T * name
+      // =`, `T * name ;`, `T * name ,`, `T * name )`.
+      if (is_mul && toks[i - 1].ident() && toks[i + 1].ident() &&
+          i + 2 < toks.size() &&
+          (toks[i + 2].is("=") || toks[i + 2].is(";") || toks[i + 2].is(",") ||
+           toks[i + 2].is(")"))) {
+        // Only skip when the left token looks like a TYPE (not a known
+        // int64 variable).
+        if (idx.vars.count(toks[i - 1].text) == 0) continue;
+      }
+      const bool left = left_operand_is_i64(toks, i - 1, idx);
+      const bool right = right_operand_is_i64(toks, i + 1, idx);
+      const bool flagged = is_shl ? left : (left || right);
+      if (!flagged) continue;
+      if (f.allows(t.line, "overflow")) continue;
+      const char* op = is_mul ? "*" : (is_add ? "+" : "<<");
+      const char* helper =
+          is_mul ? "elmo::checked_mul" : (is_add ? "elmo::checked_add"
+                                                 : "elmo::checked_shl");
+      findings.push_back(
+          {"overflow", "unchecked-arith", f.path, t.line,
+           std::string("raw `") + op +
+               "` on int64_t-typed operand(s) bypasses bigint/checked.hpp; "
+               "use " + helper +
+               " (throws OverflowError instead of wrapping) or annotate "
+               "lint:allow(overflow) with a justification",
+           false});
+    }
+  }
+}
+
+}  // namespace elmo_analyze

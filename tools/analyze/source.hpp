@@ -1,0 +1,54 @@
+// elmo_analyze — shared source-file model.
+//
+// Every pass works from the same SourceFile: the raw text (where
+// lint:allow(...) annotations live in comments), a "stripped" copy with
+// comments, string literals and char literals blanked out (same length and
+// line structure, so offsets and line numbers agree), and both split into
+// lines.  Files are identified by the path they were reported under
+// (relative to the analysis root) plus the module they belong to — the
+// first directory component under src/.
+#pragma once
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+namespace elmo_analyze {
+
+struct SourceFile {
+  std::string path;      // as reported in findings (root-relative)
+  std::string abs_path;  // on-disk location
+  std::string module;    // first dir under src/ ("" when not under src/)
+  bool is_header = false;
+  std::string raw;
+  std::string stripped;
+  std::vector<std::string> raw_lines;
+  std::vector<std::string> stripped_lines;
+
+  /// Is a finding on 1-based `line` excused by a lint:allow(<rule>)
+  /// annotation on the same or the directly preceding raw line?
+  [[nodiscard]] bool allows(std::size_t line, const std::string& rule) const;
+};
+
+/// Blank comments, string literals and char literals (including raw
+/// strings), preserving length and newlines.
+std::string strip_noncode(const std::string& text);
+
+std::vector<std::string> split_lines(const std::string& text);
+
+bool is_ident_char(char c);
+
+/// Find `word` as a whole identifier within `text`, at or after `from`.
+std::size_t find_word(const std::string& text, const std::string& word,
+                      std::size_t from = 0);
+
+/// 1-based line number of a byte offset.
+std::size_t line_of_offset(const std::string& text, std::size_t offset);
+
+/// Load `abs_path` from disk; `report_path` is recorded as `path`.
+/// Returns false (and leaves `out` unspecified) when the file cannot be
+/// read.
+bool load_source(const std::string& abs_path, const std::string& report_path,
+                 SourceFile& out);
+
+}  // namespace elmo_analyze

@@ -1,325 +1,28 @@
-// elmo_lint — the repository's own static checker.
+// elmo_lint — compatibility shim over elmo_analyze.
 //
-// Four project rules that clang-tidy does not express well, enforced over
-// every C++ source passed on the command line (scripts/lint.sh feeds it the
-// tracked sources; CI fails on any finding):
-//
-//   naked-new         no `new` outside an owning wrapper.  Allocations go
-//                     through std::make_unique/containers; intentionally
-//                     leaked singletons carry a lint:allow(naked-new)
-//                     annotation explaining why.
-//   no-rand           no rand()/srand(): the project requires deterministic
-//                     runs; randomness comes from seeded engines.
-//   catch-all         a `catch (...)` must rethrow, capture
-//                     std::current_exception(), or carry a
-//                     lint:allow(catch-all) annotation — silently swallowing
-//                     unknown exceptions is how the mpsim bugs of PR 1 hid.
-//   reinterpret-cast  every reinterpret_cast is annotated with
-//                     lint:allow(reinterpret-cast) plus a justification.
-//
-// Annotations are comments of the form `lint:allow(<rule>)` on the same
-// line as the finding or the line directly above it.
-//
-// The scanner strips comments, string and character literals (including
-// raw strings) before matching, so prose never trips a rule; annotations
-// are looked up in the RAW text, where the comments still exist.
-//
-// Usage: elmo_lint FILE...            exit 0 = clean, 1 = findings,
-//                                     2 = usage/IO error
+// The original standalone checker grew into the multi-pass analyzer in
+// tools/analyze/ (include graph, lock discipline, overflow boundary, plus
+// these lint rules as pass 4).  This shim keeps the historical interface
+// alive — `elmo_lint FILE...`, findings on stderr as `file:line: [rule]
+// message`, exit 0/1/2 — by delegating to `elmo_analyze --pass=lint` in
+// its lint-compat output mode.  Existing lint:allow(<rule>) annotations
+// keep working unchanged: the analyzer reads the same tags.
 #include <cstdio>
-#include <fstream>
-#include <iostream>
-#include <sstream>
 #include <string>
 #include <vector>
 
-namespace {
-
-struct Finding {
-  std::string file;
-  std::size_t line = 0;
-  std::string rule;
-  std::string message;
-};
-
-/// Replace comments, string literals and char literals with spaces,
-/// preserving length and newlines so offsets and line numbers still match.
-std::string strip_noncode(const std::string& text) {
-  std::string out = text;
-  enum class State {
-    kCode,
-    kLineComment,
-    kBlockComment,
-    kString,
-    kChar,
-    kRawString
-  };
-  State state = State::kCode;
-  std::string raw_terminator;  // e.g. )delim" for R"delim(
-  for (std::size_t i = 0; i < text.size(); ++i) {
-    const char c = text[i];
-    const char next = i + 1 < text.size() ? text[i + 1] : '\0';
-    switch (state) {
-      case State::kCode:
-        if (c == '/' && next == '/') {
-          state = State::kLineComment;
-          out[i] = ' ';
-        } else if (c == '/' && next == '*') {
-          state = State::kBlockComment;
-          out[i] = ' ';
-        } else if (c == 'R' && next == '"' &&
-                   (i == 0 || (!std::isalnum(static_cast<unsigned char>(
-                                   text[i - 1])) &&
-                               text[i - 1] != '_'))) {
-          // Raw string: R"delim( ... )delim"
-          std::size_t open = text.find('(', i + 2);
-          if (open != std::string::npos) {
-            raw_terminator =
-                ")" + text.substr(i + 2, open - (i + 2)) + "\"";
-            for (std::size_t j = i; j <= open && j < text.size(); ++j) {
-              if (text[j] != '\n') out[j] = ' ';
-            }
-            i = open;
-            state = State::kRawString;
-          }
-        } else if (c == '"') {
-          state = State::kString;
-          out[i] = ' ';
-        } else if (c == '\'') {
-          state = State::kChar;
-          out[i] = ' ';
-        }
-        break;
-      case State::kLineComment:
-        if (c == '\n') {
-          state = State::kCode;
-        } else {
-          out[i] = ' ';
-        }
-        break;
-      case State::kBlockComment:
-        if (c == '*' && next == '/') {
-          out[i] = ' ';
-          out[i + 1] = ' ';
-          ++i;
-          state = State::kCode;
-        } else if (c != '\n') {
-          out[i] = ' ';
-        }
-        break;
-      case State::kString:
-        if (c == '\\') {
-          out[i] = ' ';
-          if (i + 1 < text.size() && text[i + 1] != '\n') {
-            out[i + 1] = ' ';
-            ++i;
-          }
-        } else if (c == '"') {
-          state = State::kCode;
-          out[i] = ' ';
-        } else if (c != '\n') {
-          out[i] = ' ';
-        }
-        break;
-      case State::kChar:
-        if (c == '\\') {
-          out[i] = ' ';
-          if (i + 1 < text.size() && text[i + 1] != '\n') {
-            out[i + 1] = ' ';
-            ++i;
-          }
-        } else if (c == '\'') {
-          state = State::kCode;
-          out[i] = ' ';
-        } else if (c != '\n') {
-          out[i] = ' ';
-        }
-        break;
-      case State::kRawString:
-        if (text.compare(i, raw_terminator.size(), raw_terminator) == 0) {
-          for (std::size_t j = 0; j < raw_terminator.size(); ++j) {
-            out[i + j] = ' ';
-          }
-          i += raw_terminator.size() - 1;
-          state = State::kCode;
-        } else if (c != '\n') {
-          out[i] = ' ';
-        }
-        break;
-    }
-  }
-  return out;
-}
-
-std::vector<std::string> split_lines(const std::string& text) {
-  std::vector<std::string> lines;
-  std::size_t start = 0;
-  while (start <= text.size()) {
-    std::size_t nl = text.find('\n', start);
-    if (nl == std::string::npos) {
-      lines.push_back(text.substr(start));
-      break;
-    }
-    lines.push_back(text.substr(start, nl - start));
-    start = nl + 1;
-  }
-  return lines;
-}
-
-bool is_ident_char(char c) {
-  return std::isalnum(static_cast<unsigned char>(c)) || c == '_';
-}
-
-/// Find `word` as a whole identifier within `line`, at or after `from`.
-std::size_t find_word(const std::string& line, const std::string& word,
-                      std::size_t from = 0) {
-  std::size_t pos = from;
-  while ((pos = line.find(word, pos)) != std::string::npos) {
-    const bool left_ok = pos == 0 || !is_ident_char(line[pos - 1]);
-    const std::size_t end = pos + word.size();
-    const bool right_ok = end >= line.size() || !is_ident_char(line[end]);
-    if (left_ok && right_ok) return pos;
-    pos = end;
-  }
-  return std::string::npos;
-}
-
-/// Is the finding on raw line `idx` (0-based) excused by a
-/// lint:allow(<rule>) annotation on the same or previous raw line?
-bool allowed(const std::vector<std::string>& raw, std::size_t idx,
-             const std::string& rule) {
-  const std::string tag = "lint:allow(" + rule + ")";
-  if (raw[idx].find(tag) != std::string::npos) return true;
-  return idx > 0 && raw[idx - 1].find(tag) != std::string::npos;
-}
-
-/// `catch (...)` handler bodies must not swallow: look for a rethrow or an
-/// exception_ptr capture inside the matching brace block.
-bool catch_block_handles(const std::string& stripped, std::size_t from) {
-  std::size_t open = stripped.find('{', from);
-  if (open == std::string::npos) return false;
-  int depth = 0;
-  std::size_t end = open;
-  for (std::size_t i = open; i < stripped.size(); ++i) {
-    if (stripped[i] == '{') ++depth;
-    if (stripped[i] == '}') {
-      --depth;
-      if (depth == 0) {
-        end = i;
-        break;
-      }
-    }
-  }
-  const std::string block = stripped.substr(open, end - open + 1);
-  return find_word(block, "throw") != std::string::npos ||
-         block.find("current_exception") != std::string::npos ||
-         block.find("rethrow_exception") != std::string::npos;
-}
-
-std::size_t line_of_offset(const std::string& text, std::size_t offset) {
-  std::size_t line = 1;
-  for (std::size_t i = 0; i < offset && i < text.size(); ++i) {
-    if (text[i] == '\n') ++line;
-  }
-  return line;
-}
-
-/// Position of `catch` immediately followed by `( ... )` with only dots and
-/// whitespace between the parentheses.
-std::size_t find_catch_all(const std::string& stripped, std::size_t from) {
-  std::size_t pos = from;
-  while ((pos = find_word(stripped, "catch", pos)) != std::string::npos) {
-    std::size_t p = pos + 5;
-    while (p < stripped.size() &&
-           std::isspace(static_cast<unsigned char>(stripped[p]))) {
-      ++p;
-    }
-    if (p < stripped.size() && stripped[p] == '(') {
-      ++p;
-      std::size_t dots = 0;
-      while (p < stripped.size() &&
-             (stripped[p] == '.' ||
-              std::isspace(static_cast<unsigned char>(stripped[p])))) {
-        if (stripped[p] == '.') ++dots;
-        ++p;
-      }
-      if (p < stripped.size() && stripped[p] == ')' && dots == 3) return pos;
-    }
-    pos += 5;
-  }
-  return std::string::npos;
-}
-
-void lint_file(const std::string& path, std::vector<Finding>& findings) {
-  std::ifstream in(path);
-  if (!in) {
-    findings.push_back({path, 0, "io", "cannot open file"});
-    return;
-  }
-  std::ostringstream buffer;
-  buffer << in.rdbuf();
-  const std::string text = buffer.str();
-  const std::string stripped = strip_noncode(text);
-  const std::vector<std::string> raw_lines = split_lines(text);
-  const std::vector<std::string> code_lines = split_lines(stripped);
-
-  for (std::size_t i = 0; i < code_lines.size(); ++i) {
-    const std::string& line = code_lines[i];
-    if (find_word(line, "new") != std::string::npos &&
-        !allowed(raw_lines, i, "naked-new")) {
-      findings.push_back(
-          {path, i + 1, "naked-new",
-           "raw `new`: use std::make_unique/containers, or annotate an "
-           "intentional leak with lint:allow(naked-new)"});
-    }
-    if ((find_word(line, "rand") != std::string::npos ||
-         find_word(line, "srand") != std::string::npos) &&
-        !allowed(raw_lines, i, "no-rand")) {
-      findings.push_back({path, i + 1, "no-rand",
-                          "rand()/srand() breaks deterministic runs: use a "
-                          "seeded <random> engine"});
-    }
-    if (line.find("reinterpret_cast") != std::string::npos &&
-        !allowed(raw_lines, i, "reinterpret-cast")) {
-      findings.push_back(
-          {path, i + 1, "reinterpret-cast",
-           "unannotated reinterpret_cast: justify it with "
-           "lint:allow(reinterpret-cast) on this or the previous line"});
-    }
-  }
-
-  // catch-all needs the whole text (handler blocks span lines).
-  std::size_t pos = 0;
-  while ((pos = find_catch_all(stripped, pos)) != std::string::npos) {
-    const std::size_t line = line_of_offset(text, pos);
-    if (!allowed(raw_lines, line - 1, "catch-all") &&
-        !catch_block_handles(stripped, pos)) {
-      findings.push_back(
-          {path, line, "catch-all",
-           "catch (...) swallows the exception: rethrow, capture "
-           "std::current_exception(), or annotate with "
-           "lint:allow(catch-all)"});
-    }
-    pos += 5;
-  }
-}
-
-}  // namespace
+#include "analyze/analyzer.hpp"
 
 int main(int argc, char** argv) {
   if (argc < 2) {
     std::fprintf(stderr, "usage: elmo_lint FILE...\n");
     return 2;
   }
-  std::vector<Finding> findings;
-  for (int i = 1; i < argc; ++i) lint_file(argv[i], findings);
-  for (const auto& f : findings) {
-    std::fprintf(stderr, "%s:%zu: [%s] %s\n", f.file.c_str(), f.line,
-                 f.rule.c_str(), f.message.c_str());
-  }
-  if (!findings.empty()) {
-    std::fprintf(stderr, "elmo_lint: %zu finding(s)\n", findings.size());
-    return 1;
-  }
-  return 0;
+  std::vector<std::string> args = {"elmo_lint", "--pass=lint",
+                                   "--lint-compat"};
+  for (int i = 1; i < argc; ++i) args.emplace_back(argv[i]);
+  std::vector<char*> argv2;
+  argv2.reserve(args.size());
+  for (std::string& a : args) argv2.push_back(a.data());
+  return elmo_analyze::run_cli(static_cast<int>(argv2.size()), argv2.data());
 }
