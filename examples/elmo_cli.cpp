@@ -28,6 +28,8 @@
 #include "obs/metrics.hpp"
 #include "obs/progress.hpp"
 #include "obs/trace.hpp"
+#include "resource/governor.hpp"
+#include "resource/shutdown.hpp"
 #include "support/format.hpp"
 
 namespace {
@@ -53,6 +55,28 @@ options:
   --resume FILE             skip subsets already completed in FILE; also
                             continues appending to FILE unless --checkpoint
                             names a different one
+resource governance:
+  --mem-limit BYTES         process-wide memory limit enforced by the
+                            MemoryGovernor (0 = ungoverned); crossing the
+                            half-limit watermark spills candidate blocks
+                            out-of-core, busting the limit degrades the run
+                            (smaller tiles, spill-always, serial) instead
+                            of dying
+  --spill-dir DIR           directory for out-of-core candidate blocks
+                            (default: the system temp dir); implies spill
+                            is enabled
+  --spill-always            write every candidate block out-of-core
+                            (stress/bit-identity testing)
+  --subset-deadline SECS    watchdog hard deadline per subset world
+                            (combined); soft straggler diagnosis at half
+                            that, wedged-world detection at the full value
+  --scale-deadlines         scale each subset's deadline by its estimated
+                            cost relative to the median subset
+  SIGINT/SIGTERM cancel cooperatively at the next iteration boundary:
+  completed subsets stay checkpointed, the report is flushed, and the
+  process exits with code 75 (resumable) — rerun with --resume to continue
+  losing at most one iteration.  A second signal kills immediately.
+
   --exact-rank-test         use the exact Bareiss backend
   --audit                   re-verify the algorithm's invariants at runtime
                             (S*R = 0 per iteration, exact rank-nullity,
@@ -160,6 +184,33 @@ int main(int argc, char** argv) {
     } else if (!std::strcmp(argv[i], "--max-extra-splits")) {
       options.max_extra_splits =
           static_cast<std::size_t>(next_number("--max-extra-splits"));
+    } else if (!std::strcmp(argv[i], "--mem-limit")) {
+      options.mem_limit_bytes =
+          static_cast<std::size_t>(next_number("--mem-limit"));
+    } else if (!std::strcmp(argv[i], "--spill-dir")) {
+      options.spill.directory = next();
+      options.spill.enabled = true;
+    } else if (!std::strcmp(argv[i], "--spill-always")) {
+      options.spill.enabled = true;
+      options.spill.always = true;
+    } else if (!std::strcmp(argv[i], "--subset-deadline")) {
+      const std::string value = next();
+      errno = 0;
+      char* end = nullptr;
+      const double seconds = std::strtod(value.c_str(), &end);
+      if (value.empty() || *end != '\0' || errno == ERANGE ||
+          seconds <= 0.0) {
+        std::fprintf(stderr,
+                     "error: --subset-deadline expects positive seconds, "
+                     "got '%s'\n",
+                     value.c_str());
+        std::exit(2);
+      }
+      options.subset_deadlines.hard_seconds = seconds;
+      options.subset_deadlines.soft_seconds = seconds / 2.0;
+      options.subset_deadlines.stall_seconds = seconds;
+    } else if (!std::strcmp(argv[i], "--scale-deadlines")) {
+      options.scale_deadlines_by_estimate = true;
     } else if (!std::strcmp(argv[i], "--retries")) {
       options.retry.max_attempts =
           static_cast<int>(next_number("--retries"));
@@ -265,6 +316,11 @@ int main(int argc, char** argv) {
     obs::Registry::global().set_enabled(true);
   if (!report_path.empty()) options.record_history = true;
 
+  // Crash-safe graceful shutdown: SIGINT/SIGTERM set a flag the solvers
+  // poll at iteration boundaries; the CancelledError catch below flushes
+  // the report and exits with the resumable code.
+  resource::install_signal_handlers();
+
   try {
     auto compressed = compress(network, options.compression);
 
@@ -274,6 +330,15 @@ int main(int argc, char** argv) {
       popts.print = show_progress;
       popts.heartbeat_path = heartbeat_path;
       popts.label = label;
+      // Resource gauges for the heartbeat records: governor charge and
+      // out-of-core spill volume (RSS the reporter reads itself).
+      popts.mem_usage_source = [] {
+        return static_cast<std::uint64_t>(
+            resource::MemoryGovernor::global().usage());
+      };
+      popts.spill_bytes_source = [] {
+        return resource::MemoryGovernor::global().spill_bytes();
+      };
       // A-priori pair estimate for the ETA: a cheap prefix run via the
       // subset estimator.  For Algorithm 3 the whole-problem count would
       // overshoot badly (splitting is the paper's point), so resolve the
@@ -401,6 +466,35 @@ int main(int argc, char** argv) {
                    seconds_str(result.seconds).c_str(),
                    result.used_bigint ? " (BigInt)" : "");
     }
+  } catch (const CancelledError& e) {
+    // Cooperative shutdown: everything completed so far is already in the
+    // checkpoint file.  Flush the trace/report so the interrupted run is
+    // still inspectable, point at --resume, exit resumable (75).
+    if (!trace_path.empty()) {
+      obs::install_trace(nullptr);
+      recorder.write(trace_path);
+    }
+    if (!report_path.empty()) {
+      EfmResult partial;
+      auto& governor = resource::MemoryGovernor::global();
+      partial.mem_limit_bytes = governor.limit();
+      partial.mem_peak_bytes = governor.peak_usage();
+      partial.spill_bytes = governor.spill_bytes();
+      partial.spill_blocks = governor.spill_blocks();
+      auto report = make_solve_report(partial, options, label);
+      report.config["cancelled"] = "true";
+      report.write(report_path);
+      std::fprintf(stderr, "report written to %s\n", report_path.c_str());
+    }
+    std::fprintf(stderr, "cancelled: %s\n", e.what());
+    const std::string resume_hint = !options.checkpoint_path.empty()
+                                        ? options.checkpoint_path
+                                        : options.resume_from;
+    if (!resume_hint.empty()) {
+      std::fprintf(stderr, "rerun with --resume %s to continue\n",
+                   resume_hint.c_str());
+    }
+    return resource::kResumableExitCode;
   } catch (const Error& e) {
     std::fprintf(stderr, "error: %s\n", e.what());
     return 1;

@@ -21,7 +21,13 @@
 #   8. analyzer artifact gate: the CMake-built elmo_analyze re-runs over
 #      src/ against the committed baseline, and its machine-readable JSON
 #      report is validated with json_check (the same tool that guards the
-#      observability artifacts).
+#      observability artifacts),
+#   9. memory-capped spill smoke (scripts/mem_smoke.sh): solve ecoli
+#      unconstrained to learn its ledger peak and un-spillable matrix
+#      floor, then re-solve with --mem-limit barely above the floor (under
+#      a ulimit -v backstop) and require a clean exit, at least one spill
+#      block in report.json, no ledger-peak inflation over the
+#      unconstrained run, and a bit-identical EFM set.
 #
 # Usage: scripts/check.sh [-jN]
 set -euo pipefail
@@ -31,24 +37,24 @@ JOBS="${1:--j$(nproc)}"
 
 run() { echo "+ $*" >&2; "$@"; }
 
-echo "== 1/8 plain build =="
+echo "== 1/9 plain build =="
 run cmake -B build -S . >/dev/null
 run cmake --build build "${JOBS}"
 (cd build && run ctest --output-on-failure)
 
-echo "== 2/8 address+undefined sanitizers =="
+echo "== 2/9 address+undefined sanitizers =="
 run cmake -B build-asan -S . -DELMO_SANITIZE=address,undefined >/dev/null
 run cmake --build build-asan "${JOBS}"
 (cd build-asan && run ctest --output-on-failure)
 
-echo "== 3/8 thread sanitizer (threaded suites) =="
+echo "== 3/9 thread sanitizer (threaded suites) =="
 run cmake -B build-tsan -S . -DELMO_SANITIZE=thread >/dev/null
 run cmake --build build-tsan "${JOBS}" --target \
     test_mpsim test_parallel test_fault_tolerance test_obs
 (cd build-tsan && run ctest --output-on-failure \
     -R '^(test_mpsim|test_parallel|test_fault_tolerance|test_obs)$')
 
-echo "== 4/8 observability smoke =="
+echo "== 4/9 observability smoke =="
 SMOKE_DIR="$(mktemp -d)"
 trap 'rm -rf "${SMOKE_DIR}"' EXIT
 run ./build/examples/elmo_cli --builtin toy --algorithm combined --ranks 2 \
@@ -69,7 +75,7 @@ tail -n 1 "${SMOKE_DIR}/heartbeat.jsonl" > "${SMOKE_DIR}/heartbeat.last.json"
 run ./build/examples/json_check "${SMOKE_DIR}/heartbeat.last.json" \
     --require done
 
-echo "== 5/8 observability overhead guard =="
+echo "== 5/9 observability overhead guard =="
 if [[ "${ELMO_CHECK_SKIP_BENCH:-0}" != "1" ]]; then
   run cmake -B build-obsoff -S . -DELMO_OBS_DISABLE=ON >/dev/null
   run cmake --build build-obsoff "${JOBS}" --target bench_obs_overhead
@@ -82,10 +88,10 @@ else
   echo "   (skipped: ELMO_CHECK_SKIP_BENCH=1)"
 fi
 
-echo "== 6/8 static analysis =="
+echo "== 6/9 static analysis =="
 run scripts/lint.sh
 
-echo "== 7/8 candidate-engine perf gate =="
+echo "== 7/9 candidate-engine perf gate =="
 if [[ "${ELMO_CHECK_SKIP_BENCH:-0}" != "1" ]]; then
   # Fresh record lands in the smoke dir; the committed baseline is only read.
   run env BENCH_OUT="${SMOKE_DIR}/BENCH_candidates.json" \
@@ -94,7 +100,7 @@ else
   echo "   (skipped: ELMO_CHECK_SKIP_BENCH=1)"
 fi
 
-echo "== 8/8 analyzer artifact gate =="
+echo "== 8/9 analyzer artifact gate =="
 run cmake --build build "${JOBS}" --target elmo_analyze
 run ./build/tools/elmo_analyze --root=. \
     --baseline=tools/analyze_baseline.txt \
@@ -103,5 +109,8 @@ run ./build/tools/elmo_analyze --root=. \
 run ./build/examples/json_check "${SMOKE_DIR}/analyze.json" \
     --require summary.total --require summary.active \
     --require summary.baselined
+
+echo "== 9/9 memory-capped spill smoke =="
+run scripts/mem_smoke.sh ./build/examples/elmo_cli
 
 echo "all checks passed"

@@ -1,0 +1,66 @@
+#!/usr/bin/env bash
+# Memory-capped spill smoke: prove the resource governor's response to
+# pressure end-to-end through the real CLI.
+#
+#   1. Solve ecoli unconstrained and read two numbers from report.json: the
+#      ledger peak (resource.mem_peak_bytes) and the un-spillable matrix
+#      floor (peak_matrix_bytes).
+#   2. Re-solve with --mem-limit barely above the floor — genuinely below
+#      the unconstrained peak — under a ulimit -v address-space backstop.
+#   3. Require: clean exit, at least one spill block recorded in
+#      report.json, no ledger-peak inflation over the unconstrained run,
+#      and a bit-identical EFM CSV.
+#
+# The merge pass holds matrix + surviving candidates resident (the ledger
+# floor of the in-memory Sort&RemoveDuplicates), so the governed ledger
+# peak is checked against the unconstrained peak, not the limit itself; the
+# limit governs the generation-phase transient and the ulimit backstops the
+# process.  See DESIGN.md on resource governance.
+#
+# Usage: scripts/mem_smoke.sh [path/to/elmo_cli]
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+CLI="${1:-./build/examples/elmo_cli}"
+SMOKE_DIR="$(mktemp -d)"
+trap 'rm -rf "${SMOKE_DIR}"' EXIT
+
+run() { echo "+ $*" >&2; "$@"; }
+
+run "${CLI}" --builtin ecoli \
+    --report "${SMOKE_DIR}/mem_base.json" -o "${SMOKE_DIR}/mem_base.csv"
+MEM_FLOOR="$(python3 -c 'import json,sys; print(json.load(open(sys.argv[1]))["peak_matrix_bytes"])' \
+    "${SMOKE_DIR}/mem_base.json")"
+MEM_PEAK="$(python3 -c 'import json,sys; print(json.load(open(sys.argv[1]))["resource"]["mem_peak_bytes"])' \
+    "${SMOKE_DIR}/mem_base.json")"
+MEM_LIMIT="$((MEM_FLOOR + 4096))"
+if [[ "${MEM_LIMIT}" -ge "${MEM_PEAK}" ]]; then
+  echo "mem smoke: limit ${MEM_LIMIT} B does not undercut the unconstrained" \
+       "peak ${MEM_PEAK} B — candidate transients are no longer charged?" >&2
+  exit 1
+fi
+
+# Generous backstop: a governance regression dies on ulimit instead of
+# eating the machine.
+(ulimit -v 4194304 && \
+ run "${CLI}" --builtin ecoli --mem-limit "${MEM_LIMIT}" \
+     --spill-dir "${SMOKE_DIR}" \
+     --report "${SMOKE_DIR}/mem_gov.json" -o "${SMOKE_DIR}/mem_gov.csv")
+
+python3 - "${SMOKE_DIR}/mem_gov.json" "${MEM_PEAK}" "${MEM_LIMIT}" <<'PY'
+import json, sys
+report = json.load(open(sys.argv[1]))
+unconstrained_peak, limit = int(sys.argv[2]), int(sys.argv[3])
+resource = report["resource"]
+assert resource["spill_blocks"] >= 1, "governed run never spilled"
+assert resource["mem_peak_bytes"] <= unconstrained_peak, (
+    f"governed ledger peak {resource['mem_peak_bytes']} B exceeds the"
+    f" unconstrained run's {unconstrained_peak} B")
+print(f"   spilled {resource['spill_blocks']} blocks"
+      f" ({resource['spill_bytes']} B), ledger peak"
+      f" {resource['mem_peak_bytes']} B vs unconstrained"
+      f" {unconstrained_peak} B under --mem-limit {limit} B")
+PY
+
+run cmp "${SMOKE_DIR}/mem_base.csv" "${SMOKE_DIR}/mem_gov.csv"
+echo "mem smoke passed"

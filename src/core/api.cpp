@@ -7,6 +7,7 @@
 #include "compress/compression.hpp"
 #include "core/combinatorial_parallel.hpp"
 #include "core/combined.hpp"
+#include "core/estimate.hpp"
 #include "core/partitioned_parallel.hpp"
 #include "mpsim/communicator.hpp"
 #include "network/network.hpp"
@@ -15,6 +16,7 @@
 #include "nullspace/solver.hpp"
 #include "nullspace/stats.hpp"
 #include "obs/obs.hpp"
+#include "resource/governor.hpp"
 #include "support/assert.hpp"
 #include "support/error.hpp"
 #include "support/timer.hpp"
@@ -41,8 +43,10 @@ std::vector<obs::RankEntry> make_rank_entries(
       entry.collectives = counters.collectives;
       entry.memory_peak_bytes = counters.memory_peak;
     }
-    if (r < rank_stats.size())
+    if (r < rank_stats.size()) {
       entry.phase_seconds = rank_stats[r].phases.totals();
+      entry.spill_bytes = rank_stats[r].total_spilled_bytes;
+    }
     entries.push_back(std::move(entry));
   }
   return entries;
@@ -79,6 +83,10 @@ EfmResult run_with(const CompressedProblem& compressed,
   solver.on_iteration = options.on_iteration;
   solver.record_history = options.record_history;
   solver.audit = options.audit;
+  solver.spill = options.spill;
+  // A governed run spills by default once the admission check asks for it;
+  // an explicit spill.enabled also works without any --mem-limit.
+  if (options.mem_limit_bytes > 0) solver.spill.enabled = true;
 
   std::vector<FluxColumn<Scalar, Support>> columns;
   switch (options.algorithm) {
@@ -95,6 +103,7 @@ EfmResult run_with(const CompressedProblem& compressed,
       parallel.solver = solver;
       parallel.memory_budget_per_rank = options.memory_budget_per_rank;
       parallel.fault_plan = options.fault_plan;
+      parallel.deadlines = options.subset_deadlines;
       auto solved =
           solve_combinatorial_parallel<Scalar, Support>(problem, parallel);
       columns = std::move(solved.columns);
@@ -135,6 +144,21 @@ EfmResult run_with(const CompressedProblem& compressed,
       combined.fault_plan = options.fault_plan;
       combined.checkpoint_path = options.checkpoint_path;
       combined.resume_from = options.resume_from;
+      combined.subset_deadlines = options.subset_deadlines;
+      if (options.scale_deadlines_by_estimate &&
+          options.subset_deadlines.any()) {
+        // Estimate-based deadline scaling: a cheap prefix-run per subset
+        // ranks predicted cost; combined scales each subset's deadlines
+        // relative to the median.  (estimate.hpp includes combined.hpp, so
+        // the model is injected here rather than included there.)
+        combined.subset_cost_hint = [&problem](const SubsetSpec& spec) {
+          EstimateOptions estimate;
+          estimate.pair_budget = 200'000;
+          estimate.max_columns = 5'000;
+          return estimate_subset<Scalar, Support>(problem, spec, estimate)
+              .estimated_pairs;
+        };
+      }
       auto solved = solve_combined<Scalar, Support>(problem, combined);
       columns = std::move(solved.columns);
       result.stats = std::move(solved.total);
@@ -207,19 +231,33 @@ EfmResult run_with_support(const CompressedProblem& compressed,
 EfmResult compute_efms(const CompressedProblem& compressed,
                        const std::vector<bool>& original_reversibility,
                        const EfmOptions& options) {
+  // Configure the process-wide governor for this solve: fresh ledger, the
+  // requested limit.  The spill/peak counters accumulate across an int64 →
+  // BigInt fallback (it is one logical computation).
+  auto& governor = resource::MemoryGovernor::global();
+  governor.reset();
+  governor.set_limit(options.mem_limit_bytes);
+  auto finish = [&governor](EfmResult result) {
+    result.mem_limit_bytes = governor.limit();
+    result.mem_peak_bytes = governor.peak_usage();
+    result.spill_bytes = governor.spill_bytes();
+    result.spill_blocks = governor.spill_blocks();
+    return result;
+  };
   if (options.force_bigint) {
-    return run_with_support<BigInt>(compressed, original_reversibility,
-                                    options);
+    return finish(run_with_support<BigInt>(compressed, original_reversibility,
+                                           options));
   }
   try {
-    return run_with_support<CheckedI64>(compressed, original_reversibility,
-                                        options);
+    return finish(run_with_support<CheckedI64>(compressed,
+                                               original_reversibility,
+                                               options));
   } catch (const OverflowError&) {
     // Values outgrew 64 bits mid-computation: redo exactly.
     auto result = run_with_support<BigInt>(compressed,
                                            original_reversibility, options);
     result.stats.bigint_fallback = true;
-    return result;
+    return finish(std::move(result));
   } catch (const RetryExhaustedError&) {
     if (!options.retry.bigint_fallback) throw;
     // The retry ladder's last rung: rerun the whole computation in BigInt.
@@ -228,7 +266,7 @@ EfmResult compute_efms(const CompressedProblem& compressed,
     auto result = run_with_support<BigInt>(compressed,
                                            original_reversibility, options);
     result.stats.bigint_fallback = true;
-    return result;
+    return finish(std::move(result));
   }
 }
 
@@ -274,6 +312,8 @@ obs::SolveReport make_solve_report(const EfmResult& result,
     report.config["memory_budget_per_rank"] =
         std::to_string(options.memory_budget_per_rank);
   }
+  if (options.mem_limit_bytes != 0)
+    report.config["mem_limit_bytes"] = std::to_string(options.mem_limit_bytes);
   if (!options.checkpoint_path.empty())
     report.config["checkpoint_path"] = options.checkpoint_path;
   if (!options.resume_from.empty())
@@ -339,6 +379,13 @@ obs::SolveReport make_solve_report(const EfmResult& result,
 
   report.events = result.events;
   report.peak_rss_bytes = obs::process_peak_rss_bytes();
+  report.rss_bytes = obs::process_current_rss_bytes();
+  report.mem_limit_bytes = result.mem_limit_bytes;
+  report.mem_peak_bytes = result.mem_peak_bytes;
+  report.spill_bytes = result.spill_bytes;
+  report.spill_blocks = result.spill_blocks;
+  report.totals["spill_bytes"] = result.spill_bytes;
+  report.totals["spill_blocks"] = result.spill_blocks;
   return report;
 }
 

@@ -29,8 +29,10 @@
 #include "network/network.hpp"
 #include "nullspace/initial_basis.hpp"
 #include "nullspace/solver.hpp"
+#include "nullspace/spill.hpp"
 #include "nullspace/stats.hpp"
 #include "obs/obs.hpp"
+#include "resource/watchdog.hpp"
 
 namespace elmo {
 
@@ -70,6 +72,26 @@ struct EfmOptions {
   /// (Algorithm 3, if max_extra_splits > 0).
   std::size_t memory_budget_per_rank = 0;
   std::size_t max_extra_splits = 0;
+
+  /// Process-wide memory limit in bytes enforced by the MemoryGovernor
+  /// (elmo_cli --mem-limit; 0 = ungoverned).  Busting the limit while the
+  /// resident charge alone exceeds it throws ResourceError — retryable, so
+  /// Algorithm 3 degrades (smaller tiles, spill-always, serial) instead of
+  /// dying.  Crossing the half-limit watermark switches candidate
+  /// generation out-of-core when `spill.enabled` is set.
+  std::size_t mem_limit_bytes = 0;
+  /// Out-of-core candidate spill policy (see nullspace/spill.hpp).
+  SpillPolicy spill;
+  /// Watchdog deadlines per Algorithm-3 subset world (soft = straggler
+  /// diagnosis, hard/stall = abort + re-queue-with-split).  Scaled per
+  /// subset by the estimate-based cost model when
+  /// `scale_deadlines_by_estimate` is set.
+  resource::Deadlines subset_deadlines;
+  /// Predict each subset's cost (core/estimate.hpp prefix-run estimator)
+  /// and scale its deadlines relative to the median subset, so a
+  /// legitimately heavy subset is not punished by a budget sized for the
+  /// typical one.  Costs one estimator prefix-run per subset upfront.
+  bool scale_deadlines_by_estimate = false;
 
   /// Skip the int64 kernel and compute in BigInt directly.
   bool force_bigint = false;
@@ -145,6 +167,14 @@ struct EfmResult {
 
   double seconds = 0.0;
   bool used_bigint = false;
+
+  /// Resource-governance ledger for the run (MemoryGovernor): configured
+  /// limit (0 = ungoverned), peak charged bytes, and the out-of-core spill
+  /// volume (bytes / blocks written; 0 when nothing spilled).
+  std::size_t mem_limit_bytes = 0;
+  std::size_t mem_peak_bytes = 0;
+  std::uint64_t spill_bytes = 0;
+  std::uint64_t spill_blocks = 0;
 
   /// Failed subset attempts re-queued by the retry policy (Algorithm 3).
   std::size_t total_retries = 0;

@@ -115,13 +115,14 @@ void append_checkpoint_record(const std::string& path,
     throw InvalidArgumentError("checkpoint: short write to " + path);
 }
 
-std::vector<CheckpointRecord> load_checkpoint(const std::string& path) {
-  obs::TraceSpan span("checkpoint load", "checkpoint");
-  std::ifstream in(path, std::ios::binary);
-  if (!in) return {};
-  std::vector<std::uint8_t> bytes((std::istreambuf_iterator<char>(in)),
-                                  std::istreambuf_iterator<char>());
-  if (bytes.empty()) return {};
+namespace {
+
+/// Parse every complete frame of an in-memory checkpoint image.  On return
+/// `valid_end` is the byte offset just past the last intact frame — bytes
+/// beyond it are the interrupted/damaged tail.
+std::vector<CheckpointRecord> parse_checkpoint(
+    const std::vector<std::uint8_t>& bytes, const std::string& path,
+    std::size_t& valid_end) {
   if (bytes.size() < sizeof kMagic ||
       std::memcmp(bytes.data(), kMagic, sizeof kMagic) != 0) {
     throw ParseError("checkpoint: " + path + " is not a checkpoint file");
@@ -129,6 +130,7 @@ std::vector<CheckpointRecord> load_checkpoint(const std::string& path) {
 
   std::vector<CheckpointRecord> records;
   std::size_t offset = sizeof kMagic;
+  valid_end = offset;
   while (offset < bytes.size()) {
     // Each frame is [u64 size][body][u32 crc]; any shortfall or CRC
     // mismatch marks the interrupted tail — stop and keep what we have.
@@ -152,8 +154,47 @@ std::vector<CheckpointRecord> load_checkpoint(const std::string& path) {
       break;  // CRC collided with garbage; treat as tail damage
     }
     offset += body_size + 4;
+    valid_end = offset;
   }
   return records;
+}
+
+}  // namespace
+
+std::vector<CheckpointRecord> load_checkpoint(const std::string& path) {
+  obs::TraceSpan span("checkpoint load", "checkpoint");
+  std::ifstream in(path, std::ios::binary);
+  if (!in) return {};
+  std::vector<std::uint8_t> bytes((std::istreambuf_iterator<char>(in)),
+                                  std::istreambuf_iterator<char>());
+  if (bytes.empty()) return {};
+  std::size_t valid_end = 0;
+  return parse_checkpoint(bytes, path, valid_end);
+}
+
+std::size_t repair_checkpoint(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) return 0;
+  std::vector<std::uint8_t> bytes((std::istreambuf_iterator<char>(in)),
+                                  std::istreambuf_iterator<char>());
+  in.close();
+  if (bytes.empty()) return 0;
+  std::size_t valid_end = 0;
+  parse_checkpoint(bytes, path, valid_end);
+  const std::size_t damaged = bytes.size() - valid_end;
+  if (damaged == 0) return 0;
+  static const obs::Counter repairs =
+      obs::Registry::global().counter("checkpoint.tail_bytes_trimmed");
+  repairs.add(static_cast<std::uint64_t>(damaged));
+  std::ofstream out(path, std::ios::binary | std::ios::trunc);
+  if (!out)
+    throw InvalidArgumentError("checkpoint: cannot rewrite " + path);
+  // lint:allow(reinterpret-cast)
+  out.write(reinterpret_cast<const char*>(bytes.data()),
+            static_cast<std::streamsize>(valid_end));
+  out.flush();
+  if (!out) throw InvalidArgumentError("checkpoint: short write to " + path);
+  return damaged;
 }
 
 }  // namespace elmo

@@ -53,4 +53,10 @@ void append_checkpoint_record(const std::string& path,
 /// ParseError if the file exists but is not a checkpoint file.
 std::vector<CheckpointRecord> load_checkpoint(const std::string& path);
 
+/// Truncate `path` to its last intact frame, so later appends land after
+/// valid data instead of behind an unreadable damaged tail.  No-op for a
+/// missing, empty, or clean file.  Returns the bytes trimmed.  Throws
+/// ParseError if the file exists but is not a checkpoint file.
+std::size_t repair_checkpoint(const std::string& path);
+
 }  // namespace elmo

@@ -23,8 +23,12 @@
 #include "nullspace/problem.hpp"
 #include "nullspace/rank_test.hpp"
 #include "nullspace/solver.hpp"
+#include "nullspace/spill.hpp"
 #include "nullspace/stats.hpp"
 #include "obs/obs.hpp"
+#include "resource/governor.hpp"
+#include "resource/shutdown.hpp"
+#include "resource/watchdog.hpp"
 #include "parallel/parallel_for.hpp"
 #include "parallel/partitioner.hpp"
 #include "parallel/thread_pool.hpp"
@@ -49,6 +53,10 @@ struct ParallelOptions {
   /// Optional deterministic fault injection (crashes, corruption, drops,
   /// stragglers) applied to the simulated world; see mpsim/fault.hpp.
   std::shared_ptr<mpsim::FaultPlan> fault_plan;
+  /// Watchdog supervision of this world: soft deadline emits a straggler
+  /// diagnosis, hard deadline / stall aborts the run with
+  /// DeadlineExceededError (the combined driver re-queues with a split).
+  resource::Deadlines deadlines;
 };
 
 template <typename Scalar, typename Support>
@@ -125,7 +133,21 @@ ParallelSolveResult<Scalar, Support> solve_combinatorial_parallel(
       pool.emplace(static_cast<std::size_t>(threads_per_rank));
     auto columns = std::move(basis.columns);
 
+    // Every rank's matrix replica is a real allocation in this process:
+    // each charges the process-wide governor so --mem-limit sees the
+    // paper's full-replication cost (num_ranks x matrix).
+    auto& governor = resource::MemoryGovernor::global();
+    resource::MemoryLease matrix_lease(resource::Subsystem::kMatrix);
+    matrix_lease.set(matrix_storage_bytes(columns));
+
     for (std::size_t row : basis.processing_order) {
+      resource::throw_if_shutdown_requested(
+          "parallel iteration (rank " + std::to_string(rank) + ", row " +
+          std::to_string(row) + ")");
+      if (!solver_options.ignore_mem_limit)
+        governor.enforce_resident("parallel iteration (rank " +
+                                  std::to_string(rank) + ", row " +
+                                  std::to_string(row) + ")");
       obs::TraceSpan iteration_span(
           "iteration", "solve",
           obs::trace() != nullptr ? "row " + std::to_string(row)
@@ -157,7 +179,26 @@ ParallelSolveResult<Scalar, Support> solve_combinatorial_parallel(
         };
       };
       std::vector<FluxColumn<Scalar, Support>> local;
-      if (threads_per_rank == 1) {
+      // Transient candidate charge for this iteration (the rank's own slice,
+      // then additionally the gathered cross-rank set); released at scope
+      // exit once everything merged into the matrix replica.
+      resource::MemoryLease candidate_lease(resource::Subsystem::kCandidates);
+      // Out-of-core fallback for the single-thread rank path: SMP workers
+      // keep their thread-local slices in memory (their merge already
+      // bounds them), so spill applies where the transient actually
+      // accumulates.  Like the serial solver, every governed iteration
+      // routes through the chunked driver; disk traffic is decided per
+      // chunk from the live headroom.
+      const bool spill_iteration =
+          solver_options.spill.always ||
+          (solver_options.spill.enabled && !solver_options.ignore_mem_limit &&
+           governor.enabled());
+      if (threads_per_rank == 1 && spill_iteration) {
+        iteration.spilled_bytes = process_pair_range_spilled(
+            columns, row, cls, basis.stoichiometry_rank, slice.begin,
+            slice.end, solver_options.block_ref_cap, make_oracle(0),
+            iteration, stats.phases, local, solver_options.spill);
+      } else if (threads_per_rank == 1) {
         process_pair_range(columns, row, cls, basis.stoichiometry_rank,
                            slice.begin, slice.end,
                            solver_options.block_ref_cap, make_oracle(0),
@@ -213,6 +254,7 @@ ParallelSolveResult<Scalar, Support> solve_combinatorial_parallel(
         ScopedPhase phase(stats.phases, Phase::kMerge);
         sort_and_dedup(local, iteration);
       }
+      candidate_lease.set(matrix_storage_bytes(local));
       if (solver_options.audit) {
         check::InvariantAuditor auditor;
         // pair-conservation: rank slices must partition the global pair
@@ -246,6 +288,8 @@ ParallelSolveResult<Scalar, Support> solve_combinatorial_parallel(
                           std::make_move_iterator(incoming.end()));
         }
       }
+      candidate_lease.set(matrix_storage_bytes(local) +
+                          matrix_storage_bytes(accepted));
       IterationStats merge_iteration;  // merged quantities, counted once
       {
         ScopedPhase phase(stats.phases, Phase::kMerge);
@@ -266,8 +310,9 @@ ParallelSolveResult<Scalar, Support> solve_combinatorial_parallel(
                              std::move(accepted));
       }
       iteration.columns_after = columns.size();
-      stats.peak_matrix_bytes =
-          std::max(stats.peak_matrix_bytes, matrix_storage_bytes(columns));
+      const std::size_t matrix_bytes = matrix_storage_bytes(columns);
+      matrix_lease.set(matrix_bytes);
+      stats.peak_matrix_bytes = std::max(stats.peak_matrix_bytes, matrix_bytes);
       // Rank 0 records the globally merged accepted count on its iteration
       // row (process_pair_range left the slice-local pre-dedup count
       // there), so history plots the true growth.  Harmless for the
@@ -328,6 +373,7 @@ ParallelSolveResult<Scalar, Support> solve_combinatorial_parallel(
   mpsim::RunOptions run_options;
   run_options.memory_budget_per_rank = options.memory_budget_per_rank;
   run_options.fault_plan = options.fault_plan;
+  run_options.deadlines = options.deadlines;
   auto report = mpsim::run_ranks(num_ranks, body, run_options);
 
   ParallelSolveResult<Scalar, Support> result;

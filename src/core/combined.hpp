@@ -27,7 +27,9 @@
 // later run with resume_from skips them, bit-identically.
 #pragma once
 
+#include <algorithm>
 #include <deque>
+#include <functional>
 #include <map>
 #include <string>
 
@@ -43,9 +45,13 @@
 #include "nullspace/solver.hpp"
 #include "nullspace/stats.hpp"
 #include "obs/obs.hpp"
+#include "resource/shutdown.hpp"
+#include "resource/watchdog.hpp"
 #include "support/timer.hpp"
 
 namespace elmo {
+
+struct SubsetSpec;
 
 struct CombinedOptions {
   /// Reduced-problem reaction names to partition over, most significant
@@ -76,6 +82,17 @@ struct CombinedOptions {
   std::string checkpoint_path;
   /// When non-empty, load this checkpoint and skip its completed subsets.
   std::string resume_from;
+
+  /// Watchdog supervision of each subset's world (soft = straggler
+  /// diagnosis, hard/stall = abort + re-queue-with-split).  When
+  /// subset_cost_hint is set, soft/hard deadlines scale per subset with
+  /// its predicted cost relative to the median subset, so a legitimately
+  /// heavy subset is not punished by a budget sized for the typical one.
+  resource::Deadlines subset_deadlines;
+  /// Optional cost model: predicted candidate pairs (or any monotone cost
+  /// proxy) for a subset.  Wired by the API layer from core/estimate.hpp
+  /// (which cannot be included here — it includes this header).
+  std::function<double(const SubsetSpec&)> subset_cost_hint;
 };
 
 /// One divide-and-conquer subtask: (reduced reaction index, must-be-nonzero)
@@ -201,6 +218,8 @@ CombinedResult<Scalar, Support> solve_combined(
       registry.counter("combined.subsets_resumed");
   static const obs::Counter subsets_counter =
       registry.counter("combined.subsets_solved");
+  static const obs::Counter cancelled_counter =
+      registry.counter("combined.cancelled");
 
   // Resolve the partition reactions.
   std::vector<std::size_t> partition_rows;
@@ -248,6 +267,11 @@ CombinedResult<Scalar, Support> solve_combined(
     for (auto& record : load_checkpoint(options.resume_from))
       completed[record.pattern] = std::move(record);
   }
+  // A writer killed mid-append leaves a damaged tail; appending after it
+  // would strand the new records behind unreadable bytes, so trim the file
+  // back to its last intact frame before the first commit of this run.
+  if (!options.checkpoint_path.empty())
+    repair_checkpoint(options.checkpoint_path);
 
   // Work queue of subtasks; adaptive re-splitting pushes refined subsets,
   // the retry policy re-queues failed ones with a higher attempt count.
@@ -255,13 +279,35 @@ CombinedResult<Scalar, Support> solve_combined(
     SubsetSpec spec;
     std::size_t attempt = 1;
     double backoff = 0.0;
+    /// Retrying after resource exhaustion: apply the degrade ladder
+    /// (halve the candidate tile, then spill-always, then serial).
+    bool degrade = false;
   };
   std::deque<Task> queue;
   for (std::uint64_t id = 0; id < (1ULL << qsub); ++id) {
     SubsetSpec spec;
     for (std::size_t k = 0; k < qsub; ++k)
       spec.pattern.emplace_back(partition_rows[k], (id >> k) & 1);
-    queue.push_back(Task{std::move(spec), 1, 0.0});
+    queue.push_back(Task{std::move(spec), 1, 0.0, false});
+  }
+
+  // Estimate-based deadline scaling: predict every initial subset's cost
+  // once and take the median as the unit the configured deadlines budget
+  // for.  (Braunstein et al.: predicting demand before committing to a
+  // subset.)
+  double median_cost_hint = 0.0;
+  if (options.subset_cost_hint && options.subset_deadlines.any()) {
+    std::vector<double> hints;
+    hints.reserve(queue.size());
+    for (const auto& t : queue) {
+      const double h = options.subset_cost_hint(t.spec);
+      if (h > 0) hints.push_back(h);
+    }
+    if (!hints.empty()) {
+      std::nth_element(hints.begin(), hints.begin() + hints.size() / 2,
+                       hints.end());
+      median_cost_hint = hints[hints.size() / 2];
+    }
   }
 
   const std::size_t max_attempts =
@@ -270,6 +316,16 @@ CombinedResult<Scalar, Support> solve_combined(
                               : 1;
 
   while (!queue.empty()) {
+    if (resource::shutdown_requested()) {
+      // Cooperative cancellation between subsets: everything solved so far
+      // is already checkpointed, so a --resume run loses nothing committed.
+      note_event("cancelled",
+                 "shutdown requested; " +
+                     std::to_string(result.subsets.size()) +
+                     " subset(s) committed",
+                 cancelled_counter);
+      resource::throw_if_shutdown_requested("combined driver");
+    }
     Task task = std::move(queue.front());
     queue.pop_front();
     const SubsetSpec& spec = task.spec;
@@ -328,6 +384,18 @@ CombinedResult<Scalar, Support> solve_combined(
     parallel.memory_budget_per_rank = options.memory_budget_per_rank;
     parallel.fault_plan = options.fault_plan;
 
+    // Watchdog deadlines for this subset's world, scaled by its predicted
+    // cost relative to the median subset when a cost model is wired.
+    parallel.deadlines = options.subset_deadlines;
+    if (median_cost_hint > 0) {
+      const double hint = options.subset_cost_hint(spec);
+      if (hint > 0) {
+        const double scale = std::clamp(hint / median_cost_hint, 1.0, 16.0);
+        parallel.deadlines.soft_seconds *= scale;
+        parallel.deadlines.hard_seconds *= scale;
+      }
+    }
+
     // Attempt shaping: optionally shrink the world on every retry, and run
     // the last permitted attempt serially — one rank, no budget, no fault
     // plan — so the ladder always has a clean exit.
@@ -338,80 +406,106 @@ CombinedResult<Scalar, Support> solve_combined(
       parallel.num_ranks = std::max(
           1, options.num_ranks >> static_cast<int>(task.attempt - 1));
     }
+    if (task.degrade && task.attempt > 1) {
+      // Resource degrade ladder (ResourceError / bad_alloc): each retry
+      // halves the candidate tile again; from the second retry on, every
+      // block goes out-of-core unconditionally.
+      parallel.solver.block_ref_cap = std::max<std::size_t>(
+          std::size_t{1} << 12,
+          options.solver.block_ref_cap >> (task.attempt - 1));
+      parallel.solver.spill.enabled = true;
+      if (task.attempt >= 3) parallel.solver.spill.always = true;
+    }
     if (serial_attempt) {
       parallel.num_ranks = 1;
       parallel.threads_per_rank = 1;
       parallel.memory_budget_per_rank = 0;
       parallel.fault_plan = nullptr;
+      // The ladder's clean exit must not fail on governance either:
+      // complete slowly (spilling if asked) rather than not at all.
+      parallel.solver.ignore_mem_limit = true;
+      parallel.deadlines = {};
     }
 
-    ParallelSolveResult<Scalar, Support> solved;
-    try {
-      solved =
-          solve_combinatorial_parallel<Scalar, Support>(sub.problem, parallel);
-    } catch (const MemoryBudgetError& e) {
+    // Re-split this subset on the next spare reaction (paper Table IV: the
+    // oversized three-reaction subsets gained R22r as a fourth).  Returns
+    // false when the re-split headroom is exhausted — then the retry ladder
+    // takes over.
+    auto try_resplit = [&]() -> bool {
       const std::size_t depth = spec.pattern.size() - qsub;
-      if (depth < options.max_extra_splits && depth < spares.size()) {
-        // Re-split this subset on the next spare reaction (paper Table IV:
-        // the oversized three-reaction subsets gained R22r as a fourth).
-        const std::size_t extra = spares[depth];
-        note_event("resplit",
-                   spec.label(problem.reaction_names) + " + " +
-                       problem.reaction_names[extra],
-                   resplits_counter);
-        for (bool nz : {false, true}) {
-          SubsetSpec refined = spec;
-          refined.pattern.emplace_back(extra, nz);
-          queue.push_front(Task{std::move(refined), 1, task.backoff});
-        }
-        continue;
+      if (depth >= options.max_extra_splits || depth >= spares.size())
+        return false;
+      const std::size_t extra = spares[depth];
+      note_event("resplit",
+                 spec.label(problem.reaction_names) + " + " +
+                     problem.reaction_names[extra],
+                 resplits_counter);
+      for (bool nz : {false, true}) {
+        SubsetSpec refined = spec;
+        refined.pattern.emplace_back(extra, nz);
+        queue.push_front(Task{std::move(refined), 1, task.backoff, false});
       }
-      // No re-split headroom left: hand the subset to the retry policy
-      // (the serial final attempt ignores the budget and will finish it).
+      return true;
+    };
+    // Re-queue the subset with a bumped attempt count and exponential
+    // backoff ledger, or exhaust the ladder.  Only valid inside a catch
+    // block (rethrows when max_attempts == 1).  `degrade` marks the retry
+    // as a resource retry so attempt shaping applies the degrade ladder.
+    auto requeue_or_throw = [&](const std::string& what, bool degrade) {
       if (task.attempt >= max_attempts) {
         if (max_attempts > 1)
           throw RetryExhaustedError(spec.label(problem.reaction_names),
-                                    static_cast<int>(task.attempt), e.what());
+                                    static_cast<int>(task.attempt), what);
         throw;
       }
       ++result.total_retries;
       note_event("retry",
-                 spec.label(problem.reaction_names) +
-                     ": memory budget exceeded (attempt " +
-                     std::to_string(task.attempt) + ")",
-                 retries_counter);
-      result.simulated_backoff_seconds +=
-          options.retry.backoff_seconds *
-          static_cast<double>(1ULL << (task.attempt - 1));
-      queue.push_back(Task{spec, task.attempt + 1,
-                           task.backoff + options.retry.backoff_seconds *
-                               static_cast<double>(1ULL << (task.attempt - 1))});
-      continue;
-    } catch (const std::exception& e) {
-      // Transient failures — an injected crash, a world abort, a corrupted
-      // payload — are retryable; everything else is a real bug and
-      // propagates.
-      const bool retryable =
-          dynamic_cast<const mpsim::AbortedError*>(&e) != nullptr ||
-          dynamic_cast<const mpsim::InjectedFaultError*>(&e) != nullptr ||
-          dynamic_cast<const CorruptPayloadError*>(&e) != nullptr;
-      if (!retryable) throw;
-      if (task.attempt >= max_attempts) {
-        if (max_attempts > 1)
-          throw RetryExhaustedError(spec.label(problem.reaction_names),
-                                    static_cast<int>(task.attempt), e.what());
-        throw;
-      }
-      ++result.total_retries;
-      note_event("retry",
-                 spec.label(problem.reaction_names) + ": " + e.what() +
+                 spec.label(problem.reaction_names) + ": " + what +
                      " (attempt " + std::to_string(task.attempt) + ")",
                  retries_counter);
       const double delay =
           options.retry.backoff_seconds *
           static_cast<double>(1ULL << (task.attempt - 1));
       result.simulated_backoff_seconds += delay;
-      queue.push_back(Task{spec, task.attempt + 1, task.backoff + delay});
+      queue.push_back(Task{spec, task.attempt + 1, task.backoff + delay,
+                           degrade || task.degrade});
+    };
+
+    ParallelSolveResult<Scalar, Support> solved;
+    try {
+      solved =
+          solve_combinatorial_parallel<Scalar, Support>(sub.problem, parallel);
+    } catch (const MemoryBudgetError&) {
+      // Per-rank budget bust: split first (halving the subset halves the
+      // per-rank matrix), then retry (the serial final attempt ignores the
+      // budget and will finish it).
+      if (try_resplit()) continue;
+      requeue_or_throw("memory budget exceeded", false);
+      continue;
+    } catch (const ResourceError& e) {
+      // Process-level exhaustion (--mem-limit bust or a real bad_alloc):
+      // split if possible, otherwise retry DEGRADED — smaller candidate
+      // tiles, then spill-always, then the serial ungoverned rung.
+      if (try_resplit()) continue;
+      requeue_or_throw(e.what(), true);
+      continue;
+    } catch (const DeadlineExceededError& e) {
+      // Watchdog hard deadline / wedged world: re-queue with a split so the
+      // halves fit the time budget; fall back to plain retries (the serial
+      // final attempt runs unsupervised).
+      if (try_resplit()) continue;
+      requeue_or_throw(e.what(), false);
+      continue;
+    } catch (const std::exception& e) {
+      // Transient failures — an injected crash, a world abort, a corrupted
+      // payload — are retryable; everything else (including CancelledError
+      // from a shutdown request) is not and propagates.
+      const bool retryable =
+          dynamic_cast<const mpsim::AbortedError*>(&e) != nullptr ||
+          dynamic_cast<const mpsim::InjectedFaultError*>(&e) != nullptr ||
+          dynamic_cast<const CorruptPayloadError*>(&e) != nullptr;
+      if (!retryable) throw;
+      requeue_or_throw(e.what(), false);
       continue;
     }
 

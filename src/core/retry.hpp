@@ -6,6 +6,19 @@
 // re-split depth), the driver re-queues it under this policy instead of
 // killing the whole run — the programmatic form of what the paper did by
 // hand on Network II (Table IV: subsets 1 and 3 were re-run re-split).
+//
+// Resource failures climb the same ladder with DEGRADE shaping on top.  A
+// subset that died of ResourceError (process --mem-limit bust, or a real
+// std::bad_alloc classified in the generation kernel) or DeadlineExceededError
+// (watchdog hard deadline / wedged world) is first re-SPLIT if adaptive
+// headroom remains — halving the subset is the cheapest way to shrink both
+// its footprint and its runtime — and only then retried.  A resource retry
+// at attempt k runs with the candidate tile (block_ref_cap) halved k-1
+// times, with out-of-core spill enabled, and from the third attempt with
+// spill forced on every block; the serial final attempt additionally
+// ignores the memory limit and runs unsupervised (completing slowly beats
+// not completing).  The shaping lives in solve_combined's attempt setup;
+// this struct only carries the knobs shared by all failure classes.
 #pragma once
 
 namespace elmo {

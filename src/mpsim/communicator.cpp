@@ -1,13 +1,16 @@
 #include "mpsim/communicator.hpp"
 
+#include <atomic>
 #include <chrono>
 #include <exception>
 #include <map>
+#include <new>  // std::bad_alloc  lint:allow(naked-new)
 #include <thread>
 
 #include "check/lockorder.hpp"
 #include "mpsim/fault.hpp"
 #include "obs/obs.hpp"
+#include "resource/watchdog.hpp"
 #include "support/assert.hpp"
 
 namespace elmo::mpsim {
@@ -27,6 +30,10 @@ struct MpsimMetrics {
       "mpsim.secondary_errors_suppressed");
   obs::Counter deadlocks = obs::Registry::global().counter(
       "mpsim.deadlocks_detected");
+  obs::Counter stragglers = obs::Registry::global().counter(
+      "mpsim.stragglers_detected");
+  obs::Counter deadline_aborts = obs::Registry::global().counter(
+      "mpsim.deadline_aborts");
   obs::Histogram payload_bytes = obs::Registry::global().histogram(
       "mpsim.payload_bytes");
 
@@ -52,6 +59,8 @@ struct World {
     reduce_slots.assign(static_cast<std::size_t>(n), 0);
     exited.assign(static_cast<std::size_t>(n), false);
     waits.assign(static_cast<std::size_t>(n), {});
+    progress = std::vector<std::atomic<std::uint64_t>>(
+        static_cast<std::size_t>(n));
   }
 
   const int size;
@@ -111,6 +120,14 @@ struct World {
   };
   std::vector<WaitInfo> waits;
   int num_waiting = 0;
+
+  // Per-rank operation counters sampled lock-free by the resource watchdog
+  // (straggler/wedge detection); bumped on every primitive in enter_op.
+  std::vector<std::atomic<std::uint64_t>> progress;
+  // Set by the watchdog's hard-deadline callback so run_ranks can surface
+  // DeadlineExceededError instead of the secondary AbortedErrors.
+  bool deadline_hit = false;
+  std::string deadline_reason;
 
   void abort_locked(int origin, const std::string& reason) {
     if (!aborted) {
@@ -222,6 +239,8 @@ void Communicator::check_abort_locked(std::unique_lock<std::mutex>&) {
 }
 
 void Communicator::enter_op(const char* where) {
+  world_.progress[static_cast<std::size_t>(rank_)].fetch_add(
+      1, std::memory_order_relaxed);
   FaultPlan* plan = world_.options.fault_plan.get();
   if (plan == nullptr) return;
   if (const std::uint32_t us = plan->straggler_delay_us(rank_)) {
@@ -435,6 +454,33 @@ RunReport run_ranks(int num_ranks,
   comms.reserve(static_cast<std::size_t>(num_ranks));
   for (int r = 0; r < num_ranks; ++r) comms.emplace_back(world, r);
 
+  // Wall-clock supervision: the watchdog samples each rank's operation
+  // counter; a soft deadline logs the straggler, a hard deadline or a
+  // full stall aborts the world (surfaced below as DeadlineExceededError).
+  resource::Watchdog::Token watchdog_token;
+  if (options.deadlines.any()) {
+    std::vector<resource::Watchdog::ProgressCounter> counters;
+    counters.reserve(static_cast<std::size_t>(num_ranks));
+    for (int r = 0; r < num_ranks; ++r) {
+      counters.push_back({"rank " + std::to_string(r),
+                          &world.progress[static_cast<std::size_t>(r)]});
+    }
+    watchdog_token = resource::Watchdog::global().arm(
+        "mpsim world", options.deadlines,
+        [](const std::string& diagnosis) {
+          MpsimMetrics::get().stragglers.add(1);
+          obs::trace_instant("straggler", "mpsim", diagnosis);
+        },
+        [&world](const std::string& diagnosis) {
+          MpsimMetrics::get().deadline_aborts.add(1);
+          std::unique_lock lock(world.mutex);
+          world.deadline_hit = true;
+          world.deadline_reason = diagnosis;
+          world.abort_locked(-1, diagnosis);
+        },
+        std::move(counters));
+  }
+
   std::vector<std::exception_ptr> errors(
       static_cast<std::size_t>(num_ranks));
   std::vector<std::thread> threads;
@@ -445,6 +491,22 @@ RunReport run_ranks(int num_ranks,
       try {
         body(comms[static_cast<std::size_t>(r)]);
         std::unique_lock lock(world.mutex);
+        world.mark_exited_locked(r);
+      } catch (const std::bad_alloc&) {
+        // Classify allocation failure so the abort reason (and the
+        // AbortedError cause peers see) names a degradable resource
+        // exhaustion rather than an anonymous bad_alloc escape.
+        errors[static_cast<std::size_t>(r)] =
+            std::make_exception_ptr(ResourceError(
+                "rank " + std::to_string(r) +
+                    ": allocation failed (std::bad_alloc)",
+                0, 0));
+        MpsimMetrics::get().rank_failures.add(1);
+        obs::trace_instant("rank-failure", "mpsim",
+                           "rank " + std::to_string(r) + ": std::bad_alloc");
+        std::unique_lock lock(world.mutex);
+        world.abort_locked(r, "rank " + std::to_string(r) +
+                                  ": allocation failed (std::bad_alloc)");
         world.mark_exited_locked(r);
       } catch (const std::exception& e) {
         errors[static_cast<std::size_t>(r)] = std::current_exception();
@@ -470,9 +532,14 @@ RunReport run_ranks(int num_ranks,
   }
   for (auto& thread : threads) thread.join();
 
+  // Stop supervision before unwinding: disarm blocks until any in-flight
+  // watchdog callback (which references `world`) has returned.
+  watchdog_token.disarm();
+
   // Rethrow the first real failure (skip secondary AbortedErrors; each one
   // suppressed here is tallied so cascade failures stay visible).
   std::exception_ptr first;
+  bool first_is_aborted = false;
   std::uint64_t suppressed = 0;
   for (const auto& error : errors) {
     if (!error) continue;
@@ -481,11 +548,13 @@ RunReport run_ranks(int num_ranks,
     } catch (const AbortedError&) {
       if (!first) {
         first = error;
+        first_is_aborted = true;
       } else {
         ++suppressed;
       }
     } catch (...) {  // lint:allow(catch-all): rethrown to the caller below
       first = error;
+      first_is_aborted = false;
       break;
     }
   }
@@ -494,6 +563,15 @@ RunReport run_ranks(int num_ranks,
     obs::trace_instant("suppressed-aborts", "mpsim",
                        std::to_string(suppressed) +
                            " secondary AbortedError(s) suppressed");
+  }
+  // A watchdog abort produces only secondary AbortedErrors in the ranks;
+  // surface it as the typed deadline failure the retry ladder classifies
+  // as re-queue-with-split.
+  if (world.deadline_hit && (!first || first_is_aborted)) {
+    throw DeadlineExceededError(world.deadline_reason,
+                                options.deadlines.hard_seconds > 0
+                                    ? options.deadlines.hard_seconds
+                                    : options.deadlines.stall_seconds);
   }
   if (first) std::rethrow_exception(first);
 

@@ -31,6 +31,7 @@
 #include <mutex>
 #include <vector>
 
+#include "resource/watchdog.hpp"
 #include "support/error.hpp"
 
 namespace elmo::mpsim {
@@ -129,6 +130,15 @@ struct RunOptions {
   /// no timeouts involved); costs one scan at the moment the last runnable
   /// rank blocks, nothing on the fast path.
   bool detect_deadlock = true;
+  /// Wall-clock supervision of the whole world by the resource watchdog.
+  /// Per-rank operation counters feed straggler/wedge detection beyond the
+  /// deterministic deadlock checker above (which cannot see a rank wedged
+  /// OUTSIDE a wait): a soft deadline emits a structured diagnosis naming
+  /// the slowest rank; a hard deadline or a stall (no rank performed any
+  /// operation for stall_seconds) aborts the world and run_ranks raises
+  /// DeadlineExceededError so the combined driver can re-queue with a
+  /// split.  All-zero (the default) disables supervision entirely.
+  resource::Deadlines deadlines;
 };
 
 /// Result of a world run: per-rank counters (index = rank).

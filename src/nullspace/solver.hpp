@@ -18,8 +18,11 @@
 #include "nullspace/problem.hpp"
 #include "nullspace/rank_test.hpp"
 #include "nullspace/reversible_split.hpp"
+#include "nullspace/spill.hpp"
 #include "nullspace/stats.hpp"
 #include "obs/obs.hpp"
+#include "resource/governor.hpp"
+#include "resource/shutdown.hpp"
 #include "support/timer.hpp"
 
 namespace elmo {
@@ -62,6 +65,13 @@ struct SolverOptions {
   /// support minimality of the final set).  Opt-in: audit mode costs extra
   /// passes per iteration.  See check/audit.hpp.
   bool audit = false;
+  /// Out-of-core candidate policy under MemoryGovernor pressure (see
+  /// nullspace/spill.hpp).  Inert unless enabled or the governor has a
+  /// limit configured.
+  SpillPolicy spill;
+  /// Run even when the resident charge busts `--mem-limit` (the retry
+  /// ladder's ungoverned final rung: completing slowly beats failing).
+  bool ignore_mem_limit = false;
 };
 
 template <typename Scalar, typename Support>
@@ -102,7 +112,16 @@ SolveResult<Scalar, Support> solve_nullspace(const EfmProblem<Scalar>& problem,
   }
   result.columns = std::move(basis.columns);
 
+  // Resource governance: charge the live matrix against the process ledger
+  // so the governor's flush decisions inside the chunked candidate driver
+  // see the true resident floor (the matrix cannot spill; candidates can).
+  auto& governor = resource::MemoryGovernor::global();
+  resource::MemoryLease matrix_lease(resource::Subsystem::kMatrix);
+  matrix_lease.set(matrix_storage_bytes(result.columns));
+
   for (std::size_t row : basis.processing_order) {
+    resource::throw_if_shutdown_requested("nullspace iteration (row " +
+                                          std::to_string(row) + ")");
     // Span label is the fixed literal; the row index goes in args.detail
     // (formatted only when tracing is on).
     obs::TraceSpan iteration_span(
@@ -141,11 +160,46 @@ SolveResult<Scalar, Support> solve_nullspace(const EfmProblem<Scalar>& problem,
       return exact_tester.is_elementary(support);
     };
 
+    if (!options.ignore_mem_limit)
+      governor.enforce_resident("nullspace iteration (row " +
+                                std::to_string(row) + ")");
+    // Every governed iteration runs through the chunked out-of-core driver;
+    // whether chunks actually hit disk is decided per chunk from the live
+    // headroom under the limit (see process_pair_range_spilled).  The
+    // coarse admit() pre-check would have to predict the candidate
+    // transient, and a spike in an iteration whose matrix is still small
+    // slips past any such projection.
+    const bool spill_iteration =
+        options.spill.always ||
+        (options.spill.enabled && !options.ignore_mem_limit &&
+         governor.enabled());
+
     std::vector<FluxColumn<Scalar, Support>> candidates;
-    process_pair_range(result.columns, row, cls, basis.stoichiometry_rank,
-                       0, cls.pair_count(), options.block_ref_cap,
-                       is_elementary, iteration, result.stats.phases,
-                       candidates);
+    resource::MemoryLease candidate_lease(resource::Subsystem::kCandidates);
+    try {
+      if (spill_iteration) {
+        iteration.spilled_bytes = process_pair_range_spilled(
+            result.columns, row, cls, basis.stoichiometry_rank, 0,
+            cls.pair_count(), options.block_ref_cap, is_elementary, iteration,
+            result.stats.phases, candidates, options.spill);
+      } else {
+        process_pair_range(result.columns, row, cls, basis.stoichiometry_rank,
+                           0, cls.pair_count(), options.block_ref_cap,
+                           is_elementary, iteration, result.stats.phases,
+                           candidates);
+      }
+      // Charge the surviving candidates (the spilled path's lease inside
+      // process_pair_range_spilled covers only its in-flight chunk).
+      candidate_lease.set(matrix_storage_bytes(candidates));
+    } catch (const std::bad_alloc&) {
+      // Classify allocation failure so the retry ladder can degrade
+      // (smaller tiles, spill-always, serial) instead of aborting the run.
+      throw ResourceError("nullspace iteration (row " + std::to_string(row) +
+                              "): allocation failed (std::bad_alloc) with " +
+                              std::to_string(governor.usage()) +
+                              " B charged",
+                          0, governor.limit());
+    }
     if (options.test == ElementarityTest::kCombinatorial)
       cross_candidate_subset_filter(candidates, iteration);
 
@@ -161,9 +215,10 @@ SolveResult<Scalar, Support> solve_nullspace(const EfmProblem<Scalar>& problem,
     result.columns = merge_next(std::move(result.columns), cls,
                                 row_reversible, std::move(candidates));
     iteration.columns_after = result.columns.size();
+    const std::size_t matrix_bytes = matrix_storage_bytes(result.columns);
+    matrix_lease.set(matrix_bytes);
     result.stats.peak_matrix_bytes =
-        std::max(result.stats.peak_matrix_bytes,
-                 matrix_storage_bytes(result.columns));
+        std::max(result.stats.peak_matrix_bytes, matrix_bytes);
     result.stats.absorb(iteration);
     publish_iteration_metrics(iteration);
     obs::trace_counter("columns", iteration.columns_after);

@@ -1,0 +1,233 @@
+// Out-of-core candidate generation: the column codec over resource::SpillFile
+// and the chunked drive loop the governed solvers use under memory pressure.
+//
+// Under governor pressure (or in spill-always degrade mode) an iteration's
+// candidate generation runs in engine-index chunks; each chunk's accepted
+// columns are serialized into a checksummed spill block and dropped from
+// memory, then every block streams back for the merge pass.  Cross-chunk
+// duplicate supports survive until the final sort_and_dedup — exactly the
+// mechanism Algorithm 2 already uses to dedup across ranks, so the final
+// column set is identical to the in-memory path (equal-support candidates
+// are value-identical, see iteration.hpp).
+//
+// Serialization is value-only: supports are recomputed by
+// FluxColumn::from_values on read-back (values are already primitive, so
+// the round trip is bit-exact).  Scalars encode as little-endian i64
+// (CheckedI64), the BigInt wire format, or raw IEEE bits (double kernel).
+#pragma once
+
+#include <cstring>
+#include <vector>
+
+#include "bigint/bigint.hpp"
+#include "nullspace/flux_column.hpp"
+#include "nullspace/iteration.hpp"
+#include "nullspace/pairgen.hpp"
+#include "nullspace/stats.hpp"
+#include "resource/governor.hpp"
+#include "resource/spill.hpp"
+#include "support/error.hpp"
+#include "support/timer.hpp"
+
+namespace elmo {
+
+namespace detail {
+
+inline void spill_put_u32(std::vector<std::uint8_t>& out, std::uint32_t v) {
+  for (int i = 0; i < 4; ++i)
+    out.push_back(static_cast<std::uint8_t>(v >> (8 * i)));
+}
+
+inline std::uint32_t spill_get_u32(const std::uint8_t*& cursor,
+                                   const std::uint8_t* end) {
+  if (end - cursor < 4) throw ParseError("spill block: truncated u32");
+  std::uint32_t v = 0;
+  for (int i = 3; i >= 0; --i) v = (v << 8) | cursor[i];
+  cursor += 4;
+  return v;
+}
+
+template <typename Scalar>
+void spill_put_scalar(std::vector<std::uint8_t>& out, const Scalar& v) {
+  if constexpr (std::is_same_v<Scalar, BigInt>) {
+    v.serialize(out);
+  } else if constexpr (std::is_same_v<Scalar, double>) {
+    std::uint64_t bits;
+    std::memcpy(&bits, &v, sizeof(bits));
+    for (int i = 0; i < 8; ++i)
+      out.push_back(static_cast<std::uint8_t>(bits >> (8 * i)));
+  } else {
+    const auto u = static_cast<std::uint64_t>(v.value());
+    for (int i = 0; i < 8; ++i)
+      out.push_back(static_cast<std::uint8_t>(u >> (8 * i)));
+  }
+}
+
+template <typename Scalar>
+Scalar spill_get_scalar(const std::uint8_t*& cursor, const std::uint8_t* end) {
+  if constexpr (std::is_same_v<Scalar, BigInt>) {
+    return BigInt::deserialize(cursor, end);
+  } else {
+    if (end - cursor < 8) throw ParseError("spill block: truncated scalar");
+    std::uint64_t bits = 0;
+    for (int i = 7; i >= 0; --i) bits = (bits << 8) | cursor[i];
+    cursor += 8;
+    if constexpr (std::is_same_v<Scalar, double>) {
+      double v;
+      std::memcpy(&v, &bits, sizeof(v));
+      return v;
+    } else {
+      return scalar_from_i64<Scalar>(static_cast<std::int64_t>(bits));
+    }
+  }
+}
+
+}  // namespace detail
+
+/// Serialize a batch of columns into one spill-block body (values only).
+template <typename Scalar, typename Support>
+std::vector<std::uint8_t> encode_spill_block(
+    const std::vector<FluxColumn<Scalar, Support>>& columns) {
+  std::vector<std::uint8_t> out;
+  detail::spill_put_u32(out, static_cast<std::uint32_t>(columns.size()));
+  for (const auto& column : columns) {
+    detail::spill_put_u32(out,
+                          static_cast<std::uint32_t>(column.values.size()));
+    for (const auto& v : column.values) detail::spill_put_scalar(out, v);
+  }
+  return out;
+}
+
+/// Inverse of encode_spill_block; appends to `out`.
+template <typename Scalar, typename Support>
+void decode_spill_block(const std::vector<std::uint8_t>& body,
+                        std::vector<FluxColumn<Scalar, Support>>& out) {
+  const std::uint8_t* cursor = body.data();
+  const std::uint8_t* end = body.data() + body.size();
+  const std::uint32_t count = detail::spill_get_u32(cursor, end);
+  out.reserve(out.size() + count);
+  for (std::uint32_t c = 0; c < count; ++c) {
+    const std::uint32_t n = detail::spill_get_u32(cursor, end);
+    std::vector<Scalar> values;
+    values.reserve(n);
+    for (std::uint32_t i = 0; i < n; ++i)
+      values.push_back(detail::spill_get_scalar<Scalar>(cursor, end));
+    out.push_back(FluxColumn<Scalar, Support>::from_values(std::move(values)));
+  }
+  if (cursor != end)
+    throw ParseError("spill block: trailing bytes after last column");
+}
+
+/// How the governed solvers spill.  Off by default; `always` is the
+/// degrade-ladder rung that forces every chunk out-of-core.
+struct SpillPolicy {
+  bool enabled = false;   // spill when the governor signals pressure
+  bool always = false;    // spill unconditionally (degrade rung / tests)
+  std::string directory;  // "" = system temp directory
+  /// Accepted-candidate bytes held in memory before a block is flushed.
+  std::size_t block_bytes = std::size_t{64} << 20;
+
+  [[nodiscard]] bool active() const { return enabled || always; }
+};
+
+/// process_pair_range with out-of-core accepted candidates: runs the engine
+/// range in chunks, spilling each chunk's accepted columns, then streams
+/// every block back into `accepted_out` and removes cross-chunk duplicate
+/// supports.  `stats.accepted` is corrected so it counts the columns
+/// actually delivered, exactly as the in-memory path would.  Returns the
+/// body bytes spilled.
+template <typename Scalar, typename Support, typename TestFn>
+std::uint64_t process_pair_range_spilled(
+    const std::vector<FluxColumn<Scalar, Support>>& columns, std::size_t row,
+    const RowClassification& cls, std::size_t rank, std::uint64_t begin,
+    std::uint64_t end, std::size_t ref_cap, const TestFn& is_elementary,
+    IterationStats& stats, PhaseTimer& phases,
+    std::vector<FluxColumn<Scalar, Support>>& accepted_out,
+    const SpillPolicy& policy,
+    const PairGenTables<Scalar, Support>* shared_tables = nullptr) {
+  if (cls.positive.empty() || cls.negative.empty() || begin >= end) {
+    stats.pairs_probed += (begin < end) ? end - begin : 0;
+    return 0;
+  }
+  std::optional<PairGenTables<Scalar, Support>> local_tables;
+  if (shared_tables == nullptr) {
+    ScopedPhase phase(phases, Phase::kGenCand);
+    local_tables.emplace(columns, row, cls.positive, cls.negative, cls.zero,
+                         rank);
+  }
+  const PairGenTables<Scalar, Support>& tables =
+      shared_tables != nullptr ? *shared_tables : *local_tables;
+
+  resource::SpillFile spill(policy.directory);
+  resource::MemoryLease candidate_lease(resource::Subsystem::kCandidates);
+  const std::size_t initial = accepted_out.size();
+  std::vector<FluxColumn<Scalar, Support>> chunk_accepted;
+
+  // Spill decisions happen at chunk granularity, so chunks are
+  // deliberately finer than the tile cap.  Under a governor limit they
+  // shrink further: the ledger can overshoot the flush threshold by at
+  // most one chunk's acceptances, so fine chunks are what turn the
+  // threshold into an actual bound.  The per-chunk engine setup is one
+  // cursor seek (the tables are shared), cheap enough for 512-pair steps.
+  const auto& governor = resource::MemoryGovernor::global();
+  const std::uint64_t chunk_pairs =
+      governor.enabled()
+          ? std::max<std::uint64_t>(std::uint64_t{1} << 9, ref_cap / 512)
+          : std::max<std::uint64_t>(std::uint64_t{1} << 16, ref_cap / 32);
+  std::size_t resident_bytes = 0;
+  for (std::uint64_t at = begin; at < end; at += chunk_pairs) {
+    const std::uint64_t stop = std::min<std::uint64_t>(end, at + chunk_pairs);
+    process_pair_range(columns, row, cls, rank, at, stop, ref_cap,
+                       is_elementary, stats, phases, chunk_accepted, &tables);
+    resident_bytes = matrix_storage_bytes(chunk_accepted);
+    candidate_lease.set(resident_bytes);
+    // Flush threshold: the configured block size, tightened under a
+    // governor limit so the resident chunk never eats more than half of
+    // whatever headroom the rest of the process (matrix replicas, sibling
+    // ranks) has left under --mem-limit.
+    std::size_t flush_bytes = policy.block_bytes;
+    if (governor.enabled()) {
+      const std::size_t others =
+          governor.usage() - std::min(governor.usage(), resident_bytes);
+      const std::size_t headroom =
+          governor.limit() - std::min(governor.limit(), others);
+      flush_bytes = std::min(
+          flush_bytes, std::max<std::size_t>(std::size_t{4} << 10,
+                                             headroom / 2));
+    }
+    if (!chunk_accepted.empty() &&
+        (policy.always || resident_bytes >= flush_bytes)) {
+      ScopedPhase phase(phases, Phase::kMerge);
+      spill.append_block(encode_spill_block(chunk_accepted));
+      chunk_accepted.clear();
+      chunk_accepted.shrink_to_fit();
+      candidate_lease.set(0);
+      resident_bytes = 0;
+    }
+  }
+
+  {
+    // Stream every spilled block back and fold in the resident tail, then
+    // drop cross-chunk duplicate supports (the paper's
+    // Sort&RemoveDuplicates, as used across Algorithm 2's ranks).
+    ScopedPhase phase(phases, Phase::kMerge);
+    std::vector<FluxColumn<Scalar, Support>> merged;
+    spill.for_each_block([&](std::vector<std::uint8_t>&& body) {
+      decode_spill_block(body, merged);
+    });
+    for (auto& column : chunk_accepted) merged.push_back(std::move(column));
+    chunk_accepted.clear();
+    const std::size_t before = merged.size();
+    sort_and_dedup(merged, stats);
+    // accepted counted every chunk's acceptances, including cross-chunk
+    // duplicates the dedup just removed; settle it to the delivered count.
+    stats.accepted -= before - merged.size();
+    candidate_lease.set(matrix_storage_bytes(merged));
+    accepted_out.reserve(accepted_out.size() + merged.size());
+    for (auto& column : merged) accepted_out.push_back(std::move(column));
+  }
+  (void)initial;
+  return spill.bytes_spilled();
+}
+
+}  // namespace elmo

@@ -29,6 +29,9 @@ struct IterationStats {
   std::uint64_t rank_tests = 0;
   std::uint64_t accepted = 0;
   std::uint64_t columns_after = 0;     // matrix width entering next iter
+  /// Candidate bytes written out-of-core this iteration (0 when the
+  /// iteration ran fully in memory).
+  std::uint64_t spilled_bytes = 0;
 };
 
 struct SolveStats {
@@ -38,6 +41,9 @@ struct SolveStats {
   std::uint64_t total_rank_tests = 0;
   std::uint64_t total_accepted = 0;
   std::uint64_t total_duplicates_removed = 0;
+  /// Candidate bytes that went out-of-core under memory pressure (sum over
+  /// iterations; the governed-run ledger for report.json).
+  std::uint64_t total_spilled_bytes = 0;
   std::uint64_t peak_columns = 0;
   std::size_t iterations = 0;
   /// Largest per-column storage snapshot observed (bytes), for the memory
@@ -63,6 +69,7 @@ struct SolveStats {
     total_rank_tests += it.rank_tests;
     total_accepted += it.accepted;
     total_duplicates_removed += it.duplicates_removed;
+    total_spilled_bytes += it.spilled_bytes;
     peak_columns = std::max<std::uint64_t>(peak_columns, it.columns_after);
     ++iterations;
     if (keep_history) history.push_back(it);
@@ -78,6 +85,7 @@ struct SolveStats {
     total_rank_tests += other.total_rank_tests;
     total_accepted += other.total_accepted;
     total_duplicates_removed += other.total_duplicates_removed;
+    total_spilled_bytes += other.total_spilled_bytes;
     peak_columns = std::max(peak_columns, other.peak_columns);
     peak_matrix_bytes = std::max(peak_matrix_bytes, other.peak_matrix_bytes);
     iterations += other.iterations;

@@ -4,6 +4,7 @@
 #include <stdexcept>
 
 #include "obs/json.hpp"
+#include "obs/report.hpp"
 
 namespace elmo::obs {
 
@@ -164,6 +165,14 @@ void ProgressReporter::emit_locked(bool final_line, std::uint64_t num_efms) {
       record.set("eta_seconds", JsonValue(eta_seconds));
     if (!options_.label.empty())
       record.set("label", JsonValue(options_.label));
+    // Resource gauges: current/peak RSS straight from /proc, governor
+    // usage and spill volume from the injected sources (when wired).
+    record.set("rss_bytes", JsonValue(process_current_rss_bytes()));
+    record.set("peak_rss_bytes", JsonValue(process_peak_rss_bytes()));
+    if (options_.mem_usage_source)
+      record.set("mem_usage_bytes", JsonValue(options_.mem_usage_source()));
+    if (options_.spill_bytes_source)
+      record.set("spill_bytes", JsonValue(options_.spill_bytes_source()));
     record.set("done", JsonValue(final_line));
     if (final_line) record.set("num_efms", JsonValue(num_efms));
     const std::string json = record.dump();

@@ -21,6 +21,7 @@
 #include <chrono>
 #include <cstdint>
 #include <cstdio>
+#include <functional>
 #include <mutex>
 #include <string>
 
@@ -39,6 +40,13 @@ struct ProgressOptions {
   std::uint64_t total_iterations = 0;
   /// Prefix for progress lines, e.g. the network or subset name.
   std::string label;
+  /// Optional gauges polled at every heartbeat (null = field omitted).
+  /// std::function keeps obs — the bottom layer — free of a dependency on
+  /// the resource module that typically feeds these (governor usage and
+  /// out-of-core spill volume).  RSS/peak-RSS need no source; the reporter
+  /// reads them from /proc itself.
+  std::function<std::uint64_t()> mem_usage_source;
+  std::function<std::uint64_t()> spill_bytes_source;
 };
 
 /// One progress sample, as reported by the solver after each iteration.

@@ -29,6 +29,7 @@ JsonValue rank_to_json(const RankEntry& rank) {
   out.set("bytes_sent", JsonValue(rank.bytes_sent));
   out.set("collectives", JsonValue(rank.collectives));
   out.set("memory_peak_bytes", JsonValue(rank.memory_peak_bytes));
+  out.set("spill_bytes", JsonValue(rank.spill_bytes));
   out.set("phase_seconds", to_json(rank.phase_seconds));
   return out;
 }
@@ -59,6 +60,14 @@ JsonValue SolveReport::to_json() const {
   root.set("bigint_fallback", JsonValue(bigint_fallback));
   root.set("phase_seconds", obs::to_json(phase_seconds));
   root.set("peak_rss_bytes", JsonValue(peak_rss_bytes));
+  root.set("rss_bytes", JsonValue(rss_bytes));
+
+  JsonValue resource_json = JsonValue::object();
+  resource_json.set("mem_limit_bytes", JsonValue(mem_limit_bytes));
+  resource_json.set("mem_peak_bytes", JsonValue(mem_peak_bytes));
+  resource_json.set("spill_bytes", JsonValue(spill_bytes));
+  resource_json.set("spill_blocks", JsonValue(spill_blocks));
+  root.set("resource", std::move(resource_json));
 
   root.set("ranks", ranks_to_json(ranks));
 
@@ -118,20 +127,34 @@ void SolveReport::write(const std::string& path) const {
   if (!ok) throw std::runtime_error("failed writing report file: " + path);
 }
 
-std::uint64_t process_peak_rss_bytes() {
+namespace {
+
+/// Read one "Key:  <kB>" line from /proc/self/status; 0 when unavailable.
+std::uint64_t proc_status_kib(const char* key) {
   std::FILE* status = std::fopen("/proc/self/status", "r");
   if (status == nullptr) return 0;
+  const std::size_t key_len = std::strlen(key);
   char line[256];
   std::uint64_t kib = 0;
   while (std::fgets(line, sizeof line, status) != nullptr) {
-    if (std::strncmp(line, "VmHWM:", 6) == 0) {
+    if (std::strncmp(line, key, key_len) == 0) {
       unsigned long long value = 0;
-      if (std::sscanf(line + 6, "%llu", &value) == 1) kib = value;
+      if (std::sscanf(line + key_len, "%llu", &value) == 1) kib = value;
       break;
     }
   }
   std::fclose(status);
-  return kib * 1024;
+  return kib;
+}
+
+}  // namespace
+
+std::uint64_t process_peak_rss_bytes() {
+  return proc_status_kib("VmHWM:") * 1024;
+}
+
+std::uint64_t process_current_rss_bytes() {
+  return proc_status_kib("VmRSS:") * 1024;
 }
 
 }  // namespace elmo::obs

@@ -29,6 +29,8 @@ struct RankEntry {
   std::uint64_t bytes_sent = 0;
   std::uint64_t collectives = 0;
   std::uint64_t memory_peak_bytes = 0;
+  /// Candidate bytes this rank wrote out-of-core (0 when nothing spilled).
+  std::uint64_t spill_bytes = 0;
   std::map<std::string, double> phase_seconds;
 };
 
@@ -94,6 +96,16 @@ struct SolveReport {
 
   // Process peak RSS at report time (VmHWM; 0 where unavailable).
   std::uint64_t peak_rss_bytes = 0;
+  // Current RSS at report time (VmRSS; 0 where unavailable).
+  std::uint64_t rss_bytes = 0;
+
+  // Resource-governance ledger ("resource" object in the JSON): configured
+  // --mem-limit, peak bytes charged to the MemoryGovernor, and total
+  // out-of-core spill volume.  All 0 for ungoverned runs with no spill.
+  std::uint64_t mem_limit_bytes = 0;
+  std::uint64_t mem_peak_bytes = 0;
+  std::uint64_t spill_bytes = 0;
+  std::uint64_t spill_blocks = 0;
 
   [[nodiscard]] JsonValue to_json() const;
 
@@ -105,5 +117,9 @@ struct SolveReport {
 /// Best-effort process peak resident set size in bytes (Linux VmHWM from
 /// /proc/self/status); returns 0 when the value cannot be determined.
 [[nodiscard]] std::uint64_t process_peak_rss_bytes();
+
+/// Best-effort CURRENT process resident set size in bytes (Linux VmRSS
+/// from /proc/self/status); returns 0 when the value cannot be determined.
+[[nodiscard]] std::uint64_t process_current_rss_bytes();
 
 }  // namespace elmo::obs

@@ -1,0 +1,45 @@
+#include "resource/shutdown.hpp"
+
+#include <csignal>
+
+#include <atomic>
+
+namespace elmo::resource {
+namespace {
+
+// Async-signal-safe state only: the handler touches nothing but these.
+std::atomic<int> g_signal{0};
+std::atomic<bool> g_requested{false};
+
+extern "C" void elmo_shutdown_handler(int sig) {
+  if (g_requested.exchange(true, std::memory_order_relaxed)) {
+    // Second signal: the operator wants out NOW.  Restore the default
+    // disposition and re-raise so the process dies with the right status.
+    std::signal(sig, SIG_DFL);
+    std::raise(sig);
+    return;
+  }
+  g_signal.store(sig, std::memory_order_relaxed);
+}
+
+}  // namespace
+
+void install_signal_handlers() {
+  std::signal(SIGINT, elmo_shutdown_handler);
+  std::signal(SIGTERM, elmo_shutdown_handler);
+}
+
+bool shutdown_requested() {
+  return g_requested.load(std::memory_order_relaxed);
+}
+
+int shutdown_signal() { return g_signal.load(std::memory_order_relaxed); }
+
+void request_shutdown() { g_requested.store(true, std::memory_order_relaxed); }
+
+void reset_shutdown() {
+  g_requested.store(false, std::memory_order_relaxed);
+  g_signal.store(0, std::memory_order_relaxed);
+}
+
+}  // namespace elmo::resource

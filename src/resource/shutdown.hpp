@@ -1,0 +1,54 @@
+// Crash-safe graceful shutdown.
+//
+// install_signal_handlers() arranges for SIGINT/SIGTERM to set an
+// async-signal-safe flag instead of killing the process.  Solver drivers
+// poll shutdown_requested() at iteration boundaries and raise
+// CancelledError, which propagates (un-retried) to the API boundary; the
+// CLI then flushes a resumable checkpoint plus the final report.json and
+// exits with kResumableExitCode so a supervisor knows the run can continue
+// with `--resume`, losing at most one iteration.
+//
+// A second signal restores the default disposition and re-raises, so an
+// impatient operator's double Ctrl-C still kills a wedged process.
+#pragma once
+
+#include <string>
+
+#include "support/error.hpp"
+
+namespace elmo::resource {
+
+/// Distinct exit code for "interrupted but resumable" (mirrors EX_TEMPFAIL).
+inline constexpr int kResumableExitCode = 75;
+
+/// Install SIGINT/SIGTERM handlers that request cooperative cancellation.
+/// Idempotent; safe to call from tests and the CLI alike.
+void install_signal_handlers();
+
+/// True once a shutdown has been requested (by signal or programmatically).
+[[nodiscard]] bool shutdown_requested();
+
+/// Which signal triggered the request (0 when requested programmatically or
+/// not at all).
+[[nodiscard]] int shutdown_signal();
+
+/// Programmatic request (tests, embedding applications).
+void request_shutdown();
+
+/// Clear the flag (tests; also a CLI that finished one governed run and
+/// wants to start another).
+void reset_shutdown();
+
+/// Raise CancelledError if shutdown has been requested.  `where` names the
+/// iteration boundary for the diagnostic.
+inline void throw_if_shutdown_requested(const std::string& where) {
+  if (shutdown_requested()) {
+    const int sig = shutdown_signal();
+    throw CancelledError(
+        "cancelled at " + where +
+        (sig != 0 ? " by signal " + std::to_string(sig) : " by request") +
+        "; state is checkpointed — rerun with --resume to continue");
+  }
+}
+
+}  // namespace elmo::resource

@@ -1,0 +1,170 @@
+#include "resource/watchdog.hpp"
+
+#include <algorithm>
+
+#include "obs/obs.hpp"
+
+namespace elmo::resource {
+
+Watchdog::Watchdog() : Watchdog(Options{}) {}
+
+Watchdog::Watchdog(Options options) : options_(options) {
+  thread_ = std::thread([this] { loop(); });
+}
+
+Watchdog::~Watchdog() {
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    stop_ = true;
+  }
+  cv_.notify_all();
+  thread_.join();
+}
+
+Watchdog& Watchdog::global() {
+  static Watchdog instance;
+  return instance;
+}
+
+Watchdog::Token Watchdog::arm(
+    std::string label, Deadlines deadlines,
+    std::function<void(const std::string&)> on_soft,
+    std::function<void(const std::string&)> on_hard,
+    std::vector<ProgressCounter> progress) {
+  auto task = std::make_shared<Task>();
+  task->label = std::move(label);
+  task->deadlines = deadlines;
+  task->on_soft = std::move(on_soft);
+  task->on_hard = std::move(on_hard);
+  task->progress = std::move(progress);
+  task->last_values.reserve(task->progress.size());
+  for (const auto& p : task->progress)
+    task->last_values.push_back(
+        p.counter != nullptr ? p.counter->load(std::memory_order_relaxed) : 0);
+  task->armed_at = Clock::now();
+  task->last_progress_at = task->armed_at;
+  std::lock_guard<std::mutex> lock(mutex_);
+  tasks_.push_back(std::move(task));
+  cv_.notify_all();
+  return Token(this, std::prev(tasks_.end()));
+}
+
+void Watchdog::Token::disarm() {
+  if (owner_ == nullptr) return;
+  std::unique_lock<std::mutex> lock(owner_->mutex_);
+  auto task = *it_;
+  owner_->cv_.wait(lock, [&] { return !task->in_callback; });
+  owner_->tasks_.erase(it_);
+  owner_ = nullptr;
+}
+
+void Watchdog::loop() {
+  std::unique_lock<std::mutex> lock(mutex_);
+  const auto interval = std::chrono::duration_cast<Clock::duration>(
+      std::chrono::duration<double>(options_.poll_interval_seconds));
+  while (!stop_) {
+    cv_.wait_for(lock, interval,
+                 [this] { return stop_; });
+    if (stop_) break;
+    lock.unlock();
+    poll_once(Clock::now());
+    lock.lock();
+  }
+}
+
+void Watchdog::poll_once(Clock::time_point now) {
+  // Collect due callbacks under the lock, invoke them outside it: the
+  // callbacks take foreign locks (mpsim world mutex) and the watchdog mutex
+  // must stay a leaf.
+  struct Due {
+    std::shared_ptr<Task> task;
+    bool hard;
+    std::string diagnosis;
+  };
+  std::vector<Due> due;
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    for (auto& task : tasks_) {
+      if (task->hard_fired || task->in_callback) continue;
+      const double elapsed =
+          std::chrono::duration<double>(now - task->armed_at).count();
+      // Sample progress counters; note stragglers (counters at the global
+      // minimum) for diagnoses.
+      bool any_advanced = false;
+      std::string slowest;
+      std::uint64_t slowest_value = UINT64_MAX;
+      for (std::size_t i = 0; i < task->progress.size(); ++i) {
+        const auto* counter = task->progress[i].counter;
+        if (counter == nullptr) continue;
+        const std::uint64_t v = counter->load(std::memory_order_relaxed);
+        if (v != task->last_values[i]) {
+          task->last_values[i] = v;
+          any_advanced = true;
+        }
+        if (v < slowest_value) {
+          slowest_value = v;
+          slowest = task->progress[i].label;
+        }
+      }
+      if (any_advanced || task->progress.empty())
+        task->last_progress_at = now;
+      const double stalled =
+          std::chrono::duration<double>(now - task->last_progress_at).count();
+
+      const auto& d = task->deadlines;
+      if (d.stall_seconds > 0 && stalled > d.stall_seconds &&
+          !task->progress.empty()) {
+        task->hard_fired = true;
+        task->in_callback = true;
+        due.push_back({task, true,
+                       "[" + task->label + "] wedged: no progress on any " +
+                           "counter for " + std::to_string(stalled) +
+                           " s (stall limit " +
+                           std::to_string(d.stall_seconds) + " s)"});
+        continue;
+      }
+      if (d.hard_seconds > 0 && elapsed > d.hard_seconds) {
+        task->hard_fired = true;
+        task->in_callback = true;
+        due.push_back({task, true,
+                       "[" + task->label + "] hard deadline: " +
+                           std::to_string(elapsed) + " s elapsed (limit " +
+                           std::to_string(d.hard_seconds) + " s)"});
+        continue;
+      }
+      if (d.soft_seconds > 0 && !task->soft_fired &&
+          elapsed > d.soft_seconds) {
+        task->soft_fired = true;
+        task->in_callback = true;
+        std::string diag = "[" + task->label + "] soft deadline: " +
+                           std::to_string(elapsed) + " s elapsed (limit " +
+                           std::to_string(d.soft_seconds) + " s)";
+        if (!slowest.empty())
+          diag += "; slowest counter: " + slowest + " at " +
+                  std::to_string(slowest_value);
+        due.push_back({task, false, std::move(diag)});
+      }
+    }
+  }
+  for (auto& d : due) {
+    if constexpr (obs::kObsCompiledIn) {
+      auto& registry = obs::Registry::global();
+      static const obs::Counter softs =
+          registry.counter("resource.watchdog_soft");
+      static const obs::Counter hards =
+          registry.counter("resource.watchdog_hard");
+      (d.hard ? hards : softs).add(1);
+      obs::trace_instant(d.hard ? "watchdog_hard" : "watchdog_soft",
+                         "resource", d.diagnosis);
+    }
+    const auto& fn = d.hard ? d.task->on_hard : d.task->on_soft;
+    if (fn) fn(d.diagnosis);
+    {
+      std::lock_guard<std::mutex> lock(mutex_);
+      d.task->in_callback = false;
+    }
+    cv_.notify_all();
+  }
+}
+
+}  // namespace elmo::resource

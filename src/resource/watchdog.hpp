@@ -1,0 +1,141 @@
+// Watchdog supervision: soft/hard wall-clock deadlines and stall detection.
+//
+// One supervisor thread polls a set of armed tasks.  Each task carries
+// optional progress counters (e.g. per-rank operation counts in mpsim) and
+// three thresholds:
+//
+//   soft_seconds  — advisory: fires once, emits a structured diagnosis
+//                   through obs naming the slowest counters (straggler
+//                   detection), and the run continues.
+//   hard_seconds  — fatal: fires once, the on_hard callback is expected to
+//                   cancel the supervised work (abort the mpsim world); the
+//                   combined driver then re-queues the subset with a split.
+//   stall_seconds — wedge detection: if NO progress counter has advanced
+//                   for this long, the task is treated as wedged and
+//                   on_hard fires with a wedge diagnosis.  This catches
+//                   live-locked or silently stuck ranks that PR-1's
+//                   exited-rank detection cannot see.
+//
+// Arm/disarm is RAII (Watchdog::Token); disarm blocks until any in-flight
+// callback for that task has returned, so callbacks may safely reference
+// stack state owned by the armed scope.  Callbacks are invoked OFF the
+// watchdog mutex to keep the lock a leaf.
+#pragma once
+
+#include <atomic>
+#include <chrono>
+#include <condition_variable>
+#include <cstdint>
+#include <functional>
+#include <list>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <utility>
+#include <vector>
+
+namespace elmo::resource {
+
+struct Deadlines {
+  double soft_seconds = 0;   // 0 disables
+  double hard_seconds = 0;   // 0 disables
+  double stall_seconds = 0;  // 0 disables (needs progress counters)
+
+  [[nodiscard]] bool any() const {
+    return soft_seconds > 0 || hard_seconds > 0 || stall_seconds > 0;
+  }
+};
+
+class Watchdog {
+ public:
+  struct Options {
+    double poll_interval_seconds = 0.005;
+  };
+
+  /// A named progress counter the watchdog samples (not owned; must outlive
+  /// the Token).
+  struct ProgressCounter {
+    std::string label;
+    const std::atomic<std::uint64_t>* counter = nullptr;
+  };
+
+  // Two constructors instead of one defaulted argument: GCC cannot use a
+  // nested struct's member initializers in a default argument of the
+  // enclosing class.
+  Watchdog();
+  explicit Watchdog(Options options);
+  Watchdog(const Watchdog&) = delete;
+  Watchdog& operator=(const Watchdog&) = delete;
+  ~Watchdog();
+
+  /// The shared process instance (one supervisor thread for the process).
+  static Watchdog& global();
+
+  class Token;
+
+  /// Arm supervision of one scope.  `on_soft` receives a diagnosis string;
+  /// `on_hard` receives a diagnosis and must make the supervised work stop.
+  /// Either callback may be empty.  Returns a Token whose destruction
+  /// disarms the task (blocking until in-flight callbacks return).
+  Token arm(std::string label, Deadlines deadlines,
+            std::function<void(const std::string&)> on_soft,
+            std::function<void(const std::string&)> on_hard,
+            std::vector<ProgressCounter> progress = {});
+
+ private:
+  using Clock = std::chrono::steady_clock;
+
+  struct Task {
+    std::string label;
+    Deadlines deadlines;
+    std::function<void(const std::string&)> on_soft;
+    std::function<void(const std::string&)> on_hard;
+    std::vector<ProgressCounter> progress;
+    std::vector<std::uint64_t> last_values;
+    Clock::time_point armed_at;
+    Clock::time_point last_progress_at;
+    bool soft_fired = false;
+    bool hard_fired = false;
+    bool in_callback = false;
+  };
+  using TaskList = std::list<std::shared_ptr<Task>>;
+
+  void loop();
+  void poll_once(Clock::time_point now);
+
+  Options options_;
+  std::mutex mutex_;
+  std::condition_variable cv_;
+  TaskList tasks_;
+  bool stop_ = false;
+  std::thread thread_;
+
+ public:
+  class Token {
+   public:
+    Token() = default;
+    Token(Watchdog* owner, TaskList::iterator it) : owner_(owner), it_(it) {}
+    Token(const Token&) = delete;
+    Token& operator=(const Token&) = delete;
+    Token(Token&& other) noexcept { *this = std::move(other); }
+    Token& operator=(Token&& other) noexcept {
+      disarm();
+      owner_ = other.owner_;
+      it_ = other.it_;
+      other.owner_ = nullptr;
+      return *this;
+    }
+    ~Token() { disarm(); }
+
+    /// Remove the task from supervision.  Blocks until any callback
+    /// currently running for this task has returned.
+    void disarm();
+
+   private:
+    Watchdog* owner_ = nullptr;
+    TaskList::iterator it_;
+  };
+};
+
+}  // namespace elmo::resource

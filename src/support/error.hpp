@@ -89,6 +89,46 @@ class RetryExhaustedError : public Error {
   std::string last_error;
 };
 
+/// A real process resource was exhausted: an allocation failed with
+/// std::bad_alloc, or the MemoryGovernor's admission check refused to start
+/// an iteration whose projected footprint would bust `--mem-limit`.  Unlike
+/// MemoryBudgetError (a *simulated* per-rank budget used to reproduce the
+/// paper's Network-II abort), ResourceError reports genuine pressure on the
+/// host.  It is classified as retryable-with-degradation: the retry ladder
+/// responds by halving the candidate tile size, forcing spill-always mode,
+/// and finally falling back to an ungoverned serial attempt.
+class ResourceError : public Error {
+ public:
+  ResourceError(const std::string& what, std::size_t requested,
+                std::size_t limit)
+      : Error(what), requested_bytes(requested), limit_bytes(limit) {}
+
+  std::size_t requested_bytes;  // 0 when unknown (e.g. raw bad_alloc)
+  std::size_t limit_bytes;      // 0 when no --mem-limit was configured
+};
+
+/// Cooperative cancellation: a SIGINT/SIGTERM handler (or a test) requested
+/// shutdown and the solver honoured it at the next iteration boundary.
+/// Never retried — it propagates to the API boundary, where the driver
+/// flushes a resumable checkpoint plus a final report and exits with the
+/// distinct resumable exit code so the run can continue under `--resume`.
+class CancelledError : public Error {
+ public:
+  explicit CancelledError(const std::string& what) : Error(what) {}
+};
+
+/// A watchdog hard deadline expired: a subset solve (or a wedged/straggling
+/// rank inside it) made no progress within its allotted wall-clock budget.
+/// The combined driver treats this like memory exhaustion — re-queue the
+/// subset with an extra split so each half fits its deadline.
+class DeadlineExceededError : public Error {
+ public:
+  DeadlineExceededError(const std::string& what, double deadline_secs)
+      : Error(what), deadline_seconds(deadline_secs) {}
+
+  double deadline_seconds;
+};
+
 /// Internal invariant violated; indicates a bug in elmo itself.
 class InternalError : public Error {
  public:

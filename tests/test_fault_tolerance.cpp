@@ -10,6 +10,7 @@
 #include <cstdio>
 #include <fstream>
 #include <memory>
+#include <sstream>
 #include <string>
 
 #include "core/checkpoint.hpp"
@@ -333,6 +334,110 @@ TEST(Checkpoint, InterruptedRunResumesBitIdentical) {
   EXPECT_EQ(from_checkpoint, committed.size());
   // The finished file now covers every subset.
   EXPECT_EQ(load_checkpoint(file.path()).size(), resumed.subsets.size());
+}
+
+// ---------------------------------------------------------------------------
+// Resume from damaged checkpoint files.  The recovery contract: a damaged
+// tail costs at most the records it covered — the valid prefix is honored,
+// the rest is recomputed, and the final mode set is bit-identical.
+
+std::string read_file_bytes(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  std::ostringstream buffer;
+  buffer << in.rdbuf();
+  return buffer.str();
+}
+
+void write_file_bytes(const std::string& path, const std::string& bytes) {
+  std::ofstream out(path, std::ios::binary | std::ios::trunc);
+  out.write(bytes.data(), static_cast<std::streamsize>(bytes.size()));
+}
+
+EfmOptions yeast_checkpoint_options(const std::string& checkpoint_path) {
+  EfmOptions options;
+  options.algorithm = Algorithm::kCombined;
+  options.num_ranks = 2;
+  options.qsub = 2;
+  options.checkpoint_path = checkpoint_path;
+  return options;
+}
+
+TEST(Checkpoint, ResumeFromZeroLengthFileRecomputesEverything) {
+  // The crash-before-first-commit case: the file exists but holds nothing,
+  // not even the magic.  That is an empty checkpoint, not a corrupt one.
+  Network net = trimmed_yeast_1();
+  ScratchFile file("ckpt_yeast_zero.bin");
+
+  auto baseline = compute_efms(net, yeast_checkpoint_options(file.path()));
+  ASSERT_GT(baseline.num_modes(), 0u);
+
+  write_file_bytes(file.path(), "");
+  EXPECT_TRUE(load_checkpoint(file.path()).empty());
+
+  auto options = yeast_checkpoint_options(file.path());
+  options.resume_from = file.path();
+  auto resumed = compute_efms(net, options);
+  EXPECT_EQ(resumed.modes, baseline.modes);
+  for (const auto& subset : resumed.subsets)
+    EXPECT_FALSE(subset.resumed) << subset.label;
+  // The rerun re-checkpointed the full set.
+  EXPECT_EQ(load_checkpoint(file.path()).size(), resumed.subsets.size());
+}
+
+TEST(Checkpoint, ResumeFromBitFlippedFileKeepsTheValidPrefix) {
+  Network net = trimmed_yeast_1();
+  ScratchFile file("ckpt_yeast_bitflip.bin");
+
+  auto baseline = compute_efms(net, yeast_checkpoint_options(file.path()));
+  const std::size_t total = baseline.subsets.size();
+  ASSERT_EQ(load_checkpoint(file.path()).size(), total);
+
+  // Flip one bit in the last frame (past the magic, near the tail): the CRC
+  // catches it, that record and everything after it is dropped, and the
+  // records before it survive untouched.
+  std::string bytes = read_file_bytes(file.path());
+  ASSERT_GT(bytes.size(), 16u);
+  bytes[bytes.size() - 3] ^= 0x20;
+  write_file_bytes(file.path(), bytes);
+
+  auto damaged = load_checkpoint(file.path());
+  ASSERT_GE(damaged.size(), 1u) << "flip unexpectedly destroyed every record";
+  ASSERT_LT(damaged.size(), total);
+
+  auto options = yeast_checkpoint_options(file.path());
+  options.resume_from = file.path();
+  auto resumed = compute_efms(net, options);
+  EXPECT_EQ(resumed.modes, baseline.modes);
+  std::size_t from_checkpoint = 0;
+  for (const auto& subset : resumed.subsets)
+    if (subset.resumed) ++from_checkpoint;
+  EXPECT_EQ(from_checkpoint, damaged.size());
+}
+
+TEST(Checkpoint, ResumeFromTruncatedFileRecomputesTheTail) {
+  // kill -9 mid-append leaves a short final frame; resume must treat the
+  // file exactly like one that stopped at the previous commit.
+  Network net = trimmed_yeast_1();
+  ScratchFile file("ckpt_yeast_trunc.bin");
+
+  auto baseline = compute_efms(net, yeast_checkpoint_options(file.path()));
+  const std::size_t total = baseline.subsets.size();
+
+  std::string bytes = read_file_bytes(file.path());
+  ASSERT_GT(bytes.size(), 32u);
+  write_file_bytes(file.path(), bytes.substr(0, bytes.size() - 7));
+
+  auto damaged = load_checkpoint(file.path());
+  ASSERT_GE(damaged.size(), 1u);
+  ASSERT_LT(damaged.size(), total);
+
+  auto options = yeast_checkpoint_options(file.path());
+  options.resume_from = file.path();
+  options.checkpoint_path = file.path();
+  auto resumed = compute_efms(net, options);
+  EXPECT_EQ(resumed.modes, baseline.modes);
+  // The finished file is whole again: every subset committed.
+  EXPECT_EQ(load_checkpoint(file.path()).size(), total);
 }
 
 // ---------------------------------------------------------------------------

@@ -47,7 +47,8 @@ int module_layer(const std::string& module) {
       module == "parallel")
     return 1;
   if (module == "compress" || module == "models" || module == "nullspace" ||
-      module == "mpsim" || module == "core" || module == "analysis")
+      module == "mpsim" || module == "core" || module == "analysis" ||
+      module == "resource")
     return 2;
   if (module == "elmo") return 3;
   return -1;  // unknown (fixtures, future modules): layering not enforced
@@ -76,7 +77,7 @@ bool is_umbrella_target(const std::string& target) {
 
 const char* kLayerSummary =
     "support/bitset/bigint <- linalg/network/io/parallel <- "
-    "compress/models/nullspace/mpsim/core/analysis <- elmo";
+    "compress/models/nullspace/mpsim/core/analysis/resource <- elmo";
 
 std::vector<Include> extract_includes(const SourceFile& file,
                                       const Project& project) {
