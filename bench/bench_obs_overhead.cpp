@@ -2,8 +2,10 @@
 // observability disabled, solves must regress <2% vs a no-instrumentation
 // baseline).
 //
-// Runs the bench_scaling kernel — a serial Algorithm 1 solve of the demo
-// Network I instance — under three observability modes in interleaved
+// Runs two kernels — the serial Algorithm 1 solve of the demo Network I
+// instance (the bench_scaling kernel) and the same instance under Algorithm 2
+// on simulated mpsim ranks, which drives the per-message flow-tracing and
+// wait-classification sites — under three observability modes in interleaved
 // repetitions and reports the per-mode minimum:
 //
 //   off      instrumentation compiled in but dormant (the shipping default:
@@ -50,15 +52,28 @@ struct RunOutcome {
   std::uint64_t pairs = 0;
 };
 
+// Rank count for the mpsim scenario: enough ranks for real message traffic
+// (per-message flow ids, wait classification) without dwarfing the solve.
+constexpr int kParallelRanks = 3;
+
+/// One timed solve.  num_ranks == 0 runs the serial Algorithm 1 kernel;
+/// otherwise Algorithm 2 over that many simulated ranks, which also pushes
+/// the mpsim flow-tracing sites (per-message flow ids, wait classification,
+/// queue-depth sampling) through the measured path.
 RunOutcome run_once(const CompressedProblem& compressed,
-                    const std::vector<bool>& reversibility, Mode mode) {
+                    const std::vector<bool>& reversibility, Mode mode,
+                    int num_ranks) {
   auto& registry = obs::Registry::global();
   registry.reset();
   registry.set_enabled(mode != Mode::kOff);
   obs::TraceRecorder recorder;
   if (mode == Mode::kTrace) obs::install_trace(&recorder);
 
-  EfmOptions options;  // Algorithm 1, the bench_scaling sweep kernel
+  EfmOptions options;
+  if (num_ranks > 0) {
+    options.algorithm = Algorithm::kCombinatorialParallel;
+    options.num_ranks = num_ranks;
+  }
   Stopwatch watch;
   auto result = compute_efms(compressed, reversibility, options);
   RunOutcome outcome{watch.seconds(), result.num_modes(),
@@ -100,43 +115,64 @@ int main(int argc, char** argv) {
   auto compressed = compress(network);
   const std::vector<bool> reversibility = network.reversibility();
 
-  // Warm-up run: touches every code path and page once so the first timed
-  // mode is not penalised.
-  run_once(compressed, reversibility, Mode::kOff);
+  // Warm-up runs: touch every code path and page once (serial and the mpsim
+  // rank loop) so the first timed mode is not penalised.
+  run_once(compressed, reversibility, Mode::kOff, 0);
+  run_once(compressed, reversibility, Mode::kOff, kParallelRanks);
 
   const Mode modes[] = {Mode::kOff, Mode::kMetrics, Mode::kTrace};
   double best[3] = {1e300, 1e300, 1e300};
+  double best_par[3] = {1e300, 1e300, 1e300};
   RunOutcome last[3];
+  RunOutcome last_par[3];
   // Interleave modes within each repetition so frequency/thermal drift hits
   // every mode equally.
   for (int rep = 0; rep < reps; ++rep) {
     for (int m = 0; m < 3; ++m) {
-      last[m] = run_once(compressed, reversibility, modes[m]);
+      last[m] = run_once(compressed, reversibility, modes[m], 0);
       if (last[m].seconds < best[m]) best[m] = last[m].seconds;
+    }
+    for (int m = 0; m < 3; ++m) {
+      last_par[m] = run_once(compressed, reversibility, modes[m],
+                             kParallelRanks);
+      if (last_par[m].seconds < best_par[m]) best_par[m] = last_par[m].seconds;
     }
   }
 
-  Table table({"mode", "best of reps (s)", "vs off", "# EFM"});
-  obs::JsonValue mode_json = obs::JsonValue::object();
-  for (int m = 0; m < 3; ++m) {
-    const double overhead_pct = (best[m] / best[0] - 1.0) * 100.0;
-    char vs[32];
-    std::snprintf(vs, sizeof vs, "%+.2f%%", overhead_pct);
-    table.add_row({mode_name(modes[m]), seconds_str(best[m]),
-                   m == 0 ? "-" : vs, with_commas(last[m].num_efms)});
-    obs::JsonValue entry = obs::JsonValue::object();
-    entry.set("seconds", obs::JsonValue(best[m]));
-    entry.set("overhead_pct", obs::JsonValue(m == 0 ? 0.0 : overhead_pct));
-    mode_json.set(mode_name(modes[m]), std::move(entry));
-  }
-  std::fputs(table.render("serial demo solve, interleaved reps").c_str(),
-             stdout);
+  auto render_modes = [&](const double* mode_best, const RunOutcome* mode_last,
+                          const char* title) {
+    Table table({"mode", "best of reps (s)", "vs off", "# EFM"});
+    obs::JsonValue mode_json = obs::JsonValue::object();
+    for (int m = 0; m < 3; ++m) {
+      const double overhead_pct = (mode_best[m] / mode_best[0] - 1.0) * 100.0;
+      char vs[32];
+      std::snprintf(vs, sizeof vs, "%+.2f%%", overhead_pct);
+      table.add_row({mode_name(modes[m]), seconds_str(mode_best[m]),
+                     m == 0 ? "-" : vs, with_commas(mode_last[m].num_efms)});
+      obs::JsonValue entry = obs::JsonValue::object();
+      entry.set("seconds", obs::JsonValue(mode_best[m]));
+      entry.set("overhead_pct", obs::JsonValue(m == 0 ? 0.0 : overhead_pct));
+      mode_json.set(mode_name(modes[m]), std::move(entry));
+    }
+    std::fputs(table.render(title).c_str(), stdout);
+    return mode_json;
+  };
+  obs::JsonValue mode_json =
+      render_modes(best, last, "serial demo solve, interleaved reps");
+  std::printf("\n");
+  obs::JsonValue par_json = render_modes(
+      best_par, last_par,
+      "mpsim parallel solve (flow tracing on the measured path)");
 
   // Acceptance gate: compare the dormant-instrumentation time against the
   // "off" time recorded by a -DELMO_OBS_DISABLE=ON build of this binary (a
-  // true no-instrumentation baseline).
+  // true no-instrumentation baseline).  The mpsim scenario is gated the same
+  // way when the baseline carries it, so the flow-tracing sites in
+  // send/recv/barrier stay free when dormant too.
   double baseline_off_seconds = -1.0;
   double disabled_vs_baseline_pct = 0.0;
+  double baseline_par_off_seconds = -1.0;
+  double par_disabled_vs_baseline_pct = 0.0;
   bool gate_failed = false;
   if (!baseline_path.empty()) {
     std::ifstream in(baseline_path, std::ios::binary);
@@ -164,6 +200,26 @@ int main(int argc, char** argv) {
         "%+.2f%% (limit %+.2f%%) -> %s\n",
         disabled_vs_baseline_pct, max_overhead_pct,
         gate_failed ? "FAIL" : "ok");
+
+    // Baselines written before the mpsim scenario existed lack this section;
+    // the serial gate above still applies unchanged.
+    const obs::JsonValue* par_node =
+        error.empty() ? doc.find("parallel_modes") : nullptr;
+    const obs::JsonValue* par_off =
+        par_node != nullptr ? par_node->find("off") : nullptr;
+    if (par_off != nullptr && par_off->find("seconds") != nullptr) {
+      baseline_par_off_seconds = par_off->find("seconds")->as_double();
+      par_disabled_vs_baseline_pct =
+          (best_par[0] / baseline_par_off_seconds - 1.0) * 100.0;
+      const bool par_failed =
+          par_disabled_vs_baseline_pct > max_overhead_pct;
+      gate_failed = gate_failed || par_failed;
+      std::printf(
+          "dormant instrumentation vs baseline (mpsim parallel): "
+          "%+.2f%% (limit %+.2f%%) -> %s\n",
+          par_disabled_vs_baseline_pct, max_overhead_pct,
+          par_failed ? "FAIL" : "ok");
+    }
   }
 
   if (!json_path.empty()) {
@@ -176,11 +232,19 @@ int main(int argc, char** argv) {
     doc.set("num_efms", obs::JsonValue(last[0].num_efms));
     doc.set("pairs_probed", obs::JsonValue(last[0].pairs));
     doc.set("modes", std::move(mode_json));
+    doc.set("parallel_ranks", obs::JsonValue(kParallelRanks));
+    doc.set("parallel_modes", std::move(par_json));
     if (baseline_off_seconds >= 0.0) {
       doc.set("baseline_off_seconds", obs::JsonValue(baseline_off_seconds));
       doc.set("disabled_vs_baseline_pct",
               obs::JsonValue(disabled_vs_baseline_pct));
       doc.set("max_overhead_pct", obs::JsonValue(max_overhead_pct));
+    }
+    if (baseline_par_off_seconds >= 0.0) {
+      doc.set("baseline_parallel_off_seconds",
+              obs::JsonValue(baseline_par_off_seconds));
+      doc.set("parallel_disabled_vs_baseline_pct",
+              obs::JsonValue(par_disabled_vs_baseline_pct));
     }
     std::FILE* out = std::fopen(json_path.c_str(), "wb");
     if (out == nullptr) {

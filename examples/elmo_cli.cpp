@@ -45,6 +45,9 @@ options:
   --algorithm serial|parallel|partitioned|combined   (default serial)
   --ranks N                 simulated compute ranks     (default 4)
   --threads N               shared-memory workers/rank  (default 1)
+  --knockout A,B,...        drop the named reactions before solving (the
+                            knockout-reduced instances of the hybrid and
+                            resource tests; unknown names are errors)
   --partition A,B,...       divide-and-conquer reactions (combined)
   --qsub N                  auto-select N partition reactions (combined)
   --memory-budget BYTES     per-rank memory budget (0 = unlimited)
@@ -94,6 +97,9 @@ observability:
                             and per-subset breakdowns, growth history)
   --progress                print live progress/ETA lines to stderr
   --heartbeat FILE          append machine-readable JSONL heartbeats
+  --ledger FILE             append a schema-versioned run record (JSONL) to
+                            FILE; list/diff/regression-check recorded runs
+                            with tools/elmo_stat
   (ELMO_TRACE / ELMO_METRICS environment variables preset --trace/--metrics)
 
 reaction-list format:
@@ -128,6 +134,7 @@ int main(int argc, char** argv) {
 
   std::string input_path;
   std::string builtin;
+  std::vector<std::string> knockout_names;
   std::string output_path;
   std::string algorithm = "serial";
   bool print_stats = false;
@@ -136,6 +143,7 @@ int main(int argc, char** argv) {
   std::string metrics_path;
   std::string report_path;
   std::string heartbeat_path;
+  std::string ledger_path;
   bool show_progress = false;
   if (const char* env = std::getenv("ELMO_TRACE")) trace_path = env;
   if (const char* env = std::getenv("ELMO_METRICS")) metrics_path = env;
@@ -174,6 +182,8 @@ int main(int argc, char** argv) {
       options.num_ranks = static_cast<int>(next_number("--ranks"));
     } else if (!std::strcmp(argv[i], "--threads")) {
       options.threads_per_rank = static_cast<int>(next_number("--threads"));
+    } else if (!std::strcmp(argv[i], "--knockout")) {
+      knockout_names = split_csv(next());
     } else if (!std::strcmp(argv[i], "--partition")) {
       options.partition_reactions = split_csv(next());
     } else if (!std::strcmp(argv[i], "--qsub")) {
@@ -234,6 +244,8 @@ int main(int argc, char** argv) {
       show_progress = true;
     } else if (!std::strcmp(argv[i], "--heartbeat")) {
       heartbeat_path = next();
+    } else if (!std::strcmp(argv[i], "--ledger")) {
+      ledger_path = next();
     } else if (!std::strcmp(argv[i], "--stats")) {
       print_stats = true;
     } else if (!std::strcmp(argv[i], "--validate")) {
@@ -292,6 +304,19 @@ int main(int argc, char** argv) {
     return 1;
   }
 
+  if (!knockout_names.empty()) {
+    std::vector<ReactionId> knockouts;
+    for (const auto& name : knockout_names) {
+      auto id = network.find_reaction(name);
+      if (!id) {
+        std::fprintf(stderr, "unknown knockout reaction: %s\n", name.c_str());
+        return 2;
+      }
+      knockouts.push_back(*id);
+    }
+    network = network.without_reactions(knockouts);
+  }
+
   if (validate_only) {
     auto report = validate(network);
     if (report.clean()) {
@@ -305,14 +330,18 @@ int main(int argc, char** argv) {
     return 3;
   }
 
-  const std::string label = !builtin.empty() ? builtin : input_path;
+  // Knockout runs get their own label so the run ledger never compares a
+  // reduced instance against the full network under one workload key.
+  std::string label = !builtin.empty() ? builtin : input_path;
+  if (!knockout_names.empty())
+    label += "-ko" + std::to_string(knockout_names.size());
 
   // Observability setup.  Tracing installs a process-global recorder;
   // metrics flip the (otherwise free) registry on; the report needs both
   // metrics and the per-iteration history.
   obs::TraceRecorder recorder;
   if (!trace_path.empty()) obs::install_trace(&recorder);
-  if (!metrics_path.empty() || !report_path.empty())
+  if (!metrics_path.empty() || !report_path.empty() || !ledger_path.empty())
     obs::Registry::global().set_enabled(true);
   if (!report_path.empty()) options.record_history = true;
 
@@ -324,30 +353,20 @@ int main(int argc, char** argv) {
   try {
     auto compressed = compress(network, options.compression);
 
-    std::optional<obs::ProgressReporter> progress;
-    if (show_progress || !heartbeat_path.empty()) {
-      obs::ProgressOptions popts;
-      popts.print = show_progress;
-      popts.heartbeat_path = heartbeat_path;
-      popts.label = label;
-      // Resource gauges for the heartbeat records: governor charge and
-      // out-of-core spill volume (RSS the reporter reads itself).
-      popts.mem_usage_source = [] {
-        return static_cast<std::uint64_t>(
-            resource::MemoryGovernor::global().usage());
-      };
-      popts.spill_bytes_source = [] {
-        return resource::MemoryGovernor::global().spill_bytes();
-      };
-      // A-priori pair estimate for the ETA: a cheap prefix run via the
-      // subset estimator.  For Algorithm 3 the whole-problem count would
-      // overshoot badly (splitting is the paper's point), so resolve the
-      // partition the driver will use and sum the 2^qsub subset estimates.
+    // A-priori cost estimate: a cheap prefix run via the subset estimator,
+    // shared by the progress ETA and the report's estimator-vs-actual
+    // `flow` accounting.  For Algorithm 3 the whole-problem count would
+    // overshoot badly (splitting is the paper's point), so resolve the
+    // partition the driver will use and sum the 2^qsub subset estimates.
+    double estimated_pairs = 0.0;
+    double estimated_efms = 0.0;
+    std::uint64_t estimated_iterations = 0;
+    if (show_progress || !heartbeat_path.empty() || !report_path.empty() ||
+        !ledger_path.empty()) {
       try {
         auto problem = to_problem<CheckedI64>(compressed);
         EstimateOptions eopts;
         eopts.pair_budget = 200'000;
-        double estimated = 0.0;
         std::vector<std::size_t> rows;
         if (options.algorithm == Algorithm::kCombined) {
           if (options.partition_reactions.empty()) {
@@ -365,31 +384,59 @@ int main(int argc, char** argv) {
           }
         }
         if (rows.empty()) {
-          estimated = estimate_subset<CheckedI64, DynBitset>(
-                          problem, SubsetSpec{}, eopts)
-                          .estimated_pairs;
+          const auto estimate = estimate_subset<CheckedI64, DynBitset>(
+              problem, SubsetSpec{}, eopts);
+          estimated_pairs = estimate.estimated_pairs;
+          estimated_efms = estimate.estimated_efms;
         } else {
-          estimated = estimate_partition_cost<CheckedI64, DynBitset>(
-              problem, rows, eopts);
-        }
-        if (estimated > 0) {
-          popts.total_pairs_estimate = static_cast<std::uint64_t>(estimated);
+          for (std::uint64_t id = 0;
+               id < (std::uint64_t{1} << rows.size()); ++id) {
+            SubsetSpec spec;
+            for (std::size_t k = 0; k < rows.size(); ++k)
+              spec.pattern.emplace_back(rows[k], (id >> k) & 1);
+            const auto estimate = estimate_subset<CheckedI64, DynBitset>(
+                problem, spec, eopts);
+            estimated_pairs += estimate.estimated_pairs;
+            estimated_efms += estimate.estimated_efms;
+          }
         }
         // Iteration count: the solver processes one constrained row per
         // iteration (~the reduced rank, = row count after compression);
         // Algorithm 3 runs 2^qsub subsets stopped qsub iterations early.
         const std::size_t m = problem.num_metabolites();
         if (options.algorithm == Algorithm::kCombined && !rows.empty()) {
-          popts.total_iterations =
+          estimated_iterations =
               (std::uint64_t{1} << rows.size()) *
               (m > rows.size() ? m - rows.size() : 1);
         } else {
-          popts.total_iterations = m;
+          estimated_iterations = m;
         }
       } catch (const Error&) {
         // Estimation is best effort; progress falls back to pair counts
-        // with no completion fraction.
+        // with no completion fraction, and the report's estimate reads 0.
       }
+    }
+
+    std::optional<obs::ProgressReporter> progress;
+    if (show_progress || !heartbeat_path.empty()) {
+      obs::ProgressOptions popts;
+      popts.print = show_progress;
+      popts.heartbeat_path = heartbeat_path;
+      popts.label = label;
+      // Resource gauges for the heartbeat records: governor charge and
+      // out-of-core spill volume (RSS the reporter reads itself).
+      popts.mem_usage_source = [] {
+        return static_cast<std::uint64_t>(
+            resource::MemoryGovernor::global().usage());
+      };
+      popts.spill_bytes_source = [] {
+        return resource::MemoryGovernor::global().spill_bytes();
+      };
+      if (estimated_pairs > 0) {
+        popts.total_pairs_estimate =
+            static_cast<std::uint64_t>(estimated_pairs);
+      }
+      popts.total_iterations = estimated_iterations;
       progress.emplace(std::move(popts));
       auto user_callback = options.on_iteration;
       auto* reporter = &*progress;
@@ -405,6 +452,13 @@ int main(int argc, char** argv) {
         sample.columns = it.columns_after;
         reporter->on_iteration(sample);
         if (user_callback) user_callback(it);
+      };
+      // One unthrottled heartbeat per committed subset (Algorithm 3), so
+      // even a subset that finishes inside the throttle interval is seen.
+      options.on_subset = [reporter](const std::string& subset_label,
+                                     std::size_t num_efms, double seconds) {
+        reporter->on_subset(subset_label,
+                            static_cast<std::uint64_t>(num_efms), seconds);
       };
     }
 
@@ -426,9 +480,26 @@ int main(int argc, char** argv) {
       }
       std::fprintf(stderr, "metrics written to %s\n", metrics_path.c_str());
     }
-    if (!report_path.empty()) {
-      make_solve_report(result, options, label).write(report_path);
-      std::fprintf(stderr, "report written to %s\n", report_path.c_str());
+    if (!report_path.empty() || !ledger_path.empty()) {
+      auto report = make_solve_report(result, options, label);
+      if (!trace_path.empty()) {
+        // Re-run the flow analysis with the recorded span/flow streams:
+        // adds the cross-rank critical path and flow-pairing stats the
+        // counter-only pass inside make_solve_report cannot see.
+        const auto events = recorder.snapshot_events();
+        report.flow = obs::analyze_flow(report, &events);
+      }
+      report.flow.estimated_pairs = estimated_pairs;
+      report.flow.estimated_efms = estimated_efms;
+      if (!report_path.empty()) {
+        report.write(report_path);
+        std::fprintf(stderr, "report written to %s\n", report_path.c_str());
+      }
+      if (!ledger_path.empty()) {
+        obs::append_ledger_record(
+            ledger_path, obs::make_ledger_record_env(report.to_json()));
+        std::fprintf(stderr, "run recorded in %s\n", ledger_path.c_str());
+      }
     }
     if (output_path.empty()) {
       std::fputs(efms_to_text(result.modes, result.reaction_names).c_str(),

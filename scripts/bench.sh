@@ -14,6 +14,17 @@
 #                                         width pretest speedup falls under
 #                                         2x (the ISSUE 4 acceptance bound).
 #   BENCH_OUT=path                        override the output file.
+#   BENCH_TRAJECTORY=path                 override the trajectory history
+#                                         file (default BENCH_trajectory.jsonl)
+#   BENCH_LEDGER=path                     also record a small end-to-end
+#                                         solve in a run ledger and gate it
+#                                         with `elmo_stat check` against the
+#                                         previous entry (run-to-run
+#                                         regression sentinel)
+#
+# Every invocation also APPENDS one line to BENCH_trajectory.jsonl —
+# timestamp, git sha, and the full results document — so the performance
+# history survives BENCH_candidates.json being overwritten in place.
 #
 # Speedups are in-binary ratios (engine vs the reference loop compiled into
 # the same binary), so the gate is portable across machines; absolute
@@ -64,3 +75,30 @@ fi
 
 run ./build/bench/bench_candidates "${ARGS[@]}"
 echo "wrote ${OUT}"
+
+# Trajectory: append this measurement to the history file instead of only
+# overwriting the snapshot, so regressions can be traced back commit by
+# commit.  One JSONL line: timestamp, git sha, the full results document.
+TRAJECTORY="${BENCH_TRAJECTORY:-BENCH_trajectory.jsonl}"
+TS="$(date -u +%Y-%m-%dT%H:%M:%SZ)"
+SHA="$(git rev-parse --short HEAD 2>/dev/null || echo unknown)"
+printf '{"timestamp":"%s","git_sha":"%s","results":%s}\n' \
+  "${TS}" "${SHA}" "$(tr '\n' ' ' < "${OUT}")" >> "${TRAJECTORY}"
+echo "appended trajectory entry to ${TRAJECTORY}"
+
+# Run-ledger sentinel: record a small end-to-end solve and compare it
+# against the newest previous entry for the same workload.  The check is
+# noise-aware (relative thresholds + absolute floors), so it only fails on
+# material regressions; exit propagates, failing the bench run.
+if [[ -n "${BENCH_LEDGER:-}" ]]; then
+  run cmake --build build -j"$(nproc)" --target elmo_cli elmo_stat
+  ELMO_GIT_DESCRIBE="${SHA}" run ./build/examples/elmo_cli --builtin toy \
+    --algorithm combined --ranks 3 --partition r6r,r8r \
+    --ledger "${BENCH_LEDGER}" -o /dev/null
+  if [[ "$(wc -l < "${BENCH_LEDGER}")" -ge 2 ]]; then
+    run ./build/tools/elmo_stat check "${BENCH_LEDGER}" \
+      --baseline "${BENCH_LEDGER}"
+  else
+    echo "ledger ${BENCH_LEDGER} has a single entry; nothing to compare yet"
+  fi
+fi

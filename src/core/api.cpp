@@ -39,9 +39,14 @@ std::vector<obs::RankEntry> make_rank_entries(
     if (r < report.ranks.size()) {
       const auto& counters = report.ranks[r];
       entry.messages_sent = counters.messages_sent;
+      entry.messages_received = counters.messages_received;
       entry.bytes_sent = counters.bytes_sent;
       entry.collectives = counters.collectives;
       entry.memory_peak_bytes = counters.memory_peak;
+      entry.wait_data_us = counters.wait_data_us;
+      entry.wait_barrier_us = counters.wait_barrier_us;
+      entry.wait_straggler_us = counters.wait_straggler_us;
+      entry.max_queue_depth = counters.max_queue_depth;
     }
     if (r < rank_stats.size()) {
       entry.phase_seconds = rank_stats[r].phases.totals();
@@ -145,6 +150,7 @@ EfmResult run_with(const CompressedProblem& compressed,
       combined.checkpoint_path = options.checkpoint_path;
       combined.resume_from = options.resume_from;
       combined.subset_deadlines = options.subset_deadlines;
+      combined.on_subset = options.on_subset;
       if (options.scale_deadlines_by_estimate &&
           options.subset_deadlines.any()) {
         // Estimate-based deadline scaling: a cheap prefix-run per subset
@@ -386,6 +392,11 @@ obs::SolveReport make_solve_report(const EfmResult& result,
   report.spill_blocks = result.spill_blocks;
   report.totals["spill_bytes"] = result.spill_bytes;
   report.totals["spill_blocks"] = result.spill_blocks;
+
+  // Counter-derived flow attribution (waits, imbalance, per-subset
+  // utilization).  Callers holding a trace re-run analyze_flow with the
+  // recorded events to add the critical path and flow-pairing stats.
+  report.flow = obs::analyze_flow(report, nullptr);
   return report;
 }
 

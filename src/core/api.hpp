@@ -112,6 +112,12 @@ struct EfmOptions {
   /// the parallel algorithms).
   std::function<void(const IterationStats&)> on_iteration;
 
+  /// Subset observer (Algorithm 3), invoked once per committed subset —
+  /// computed or resumed — with its label, EFM count, and wall seconds.
+  /// Unlike on_iteration it is never throttled downstream, so drivers can
+  /// rely on exactly one notification per partition.
+  std::function<void(const std::string&, std::size_t, double)> on_subset;
+
   /// Keep the per-iteration history on the returned stats (the run
   /// report's column-growth curve).  One IterationStats per row processed.
   bool record_history = false;

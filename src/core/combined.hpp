@@ -93,6 +93,12 @@ struct CombinedOptions {
   /// proxy) for a subset.  Wired by the API layer from core/estimate.hpp
   /// (which cannot be included here — it includes this header).
   std::function<double(const SubsetSpec&)> subset_cost_hint;
+
+  /// Invoked once per committed subset (computed or resumed) with its
+  /// label, EFM count, and wall seconds.  Never throttled — progress
+  /// reporting uses this so even a subset that finishes inside one
+  /// heartbeat interval leaves a record.
+  std::function<void(const std::string&, std::size_t, double)> on_subset;
 };
 
 /// One divide-and-conquer subtask: (reduced reaction index, must-be-nonzero)
@@ -364,6 +370,8 @@ CombinedResult<Scalar, Support> solve_combined(
       for (auto& column : restored)
         result.columns.push_back(std::move(column));
       result.total.merge(report.stats);
+      if (options.on_subset)
+        options.on_subset(report.label, report.num_efms, report.seconds);
       result.subsets.push_back(std::move(report));
       continue;
     }
@@ -562,6 +570,8 @@ CombinedResult<Scalar, Support> solve_combined(
     for (auto& column : subset_columns)
       result.columns.push_back(std::move(column));
     result.total.merge(report.stats);
+    if (options.on_subset)
+      options.on_subset(report.label, report.num_efms, report.seconds);
     result.subsets.push_back(std::move(report));
   }
 

@@ -36,6 +36,14 @@ struct MpsimMetrics {
       "mpsim.deadline_aborts");
   obs::Histogram payload_bytes = obs::Registry::global().histogram(
       "mpsim.payload_bytes");
+  obs::Histogram queue_depth = obs::Registry::global().histogram(
+      "mpsim.queue_depth");
+  obs::Histogram wait_data = obs::Registry::global().histogram(
+      "mpsim.wait_data_us");
+  obs::Histogram wait_barrier = obs::Registry::global().histogram(
+      "mpsim.wait_barrier_us");
+  obs::Histogram wait_straggler = obs::Registry::global().histogram(
+      "mpsim.wait_straggler_us");
 
   static const MpsimMetrics& get() {
     static const MpsimMetrics metrics;
@@ -43,9 +51,41 @@ struct MpsimMetrics {
   }
 };
 
+/// Account one classified blocked wait: rank counters, the per-class
+/// histogram, and (when tracing) a span on the waiting rank's track so
+/// wait time shows up between the send/recv slices in Perfetto.
+void record_wait(RankCounters& counters, bool data_wait, bool straggler,
+                 double trace_start_us, double waited_us) {
+  const auto us = static_cast<std::uint64_t>(waited_us);
+  const MpsimMetrics& metrics = MpsimMetrics::get();
+  const char* kind = nullptr;
+  if (straggler) {
+    counters.wait_straggler_us += us;
+    metrics.wait_straggler.observe(us);
+    kind = "straggler-wait";
+  } else if (data_wait) {
+    counters.wait_data_us += us;
+    metrics.wait_data.observe(us);
+    kind = "data-wait";
+  } else {
+    counters.wait_barrier_us += us;
+    metrics.wait_barrier.observe(us);
+    kind = "barrier-wait";
+  }
+  if (obs::TraceRecorder* recorder = obs::trace())
+    recorder->record_complete(kind, "wait", trace_start_us, waited_us);
+}
+
 }  // namespace
 
 namespace detail {
+
+/// Each World (one per run_ranks call) gets a process-unique epoch so flow
+/// ids never repeat across the subsets of a divide-and-conquer run.
+inline std::uint64_t next_world_epoch() {
+  static std::atomic<std::uint64_t> counter{0};
+  return counter.fetch_add(1, std::memory_order_relaxed);
+}
 
 /// Shared state of one simulated machine.  All blocking waits watch the
 /// `aborted` flag so a failing rank can never deadlock its peers; rank
@@ -77,11 +117,28 @@ struct World {
   int num_exited = 0;
   int first_exited = -1;
 
-  // Point-to-point: per-destination map keyed by (source, tag).
+  // Point-to-point: per-destination map keyed by (source, tag).  Each
+  // queued message carries the flow id stamped at send time so the recv
+  // side can close the matching Perfetto flow arrow.
+  struct Message {
+    Payload payload;
+    std::uint64_t flow = 0;
+  };
   struct Mailbox {
-    std::map<std::pair<int, int>, std::deque<Payload>> queues;
+    std::map<std::pair<int, int>, std::deque<Message>> queues;
+    std::size_t depth = 0;       // undelivered messages across all queues
+    std::size_t peak_depth = 0;  // high-water mark of depth
   };
   std::vector<Mailbox> mailboxes;
+
+  // Monotone message sequence; combined with `flow_epoch` it forms the
+  // per-message flow id (guarded by `mutex`, like the mailboxes it stamps).
+  std::uint64_t next_flow = 1;
+
+  // Process-unique world number mixed into every flow id.  Without it a
+  // divide-and-conquer run — one World per subset — would reuse ids across
+  // subsets and Perfetto would thread arrows between unrelated exchanges.
+  const std::uint64_t flow_epoch = next_world_epoch();
 
   // Barrier (generation-counting).
   int barrier_waiting = 0;
@@ -266,11 +323,36 @@ void Communicator::send(int destination, int tag, Payload payload) {
   counters_.messages_sent += 1;
   counters_.bytes_sent += payload.size();
   // A dropped message is "sent" from the sender's perspective (counters
-  // above reflect the traffic) but never reaches the destination mailbox.
-  if (plan != nullptr && plan->on_send(rank_, destination)) return;
-  world_.mailboxes[static_cast<std::size_t>(destination)]
-      .queues[{rank_, tag}]
-      .push_back(std::move(payload));
+  // above reflect the traffic) but never reaches the destination mailbox —
+  // and opens no flow, so flow pairing stays exact under fault injection.
+  if (plan != nullptr && plan->on_send(rank_, destination)) {
+    if (obs::trace() != nullptr) {
+      obs::trace_instant("drop", "mpsim",
+                         "src=" + std::to_string(rank_) +
+                             " dst=" + std::to_string(destination) +
+                             " tag=" + std::to_string(tag));
+    }
+    return;
+  }
+  // Epoch in the top (non-gather) bits, per-world sequence below: unique
+  // across every World of the process, disjoint from the gather id space
+  // (bit 63 clear).
+  const std::uint64_t flow = ((world_.flow_epoch & 0x7fff) << 48) |
+                             (world_.next_flow++ & 0xffffffffffff);
+  const std::size_t bytes = payload.size();
+  auto& box = world_.mailboxes[static_cast<std::size_t>(destination)];
+  box.queues[{rank_, tag}].push_back({std::move(payload), flow});
+  ++box.depth;
+  box.peak_depth = std::max(box.peak_depth, box.depth);
+  metrics.queue_depth.observe(box.depth);
+  if (obs::TraceRecorder* recorder = obs::trace()) {
+    recorder->record_flow("msg", "mpsim", 's', flow,
+                          "src=" + std::to_string(rank_) +
+                              " dst=" + std::to_string(destination) +
+                              " seq=" + std::to_string(flow) +
+                              " bytes=" + std::to_string(bytes) +
+                              " tag=" + std::to_string(tag));
+  }
   world_.cv.notify_all();
 }
 
@@ -292,11 +374,26 @@ Payload Communicator::recv(int source, int tag) {
   };
   if (!ready()) {
     // Predicate is false under the mutex: this rank is now provably
-    // blocked, so register the wait for the progress checker.
-    detail::ScopedWait wait(
-        world_, rank_,
-        {detail::World::WaitInfo::Kind::kRecv, source, tag});
-    world_.cv.wait(lock, ready);
+    // blocked — register the wait for the progress checker and meter the
+    // blocked duration for the wait-class breakdown.
+    obs::TraceRecorder* recorder = obs::trace();
+    const double trace_start =
+        recorder != nullptr ? recorder->now_us() : 0.0;
+    const auto wait_begin = std::chrono::steady_clock::now();
+    {
+      detail::ScopedWait wait(
+          world_, rank_,
+          {detail::World::WaitInfo::Kind::kRecv, source, tag});
+      world_.cv.wait(lock, ready);
+    }
+    const double waited_us =
+        std::chrono::duration<double, std::micro>(
+            std::chrono::steady_clock::now() - wait_begin)
+            .count();
+    FaultPlan* plan = world_.options.fault_plan.get();
+    const bool straggler = plan != nullptr && plan->is_straggler(source);
+    record_wait(counters_, /*data_wait=*/true, straggler, trace_start,
+                waited_us);
   }
   check_abort_locked(lock);
   // Deliver in-flight messages even from an exited source; only an empty
@@ -307,9 +404,15 @@ Payload Communicator::recv(int source, int tag) {
                                    "): source rank exited with no matching "
                                    "message in flight");
   }
-  auto& queue = queues[key];
-  Payload payload = std::move(queue.front());
+  auto& box = world_.mailboxes[static_cast<std::size_t>(rank_)];
+  auto& queue = box.queues[key];
+  Payload payload = std::move(queue.front().payload);
+  const std::uint64_t flow = queue.front().flow;
   queue.pop_front();
+  --box.depth;
+  counters_.messages_received += 1;
+  if (obs::TraceRecorder* recorder = obs::trace())
+    recorder->record_flow("msg", "mpsim", 'f', flow);
   return payload;
 }
 
@@ -333,6 +436,9 @@ void Communicator::sync_barrier() {
     world_.cv.notify_all();
     return;
   }
+  obs::TraceRecorder* recorder = obs::trace();
+  const double trace_start = recorder != nullptr ? recorder->now_us() : 0.0;
+  const auto wait_begin = std::chrono::steady_clock::now();
   {
     detail::ScopedWait wait(
         world_, rank_,
@@ -341,6 +447,14 @@ void Communicator::sync_barrier() {
       return world_.aborted || world_.barrier_generation != generation;
     });
   }
+  const double waited_us = std::chrono::duration<double, std::micro>(
+                               std::chrono::steady_clock::now() - wait_begin)
+                               .count();
+  FaultPlan* plan = world_.options.fault_plan.get();
+  const bool straggler =
+      plan != nullptr && plan->has_straggler_excluding(rank_);
+  record_wait(counters_, /*data_wait=*/false, straggler, trace_start,
+              waited_us);
   if (world_.aborted && world_.barrier_generation == generation) {
     // Wake released us, not barrier completion: withdraw before throwing.
     --world_.barrier_waiting;
@@ -367,6 +481,16 @@ std::vector<Payload> Communicator::all_gather(Payload local) {
   enter_op("all_gather");
   FaultPlan* plan = world_.options.fault_plan.get();
   if (plan != nullptr) plan->on_payload(rank_, local);
+  // Gather flows: one flow per (world, round, contributor), id = high bit |
+  // world epoch << 32 | generation << 16 | rank.  The contributor opens it
+  // when publishing its slot; every consumer closes it when copying the
+  // slot out, so Perfetto draws the O(N^2) exchange fan the paper's
+  // Algorithm 2 pays each iteration.  The generation is stable across the
+  // publish phase (it only advances inside the sync_barrier that follows).
+  constexpr std::uint64_t kGatherFlowBit = std::uint64_t{1} << 63;
+  const std::uint64_t gather_base =
+      kGatherFlowBit | ((world_.flow_epoch & 0x7fffffff) << 32);
+  std::uint64_t round = 0;
   {
     std::unique_lock lock(world_.mutex);
     check_abort_locked(lock);
@@ -374,6 +498,15 @@ std::vector<Payload> Communicator::all_gather(Payload local) {
     counters_.messages_sent += static_cast<std::uint64_t>(world_.size - 1);
     counters_.bytes_sent +=
         local.size() * static_cast<std::uint64_t>(world_.size - 1);
+    round = world_.barrier_generation;
+    if (obs::TraceRecorder* recorder = obs::trace()) {
+      recorder->record_flow(
+          "gather", "mpsim", 's',
+          gather_base | ((round & 0xffff) << 16) |
+              (static_cast<std::uint64_t>(rank_) & 0xffff),
+          "src=" + std::to_string(rank_) + " round=" + std::to_string(round) +
+              " bytes=" + std::to_string(local.size()));
+    }
     world_.gather_slots[static_cast<std::size_t>(rank_)] = std::move(local);
   }
   sync_barrier();  // everyone has published
@@ -382,6 +515,15 @@ std::vector<Payload> Communicator::all_gather(Payload local) {
     std::unique_lock lock(world_.mutex);
     check_abort_locked(lock);
     result = world_.gather_slots;  // copy: each rank owns its view
+    if (obs::TraceRecorder* recorder = obs::trace()) {
+      for (int peer = 0; peer < world_.size; ++peer) {
+        if (peer == rank_) continue;
+        recorder->record_flow(
+            "gather", "mpsim", 'f',
+            gather_base | ((round & 0xffff) << 16) |
+                (static_cast<std::uint64_t>(peer) & 0xffff));
+      }
+    }
   }
   sync_barrier();  // safe to overwrite slots in the next collective
   return result;
@@ -578,6 +720,13 @@ RunReport run_ranks(int num_ranks,
   RunReport report;
   report.ranks.reserve(comms.size());
   for (const auto& comm : comms) report.ranks.push_back(comm.counters());
+  // Inbox high-water marks live on the world (the sender updates them while
+  // holding the mutex); fold them into the per-rank counters here, after
+  // every rank has joined.
+  for (int r = 0; r < num_ranks; ++r) {
+    report.ranks[static_cast<std::size_t>(r)].max_queue_depth =
+        world.mailboxes[static_cast<std::size_t>(r)].peak_depth;
+  }
   return report;
 }
 

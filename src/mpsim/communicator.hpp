@@ -65,10 +65,20 @@ struct World;
 /// Per-rank traffic and memory counters.
 struct RankCounters {
   std::uint64_t messages_sent = 0;
+  std::uint64_t messages_received = 0;
   std::uint64_t bytes_sent = 0;
   std::uint64_t collectives = 0;
   std::size_t memory_in_use = 0;
   std::size_t memory_peak = 0;
+  // Blocked-wait accounting in microseconds, classified at the wait site:
+  // data-wait = recv blocked until a matching message arrived, barrier-wait
+  // = a collective blocked on peer attendance, straggler-wait = either kind
+  // while the peer being waited on is a configured FaultPlan straggler.
+  std::uint64_t wait_data_us = 0;
+  std::uint64_t wait_barrier_us = 0;
+  std::uint64_t wait_straggler_us = 0;
+  /// Peak number of undelivered messages queued in this rank's inbox.
+  std::uint64_t max_queue_depth = 0;
 };
 
 /// Handle each rank body receives; mirrors the MPI surface the paper's

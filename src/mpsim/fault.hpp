@@ -151,6 +151,26 @@ struct FaultPlan {
     return it->second;
   }
 
+  /// Pure query (no delay tallied): is `rank` configured as a straggler?
+  /// The wait classifier uses this to label blocked time as straggler-wait
+  /// without perturbing the Totals the tests assert on.
+  [[nodiscard]] bool is_straggler(int rank) const {
+    std::lock_guard lock(mutex_);
+    auto it = straggle_us_.find(rank);
+    return it != straggle_us_.end() && it->second != 0;
+  }
+
+  /// Pure query: does any rank other than `rank` straggle?  Classifies
+  /// barrier-side blocking: waiting on a collective that a known straggler
+  /// has yet to join is straggler-wait, not ordinary barrier skew.
+  [[nodiscard]] bool has_straggler_excluding(int rank) const {
+    std::lock_guard lock(mutex_);
+    for (const auto& [r, us] : straggle_us_) {
+      if (r != rank && us != 0) return true;
+    }
+    return false;
+  }
+
   // ---- observability ----
 
   [[nodiscard]] Totals totals() const {

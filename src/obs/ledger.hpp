@@ -1,0 +1,123 @@
+// Append-only run ledger ("runs/ledger.jsonl") and the regression sentinel.
+//
+// Every solve can persist a schema-versioned summary of its report.json as
+// one compact JSON line: identity (network, algorithm, ranks, config, git
+// describe, hostname, timestamp) plus every numeric leaf of the report
+// flattened to dot-path metrics ("totals.pairs_probed",
+// "flow.critical_path_us", ...).  Ledgers accumulate across runs and
+// machines; tools/elmo_stat lists, diffs, and — the point — checks a
+// candidate run against a baseline with noise-aware per-metric-class
+// thresholds, turning silent performance regressions into a non-zero exit
+// code in bench.sh and CI.
+//
+// The query/diff/check logic lives here (not in the CLI) so the test suite
+// can golden-test it directly.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "obs/json.hpp"
+
+namespace elmo::obs {
+
+/// Bump when the record layout changes incompatibly; readers keep accepting
+/// older versions (absent metrics are simply skipped by the sentinel).
+inline constexpr int kLedgerSchemaVersion = 1;
+
+struct LedgerRecord {
+  int schema_version = kLedgerSchemaVersion;
+  std::string timestamp;     // ISO 8601 UTC, e.g. "2026-08-08T12:00:00Z"
+  std::string git_describe;  // "unknown" when not determinable
+  std::string hostname;      // "unknown" when not determinable
+  std::string network;
+  std::string algorithm;
+  int num_ranks = 1;
+  std::map<std::string, std::string> config;
+  std::uint64_t num_efms = 0;
+  double seconds = 0.0;
+  /// Flattened numeric leaves of the report (arrays are skipped: per-rank
+  /// and per-iteration detail stays in report.json, the ledger keeps the
+  /// comparable scalars).
+  std::map<std::string, double> metrics;
+
+  [[nodiscard]] JsonValue to_json() const;
+
+  /// Identity for baseline matching: two records with equal keys ran the
+  /// same workload (network, algorithm, ranks, config) and are comparable.
+  [[nodiscard]] std::string key() const;
+};
+
+/// Build a record from a report.json document (a SolveReport::to_json()
+/// value or a parsed report file).
+[[nodiscard]] LedgerRecord make_ledger_record(const JsonValue& report,
+                                              std::string timestamp,
+                                              std::string git_describe,
+                                              std::string hostname);
+
+/// Convenience used by elmo_cli --ledger: timestamp = now (override with
+/// ELMO_LEDGER_TIMESTAMP for reproducible tests), git describe from
+/// ELMO_GIT_DESCRIBE, hostname from the OS.
+[[nodiscard]] LedgerRecord make_ledger_record_env(const JsonValue& report);
+
+/// Parse one ledger line back into a record; unknown fields are ignored,
+/// missing ones default.  Throws std::runtime_error when `value` is not an
+/// object.
+[[nodiscard]] LedgerRecord parse_ledger_record(const JsonValue& value);
+
+/// Append `record` to `path` as one compact line, creating the file (but
+/// not parent directories) on first use.  Throws on I/O failure.
+void append_ledger_record(const std::string& path, const LedgerRecord& record);
+
+/// Load every record of a ledger file in append order.  Throws
+/// std::runtime_error naming the offending line on parse failure.
+[[nodiscard]] std::vector<LedgerRecord> load_ledger(const std::string& path);
+
+// ---- queries ----
+
+/// One line per record: index, timestamp, identity, headline numbers.
+[[nodiscard]] std::string render_ledger_list(
+    const std::vector<LedgerRecord>& records);
+
+/// Metric-by-metric comparison of two records (union of their metrics;
+/// unchanged metrics are summarised, changed ones listed with deltas).
+[[nodiscard]] std::string render_ledger_diff(const LedgerRecord& baseline,
+                                             const LedgerRecord& candidate);
+
+/// Noise model of the sentinel: timing metrics jitter between runs and
+/// machines, byte counts jitter with allocator behaviour, pure counts are
+/// deterministic and must match exactly.
+enum class MetricClass { kTime, kMemory, kCount };
+
+/// Classify by name: "seconds"/"_us"/"wall"/"pct"/"utilization" are time,
+/// "bytes"/"rss"/"memory" are memory, everything else is an exact count.
+[[nodiscard]] MetricClass classify_metric(const std::string& name);
+
+struct CheckThresholds {
+  double time_pct = 25.0;
+  double memory_pct = 35.0;
+  double count_pct = 0.0;
+  /// Exact-name overrides (from repeated --metric NAME=PCT flags).
+  std::map<std::string, double> per_metric;
+};
+
+struct CheckResult {
+  bool ok = true;
+  /// One entry per regressed metric: "name: baseline -> candidate (+X%)".
+  std::vector<std::string> regressions;
+  /// Human-readable per-metric table (stable format, golden-tested).
+  std::string report;
+};
+
+/// Compare `candidate` against `baseline`.  Time and memory metrics only
+/// regress when they INCREASE past their threshold (improvements pass and
+/// tiny absolute wobbles under the noise floor are ignored); count metrics
+/// fail on any mismatch in either direction.  Metrics present on only one
+/// side are skipped.
+[[nodiscard]] CheckResult check_regression(const LedgerRecord& baseline,
+                                           const LedgerRecord& candidate,
+                                           const CheckThresholds& thresholds);
+
+}  // namespace elmo::obs

@@ -7,15 +7,19 @@
 // headers split or merge without a tree-wide include rewrite.
 //
 // Re-exports:
-//   obs/trace.hpp       Chrome/Perfetto trace_event recording
+//   obs/trace.hpp       Chrome/Perfetto trace_event recording (incl. flows)
 //   obs/metrics.hpp     counters/gauges/histograms registry
 //   obs/progress.hpp    progress + ETA reporting
 //   obs/report.hpp      end-of-run machine-readable report
+//   obs/flow.hpp        message-flow / critical-path post-processing
+//   obs/ledger.hpp      append-only run ledger + regression sentinel
 //   obs/json.hpp        the minimal JSON value/writer the above share
 //   obs/suppressed.hpp  suppressed-diagnostic accounting
 #pragma once
 
+#include "obs/flow.hpp"        // lint:allow(unused-include) facade re-export
 #include "obs/json.hpp"        // lint:allow(unused-include) facade re-export
+#include "obs/ledger.hpp"      // lint:allow(unused-include) facade re-export
 #include "obs/metrics.hpp"     // lint:allow(unused-include) facade re-export
 #include "obs/progress.hpp"    // lint:allow(unused-include) facade re-export
 #include "obs/report.hpp"      // lint:allow(unused-include) facade re-export

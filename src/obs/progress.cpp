@@ -10,6 +10,11 @@ namespace elmo::obs {
 
 namespace {
 
+// Rates and ETAs divide by elapsed time; a subset can finish within one
+// clock tick, so every division guards against (near-)zero denominators
+// instead of trusting `elapsed > 0`.
+constexpr double kMinElapsedSeconds = 1e-9;
+
 double seconds_between(std::chrono::steady_clock::time_point from,
                        std::chrono::steady_clock::time_point to) {
   return std::chrono::duration<double>(to - from).count();
@@ -66,6 +71,16 @@ ProgressReporter::ProgressReporter(ProgressOptions options)
 }
 
 ProgressReporter::~ProgressReporter() {
+  // A solve that finished inside one heartbeat interval never tripped the
+  // throttle, and a caller that aborted may never call finish(); either
+  // way the stream still gets its terminal `done` record.
+  {
+    std::lock_guard lock(mutex_);
+    if (!finished_) {
+      finished_ = true;
+      emit_locked(/*final_line=*/true, /*num_efms=*/0);
+    }
+  }
   if (heartbeat_ != nullptr) std::fclose(heartbeat_);
 }
 
@@ -90,6 +105,30 @@ void ProgressReporter::on_iteration(const ProgressSample& sample) {
   emit_locked(/*final_line=*/false, /*num_efms=*/0);
 }
 
+void ProgressReporter::on_subset(const std::string& label,
+                                 std::uint64_t num_efms, double seconds) {
+  std::lock_guard lock(mutex_);
+  if (finished_) return;
+  const double elapsed =
+      seconds_between(start_, std::chrono::steady_clock::now());
+  if (options_.print) {
+    std::string line = "[elmo]";
+    if (!options_.label.empty()) line += " " + options_.label;
+    line += " subset " + label + " done: " + format_count(num_efms) +
+            " EFMs in " + format_duration(seconds);
+    std::fprintf(stderr, "%s\n", line.c_str());
+  }
+  if (heartbeat_ == nullptr) return;
+  JsonValue record = JsonValue::object();
+  record.set("kind", JsonValue(std::string("subset")));
+  record.set("t_seconds", JsonValue(elapsed));
+  record.set("subset", JsonValue(label));
+  record.set("num_efms", JsonValue(num_efms));
+  record.set("seconds", JsonValue(seconds));
+  if (!options_.label.empty()) record.set("label", JsonValue(options_.label));
+  write_heartbeat_locked(record);
+}
+
 void ProgressReporter::finish(std::uint64_t num_efms) {
   std::lock_guard lock(mutex_);
   if (finished_) return;
@@ -102,7 +141,9 @@ void ProgressReporter::emit_locked(bool final_line, std::uint64_t num_efms) {
   const double elapsed =
       seconds_between(start_, std::chrono::steady_clock::now());
   const double pairs_per_sec =
-      elapsed > 0.0 ? static_cast<double>(cumulative_pairs_) / elapsed : 0.0;
+      elapsed > kMinElapsedSeconds
+          ? static_cast<double>(cumulative_pairs_) / elapsed
+          : 0.0;
 
   // Fraction complete: the greater of the pair-based fraction (captures the
   // quadratic cost profile, but the a-priori estimate can overshoot by
@@ -121,7 +162,7 @@ void ProgressReporter::emit_locked(bool final_line, std::uint64_t num_efms) {
                           static_cast<double>(options_.total_iterations)));
   }
   double eta_seconds = -1.0;
-  if (!final_line && fraction > 0.0 && elapsed > 0.0) {
+  if (!final_line && fraction > 0.0 && elapsed > kMinElapsedSeconds) {
     eta_seconds = elapsed * (1.0 - fraction) / fraction;
   }
 
@@ -175,11 +216,15 @@ void ProgressReporter::emit_locked(bool final_line, std::uint64_t num_efms) {
       record.set("spill_bytes", JsonValue(options_.spill_bytes_source()));
     record.set("done", JsonValue(final_line));
     if (final_line) record.set("num_efms", JsonValue(num_efms));
-    const std::string json = record.dump();
-    std::fwrite(json.data(), 1, json.size(), heartbeat_);
-    std::fputc('\n', heartbeat_);
-    std::fflush(heartbeat_);
+    write_heartbeat_locked(record);
   }
+}
+
+void ProgressReporter::write_heartbeat_locked(const JsonValue& record) {
+  const std::string json = record.dump();
+  std::fwrite(json.data(), 1, json.size(), heartbeat_);
+  std::fputc('\n', heartbeat_);
+  std::fflush(heartbeat_);
 }
 
 }  // namespace elmo::obs

@@ -27,6 +27,8 @@
 
 namespace elmo::obs {
 
+class JsonValue;  // obs/json.hpp — only touched in the implementation
+
 struct ProgressOptions {
   /// Print human-readable progress lines to stderr.
   bool print = false;
@@ -69,7 +71,17 @@ class ProgressReporter {
   /// the throttle interval has elapsed.
   void on_iteration(const ProgressSample& sample);
 
-  /// Emit the final summary line and heartbeat (idempotent).
+  /// Record a completed subset (divide-and-conquer partition).  Never
+  /// throttled: a subset that finishes faster than `interval_seconds` —
+  /// common for the small tail subsets — still leaves a record, so an
+  /// external watcher sees every partition land exactly once.
+  void on_subset(const std::string& label, std::uint64_t num_efms,
+                 double seconds);
+
+  /// Emit the final summary line and heartbeat (idempotent).  If never
+  /// called, the destructor emits the terminal record instead, so a solve
+  /// that completes inside one heartbeat interval (or aborts between
+  /// updates) still closes its heartbeat stream with a `done` record.
   void finish(std::uint64_t num_efms);
 
   /// Cumulative pairs probed so far (for tests).
@@ -78,6 +90,9 @@ class ProgressReporter {
  private:
   /// Emit one line + heartbeat from the current state.  Caller holds mutex_.
   void emit_locked(bool final_line, std::uint64_t num_efms);
+
+  /// Append one JSONL record to the heartbeat file.  Caller holds mutex_.
+  void write_heartbeat_locked(const JsonValue& record);
 
   ProgressOptions options_;
   mutable std::mutex mutex_;

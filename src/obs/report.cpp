@@ -26,10 +26,15 @@ JsonValue rank_to_json(const RankEntry& rank) {
   JsonValue out = JsonValue::object();
   out.set("rank", JsonValue(rank.rank));
   out.set("messages_sent", JsonValue(rank.messages_sent));
+  out.set("messages_received", JsonValue(rank.messages_received));
   out.set("bytes_sent", JsonValue(rank.bytes_sent));
   out.set("collectives", JsonValue(rank.collectives));
   out.set("memory_peak_bytes", JsonValue(rank.memory_peak_bytes));
   out.set("spill_bytes", JsonValue(rank.spill_bytes));
+  out.set("wait_data_us", JsonValue(rank.wait_data_us));
+  out.set("wait_barrier_us", JsonValue(rank.wait_barrier_us));
+  out.set("wait_straggler_us", JsonValue(rank.wait_straggler_us));
+  out.set("max_queue_depth", JsonValue(rank.max_queue_depth));
   out.set("phase_seconds", to_json(rank.phase_seconds));
   return out;
 }
@@ -68,6 +73,8 @@ JsonValue SolveReport::to_json() const {
   resource_json.set("spill_bytes", JsonValue(spill_bytes));
   resource_json.set("spill_blocks", JsonValue(spill_blocks));
   root.set("resource", std::move(resource_json));
+
+  root.set("flow", flow.to_json());
 
   root.set("ranks", ranks_to_json(ranks));
 

@@ -18,6 +18,7 @@
 #include <string>
 #include <vector>
 
+#include "obs/flow.hpp"
 #include "obs/json.hpp"
 
 namespace elmo::obs {
@@ -26,11 +27,18 @@ namespace elmo::obs {
 struct RankEntry {
   int rank = 0;
   std::uint64_t messages_sent = 0;
+  std::uint64_t messages_received = 0;
   std::uint64_t bytes_sent = 0;
   std::uint64_t collectives = 0;
   std::uint64_t memory_peak_bytes = 0;
   /// Candidate bytes this rank wrote out-of-core (0 when nothing spilled).
   std::uint64_t spill_bytes = 0;
+  /// Blocked-wait breakdown from the mpsim runtime (microseconds).
+  std::uint64_t wait_data_us = 0;
+  std::uint64_t wait_barrier_us = 0;
+  std::uint64_t wait_straggler_us = 0;
+  /// Peak undelivered-message depth of this rank's inbox.
+  std::uint64_t max_queue_depth = 0;
   std::map<std::string, double> phase_seconds;
 };
 
@@ -98,6 +106,11 @@ struct SolveReport {
   std::uint64_t peak_rss_bytes = 0;
   // Current RSS at report time (VmRSS; 0 where unavailable).
   std::uint64_t rss_bytes = 0;
+
+  // Message-flow, wait-class, and critical-path attribution (the "flow"
+  // object in the JSON); see obs/flow.hpp.  Filled by analyze_flow() after
+  // the solve; default-constructed (all zeros) when never analyzed.
+  FlowSummary flow;
 
   // Resource-governance ledger ("resource" object in the JSON): configured
   // --mem-limit, peak bytes charged to the MemoryGovernor, and total

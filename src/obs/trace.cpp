@@ -67,6 +67,21 @@ void TraceRecorder::record_counter(std::string name, std::uint64_t value) {
   events_.push_back(std::move(event));
 }
 
+void TraceRecorder::record_flow(std::string name, const char* category,
+                                char phase, std::uint64_t id,
+                                std::string detail) {
+  TraceEvent event;
+  event.name = std::move(name);
+  event.category = category;
+  event.phase = phase;
+  event.tid = detail::current_tid();
+  event.ts_us = now_us();
+  event.id = id;
+  event.detail = std::move(detail);
+  std::lock_guard lock(mutex_);
+  events_.push_back(std::move(event));
+}
+
 void TraceRecorder::set_thread_name(std::string name) {
   const std::uint32_t tid = detail::current_tid();
   std::lock_guard lock(mutex_);
@@ -76,6 +91,16 @@ void TraceRecorder::set_thread_name(std::string name) {
 std::size_t TraceRecorder::event_count() const {
   std::lock_guard lock(mutex_);
   return events_.size();
+}
+
+std::vector<TraceEvent> TraceRecorder::snapshot_events() const {
+  std::lock_guard lock(mutex_);
+  return events_;
+}
+
+std::map<std::uint32_t, std::string> TraceRecorder::thread_names() const {
+  std::lock_guard lock(mutex_);
+  return thread_names_;
 }
 
 std::string TraceRecorder::to_json() const {
@@ -113,6 +138,13 @@ std::string TraceRecorder::to_json() const {
     append_ts("ts", event.ts_us);
     if (event.phase == 'X') append_ts("dur", event.dur_us);
     if (event.phase == 'i') out += ",\"s\":\"t\"";
+    if (event.phase == 's' || event.phase == 'f') {
+      out += ",\"id\":";
+      out += std::to_string(event.id);
+      // bp:"e" binds the finish to the enclosing slice, so the arrow lands
+      // on the recv span rather than the next slice on the track.
+      if (event.phase == 'f') out += ",\"bp\":\"e\"";
+    }
     if (event.phase == 'C') {
       out += ",\"args\":{\"value\":";
       out += std::to_string(event.value);
@@ -120,8 +152,7 @@ std::string TraceRecorder::to_json() const {
     } else if (!event.detail.empty()) {
       out += ",\"args\":{\"detail\":\"";
       out += json_escape(event.detail);
-      out += "\"}}";
-      continue;
+      out += "\"}";
     }
     out += "}";
   }

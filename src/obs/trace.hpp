@@ -63,11 +63,13 @@ void install_trace(TraceRecorder* recorder);
 struct TraceEvent {
   std::string name;
   const char* category = "";
-  char phase = 'X';        // 'X' complete, 'i' instant, 'C' counter
+  char phase = 'X';        // 'X' complete, 'i' instant, 'C' counter,
+                           // 's'/'f' flow start / flow finish
   std::uint32_t tid = 0;
   double ts_us = 0.0;      // microseconds since recorder construction
   double dur_us = 0.0;     // complete events only
   std::uint64_t value = 0;        // counter events
+  std::uint64_t id = 0;           // flow events: the flow binding id
   std::string detail;             // optional args.detail payload
 };
 
@@ -93,10 +95,23 @@ class TraceRecorder {
   /// (used for the column-growth curve).
   void record_counter(std::string name, std::uint64_t value);
 
+  /// Flow event: phase 's' opens a flow, 'f' closes it.  Perfetto draws an
+  /// arrow between the enclosing slices of the matching 's'/'f' pair, so a
+  /// flow id recorded inside a send span and again inside the receiving
+  /// rank's recv span renders the message as a cross-track arrow.  `id`
+  /// must be unique per flow (mpsim uses a global message sequence).
+  void record_flow(std::string name, const char* category, char phase,
+                   std::uint64_t id, std::string detail = {});
+
   /// Name the calling thread's track ("rank 3", "pool worker 0", ...).
   void set_thread_name(std::string name);
 
   [[nodiscard]] std::size_t event_count() const;
+
+  /// Copies of the recorded streams for post-processing (critical-path
+  /// analysis runs over these after the solve finishes).
+  [[nodiscard]] std::vector<TraceEvent> snapshot_events() const;
+  [[nodiscard]] std::map<std::uint32_t, std::string> thread_names() const;
 
   /// Serialise as a Trace Event JSON document ({"traceEvents": [...]}).
   [[nodiscard]] std::string to_json() const;

@@ -1,0 +1,242 @@
+// Tests for the run ledger and its regression sentinel: record extraction
+// from report JSON, JSONL append/load roundtrips, the list/diff renderings
+// elmo_stat prints, metric classification, and check_regression's
+// noise-aware pass/fail semantics.
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <cstdlib>
+#include <string>
+#include <vector>
+
+#include "obs/json.hpp"
+#include "obs/ledger.hpp"
+
+namespace elmo {
+namespace {
+
+obs::JsonValue parse(const std::string& text) {
+  std::string error;
+  obs::JsonValue value = obs::parse_json(text, &error);
+  EXPECT_TRUE(error.empty()) << error;
+  return value;
+}
+
+/// A miniature but structurally faithful report.json document.
+obs::JsonValue sample_report(bool traced, double seconds,
+                             std::uint64_t pairs) {
+  return parse(
+      "{\"network\":\"toy\",\"algorithm\":\"combined\",\"num_ranks\":3,"
+      "\"config\":{\"partition\":\"r6r,r8r\",\"threads\":\"1\"},"
+      "\"num_efms\":8,\"seconds\":" + std::to_string(seconds) + ","
+      "\"totals\":{\"pairs_probed\":" + std::to_string(pairs) + ","
+      "\"rank_tests\":5},"
+      "\"flow\":{\"traced\":" + std::string(traced ? "true" : "false") + ","
+      "\"critical_path_us\":793.2,\"critical_path_steps\":12,"
+      "\"wall_us\":1611.9,\"flows_emitted\":12,\"flows_matched\":12,"
+      "\"imbalance_pct\":30.7},"
+      "\"resource\":{\"peak_rss_bytes\":4800000},"
+      "\"ranks\":[{\"rank\":0,\"bytes_sent\":100}]}");
+}
+
+TEST(Ledger, RecordExtractionFlattensMetrics) {
+  const obs::LedgerRecord record = obs::make_ledger_record(
+      sample_report(true, 1.5, 42), "2026-08-08T00:00:00Z", "v1.2.3", "host");
+  EXPECT_EQ(record.schema_version, obs::kLedgerSchemaVersion);
+  EXPECT_EQ(record.network, "toy");
+  EXPECT_EQ(record.algorithm, "combined");
+  EXPECT_EQ(record.num_ranks, 3);
+  EXPECT_EQ(record.num_efms, 8u);
+  EXPECT_DOUBLE_EQ(record.seconds, 1.5);
+  EXPECT_EQ(record.config.at("partition"), "r6r,r8r");
+  // Numeric leaves flatten to dot paths; arrays (per-rank detail) do not.
+  EXPECT_DOUBLE_EQ(record.metrics.at("totals.pairs_probed"), 42.0);
+  EXPECT_DOUBLE_EQ(record.metrics.at("resource.peak_rss_bytes"), 4800000.0);
+  EXPECT_DOUBLE_EQ(record.metrics.at("flow.flows_matched"), 12.0);
+  EXPECT_EQ(record.metrics.count("ranks.bytes_sent"), 0u);
+  // num_ranks is identity (part of the workload key), not a metric.
+  EXPECT_EQ(record.metrics.count("num_ranks"), 0u);
+}
+
+TEST(Ledger, UntracedRecordOmitsTraceDerivedFlowMetrics) {
+  const obs::LedgerRecord record = obs::make_ledger_record(
+      sample_report(false, 1.0, 42), "t", "g", "h");
+  // An untraced run reports those fields as zeros; recording them would
+  // flag spurious regressions against any traced baseline.
+  EXPECT_EQ(record.metrics.count("flow.critical_path_us"), 0u);
+  EXPECT_EQ(record.metrics.count("flow.flows_emitted"), 0u);
+  EXPECT_EQ(record.metrics.count("flow.wall_us"), 0u);
+  // Counter-derived flow metrics stay.
+  EXPECT_EQ(record.metrics.count("flow.imbalance_pct"), 1u);
+}
+
+TEST(Ledger, WorkloadKeyIgnoresOutcome) {
+  const obs::LedgerRecord a = obs::make_ledger_record(
+      sample_report(true, 1.0, 42), "t1", "g1", "h1");
+  const obs::LedgerRecord b = obs::make_ledger_record(
+      sample_report(false, 9.0, 77), "t2", "g2", "h2");
+  EXPECT_EQ(a.key(), b.key());
+}
+
+TEST(Ledger, AppendLoadRoundtrip) {
+  const std::string path = ::testing::TempDir() + "ledger_roundtrip.jsonl";
+  std::remove(path.c_str());
+  const obs::LedgerRecord record = obs::make_ledger_record(
+      sample_report(true, 1.5, 42), "2026-08-08T00:00:00Z", "v1.2.3", "host");
+  obs::append_ledger_record(path, record);
+  obs::append_ledger_record(path, record);
+
+  const auto records = obs::load_ledger(path);
+  ASSERT_EQ(records.size(), 2u);
+  EXPECT_EQ(records[0].timestamp, "2026-08-08T00:00:00Z");
+  EXPECT_EQ(records[0].git_describe, "v1.2.3");
+  EXPECT_EQ(records[0].hostname, "host");
+  EXPECT_EQ(records[0].key(), record.key());
+  EXPECT_EQ(records[0].metrics, record.metrics);
+  std::remove(path.c_str());
+}
+
+TEST(Ledger, LoadRejectsDamagedRecord) {
+  const std::string path = ::testing::TempDir() + "ledger_damaged.jsonl";
+  std::FILE* file = std::fopen(path.c_str(), "wb");
+  ASSERT_NE(file, nullptr);
+  std::fputs("{\"schema_version\":1}\nnot json at all\n", file);
+  std::fclose(file);
+  EXPECT_THROW(obs::load_ledger(path), std::runtime_error);
+  std::remove(path.c_str());
+}
+
+TEST(Ledger, ListAndDiffRenderings) {
+  const obs::LedgerRecord a = obs::make_ledger_record(
+      sample_report(true, 1.5, 42), "2026-08-08T00:00:00Z", "v1", "hostA");
+  obs::LedgerRecord b = a;
+  b.timestamp = "2026-08-08T01:00:00Z";
+  b.metrics["totals.pairs_probed"] = 84.0;
+  b.metrics["only_in_b"] = 1.0;
+
+  const std::string list = obs::render_ledger_list({a, b});
+  EXPECT_NE(list.find("[0] 2026-08-08T00:00:00Z toy/combined ranks=3"),
+            std::string::npos);
+  EXPECT_NE(list.find("efms=8"), std::string::npos);
+
+  const std::string diff = obs::render_ledger_diff(a, b);
+  EXPECT_NE(diff.find("totals.pairs_probed: 42 -> 84 (+100.00%)"),
+            std::string::npos);
+  EXPECT_NE(diff.find("only_in_b: only in candidate"), std::string::npos);
+  // Identical metrics collapse into the unchanged tally, not noise lines.
+  EXPECT_EQ(diff.find("flow.flows_matched:"), std::string::npos);
+}
+
+TEST(Ledger, ClassifyMetric) {
+  using obs::MetricClass;
+  EXPECT_EQ(obs::classify_metric("seconds"), MetricClass::kTime);
+  EXPECT_EQ(obs::classify_metric("flow.critical_path_us"),
+            MetricClass::kTime);
+  EXPECT_EQ(obs::classify_metric("flow.imbalance_pct"), MetricClass::kTime);
+  EXPECT_EQ(obs::classify_metric("resource.peak_rss_bytes"),
+            MetricClass::kMemory);
+  EXPECT_EQ(obs::classify_metric("totals.pairs_probed"),
+            MetricClass::kCount);
+  EXPECT_EQ(obs::classify_metric("num_efms"), MetricClass::kCount);
+}
+
+TEST(LedgerCheck, SelfComparisonPasses) {
+  const obs::LedgerRecord record = obs::make_ledger_record(
+      sample_report(true, 1.5, 42), "t", "g", "h");
+  const obs::CheckResult result =
+      obs::check_regression(record, record, obs::CheckThresholds{});
+  EXPECT_TRUE(result.ok);
+  EXPECT_TRUE(result.regressions.empty());
+}
+
+TEST(LedgerCheck, CountDriftFailsBothDirections) {
+  const obs::LedgerRecord baseline = obs::make_ledger_record(
+      sample_report(true, 1.5, 42), "t", "g", "h");
+  for (std::uint64_t pairs : {41u, 43u}) {
+    const obs::LedgerRecord candidate = obs::make_ledger_record(
+        sample_report(true, 1.5, pairs), "t", "g", "h");
+    const obs::CheckResult result =
+        obs::check_regression(baseline, candidate, obs::CheckThresholds{});
+    EXPECT_FALSE(result.ok) << "pairs=" << pairs;
+    EXPECT_NE(result.report.find("[REGRESSION] totals.pairs_probed"),
+              std::string::npos);
+  }
+}
+
+TEST(LedgerCheck, TimeNoiseFloorAbsorbsSmallIncreases) {
+  const obs::LedgerRecord baseline = obs::make_ledger_record(
+      sample_report(true, 0.010, 42), "t", "g", "h");
+  // 10 ms -> 40 ms is +300% but under the 50 ms absolute floor: not a
+  // regression.  10 s -> 14 s is +40% over the 25% relative tolerance and
+  // far beyond the floor: regression.
+  const obs::LedgerRecord small_jump = obs::make_ledger_record(
+      sample_report(true, 0.040, 42), "t", "g", "h");
+  EXPECT_TRUE(obs::check_regression(baseline, small_jump,
+                                    obs::CheckThresholds{})
+                  .ok);
+
+  const obs::LedgerRecord slow_base = obs::make_ledger_record(
+      sample_report(true, 10.0, 42), "t", "g", "h");
+  const obs::LedgerRecord slow_cand = obs::make_ledger_record(
+      sample_report(true, 14.0, 42), "t", "g", "h");
+  const obs::CheckResult result = obs::check_regression(
+      slow_base, slow_cand, obs::CheckThresholds{});
+  EXPECT_FALSE(result.ok);
+  EXPECT_NE(result.report.find("[REGRESSION] seconds"), std::string::npos);
+}
+
+TEST(LedgerCheck, TimeImprovementsNeverFail) {
+  const obs::LedgerRecord baseline = obs::make_ledger_record(
+      sample_report(true, 10.0, 42), "t", "g", "h");
+  const obs::LedgerRecord faster = obs::make_ledger_record(
+      sample_report(true, 2.0, 42), "t", "g", "h");
+  EXPECT_TRUE(
+      obs::check_regression(baseline, faster, obs::CheckThresholds{}).ok);
+}
+
+TEST(LedgerCheck, PerMetricOverrideWins) {
+  const obs::LedgerRecord baseline = obs::make_ledger_record(
+      sample_report(true, 10.0, 42), "t", "g", "h");
+  const obs::LedgerRecord candidate = obs::make_ledger_record(
+      sample_report(true, 14.0, 42), "t", "g", "h");
+  obs::CheckThresholds thresholds;
+  thresholds.per_metric["seconds"] = 100.0;  // allow up to +100%
+  EXPECT_TRUE(obs::check_regression(baseline, candidate, thresholds).ok);
+}
+
+TEST(LedgerCheck, MetricsOnlyInOneSideAreSkipped) {
+  // Traced candidate vs untraced baseline: the trace-derived metrics exist
+  // only on the candidate and must not fail the check.
+  const obs::LedgerRecord baseline = obs::make_ledger_record(
+      sample_report(false, 1.5, 42), "t", "g", "h");
+  const obs::LedgerRecord candidate = obs::make_ledger_record(
+      sample_report(true, 1.5, 42), "t", "g", "h");
+  EXPECT_TRUE(
+      obs::check_regression(baseline, candidate, obs::CheckThresholds{}).ok);
+}
+
+TEST(Ledger, EnvOverridesMakeRecordsDeterministic) {
+  setenv("ELMO_LEDGER_TIMESTAMP", "2026-01-02T03:04:05Z", 1);
+  setenv("ELMO_GIT_DESCRIBE", "v9.9-test", 1);
+  const obs::LedgerRecord record =
+      obs::make_ledger_record_env(sample_report(true, 1.0, 42));
+  unsetenv("ELMO_LEDGER_TIMESTAMP");
+  unsetenv("ELMO_GIT_DESCRIBE");
+  EXPECT_EQ(record.timestamp, "2026-01-02T03:04:05Z");
+  EXPECT_EQ(record.git_describe, "v9.9-test");
+  EXPECT_FALSE(record.hostname.empty());
+}
+
+TEST(Ledger, RecordJsonRoundtrip) {
+  const obs::LedgerRecord record = obs::make_ledger_record(
+      sample_report(true, 1.5, 42), "2026-08-08T00:00:00Z", "v1.2.3", "host");
+  const obs::LedgerRecord back =
+      obs::parse_ledger_record(parse(record.to_json().dump(-1)));
+  EXPECT_EQ(back.schema_version, record.schema_version);
+  EXPECT_EQ(back.key(), record.key());
+  EXPECT_EQ(back.num_efms, record.num_efms);
+  EXPECT_EQ(back.metrics, record.metrics);
+}
+
+}  // namespace
+}  // namespace elmo

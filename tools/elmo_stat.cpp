@@ -1,0 +1,309 @@
+// elmo_stat — run-ledger query tool and regression sentinel.
+//
+//   elmo_stat list LEDGER
+//   elmo_stat show LEDGER [--index N]
+//   elmo_stat diff LEDGER [--a N] [--b N] [--baseline FILE]
+//   elmo_stat check LEDGER --baseline FILE [--index N]
+//             [--time-pct P] [--mem-pct P] [--count-pct P]
+//             [--metric NAME=PCT]...
+//   elmo_stat add LEDGER REPORT.json
+//   elmo_stat perturb LEDGER --metric NAME --factor F -o OUT [--index N]
+//
+// `check` compares the candidate record (the ledger's last, or --index)
+// against the newest baseline record with the same workload key (network,
+// algorithm, ranks, config).  When the baseline file IS the ledger itself,
+// only records older than the candidate are considered — so appending two
+// runs of the same binary to one ledger and checking it against itself
+// compares run 2 vs run 1.  Exit codes: 0 = pass, 1 = regression,
+// 2 = usage or I/O error.
+//
+// `perturb` rewrites a copy of the ledger with one metric of one record
+// scaled by a factor; CI uses it to prove the sentinel actually fires.
+#include <algorithm>
+#include <cstdio>
+#include <cstdlib>
+#include <exception>
+#include <stdexcept>
+#include <string>
+#include <vector>
+
+#include "obs/obs.hpp"
+
+namespace {
+
+using elmo::obs::CheckResult;
+using elmo::obs::CheckThresholds;
+using elmo::obs::JsonValue;
+using elmo::obs::LedgerRecord;
+
+int usage() {
+  std::fprintf(
+      stderr,
+      "usage: elmo_stat <command> [options]\n"
+      "  list LEDGER                         one line per recorded run\n"
+      "  show LEDGER [--index N]             pretty-print one record\n"
+      "  diff LEDGER [--a N] [--b N] [--baseline FILE]\n"
+      "                                      metric-by-metric comparison\n"
+      "  check LEDGER --baseline FILE [--index N] [--time-pct P]\n"
+      "        [--mem-pct P] [--count-pct P] [--metric NAME=PCT]...\n"
+      "                                      regression sentinel (exit 1 on\n"
+      "                                      regression)\n"
+      "  add LEDGER REPORT.json              append a report as a record\n"
+      "  perturb LEDGER --metric NAME --factor F -o OUT [--index N]\n"
+      "                                      write a copy with one metric\n"
+      "                                      scaled (sentinel self-test)\n");
+  return 2;
+}
+
+std::string read_file(const std::string& path) {
+  std::FILE* file = std::fopen(path.c_str(), "rb");
+  if (file == nullptr) throw std::runtime_error("cannot open: " + path);
+  std::string text;
+  char buffer[4096];
+  std::size_t got = 0;
+  while ((got = std::fread(buffer, 1, sizeof buffer, file)) > 0)
+    text.append(buffer, got);
+  std::fclose(file);
+  return text;
+}
+
+void write_ledger(const std::string& path,
+                  const std::vector<LedgerRecord>& records) {
+  std::string text;
+  for (const auto& record : records) text += record.to_json().dump(-1) + "\n";
+  std::FILE* file = std::fopen(path.c_str(), "wb");
+  if (file == nullptr)
+    throw std::runtime_error("cannot open for writing: " + path);
+  const std::size_t written = std::fwrite(text.data(), 1, text.size(), file);
+  const bool ok = written == text.size() && std::fclose(file) == 0;
+  if (!ok) throw std::runtime_error("failed writing: " + path);
+}
+
+/// Resolve a --index value (default: last record).  Throws on out-of-range.
+std::size_t resolve_index(const std::vector<LedgerRecord>& records,
+                          long requested) {
+  if (records.empty()) throw std::runtime_error("ledger is empty");
+  if (requested < 0) return records.size() - 1;
+  const auto index = static_cast<std::size_t>(requested);
+  if (index >= records.size()) {
+    throw std::runtime_error("index " + std::to_string(requested) +
+                             " out of range (ledger has " +
+                             std::to_string(records.size()) + " records)");
+  }
+  return index;
+}
+
+/// Newest baseline record matching `key`, restricted to indices < `before`
+/// (pass records.size() for no restriction).  Returns nullptr when none.
+const LedgerRecord* find_baseline(const std::vector<LedgerRecord>& records,
+                                  const std::string& key, std::size_t before) {
+  for (std::size_t i = std::min(before, records.size()); i-- > 0;) {
+    if (records[i].key() == key) return &records[i];
+  }
+  return nullptr;
+}
+
+struct Args {
+  std::vector<std::string> positional;
+  long index = -1;
+  long a = -1;
+  long b = -1;
+  std::string baseline;
+  std::string metric;
+  std::string out;
+  double factor = 1.0;
+  CheckThresholds thresholds;
+};
+
+bool parse_args(int argc, char** argv, int first, Args& args) {
+  auto next_value = [&](int& i) -> const char* {
+    if (i + 1 >= argc) {
+      std::fprintf(stderr, "elmo_stat: %s needs a value\n", argv[i]);
+      return nullptr;
+    }
+    return argv[++i];
+  };
+  for (int i = first; i < argc; ++i) {
+    const std::string arg = argv[i];
+    const char* value = nullptr;
+    if (arg == "--index") {
+      if ((value = next_value(i)) == nullptr) return false;
+      args.index = std::strtol(value, nullptr, 10);
+    } else if (arg == "--a") {
+      if ((value = next_value(i)) == nullptr) return false;
+      args.a = std::strtol(value, nullptr, 10);
+    } else if (arg == "--b") {
+      if ((value = next_value(i)) == nullptr) return false;
+      args.b = std::strtol(value, nullptr, 10);
+    } else if (arg == "--baseline") {
+      if ((value = next_value(i)) == nullptr) return false;
+      args.baseline = value;
+    } else if (arg == "--factor") {
+      if ((value = next_value(i)) == nullptr) return false;
+      args.factor = std::strtod(value, nullptr);
+    } else if (arg == "-o" || arg == "--out") {
+      if ((value = next_value(i)) == nullptr) return false;
+      args.out = value;
+    } else if (arg == "--time-pct") {
+      if ((value = next_value(i)) == nullptr) return false;
+      args.thresholds.time_pct = std::strtod(value, nullptr);
+    } else if (arg == "--mem-pct") {
+      if ((value = next_value(i)) == nullptr) return false;
+      args.thresholds.memory_pct = std::strtod(value, nullptr);
+    } else if (arg == "--count-pct") {
+      if ((value = next_value(i)) == nullptr) return false;
+      args.thresholds.count_pct = std::strtod(value, nullptr);
+    } else if (arg == "--metric") {
+      if ((value = next_value(i)) == nullptr) return false;
+      const std::string spec = value;
+      const std::size_t eq = spec.find('=');
+      if (eq != std::string::npos) {
+        // NAME=PCT form: a per-metric threshold override (check).
+        args.thresholds.per_metric[spec.substr(0, eq)] =
+            std::strtod(spec.c_str() + eq + 1, nullptr);
+      } else {
+        args.metric = spec;  // bare NAME form (perturb)
+      }
+    } else if (!arg.empty() && arg[0] == '-') {
+      std::fprintf(stderr, "elmo_stat: unknown option %s\n", arg.c_str());
+      return false;
+    } else {
+      args.positional.push_back(arg);
+    }
+  }
+  return true;
+}
+
+int cmd_list(const Args& args) {
+  const auto records = elmo::obs::load_ledger(args.positional[0]);
+  std::fputs(elmo::obs::render_ledger_list(records).c_str(), stdout);
+  return 0;
+}
+
+int cmd_show(const Args& args) {
+  const auto records = elmo::obs::load_ledger(args.positional[0]);
+  const std::size_t index = resolve_index(records, args.index);
+  std::printf("%s\n", records[index].to_json().dump(2).c_str());
+  return 0;
+}
+
+int cmd_diff(const Args& args) {
+  const auto records = elmo::obs::load_ledger(args.positional[0]);
+  const LedgerRecord* baseline = nullptr;
+  const LedgerRecord* candidate = nullptr;
+  std::vector<LedgerRecord> baseline_records;
+  if (!args.baseline.empty()) {
+    baseline_records = elmo::obs::load_ledger(args.baseline);
+    candidate = &records[resolve_index(records, args.b)];
+    baseline = &baseline_records[resolve_index(baseline_records, args.a)];
+  } else if (args.a >= 0 || args.b >= 0) {
+    baseline = &records[resolve_index(records, args.a)];
+    candidate = &records[resolve_index(records, args.b)];
+  } else {
+    // Default: last two records of the ledger.
+    if (records.size() < 2)
+      throw std::runtime_error("diff needs at least two records");
+    baseline = &records[records.size() - 2];
+    candidate = &records[records.size() - 1];
+  }
+  std::fputs(elmo::obs::render_ledger_diff(*baseline, *candidate).c_str(),
+             stdout);
+  return 0;
+}
+
+int cmd_check(const Args& args) {
+  if (args.baseline.empty()) {
+    std::fprintf(stderr, "elmo_stat check: --baseline FILE is required\n");
+    return 2;
+  }
+  const std::string& ledger_path = args.positional[0];
+  const auto records = elmo::obs::load_ledger(ledger_path);
+  const std::size_t candidate_index = resolve_index(records, args.index);
+  const LedgerRecord& candidate = records[candidate_index];
+
+  const bool self = args.baseline == ledger_path;
+  std::vector<LedgerRecord> baseline_records;
+  const std::vector<LedgerRecord>* pool = &records;
+  if (!self) {
+    baseline_records = elmo::obs::load_ledger(args.baseline);
+    pool = &baseline_records;
+  }
+  const LedgerRecord* baseline = find_baseline(
+      *pool, candidate.key(), self ? candidate_index : pool->size());
+  if (baseline == nullptr) {
+    std::fprintf(stderr,
+                 "elmo_stat check: no baseline record matches workload %s\n",
+                 candidate.key().c_str());
+    return 2;
+  }
+  const CheckResult result =
+      elmo::obs::check_regression(*baseline, candidate, args.thresholds);
+  std::printf("baseline : %s git=%s host=%s\n", baseline->timestamp.c_str(),
+              baseline->git_describe.c_str(), baseline->hostname.c_str());
+  std::printf("candidate: %s git=%s host=%s\n", candidate.timestamp.c_str(),
+              candidate.git_describe.c_str(), candidate.hostname.c_str());
+  std::fputs(result.report.c_str(), stdout);
+  if (!result.ok) {
+    std::printf("FAIL: %zu metric(s) regressed\n", result.regressions.size());
+    return 1;
+  }
+  std::printf("PASS: no regression\n");
+  return 0;
+}
+
+int cmd_add(const Args& args) {
+  if (args.positional.size() < 2) {
+    std::fprintf(stderr, "elmo_stat add: need LEDGER and REPORT.json\n");
+    return 2;
+  }
+  std::string error;
+  const JsonValue report = elmo::obs::parse_json(
+      read_file(args.positional[1]), &error);
+  if (report.is_null() && !error.empty())
+    throw std::runtime_error(args.positional[1] + ": " + error);
+  elmo::obs::append_ledger_record(
+      args.positional[0], elmo::obs::make_ledger_record_env(report));
+  return 0;
+}
+
+int cmd_perturb(const Args& args) {
+  if (args.metric.empty() || args.out.empty()) {
+    std::fprintf(stderr,
+                 "elmo_stat perturb: --metric NAME and -o OUT are required\n");
+    return 2;
+  }
+  auto records = elmo::obs::load_ledger(args.positional[0]);
+  const std::size_t index = resolve_index(records, args.index);
+  auto it = records[index].metrics.find(args.metric);
+  if (it == records[index].metrics.end()) {
+    std::fprintf(stderr, "elmo_stat perturb: record has no metric %s\n",
+                 args.metric.c_str());
+    return 2;
+  }
+  it->second *= args.factor;
+  write_ledger(args.out, records);
+  return 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  if (argc < 3) return usage();
+  const std::string command = argv[1];
+  Args args;
+  if (!parse_args(argc, argv, 2, args)) return 2;
+  if (args.positional.empty()) return usage();
+  try {
+    if (command == "list") return cmd_list(args);
+    if (command == "show") return cmd_show(args);
+    if (command == "diff") return cmd_diff(args);
+    if (command == "check") return cmd_check(args);
+    if (command == "add") return cmd_add(args);
+    if (command == "perturb") return cmd_perturb(args);
+  } catch (const std::exception& e) {
+    std::fprintf(stderr, "elmo_stat: %s\n", e.what());
+    return 2;
+  }
+  std::fprintf(stderr, "elmo_stat: unknown command '%s'\n", command.c_str());
+  return usage();
+}
