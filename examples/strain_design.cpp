@@ -20,7 +20,6 @@
 #include "analysis/yield.hpp"
 #include "core/api.hpp"
 #include "models/ecoli_core.hpp"
-#include "support/format.hpp"
 
 int main() {
   using namespace elmo;

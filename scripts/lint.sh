@@ -3,14 +3,17 @@
 #   1. elmo_analyze — the project's multi-pass static analyzer
 #      (tools/analyze/): include-graph layering/facade/cycle/IWYU-lite
 #      enforcement, lock-discipline, the overflow boundary around the
-#      exact-arithmetic kernels, and the historical lint rules — gated
-#      against the committed baseline (tools/analyze_baseline.txt).
-#      Bootstrapped with bare g++ so it works before any CMake tree
-#      exists.
+#      exact-arithmetic kernels, the historical lint rules, plus the
+#      interprocedural passes (shared-state races in concurrent bodies,
+#      error-path/RAII pairing, determinism in solver-output modules) —
+#      gated against the committed baseline (tools/analyze_baseline.txt),
+#      which the full run also checks for stale entries.  Covers src/,
+#      tools/, bench/ and examples/.  Bootstrapped with bare g++ so it
+#      works before any CMake tree exists.
 #   2. elmo_lint compatibility pass — the lint rules (naked new, rand,
-#      catch-all, reinterpret_cast) over tools/, tests/, examples/ and
-#      bench/ (src/ is already covered by stage 1; the seeded-violation
-#      corpus under tests/analyze_fixtures/ is excluded by design).
+#      catch-all, reinterpret_cast) over tests/ (the only tree stage 1
+#      does not walk; the seeded-violation corpus under
+#      tests/analyze_fixtures/ is excluded by design).
 #   3. header self-containedness — every src/**/*.hpp must compile on its
 #      own (g++ -fsyntax-only), so include order can never hide a missing
 #      include.
@@ -29,17 +32,18 @@ JOBS="${1:--j$(nproc)}"
 
 run() { echo "+ $*" >&2; "$@"; }
 
-echo "== 1/5 elmo_analyze (include graph, locks, overflow, lint) =="
+echo "== 1/5 elmo_analyze (include graph, locks, overflow, lint," \
+     "shared, errpath, determinism) =="
 mkdir -p build-lint
 run g++ -std=c++17 -O1 -Wall -Wextra -I tools -o build-lint/elmo_analyze \
     tools/analyze/*.cpp
 run ./build-lint/elmo_analyze --root=. \
     --baseline=tools/analyze_baseline.txt
 
-echo "== 2/5 elmo_lint rules over tools/tests/examples/bench =="
+echo "== 2/5 elmo_lint rules over tests =="
 # shellcheck disable=SC2046
 run ./build-lint/elmo_analyze --pass=lint --lint-compat \
-    $(find tools tests examples bench \
+    $(find tests \
         \( -name '*.cpp' -o -name '*.hpp' \) \
         -not -path 'tests/analyze_fixtures/*' | sort)
 

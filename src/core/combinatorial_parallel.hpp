@@ -342,7 +342,9 @@ ParallelSolveResult<Scalar, Support> solve_combinatorial_parallel(
       // The merged candidate count and cross-rank duplicates are global
       // quantities; fold them into rank 0's ledger only.
       if (rank == 0) {
+        // analyze:shared-ok — only rank 0 touches the spawner-frame ledger.
         merged_stats.total_accepted += merge_iteration.accepted;
+        // analyze:shared-ok
         merged_stats.total_duplicates_removed +=
             merge_iteration.duplicates_removed;
       }
@@ -365,6 +367,8 @@ ParallelSolveResult<Scalar, Support> solve_combinatorial_parallel(
           columns, "solve_combinatorial_parallel final");
     }
     if (rank == 0) {
+      // Rank 0 is the only writer; run_ranks joins every thread before
+      // the spawner reads it.  analyze:shared-ok
       final_columns =
           unsplit_columns(std::move(columns), prepared);
     }

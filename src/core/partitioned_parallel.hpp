@@ -321,6 +321,8 @@ PartitionedSolveResult<Scalar, Support> solve_partitioned_parallel(
                         std::make_move_iterator(incoming.begin()),
                         std::make_move_iterator(incoming.end()));
       }
+      // Rank 0 is the only writer; run_ranks joins every thread before
+      // the spawner reads it.  analyze:shared-ok
       final_columns = unsplit_columns(std::move(gathered), prepared);
     }
   };

@@ -637,7 +637,8 @@ RunReport run_ranks(int num_ranks,
       } catch (const std::bad_alloc&) {
         // Classify allocation failure so the abort reason (and the
         // AbortedError cause peers see) names a degradable resource
-        // exhaustion rather than an anonymous bad_alloc escape.
+        // exhaustion rather than an anonymous bad_alloc escape.  Each
+        // rank writes only its own slot.  analyze:shared-ok
         errors[static_cast<std::size_t>(r)] =
             std::make_exception_ptr(ResourceError(
                 "rank " + std::to_string(r) +
@@ -651,6 +652,7 @@ RunReport run_ranks(int num_ranks,
                                   ": allocation failed (std::bad_alloc)");
         world.mark_exited_locked(r);
       } catch (const std::exception& e) {
+        // analyze:shared-ok — per-rank disjoint slot.
         errors[static_cast<std::size_t>(r)] = std::current_exception();
         MpsimMetrics::get().rank_failures.add(1);
         obs::trace_instant("rank-failure", "mpsim",
@@ -660,7 +662,7 @@ RunReport run_ranks(int num_ranks,
         world.mark_exited_locked(r);
       } catch (...) {
         // Non-std exception: captured (never swallowed) and recorded on
-        // the obs layer before the world is torn down.
+        // the obs layer before the world is torn down.  analyze:shared-ok
         errors[static_cast<std::size_t>(r)] = std::current_exception();
         MpsimMetrics::get().rank_failures.add(1);
         obs::trace_instant("rank-failure", "mpsim",

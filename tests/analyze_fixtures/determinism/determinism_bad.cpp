@@ -1,0 +1,47 @@
+// Seeded violations for the determinism pass.  Never compiled — only
+// analyzed.  Fixture files carry no src/ tree prefix, so the pass
+// treats them as in scope.
+#include <chrono>
+#include <ctime>
+#include <map>
+#include <set>
+#include <thread>
+#include <unordered_map>
+#include <unordered_set>
+
+namespace fixture {
+
+struct Mode {};
+
+// pointer-key: iteration order follows allocation addresses.
+std::map<Mode*, int> g_by_mode;
+std::set<const char*> g_names;
+
+inline long walk() {
+  // unordered-iter: range-for over an unordered container.
+  std::unordered_map<int, long> counts;
+  long total = 0;
+  for (const auto& kv : counts) total += kv.second;
+
+  // unordered-iter: explicit begin() on an unordered container.
+  std::unordered_set<int> seen;
+  auto it = seen.begin();
+  (void)it;
+  return total;
+}
+
+inline long stamp() {
+  // wall-clock: result depends on when the run happens.
+  auto now = std::chrono::steady_clock::now();
+  (void)now;
+  auto wall = std::chrono::system_clock::now();
+  (void)wall;
+  long t = time(nullptr);
+
+  // wall-clock: thread identity is a scheduling artifact.
+  auto id = std::this_thread::get_id();
+  (void)id;
+  return t;
+}
+
+}  // namespace fixture

@@ -1,0 +1,34 @@
+// Clean counterpart for the determinism pass.  Ordered containers,
+// value keys, and no clock or thread-id reads.  Must stay silent.
+// Never compiled — only analyzed.
+#include <map>
+#include <set>
+#include <unordered_map>
+#include <vector>
+
+namespace fixture {
+
+// Ordered containers with value keys iterate deterministically.
+std::map<int, long> g_by_index;
+std::set<long> g_ids;
+
+inline long walk() {
+  long total = 0;
+  for (const auto& kv : g_by_index) total += kv.second;
+  for (long id : g_ids) total += id;
+
+  // Unordered lookup without iteration is fine.
+  std::unordered_map<int, long> cache;
+  total += cache.count(3);
+
+  // Annotated iteration: order feeds a commutative reduction.
+  std::unordered_map<int, long> tallies;
+  // lint:allow(unordered-iter)
+  for (const auto& kv : tallies) total += kv.second;
+
+  std::vector<long> row(8, 0);
+  for (long v : row) total += v;
+  return total;
+}
+
+}  // namespace fixture

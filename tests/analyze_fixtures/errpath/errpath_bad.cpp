@@ -1,0 +1,52 @@
+// Seeded violations for the error-path/RAII pass.  Never compiled —
+// only analyzed.
+#include <string>
+
+namespace fixture {
+
+struct ResourceError {
+  explicit ResourceError(const std::string& what);
+};
+struct CancelledError {
+  explicit CancelledError(const std::string& what);
+};
+
+void begin_span(const char* name);
+void end_span();
+void open_spill_block(const char* path);
+void close_spill_block();
+bool risky();
+
+// raii-pair: the span opened here is never closed, on any path.
+inline void leaky_span() {
+  begin_span("merge");
+  if (risky()) return;
+}
+
+// raii-pair across one call level: the helper closes a block the caller
+// opened, but only one of the two opens is balanced.
+inline void close_helper() { close_spill_block(); }
+inline void double_open() {
+  open_spill_block("a.bin");
+  open_spill_block("b.bin");
+  close_helper();
+}
+
+// unhandled-throw: nobody on any caller path catches ResourceError.
+inline void deep_throw() {
+  throw ResourceError("spill budget exhausted");
+}
+inline void middle() { deep_throw(); }
+inline void top() { middle(); }
+
+// unhandled-throw: CancelledError thrown and the only caller catches a
+// different type.
+inline void cancel() { throw CancelledError("stop requested"); }
+inline void shepherd() {
+  try {
+    cancel();
+  } catch (const ResourceError&) {
+  }
+}
+
+}  // namespace fixture

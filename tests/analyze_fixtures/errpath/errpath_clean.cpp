@@ -1,0 +1,61 @@
+// Clean counterpart for the error-path/RAII pass.  Balanced acquire /
+// release idioms and typed throws that reach a matching catch on a
+// caller path.  Must stay silent.  Never compiled — only analyzed.
+// Names deliberately do not overlap with errpath_bad.cpp: the call
+// graph is project-wide, and shared names would stitch the two files
+// together.
+#include <string>
+
+namespace fixture_clean {
+
+struct ResourceError {
+  explicit ResourceError(const std::string& what);
+};
+struct DeadlineExceededError {
+  explicit DeadlineExceededError(const std::string& what);
+};
+
+void begin_span(const char* name);
+void end_span();
+void open_spill_block(const char* path);
+void close_spill_block();
+
+// Balanced directly: one open, one close.
+inline void balanced_span() {
+  begin_span("merge");
+  end_span();
+}
+
+// Balanced across one call level: the helper supplies the close.
+inline void closing_helper() { close_spill_block(); }
+inline void delegated_close() {
+  open_spill_block("a.bin");
+  closing_helper();
+}
+
+// A deliberate acquire-wrapper: opens on behalf of its caller.
+// lint:allow(raii-pair)
+inline void open_wrapper() { open_spill_block("b.bin"); }
+
+// Typed throw caught two call levels up by an exact-type catch.
+inline void budget_throw() {
+  throw ResourceError("spill budget exhausted");
+}
+inline void relay() { budget_throw(); }
+inline void retry_ladder() {
+  try {
+    relay();
+  } catch (const ResourceError&) {
+  }
+}
+
+// Typed throw absorbed by a catch-all shutdown handler in the caller.
+inline void deadline() { throw DeadlineExceededError("watchdog fired"); }
+inline void shutdown_shepherd() {
+  try {
+    deadline();
+  } catch (...) {
+  }
+}
+
+}  // namespace fixture_clean

@@ -1,0 +1,63 @@
+// Seeded violations for the shared-state concurrency pass.  Never
+// compiled — only analyzed.
+#include <atomic>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace fixture {
+
+long g_total = 0;                  // plain global: mutations must be flagged
+std::atomic<long> g_atomic{0};     // atomic global: always fine
+
+void parallel_for_dynamic(int lanes, void (*fn)(int));
+
+struct Pool {
+  void submit(void (*fn)());
+};
+
+struct Engine {
+  long counter_ = 0;
+  std::mutex mutex_;
+  Pool pool_;
+
+  void run() {
+    pool_.submit([this] {
+      counter_ += 1;  // member mutation, no guard: flagged
+    });
+  }
+
+  void run_guarded() {
+    pool_.submit([this] {
+      std::lock_guard<std::mutex> lock(mutex_);
+      counter_ += 1;  // guarded: silent
+    });
+  }
+};
+
+inline void lanes() {
+  long hits = 0;
+  static long s_calls = 0;
+  auto lane = [&](int t) {
+    g_total += t;   // global mutation: flagged
+    s_calls += 1;   // static local of the spawner: flagged
+    hits += 1;      // ref-captured spawner local: flagged
+    g_atomic += 1;  // atomic: silent
+    long mine = 0;
+    mine += t;      // lane-local: silent
+  };
+  parallel_for_dynamic(4, lane);
+}
+
+inline void ranks() {
+  std::vector<long> slots(4, 0);
+  std::vector<std::thread> threads;
+  for (int r = 0; r < 4; ++r) {
+    threads.emplace_back([&, r] {
+      g_total += r;  // flagged: the slot annotation below does not reach here
+      slots[r] = r;  // analyze:shared-ok — per-rank disjoint slot
+    });
+  }
+}
+
+}  // namespace fixture

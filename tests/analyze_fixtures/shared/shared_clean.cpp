@@ -1,0 +1,47 @@
+// Clean counterpart for the shared-state concurrency pass: every
+// mutation inside a concurrent body carries one of the recognized
+// excuses.  Must stay silent.  Never compiled — only analyzed.
+#include <atomic>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace fixture {
+
+std::atomic<long> g_hits{0};
+long g_guarded = 0;
+std::mutex g_mutex;
+
+void parallel_for_dynamic(int lanes, void (*fn)(int));
+
+struct Worker {
+  std::atomic<long> done_{0};
+  long queued_ = 0;
+  std::mutex mutex_;
+
+  void pump() {
+    auto body = [this](int t) {
+      done_ += t;  // atomic member: silent
+      std::lock_guard<std::mutex> lock(mutex_);
+      queued_ += 1;  // guarded member: silent
+    };
+    parallel_for_dynamic(2, body);
+  }
+};
+
+inline void lanes() {
+  std::vector<long> partial(4, 0);
+  auto lane = [&](int t) {
+    g_hits += 1;  // atomic global: silent
+    {
+      std::lock_guard<std::mutex> lock(g_mutex);
+      g_guarded += t;  // guarded global: silent
+    }
+    partial[t] = t;  // analyze:shared-ok — per-lane disjoint slot
+    long local = 0;
+    local += t;  // lane-local: silent
+  };
+  parallel_for_dynamic(4, lane);
+}
+
+}  // namespace fixture

@@ -177,6 +177,154 @@ TEST(AnalyzeLint, ShimKeepsHistoricalInterface) {
   EXPECT_EQ(usage.exit_code, 2) << usage.output;
 }
 
+TEST(AnalyzeShared, SeededMutationsMatchGolden) {
+  const std::string json = ::testing::TempDir() + "shared.json";
+  RunResult r = run_in(kFixtures,
+                       kBin + " --pass=shared --json=" + json +
+                           " shared/shared_bad.cpp shared/shared_clean.cpp");
+  EXPECT_EQ(r.exit_code, 1) << r.output;
+  // Every seeded mutation kind: member via ThreadPool::submit, global and
+  // captured locals via parallel_for_dynamic, global via a thread vector.
+  for (const char* site : {"'counter_'", "'g_total'", "'s_calls'", "'hits'"}) {
+    EXPECT_NE(r.output.find(site), std::string::npos)
+        << "site did not fire: " << site << "\n"
+        << r.output;
+  }
+  EXPECT_EQ(r.output.find("shared_clean"), std::string::npos) << r.output;
+  // Guarded/atomic/annotated sites in the bad file stay silent.
+  EXPECT_EQ(r.output.find("g_atomic"), std::string::npos) << r.output;
+  EXPECT_EQ(r.output.find("'slots'"), std::string::npos) << r.output;
+  EXPECT_EQ(slurp(json), slurp(kFixtures + "/golden/shared.json"));
+}
+
+TEST(AnalyzeShared, CleanFileStaysSilent) {
+  RunResult r =
+      run_in(kFixtures, kBin + " --pass=shared shared/shared_clean.cpp");
+  EXPECT_EQ(r.exit_code, 0) << r.output;
+}
+
+TEST(AnalyzeShared, TsanLogCrossCheckFlagsUnseenRaces) {
+  // Fabricate a TSan report with two race sites: one where the static
+  // pass already fires (shared_bad.cpp:42) and one where it is silent
+  // (shared_clean.cpp:26, guarded).  Only the second may become a
+  // shared-unseen finding.
+  const std::string log = ::testing::TempDir() + "tsan.log";
+  {
+    std::ofstream out(log);
+    out << "WARNING: ThreadSanitizer: data race (pid=123)\n"
+        << "  Write of size 8 at 0x7b04 by thread T1:\n"
+        << "    #0 pump shared/shared_clean.cpp:26 (t+0x1)\n"
+        << "  Previous write of size 8 by thread T2:\n"
+        << "    #0 lanes shared/shared_bad.cpp:42 (t+0x2)\n"
+        << "SUMMARY: ThreadSanitizer: data race shared/shared_clean.cpp:26\n";
+  }
+  RunResult r = run_in(kFixtures,
+                       kBin + " --pass=shared --tsan-log=" + log +
+                           " shared/shared_bad.cpp shared/shared_clean.cpp");
+  EXPECT_EQ(r.exit_code, 1) << r.output;
+  EXPECT_NE(r.output.find("[shared:shared-unseen]"), std::string::npos)
+      << r.output;
+  EXPECT_NE(r.output.find("shared_clean.cpp:26"), std::string::npos)
+      << r.output;
+  // The statically-seen race must not be double-reported as unseen.
+  EXPECT_EQ(r.output.find("shared_bad.cpp:42: [shared:shared-unseen]"),
+            std::string::npos)
+      << r.output;
+}
+
+TEST(AnalyzeErrpath, SeededLeaksMatchGolden) {
+  const std::string json = ::testing::TempDir() + "errpath.json";
+  RunResult r =
+      run_in(kFixtures, kBin + " --pass=errpath --json=" + json +
+                            " errpath/errpath_bad.cpp errpath/errpath_clean.cpp");
+  EXPECT_EQ(r.exit_code, 1) << r.output;
+  for (const char* rule : {"raii-pair", "unhandled-throw"}) {
+    EXPECT_NE(r.output.find(std::string("[errpath:") + rule + "]"),
+              std::string::npos)
+        << "rule did not fire: " << rule << "\n"
+        << r.output;
+  }
+  EXPECT_NE(r.output.find("ResourceError"), std::string::npos) << r.output;
+  EXPECT_NE(r.output.find("CancelledError"), std::string::npos) << r.output;
+  EXPECT_EQ(r.output.find("errpath_clean"), std::string::npos) << r.output;
+  EXPECT_EQ(slurp(json), slurp(kFixtures + "/golden/errpath.json"));
+}
+
+TEST(AnalyzeErrpath, CleanFileStaysSilent) {
+  RunResult r =
+      run_in(kFixtures, kBin + " --pass=errpath errpath/errpath_clean.cpp");
+  EXPECT_EQ(r.exit_code, 0) << r.output;
+}
+
+TEST(AnalyzeDeterminism, SeededSourcesMatchGolden) {
+  const std::string json = ::testing::TempDir() + "determinism.json";
+  RunResult r = run_in(kFixtures,
+                       kBin + " --pass=determinism --json=" + json +
+                           " determinism/determinism_bad.cpp"
+                           " determinism/determinism_clean.cpp");
+  EXPECT_EQ(r.exit_code, 1) << r.output;
+  for (const char* rule : {"pointer-key", "unordered-iter", "wall-clock"}) {
+    EXPECT_NE(r.output.find(std::string("[determinism:") + rule + "]"),
+              std::string::npos)
+        << "rule did not fire: " << rule << "\n"
+        << r.output;
+  }
+  EXPECT_EQ(r.output.find("determinism_clean"), std::string::npos) << r.output;
+  EXPECT_EQ(slurp(json), slurp(kFixtures + "/golden/determinism.json"));
+}
+
+TEST(AnalyzeDeterminism, CleanFileStaysSilent) {
+  RunResult r = run_in(
+      kFixtures, kBin + " --pass=determinism determinism/determinism_clean.cpp");
+  EXPECT_EQ(r.exit_code, 0) << r.output;
+}
+
+TEST(AnalyzeSarif, EmitsSarifOnStdoutTextOnStderr) {
+  // SARIF goes to stdout only; the text report stays on stderr, so the
+  // merged capture contains both.
+  RunResult r = run_in(kFixtures,
+                       kBin + " --pass=overflow --format=sarif"
+                              " overflow/overflow_bad.cpp");
+  EXPECT_EQ(r.exit_code, 1) << r.output;
+  EXPECT_NE(r.output.find("\"$schema\""), std::string::npos) << r.output;
+  EXPECT_NE(r.output.find("sarif-2.1.0"), std::string::npos) << r.output;
+  EXPECT_NE(r.output.find("\"name\": \"elmo_analyze\""), std::string::npos)
+      << r.output;
+  EXPECT_NE(r.output.find("\"ruleId\": \"overflow:unchecked-arith\""),
+            std::string::npos)
+      << r.output;
+  EXPECT_NE(r.output.find("\"level\": \"error\""), std::string::npos)
+      << r.output;
+  EXPECT_NE(r.output.find("\"startLine\": 5"), std::string::npos) << r.output;
+}
+
+TEST(AnalyzeBaseline, StaleEntriesFailFullRuns) {
+  // Stale enforcement only applies to full runs (no explicit file list,
+  // all passes on): a baseline key that no longer fires is itself a
+  // finding.
+  const std::string baseline = ::testing::TempDir() + "stale_baseline.txt";
+  {
+    std::ofstream out(baseline);
+    out << "# long-gone finding\n"
+        << "overflow:unchecked-arith:no/such/file.cpp:99\n";
+  }
+  RunResult full = run_in(kFixtures, kBin + " --root=include_tree --baseline=" +
+                                         baseline);
+  EXPECT_EQ(full.exit_code, 1) << full.output;
+  EXPECT_NE(full.output.find("[baseline:stale]"), std::string::npos)
+      << full.output;
+  EXPECT_NE(full.output.find("overflow:unchecked-arith:no/such/file.cpp:99"),
+            std::string::npos)
+      << full.output;
+
+  // Single-pass runs must NOT enforce staleness: most passes never ran,
+  // so an unfired key proves nothing.
+  RunResult partial = run_in(kFixtures,
+                             kBin + " --pass=overflow --baseline=" + baseline +
+                                 " overflow/overflow_clean.cpp");
+  EXPECT_EQ(partial.exit_code, 0) << partial.output;
+}
+
 TEST(AnalyzeBaseline, SuppressesListedKeysOnly) {
   const std::string baseline = ::testing::TempDir() + "baseline.txt";
   {

@@ -4,6 +4,8 @@
 #include <cstdio>
 #include <cstring>
 #include <filesystem>
+#include <iostream>
+#include <set>
 #include <string>
 #include <vector>
 
@@ -43,21 +45,27 @@ void usage() {
       "usage: elmo_analyze [options] [FILE...]\n"
       "  --root=DIR            project root (default .); without FILE\n"
       "                        arguments, analyzes every *.hpp/*.cpp under\n"
-      "                        DIR/src\n"
-      "  --pass=LIST           comma list of include,lock,overflow,lint\n"
-      "                        (default: all)\n"
-      "  --baseline=FILE       suppress finding keys listed in FILE\n"
+      "                        DIR/{src,tools,bench,examples}\n"
+      "  --pass=LIST           comma list of include,lock,overflow,lint,\n"
+      "                        shared,errpath,determinism (default: all)\n"
+      "  --baseline=FILE       suppress finding keys listed in FILE; a\n"
+      "                        full-tree all-pass run fails on entries that\n"
+      "                        no longer fire (baseline:stale)\n"
       "  --write-baseline=FILE write current finding keys as a baseline\n"
       "  --json=FILE           machine-readable findings + summary\n"
+      "  --format=FMT          text (default) or sarif: SARIF 2.1.0 on\n"
+      "                        stdout for CI annotation upload\n"
       "  --dot=FILE            Graphviz dump of the module include graph\n"
       "  --lockdep-edges=FILE  runtime lockdep edges (\"A -> B\" per line)\n"
       "                        to diff against the static acquisition graph\n"
+      "  --tsan-log=FILE       ThreadSanitizer report to cross-check against\n"
+      "                        the shared pass (rule shared-unseen)\n"
       "exit: 0 clean, 1 non-baselined findings, 2 usage/IO error\n");
 }
 
 bool parse_passes(const std::string& list, Options& opts) {
   opts.pass_include = opts.pass_lock = opts.pass_overflow = opts.pass_lint =
-      false;
+      opts.pass_shared = opts.pass_errpath = opts.pass_determinism = false;
   std::size_t start = 0;
   while (start <= list.size()) {
     std::size_t comma = list.find(',', start);
@@ -71,9 +79,16 @@ bool parse_passes(const std::string& list, Options& opts) {
       opts.pass_overflow = true;
     } else if (item == "lint") {
       opts.pass_lint = true;
+    } else if (item == "shared") {
+      opts.pass_shared = true;
+    } else if (item == "errpath") {
+      opts.pass_errpath = true;
+    } else if (item == "determinism") {
+      opts.pass_determinism = true;
     } else if (item == "all") {
       opts.pass_include = opts.pass_lock = opts.pass_overflow =
-          opts.pass_lint = true;
+          opts.pass_lint = opts.pass_shared = opts.pass_errpath =
+              opts.pass_determinism = true;
     } else if (!item.empty()) {
       std::fprintf(stderr, "elmo_analyze: unknown pass '%s'\n", item.c_str());
       return false;
@@ -106,16 +121,23 @@ bool load_project(const Options& opts, Project& project, std::string& error) {
     return false;
   }
   std::vector<fs::path> paths;
-  for (fs::recursive_directory_iterator it(src, ec), end; it != end;
-       it.increment(ec)) {
-    if (ec) {
-      error = "cannot walk " + src.generic_string() + ": " + ec.message();
-      return false;
-    }
-    if (!it->is_regular_file()) continue;
-    const std::string p = it->path().generic_string();
-    if (has_suffix(p, ".hpp") || has_suffix(p, ".cpp")) {
-      paths.push_back(it->path());
+  // src/ is mandatory; the other trees ride along when present.  tests/
+  // is deliberately NOT walked: the analyze fixtures under it seed rule
+  // violations on purpose.
+  for (const char* tree : {"src", "tools", "bench", "examples"}) {
+    const fs::path dir = root / tree;
+    if (!fs::is_directory(dir, ec)) continue;
+    for (fs::recursive_directory_iterator it(dir, ec), end; it != end;
+         it.increment(ec)) {
+      if (ec) {
+        error = "cannot walk " + dir.generic_string() + ": " + ec.message();
+        return false;
+      }
+      if (!it->is_regular_file()) continue;
+      const std::string p = it->path().generic_string();
+      if (has_suffix(p, ".hpp") || has_suffix(p, ".cpp")) {
+        paths.push_back(it->path());
+      }
     }
   }
   std::sort(paths.begin(), paths.end());
@@ -151,6 +173,15 @@ int run_cli(int argc, char** argv) {
       opts.dot_path = value("--dot=");
     } else if (arg.rfind("--lockdep-edges=", 0) == 0) {
       opts.lockdep_edges_path = value("--lockdep-edges=");
+    } else if (arg.rfind("--tsan-log=", 0) == 0) {
+      opts.tsan_log_path = value("--tsan-log=");
+    } else if (arg.rfind("--format=", 0) == 0) {
+      opts.format = value("--format=");
+      if (opts.format != "text" && opts.format != "sarif") {
+        std::fprintf(stderr, "elmo_analyze: unknown format '%s'\n",
+                     opts.format.c_str());
+        return 2;
+      }
     } else if (arg == "--lint-compat") {
       opts.lint_compat = true;
       opts.tool_name = "elmo_lint";
@@ -178,6 +209,9 @@ int run_cli(int argc, char** argv) {
   if (opts.pass_lock) pass_lock(project, opts, findings);
   if (opts.pass_overflow) pass_overflow(project, opts, findings);
   if (opts.pass_lint) pass_lint(project, opts, findings);
+  if (opts.pass_shared) pass_shared(project, opts, findings);
+  if (opts.pass_errpath) pass_errpath(project, opts, findings);
+  if (opts.pass_determinism) pass_determinism(project, opts, findings);
   std::sort(findings.begin(), findings.end(), finding_less);
 
   if (!opts.baseline_path.empty()) {
@@ -188,6 +222,31 @@ int run_cli(int argc, char** argv) {
       return 2;
     }
     apply_baseline(baseline, findings);
+    // Baseline hygiene: on a full-tree all-pass run every baseline entry
+    // must still fire — a stale entry means debt was paid off but the
+    // ledger kept the IOU, which would silently mask a regression at the
+    // same key.  Partial runs (--pass subset, explicit files) skip the
+    // check because entries for the un-run passes would look stale.
+    const bool full_run = opts.files.empty() && opts.pass_include &&
+                          opts.pass_lock && opts.pass_overflow &&
+                          opts.pass_lint && opts.pass_shared &&
+                          opts.pass_errpath && opts.pass_determinism;
+    if (full_run) {
+      std::set<std::string> fired;
+      for (const Finding& f : findings) fired.insert(f.key());
+      for (const std::string& key : baseline.keys) {
+        if (fired.count(key) != 0) continue;
+        Finding stale;
+        stale.pass = "baseline";
+        stale.rule = "stale";
+        stale.file = opts.baseline_path;
+        stale.line = 0;
+        stale.message =
+            "baseline entry no longer fires — prune it: " + key;
+        findings.push_back(std::move(stale));
+      }
+      std::sort(findings.begin(), findings.end(), finding_less);
+    }
   }
   if (!opts.write_baseline_path.empty()) {
     if (!write_baseline(opts.write_baseline_path, findings)) {
@@ -203,6 +262,7 @@ int run_cli(int argc, char** argv) {
       return 2;
     }
   }
+  if (opts.format == "sarif") write_sarif(std::cout, findings);
   write_text(findings, opts.tool_name, opts.lint_compat);
   return count_active(findings) == 0 ? 0 : 1;
 }

@@ -19,6 +19,23 @@
 //             bigint/checked.hpp helpers
 //   lint      the historical elmo_lint rules (naked-new, no-rand,
 //             catch-all, reinterpret-cast)
+//   shared    interprocedural shared-state concurrency pass: globals /
+//             statics / members / ref-captured locals mutated inside
+//             parallel_for_dynamic / ThreadPool::submit / std::thread
+//             bodies without a guard, an atomic type, or an
+//             `// analyze:shared-ok` annotation; --tsan-log=FILE
+//             cross-checks a ThreadSanitizer report against the static
+//             findings (rule shared-unseen)
+//   errpath   pairs manual acquire/release idioms (trace spans, spill
+//             blocks, leases) across one call level and verifies every
+//             throw of a typed error (ResourceError, CancelledError,
+//             DeadlineExceededError) reaches a catch on some caller path
+//   determinism  unordered-container iteration, pointer-keyed ordering
+//             and wall-clock/thread-id use inside the solver-output
+//             modules (nullspace, core, linalg, compress)
+//
+// Both `shared`, `errpath` and the call graph they share live on top of
+// callgraph.hpp; see that header for the symbol-table model.
 #pragma once
 
 #include <string>
@@ -35,11 +52,16 @@ struct Options {
   bool pass_lock = true;
   bool pass_overflow = true;
   bool pass_lint = true;
+  bool pass_shared = true;
+  bool pass_errpath = true;
+  bool pass_determinism = true;
   std::string baseline_path;
   std::string write_baseline_path;
   std::string json_path;
   std::string dot_path;
   std::string lockdep_edges_path;
+  std::string tsan_log_path;       // shared pass: TSan report cross-check
+  std::string format = "text";     // text | sarif (SARIF 2.1.0 on stdout)
   std::vector<std::string> files;  // explicit file arguments, if any
   bool lint_compat = false;        // elmo_lint-shim output format
   std::string tool_name = "elmo_analyze";
@@ -53,8 +75,10 @@ struct Project {
 };
 
 /// Load the project: explicit files when given, otherwise every
-/// *.hpp/*.cpp under <root>/src.  Returns false on IO failure (missing
-/// file, unreadable root).
+/// *.hpp/*.cpp under <root>/src plus — when the directories exist —
+/// <root>/tools, <root>/bench and <root>/examples (tests/ stays out: the
+/// analyze fixtures under it deliberately violate rules).  Returns false
+/// on IO failure (missing file, unreadable root).
 bool load_project(const Options& opts, Project& project,
                   std::string& error);
 
@@ -66,6 +90,12 @@ void pass_overflow(const Project& project, const Options& opts,
                    std::vector<Finding>& findings);
 void pass_lint(const Project& project, const Options& opts,
                std::vector<Finding>& findings);
+void pass_shared(const Project& project, const Options& opts,
+                 std::vector<Finding>& findings);
+void pass_errpath(const Project& project, const Options& opts,
+                  std::vector<Finding>& findings);
+void pass_determinism(const Project& project, const Options& opts,
+                      std::vector<Finding>& findings);
 
 /// Full CLI: parse argv, run passes, emit reports.
 /// Exit codes: 0 clean, 1 non-baselined findings, 2 usage/IO error.

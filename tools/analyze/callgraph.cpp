@@ -1,0 +1,679 @@
+#include "analyze/callgraph.hpp"
+
+#include <algorithm>
+
+namespace elmo_analyze {
+
+namespace {
+
+constexpr std::size_t npos = CallGraph::npos;
+
+bool is_guard_type(const std::string& s) {
+  return s == "lock_guard" || s == "unique_lock" || s == "scoped_lock";
+}
+
+/// Tokens that can never be the type part of a declaration or the name of
+/// a called function.
+bool is_keywordish(const std::string& s) {
+  static const std::set<std::string> kKeywords = {
+      "if",       "for",      "while",    "switch",   "return",  "sizeof",
+      "catch",    "new",      "delete",   "throw",    "else",    "do",
+      "case",     "not",      "and",      "or",       "assert",  "goto",
+      "static_assert", "defined", "alignof", "decltype", "noexcept",
+      "constexpr",
+      "operator", "typedef",  "using",    "template", "typename", "enum",
+      "class",    "struct",   "union",    "public",   "private", "protected",
+      "virtual",  "explicit", "friend",   "namespace", "co_return",
+      "co_await", "co_yield", "requires", "default",  "break",   "continue",
+  };
+  return kKeywords.count(s) != 0;
+}
+
+/// May `s` act as the type token directly before a declared name?
+bool is_typeish(const Token& t) {
+  if (t.ident()) return !is_keywordish(t.text) && t.text != "const" &&
+                        t.text != "constexpr" && t.text != "static" &&
+                        t.text != "mutable" && t.text != "inline" &&
+                        t.text != "extern";
+  return t.is(">") || t.is("*") || t.is("&") || t.is("&&") || t.is("...");
+}
+
+struct Scope {
+  enum class Kind { kNamespace, kClass, kFunction, kLambda, kBlock };
+  Kind kind = Kind::kBlock;
+  std::string name;
+  int depth = 0;          // brace depth AFTER the opening brace
+  std::size_t fn = npos;  // FnDef index for kFunction / kLambda
+};
+
+struct PendingLambda {
+  FnDef def;                      // captures + params pre-filled
+  std::size_t arg_of = npos;      // CallRef index it is an argument of
+  std::string alias;              // `auto NAME = [..]` variable, or ""
+};
+
+struct PendingCall {
+  std::size_t call = 0;  // index into CallGraph::calls
+  int paren_depth = 0;   // depth before the call's '(' was consumed
+};
+
+struct HeldGuard {
+  std::size_t start_tok = 0;
+  int depth = 0;
+  std::size_t fn = npos;
+};
+
+/// Flags scraped from the declaration statement around token `name_idx`:
+/// scan back to the statement boundary (bounded window).
+struct DeclFlags {
+  bool is_static = false;
+  bool is_const = false;
+  bool is_atomic = false;
+  bool is_mutex = false;
+  bool is_thread = false;
+  bool rejected = false;  // using/typedef/return etc. — not a declaration
+};
+
+/// Closing `>` of a template-argument list opening at `open`, or npos.
+/// Bounded and restricted to type-ish tokens so `a < b` comparisons bail.
+std::size_t template_args_end(const std::vector<Token>& toks,
+                              std::size_t open) {
+  int depth = 0;
+  for (std::size_t j = open; j < toks.size() && j < open + 48; ++j) {
+    const Token& t = toks[j];
+    if (t.is("<")) {
+      ++depth;
+      continue;
+    }
+    if (t.is(">")) {
+      if (--depth == 0) return j;
+      continue;
+    }
+    if (t.is(">>")) {
+      depth -= 2;
+      if (depth <= 0) return j;
+      continue;
+    }
+    if (t.ident() || t.kind == Token::Kind::kNumber || t.is("::") ||
+        t.is(",") || t.is("*") || t.is("&")) {
+      continue;
+    }
+    return static_cast<std::size_t>(-1);
+  }
+  return static_cast<std::size_t>(-1);
+}
+
+DeclFlags scan_decl_statement(const std::vector<Token>& toks,
+                              std::size_t name_idx) {
+  DeclFlags flags;
+  const std::size_t window = 18;
+  for (std::size_t back = 1; back <= window && back <= name_idx; ++back) {
+    const Token& t = toks[name_idx - back];
+    if (t.is(";") || t.is("{") || t.is("}")) break;
+    if (!t.ident()) continue;
+    const std::string& s = t.text;
+    if (s == "static") flags.is_static = true;
+    if (s == "const" || s == "constexpr") flags.is_const = true;
+    if (s == "atomic" || s == "atomic_flag") flags.is_atomic = true;
+    if (s == "mutex" || s == "shared_mutex" || s == "condition_variable" ||
+        s == "once_flag") {
+      flags.is_mutex = true;
+    }
+    if (s == "thread" || s == "jthread") flags.is_thread = true;
+    if (s == "using" || s == "typedef" || s == "return" || s == "throw" ||
+        s == "template" || s == "friend" || s == "operator" ||
+        s == "enum" || s == "goto" || s == "case" || s == "new") {
+      flags.rejected = true;
+    }
+  }
+  return flags;
+}
+
+class FileWalker {
+ public:
+  FileWalker(const Project& project, std::size_t file_idx, CallGraph& cg)
+      : project_(project), file_idx_(file_idx), cg_(cg),
+        toks_(cg.file_tokens[file_idx]) {}
+
+  void walk();
+
+ private:
+  const Project& project_;
+  std::size_t file_idx_;
+  CallGraph& cg_;
+  const std::vector<Token>& toks_;
+
+  std::vector<Scope> scopes_;
+  std::vector<PendingCall> pending_calls_;
+  std::vector<HeldGuard> held_;
+  std::map<std::size_t, PendingLambda> pending_lambdas_;  // by '{' token idx
+  int depth_ = 0;
+  int paren_depth_ = 0;
+
+  [[nodiscard]] std::size_t current_fn() const {
+    for (std::size_t i = scopes_.size(); i-- > 0;) {
+      if (scopes_[i].kind == Scope::Kind::kFunction ||
+          scopes_[i].kind == Scope::Kind::kLambda) {
+        return scopes_[i].fn;
+      }
+    }
+    return npos;
+  }
+  [[nodiscard]] std::string current_class() const {
+    for (std::size_t i = scopes_.size(); i-- > 0;) {
+      if (scopes_[i].kind == Scope::Kind::kClass) return scopes_[i].name;
+      if (scopes_[i].kind == Scope::Kind::kFunction ||
+          scopes_[i].kind == Scope::Kind::kLambda) {
+        // A class nested inside a function still wins for members, but a
+        // function inside a class reports that class.
+        continue;
+      }
+    }
+    return std::string();
+  }
+  [[nodiscard]] std::string qualify(const std::string& name) const {
+    std::string out;
+    for (const Scope& s : scopes_) {
+      if ((s.kind == Scope::Kind::kNamespace ||
+           s.kind == Scope::Kind::kClass) &&
+          !s.name.empty()) {
+        out += s.name + "::";
+      }
+    }
+    return out + name;
+  }
+
+  void handle_open_brace(std::size_t i);
+  void handle_close_brace(std::size_t i);
+  bool try_lambda(std::size_t i);        // at '['
+  void try_catch_clause(std::size_t i);  // at 'catch'
+  void try_guard(std::size_t i);         // at guard type ident
+  void try_decl(std::size_t i);          // at candidate declared name
+  void try_call(std::size_t i);          // at IDENT '('
+};
+
+void FileWalker::handle_open_brace(std::size_t i) {
+  Scope sc;
+  sc.depth = depth_ + 1;
+  auto pending = pending_lambdas_.find(i);
+  if (pending != pending_lambdas_.end()) {
+    FnDef def = std::move(pending->second.def);
+    const std::size_t parent = current_fn();
+    def.parent = parent;
+    def.file = file_idx_;
+    def.body_begin = i;
+    def.class_name = current_class();
+    if ((def.capture_all_ref || def.capture_all_val) &&
+        !def.class_name.empty()) {
+      def.capture_this = true;
+    }
+    const std::string parent_name =
+        parent == npos ? qualify("") + "$file" : cg_.fns[parent].qname;
+    def.qname = parent_name + "::$lambda:" + std::to_string(def.line);
+    cg_.fns.push_back(std::move(def));
+    const std::size_t idx = cg_.fns.size() - 1;
+    if (pending->second.arg_of != npos) {
+      cg_.calls[pending->second.arg_of].lambda_args.push_back(idx);
+    }
+    if (!pending->second.alias.empty()) {
+      cg_.lambda_aliases_[pending->second.alias].push_back(idx);
+    }
+    pending_lambdas_.erase(pending);
+    sc.kind = Scope::Kind::kLambda;
+    sc.fn = idx;
+    scopes_.push_back(sc);
+    ++depth_;
+    return;
+  }
+  if (i >= 2 && toks_[i - 1].ident() && toks_[i - 2].is("namespace")) {
+    sc.kind = Scope::Kind::kNamespace;
+    sc.name = toks_[i - 1].text;
+  } else if (i >= 1 && toks_[i - 1].is("namespace")) {
+    sc.kind = Scope::Kind::kNamespace;  // anonymous
+  } else {
+    // Function head: scan back over qualifiers/trailing-return tokens to a
+    // ')' whose matching '(' is preceded by the function name.
+    std::size_t j = i;
+    while (j > 0) {
+      const Token& b = toks_[j - 1];
+      if (b.ident() &&
+          (b.text == "const" || b.text == "noexcept" ||
+           b.text == "override" || b.text == "final" || b.text == "try" ||
+           b.text == "mutable")) {
+        --j;
+        continue;
+      }
+      if (b.ident() || b.is("::") || b.is(">") || b.is("*") || b.is("&") ||
+          b.is("->")) {
+        --j;
+        continue;
+      }
+      break;
+    }
+    if (j > 0 && toks_[j - 1].is(")")) {
+      const std::size_t open = match_backward(toks_, j - 1);
+      if (open != npos && open > 0 && toks_[open - 1].ident() &&
+          !is_keywordish(toks_[open - 1].text)) {
+        sc.kind = Scope::Kind::kFunction;
+        std::string name = toks_[open - 1].text;
+        std::size_t q = open - 1;
+        while (q >= 2 && toks_[q - 1].is("::") && toks_[q - 2].ident()) {
+          name = toks_[q - 2].text + "::" + name;
+          q -= 2;
+        }
+        FnDef def;
+        def.qname = current_fn() == npos ? qualify(name) : name;
+        def.file = file_idx_;
+        def.line = toks_[i].line;
+        def.body_begin = i;
+        def.class_name = current_class();
+        cg_.fns.push_back(std::move(def));
+        sc.fn = cg_.fns.size() - 1;
+        sc.name = cg_.fns.back().qname;
+      }
+    }
+    if (sc.kind == Scope::Kind::kBlock) {
+      // Class head: `class/struct/union NAME ... {` with no ';' between.
+      for (std::size_t k = i; k-- > 0;) {
+        const Token& b = toks_[k];
+        if (b.is(";") || b.is("}") || b.is("{")) break;
+        if (b.ident() && (b.text == "class" || b.text == "struct" ||
+                          b.text == "union" || b.text == "enum")) {
+          std::size_t n = k + 1;
+          if (n < i && toks_[n].is("class")) ++n;  // enum class
+          if (n < i && toks_[n].ident()) {
+            sc.kind = Scope::Kind::kClass;
+            sc.name = toks_[n].text;
+          }
+          break;
+        }
+      }
+    }
+  }
+  scopes_.push_back(sc);
+  ++depth_;
+}
+
+void FileWalker::handle_close_brace(std::size_t i) {
+  while (!held_.empty() && held_.back().depth >= depth_) {
+    const HeldGuard& g = held_.back();
+    if (g.fn != npos) cg_.fns[g.fn].guard_spans.emplace_back(g.start_tok, i);
+    held_.pop_back();
+  }
+  while (!scopes_.empty() && scopes_.back().depth >= depth_) {
+    const Scope& s = scopes_.back();
+    if ((s.kind == Scope::Kind::kFunction ||
+         s.kind == Scope::Kind::kLambda) &&
+        s.fn != npos) {
+      cg_.fns[s.fn].body_end = i;
+    }
+    scopes_.pop_back();
+  }
+  if (depth_ > 0) --depth_;
+}
+
+bool FileWalker::try_lambda(std::size_t i) {
+  // Expression position only: a '[' after an identifier, ')' or ']' is a
+  // subscript (or an attribute after a declarator) — never a lambda.
+  if (i > 0 && (toks_[i - 1].ident() || toks_[i - 1].is(")") ||
+                toks_[i - 1].is("]"))) {
+    return false;
+  }
+  const std::size_t close = match_forward(toks_, i);
+  if (close == npos) return false;
+  // Locate the body brace: optional (params), then a short run of
+  // specifier / trailing-return tokens.
+  std::size_t j = close + 1;
+  std::size_t params_open = npos;
+  if (j < toks_.size() && toks_[j].is("(")) {
+    params_open = j;
+    const std::size_t pclose = match_forward(toks_, j);
+    if (pclose == npos) return false;
+    j = pclose + 1;
+  }
+  std::size_t brace = npos;
+  for (std::size_t k = j; k < toks_.size() && k < j + 16; ++k) {
+    const Token& t = toks_[k];
+    if (t.is("{")) {
+      brace = k;
+      break;
+    }
+    const bool specifier =
+        (t.ident() && (t.text == "mutable" || t.text == "noexcept" ||
+                       t.text == "constexpr" || t.text == "const")) ||
+        t.is("->") || t.is("::") || t.is("<") || t.is(">") || t.is("*") ||
+        t.is("&") || (t.ident() && k > j);  // trailing-return type tokens
+    if (!specifier) return false;
+  }
+  if (brace == npos) return false;
+  if (params_open == npos && j != close + 1) {
+    // No parameter list: only specifiers may stand between ']' and '{'.
+  }
+
+  PendingLambda pending;
+  pending.def.is_lambda = true;
+  pending.def.line = toks_[i].line;
+  // Captures: split [i+1, close) at top-level commas.
+  std::size_t item = i + 1;
+  int nest = 0;
+  for (std::size_t k = i + 1; k <= close; ++k) {
+    if (toks_[k].is("(") || toks_[k].is("[") || toks_[k].is("{")) ++nest;
+    if (toks_[k].is(")") || toks_[k].is("]") || toks_[k].is("}")) --nest;
+    const bool boundary = (toks_[k].is(",") && nest == 0) || k == close;
+    if (!boundary) continue;
+    if (k > item) {
+      const Token& first = toks_[item];
+      if (first.is("&") && k == item + 1) {
+        pending.def.capture_all_ref = true;
+      } else if (first.is("=") && k == item + 1) {
+        pending.def.capture_all_val = true;
+      } else if (first.is("this")) {
+        pending.def.capture_this = true;
+      } else if (first.is("*") && item + 1 < k && toks_[item + 1].is("this")) {
+        pending.def.capture_this = true;  // *this: a copy, but members alias
+      } else if (first.is("&") && item + 1 < k && toks_[item + 1].ident()) {
+        pending.def.ref_captures.insert(toks_[item + 1].text);
+      } else if (first.ident()) {
+        pending.def.val_captures.insert(first.text);
+      }
+    }
+    item = k + 1;
+  }
+  // Parameters: declaration-shaped names inside the parens.
+  if (params_open != npos) {
+    const std::size_t pclose = match_forward(toks_, params_open);
+    for (std::size_t k = params_open + 1; k + 1 <= pclose; ++k) {
+      if (!toks_[k].ident() || is_keywordish(toks_[k].text)) continue;
+      const Token& next = toks_[k + 1];
+      if ((next.is(",") || next.is(")") || next.is("=")) && k > params_open &&
+          is_typeish(toks_[k - 1])) {
+        pending.def.locals.insert(toks_[k].text);
+      }
+    }
+  }
+  if (!pending_calls_.empty()) {
+    pending.arg_of = pending_calls_.back().call;
+  }
+  if (i >= 2 && toks_[i - 1].is("=") && toks_[i - 2].ident()) {
+    pending.alias = toks_[i - 2].text;
+  }
+  pending_lambdas_.emplace(brace, std::move(pending));
+  return true;
+}
+
+void FileWalker::try_catch_clause(std::size_t i) {
+  if (i + 1 >= toks_.size() || !toks_[i + 1].is("(")) return;
+  const std::size_t fn = current_fn();
+  if (fn == npos) return;
+  const std::size_t close = match_forward(toks_, i + 1);
+  if (close == npos) return;
+  std::string last_ident;
+  std::string caught;
+  bool dots = false;
+  for (std::size_t k = i + 2; k < close; ++k) {
+    const Token& t = toks_[k];
+    if (t.is("...")) dots = true;
+    if (t.is("&") || t.is("*")) {
+      if (!last_ident.empty()) caught = last_ident;
+      break;
+    }
+    if (t.ident() && t.text != "const") last_ident = t.text;
+  }
+  if (dots) {
+    caught = "...";
+  } else if (caught.empty()) {
+    caught = last_ident;  // `catch (Foo)` — best effort
+  }
+  if (!caught.empty()) cg_.fns[fn].catches.insert(caught);
+}
+
+void FileWalker::try_guard(std::size_t i) {
+  std::size_t j = i + 1;
+  if (j < toks_.size() && toks_[j].is("<")) {
+    int tdepth = 0;
+    while (j < toks_.size()) {
+      if (toks_[j].is("<")) ++tdepth;
+      if (toks_[j].is(">")) {
+        if (--tdepth == 0) {
+          ++j;
+          break;
+        }
+      }
+      if (toks_[j].is(">>")) {
+        tdepth -= 2;
+        if (tdepth <= 0) {
+          ++j;
+          break;
+        }
+      }
+      ++j;
+    }
+  }
+  if (j + 1 < toks_.size() && toks_[j].ident() && toks_[j + 1].is("(")) {
+    held_.push_back({i, depth_, current_fn()});
+  }
+}
+
+void FileWalker::try_decl(std::size_t i) {
+  if (i == 0 || i + 1 >= toks_.size()) return;
+  const Token& next = toks_[i + 1];
+  const std::size_t fn = current_fn();
+  const bool decl_follow = next.is("=") || next.is(";") || next.is("{") ||
+                           next.is(":") || (next.is("(") && fn != npos);
+  if (!decl_follow || !is_typeish(toks_[i - 1])) return;
+  if (is_keywordish(toks_[i].text)) return;
+  // `x == y`, `a <= b` never reach here: compound operators lex whole.
+  const DeclFlags flags = scan_decl_statement(toks_, i);
+  if (flags.rejected) return;
+  const std::string& name = toks_[i].text;
+  if (fn != npos) {
+    FnDef& f = cg_.fns[fn];
+    f.locals.insert(name);
+    if (flags.is_atomic) f.atomic_locals.insert(name);
+    if (flags.is_thread) f.thread_vecs.insert(name);
+    if (flags.is_static) {
+      VarDef var;
+      var.name = name;
+      var.owner = f.qname;
+      var.file = file_idx_;
+      var.line = toks_[i].line;
+      var.is_atomic = flags.is_atomic;
+      var.is_const = flags.is_const;
+      var.is_mutex = flags.is_mutex;
+      var.is_thread = flags.is_thread;
+      var.is_static_local = true;
+      cg_.globals.push_back(var);
+    }
+    return;
+  }
+  if (next.is("(")) return;  // member function / free function declaration
+  const std::string cls = current_class();
+  VarDef var;
+  var.name = name;
+  var.owner = cls;
+  var.file = file_idx_;
+  var.line = toks_[i].line;
+  var.is_atomic = flags.is_atomic;
+  var.is_const = flags.is_const;
+  var.is_mutex = flags.is_mutex;
+  var.is_thread = flags.is_thread;
+  if (!cls.empty()) {
+    cg_.members[cls].emplace(name, var);
+  } else {
+    cg_.globals.push_back(var);
+  }
+}
+
+void FileWalker::try_call(std::size_t i) {
+  const std::size_t fn = current_fn();
+  if (fn == npos) return;
+  const Token& t = toks_[i];
+  if (is_keywordish(t.text) || is_guard_type(t.text)) return;
+  CallRef call;
+  call.caller = fn;
+  call.callee = t.text;
+  call.file = file_idx_;
+  call.line = t.line;
+  call.tok = i;
+  if (i >= 2 && (toks_[i - 1].is(".") || toks_[i - 1].is("->")) &&
+      toks_[i - 2].ident()) {
+    call.member = true;
+    call.base = toks_[i - 2].text;
+  } else if (i >= 1 && (toks_[i - 1].is(".") || toks_[i - 1].is("->"))) {
+    call.member = true;  // chained: expr().callee(...)
+  }
+  cg_.calls.push_back(std::move(call));
+  pending_calls_.push_back({cg_.calls.size() - 1, paren_depth_});
+}
+
+void FileWalker::walk() {
+  for (std::size_t i = 0; i < toks_.size(); ++i) {
+    const Token& t = toks_[i];
+    if (t.is("{")) {
+      handle_open_brace(i);
+      continue;
+    }
+    if (t.is("}")) {
+      handle_close_brace(i);
+      continue;
+    }
+    if (t.is("[")) {
+      try_lambda(i);
+      continue;
+    }
+    if (t.is("(")) {
+      ++paren_depth_;
+      continue;
+    }
+    if (t.is(")")) {
+      if (paren_depth_ > 0) --paren_depth_;
+      while (!pending_calls_.empty() &&
+             pending_calls_.back().paren_depth >= paren_depth_) {
+        pending_calls_.pop_back();
+      }
+      continue;
+    }
+    if (!t.ident()) continue;
+    if (t.text == "catch") {
+      try_catch_clause(i);
+      continue;
+    }
+    if (is_guard_type(t.text)) {
+      try_guard(i);
+      continue;
+    }
+    try_decl(i);
+    if (i + 1 < toks_.size() && toks_[i + 1].is("(")) {
+      try_call(i);
+    } else if (i + 1 < toks_.size() && toks_[i + 1].is("<")) {
+      // `callee<Args...>(...)`: explicit template arguments.
+      const std::size_t end = template_args_end(toks_, i + 1);
+      if (end != npos && end + 1 < toks_.size() && toks_[end + 1].is("(")) {
+        try_call(i);
+      }
+    }
+  }
+  // Unterminated scopes (truncated file): close everything at EOF.
+  depth_ = 0;
+  if (!toks_.empty()) handle_close_brace(toks_.size() - 1);
+}
+
+}  // namespace
+
+std::vector<std::size_t> CallGraph::resolve(const std::string& callee) const {
+  std::vector<std::size_t> out;
+  std::string bare = callee;
+  const std::size_t sep = bare.rfind("::");
+  if (sep != std::string::npos) bare = bare.substr(sep + 2);
+  auto it = by_bare_.find(bare);
+  if (it != by_bare_.end()) {
+    for (std::size_t idx : it->second) {
+      const std::string& qname = fns[idx].qname;
+      const bool match =
+          qname == callee || callee == bare ||
+          (qname.size() > callee.size() &&
+           qname.compare(qname.size() - callee.size(), callee.size(),
+                         callee) == 0 &&
+           qname[qname.size() - callee.size() - 1] == ':');
+      if (match) out.push_back(idx);
+    }
+  }
+  auto alias = lambda_aliases_.find(callee);
+  if (alias != lambda_aliases_.end()) {
+    out.insert(out.end(), alias->second.begin(), alias->second.end());
+  }
+  return out;
+}
+
+std::size_t CallGraph::fn_at(std::size_t file, std::size_t tok) const {
+  std::size_t best = npos;
+  std::size_t best_span = static_cast<std::size_t>(-1);
+  for (std::size_t i = 0; i < fns.size(); ++i) {
+    const FnDef& f = fns[i];
+    if (f.file != file || f.body_end == 0) continue;
+    if (tok <= f.body_begin || tok >= f.body_end) continue;
+    const std::size_t span = f.body_end - f.body_begin;
+    if (span < best_span) {
+      best = i;
+      best_span = span;
+    }
+  }
+  return best;
+}
+
+bool CallGraph::guarded_at(std::size_t fn, std::size_t tok) const {
+  if (fn >= fns.size()) return false;
+  const FnDef& outer = fns[fn];
+  for (std::size_t i = 0; i < fns.size(); ++i) {
+    const FnDef& g = fns[i];
+    if (g.file != outer.file) continue;
+    // Only the function itself and bodies nested inside it.
+    if (i != fn &&
+        (g.body_begin < outer.body_begin || g.body_end > outer.body_end)) {
+      continue;
+    }
+    for (const auto& span : g.guard_spans) {
+      if (tok > span.first && tok < span.second) return true;
+    }
+  }
+  return false;
+}
+
+const VarDef* CallGraph::find_global(const std::string& name) const {
+  auto it = global_index_.find(name);
+  if (it == global_index_.end()) return nullptr;
+  return &globals[it->second];
+}
+
+const VarDef* CallGraph::find_member(const std::string& cls,
+                                     const std::string& name) const {
+  auto it = members.find(cls);
+  if (it == members.end()) return nullptr;
+  auto member = it->second.find(name);
+  if (member == it->second.end()) return nullptr;
+  return &member->second;
+}
+
+CallGraph build_callgraph(const Project& project) {
+  CallGraph cg;
+  cg.file_tokens.reserve(project.files.size());
+  for (const SourceFile& f : project.files) {
+    cg.file_tokens.push_back(lex(f.stripped));
+  }
+  for (std::size_t i = 0; i < project.files.size(); ++i) {
+    FileWalker walker(project, i, cg);
+    walker.walk();
+  }
+  for (std::size_t i = 0; i < cg.fns.size(); ++i) {
+    std::string bare = cg.fns[i].qname;
+    const std::size_t sep = bare.rfind("::");
+    if (sep != std::string::npos) bare = bare.substr(sep + 2);
+    cg.by_bare_[bare].push_back(i);
+  }
+  for (std::size_t i = 0; i < cg.globals.size(); ++i) {
+    cg.global_index_.emplace(cg.globals[i].name, i);
+  }
+  return cg;
+}
+
+}  // namespace elmo_analyze

@@ -1,0 +1,138 @@
+// elmo_analyze — interprocedural core: project-wide symbol table and call
+// graph built on top of the offset-preserving stripper/lexer.
+//
+// One walk per file (a scope tracker generalizing the lock pass's)
+// produces:
+//
+//   * FnDef      every function DEFINITION (body present), including
+//                lambda literals.  Lambdas are named
+//                `<parent>::$lambda:<line>` — the one-level template
+//                instantiation naming: a lambda passed to
+//                `parallel_for_dynamic(...)` identifies that call's
+//                instantiation, and the call graph records both the
+//                caller -> lambda edge and the lambda-argument attachment
+//                on the call site itself.  A lambda bound to a variable
+//                (`auto lane = [..]{..};`) is additionally resolvable by
+//                that variable's name, so `lane(w)` edges land on the
+//                lambda body.
+//   * CallRef    every call site `ident(...)` inside a function body,
+//                with the bare callee name, the member-access base when
+//                spelled `base.callee(...)`, and the FnDef indices of any
+//                lambda literals appearing in the argument list.
+//   * VarDef     namespace-scope variables and `static` function locals
+//                (the process-shared state the concurrency pass cares
+//                about), plus per-class data-member tables — each with
+//                atomic/const/mutex type flags scraped from the
+//                declaration statement.
+//   * per-FnDef  declared local names (parameters included), atomic-typed
+//                locals, names of std::thread containers, guard token
+//                spans (lock_guard/unique_lock/scoped_lock lifetimes),
+//                and the set of exception types the function catches.
+//
+// Everything is heuristic (no real C++ parse), tuned on this repository:
+// the passes that consume it bias toward silence on unresolvable shapes —
+// a finding must name a symbol the tables actually resolved.
+#pragma once
+
+#include <cstddef>
+#include <map>
+#include <set>
+#include <string>
+#include <vector>
+
+#include "analyze/analyzer.hpp"
+#include "analyze/lexer.hpp"
+
+namespace elmo_analyze {
+
+struct FnDef {
+  std::string qname;          // namespace/class-qualified name
+  std::size_t file = 0;       // index into Project::files
+  std::size_t line = 0;       // 1-based definition line
+  std::size_t body_begin = 0; // token index of the opening '{'
+  std::size_t body_end = 0;   // token index of the closing '}'
+  bool is_lambda = false;
+  std::size_t parent = static_cast<std::size_t>(-1);  // enclosing FnDef
+  std::string class_name;     // innermost enclosing class ("" when free)
+  // Lambda capture model.
+  bool capture_all_ref = false;   // [&]
+  bool capture_all_val = false;   // [=]
+  bool capture_this = false;      // [this] / [&] inside a member function
+  std::set<std::string> ref_captures;  // [&name]
+  std::set<std::string> val_captures;  // [name], [name = expr]
+  // Body-local knowledge.
+  std::set<std::string> locals;        // declared names + parameters
+  std::set<std::string> atomic_locals; // locals of std::atomic type
+  std::set<std::string> thread_vecs;   // locals holding std::thread objects
+  std::set<std::string> catches;       // caught type names; "..." wildcard
+  // Token ranges (within this file's token stream) where a scoped guard
+  // constructed in THIS function is alive.
+  std::vector<std::pair<std::size_t, std::size_t>> guard_spans;
+};
+
+struct CallRef {
+  std::size_t caller = static_cast<std::size_t>(-1);  // FnDef index
+  std::string callee;   // bare (last) identifier
+  std::string base;     // `x` in x.callee(...) / x->callee(...), else ""
+  bool member = false;  // spelled through . or ->
+  std::size_t file = 0;
+  std::size_t line = 0;
+  std::size_t tok = 0;  // token index of the callee identifier
+  std::vector<std::size_t> lambda_args;  // FnDef indices of lambda literals
+};
+
+struct VarDef {
+  std::string name;
+  std::string owner;  // declaring class qname, or "" for namespace scope
+  std::size_t file = 0;
+  std::size_t line = 0;
+  bool is_atomic = false;
+  bool is_const = false;
+  bool is_mutex = false;
+  bool is_thread = false;        // holds std::thread objects
+  bool is_static_local = false;  // `static` local promoted to shared state
+};
+
+struct CallGraph {
+  std::vector<FnDef> fns;
+  std::vector<CallRef> calls;
+  std::vector<VarDef> globals;  // namespace-scope vars + static locals
+  // class qname -> member name -> flags.
+  std::map<std::string, std::map<std::string, VarDef>> members;
+  // Per-project-file token streams (indexes parallel Project::files).
+  std::vector<std::vector<Token>> file_tokens;
+
+  static constexpr std::size_t npos = static_cast<std::size_t>(-1);
+
+  /// FnDef indices whose qualified name matches `callee`: exact, bare
+  /// last component, suffix-qualified (`A::B::f` matches callee `B::f`),
+  /// or a lambda bound to a variable of that name.
+  [[nodiscard]] std::vector<std::size_t> resolve(
+      const std::string& callee) const;
+
+  /// Innermost FnDef (by body token range) containing token `tok` of
+  /// `file`, preferring the deepest nested lambda.  npos when none.
+  [[nodiscard]] std::size_t fn_at(std::size_t file, std::size_t tok) const;
+
+  /// Is token `tok` of `fn`'s file inside a guard span of `fn` or of any
+  /// FnDef nested within `fn` that also contains the token?
+  [[nodiscard]] bool guarded_at(std::size_t fn, std::size_t tok) const;
+
+  /// Global (or static-local) variable named `name`, or nullptr.
+  [[nodiscard]] const VarDef* find_global(const std::string& name) const;
+
+  /// Member `name` of class `cls` (exact class-name match), or nullptr.
+  [[nodiscard]] const VarDef* find_member(const std::string& cls,
+                                          const std::string& name) const;
+
+  // Lookup tables, populated by build_callgraph; treat as read-only.
+  std::map<std::string, std::vector<std::size_t>> by_bare_;
+  std::map<std::string, std::vector<std::size_t>> lambda_aliases_;
+  std::map<std::string, std::size_t> global_index_;
+};
+
+/// Build the project-wide graph.  Deterministic: files are walked in
+/// Project order, tokens in stream order.
+CallGraph build_callgraph(const Project& project);
+
+}  // namespace elmo_analyze

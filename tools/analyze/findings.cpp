@@ -131,6 +131,57 @@ bool write_json(const std::string& path,
   return static_cast<bool>(out);
 }
 
+void write_sarif(std::ostream& out, const std::vector<Finding>& findings) {
+  // Rule table: unique pass:rule ids in first-appearance order.
+  std::vector<std::string> rule_ids;
+  std::set<std::string> seen_rules;
+  for (const Finding& f : findings) {
+    const std::string id = f.pass + ":" + f.rule;
+    if (seen_rules.insert(id).second) rule_ids.push_back(id);
+  }
+  out << "{\n"
+      << "  \"$schema\": "
+         "\"https://json.schemastore.org/sarif-2.1.0.json\",\n"
+      << "  \"version\": \"2.1.0\",\n"
+      << "  \"runs\": [\n"
+      << "    {\n"
+      << "      \"tool\": {\n"
+      << "        \"driver\": {\n"
+      << "          \"name\": \"elmo_analyze\",\n"
+      << "          \"rules\": [";
+  for (std::size_t i = 0; i < rule_ids.size(); ++i) {
+    out << (i == 0 ? "\n" : ",\n");
+    out << "            {\"id\": \"" << json_escape(rule_ids[i])
+        << "\", \"shortDescription\": {\"text\": \""
+        << json_escape(rule_ids[i]) << "\"}}";
+  }
+  out << (rule_ids.empty() ? "" : "\n          ") << "]\n"
+      << "        }\n"
+      << "      },\n"
+      << "      \"results\": [";
+  bool first = true;
+  for (const Finding& f : findings) {
+    out << (first ? "\n" : ",\n");
+    first = false;
+    const std::size_t line = f.line == 0 ? 1 : f.line;  // SARIF wants >= 1
+    out << "        {\"ruleId\": \"" << json_escape(f.pass + ":" + f.rule)
+        << "\", \"level\": \"" << (f.baselined ? "note" : "error")
+        << "\", \"message\": {\"text\": \"" << json_escape(f.message)
+        << "\"}, \"locations\": [{\"physicalLocation\": "
+           "{\"artifactLocation\": {\"uri\": \""
+        << json_escape(f.file) << "\"}, \"region\": {\"startLine\": " << line
+        << "}}}]";
+    if (f.baselined) {
+      out << ", \"suppressions\": [{\"kind\": \"external\"}]";
+    }
+    out << "}";
+  }
+  out << (first ? "" : "\n      ") << "]\n"
+      << "    }\n"
+      << "  ]\n"
+      << "}\n";
+}
+
 bool write_baseline(const std::string& path,
                     const std::vector<Finding>& findings) {
   std::ofstream out(path);

@@ -9,6 +9,7 @@
 #pragma once
 
 #include <cstddef>
+#include <iosfwd>
 #include <set>
 #include <string>
 #include <vector>
@@ -50,6 +51,11 @@ void write_text(const std::vector<Finding>& findings, const std::string& tool,
 /// Machine-readable JSON: {"findings": [...], "summary": {...}}.
 /// Returns false on IO error.
 bool write_json(const std::string& path, const std::vector<Finding>& findings);
+
+/// SARIF 2.1.0 (the format GitHub renders as code-scanning annotations):
+/// one run, one result per finding; baselined findings carry an external
+/// suppression and level "note", active ones level "error".
+void write_sarif(std::ostream& out, const std::vector<Finding>& findings);
 
 /// Write every finding key as a fresh baseline.  Returns false on IO error.
 bool write_baseline(const std::string& path,

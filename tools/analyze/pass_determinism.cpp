@@ -1,0 +1,192 @@
+// elmo_analyze — determinism pass.
+//
+// The divide-and-conquer pipeline promises bit-identical output for any
+// thread count; PR-4/PR-6 tests pin that contract.  This pass guards the
+// modules whose iteration order feeds emitted candidates and merges
+// (nullspace/, core/, linalg/, compress/) against the three classic ways
+// C++ code goes nondeterministic:
+//
+//   unordered-iter  iterating an unordered_{map,set,multimap,multiset}
+//                   (range-for or explicit .begin()/.cbegin()) — bucket
+//                   order depends on hashing, insertion history and
+//                   libstdc++ version;
+//   pointer-key     a map/set keyed on a pointer type — ASLR makes the
+//                   comparison order different every run;
+//   wall-clock      steady_clock/system_clock/high_resolution_clock,
+//                   this_thread::get_id, time()/clock()/gettimeofday in
+//                   solver code — timing and identity must never steer
+//                   output (rand is already banned tree-wide by the lint
+//                   pass).
+//
+// Sites that are genuinely order-insensitive (e.g. an unordered set only
+// counted, or drained into a sort) carry lint:allow(<rule>).  Files
+// outside the gated modules are exempt unless named explicitly on the
+// command line (fixtures).
+
+#include <sstream>
+
+#include "analyze/analyzer.hpp"
+#include "analyze/lexer.hpp"
+
+namespace elmo_analyze {
+
+namespace {
+
+bool in_target_module(const SourceFile& f) {
+  return f.module == "nullspace" || f.module == "core" ||
+         f.module == "linalg" || f.module == "compress";
+}
+
+bool unordered_container(const std::string& s) {
+  return s == "unordered_map" || s == "unordered_set" ||
+         s == "unordered_multimap" || s == "unordered_multiset";
+}
+
+bool ordered_assoc_container(const std::string& s) {
+  return s == "map" || s == "set" || s == "multimap" || s == "multiset";
+}
+
+bool clock_ident(const std::string& s) {
+  return s == "steady_clock" || s == "system_clock" ||
+         s == "high_resolution_clock" || s == "gettimeofday";
+}
+
+void emit(const SourceFile& file, std::size_t line, const char* rule,
+          const std::string& message, std::set<std::string>& seen,
+          std::vector<Finding>& findings) {
+  if (file.allows(line, rule)) return;
+  std::ostringstream key;
+  key << file.path << ":" << line << ":" << rule;
+  if (!seen.insert(key.str()).second) return;
+  Finding finding;
+  finding.pass = "determinism";
+  finding.rule = rule;
+  finding.file = file.path;
+  finding.line = line;
+  finding.message = message;
+  findings.push_back(std::move(finding));
+}
+
+/// Template argument tokens of the container whose name is at `idx`:
+/// [first, last) covering the first top-level argument, or empty.
+std::pair<std::size_t, std::size_t> first_template_arg(
+    const std::vector<Token>& toks, std::size_t idx) {
+  if (idx + 1 >= toks.size() || !toks[idx + 1].is("<")) return {0, 0};
+  int depth = 0;
+  std::size_t first = idx + 2;
+  for (std::size_t j = idx + 1; j < toks.size(); ++j) {
+    if (toks[j].is("<")) ++depth;
+    if (toks[j].is(">") || toks[j].is(">>")) {
+      depth -= toks[j].is(">>") ? 2 : 1;
+      if (depth <= 0) return {first, j};
+    }
+    if (toks[j].is(",") && depth == 1) return {first, j};
+    if (toks[j].is(";") || toks[j].is("{")) break;  // unbalanced
+  }
+  return {0, 0};
+}
+
+/// Token index just past the container's full `<...>` template list.
+std::size_t past_template_list(const std::vector<Token>& toks,
+                               std::size_t idx) {
+  if (idx + 1 >= toks.size() || !toks[idx + 1].is("<")) return idx + 1;
+  int depth = 0;
+  for (std::size_t j = idx + 1; j < toks.size(); ++j) {
+    if (toks[j].is("<")) ++depth;
+    if (toks[j].is(">") || toks[j].is(">>")) {
+      depth -= toks[j].is(">>") ? 2 : 1;
+      if (depth <= 0) return j + 1;
+    }
+    if (toks[j].is(";") || toks[j].is("{")) break;
+  }
+  return toks.size();
+}
+
+}  // namespace
+
+void pass_determinism(const Project& project, const Options& opts,
+                      std::vector<Finding>& findings) {
+  (void)opts;
+  std::set<std::string> seen;
+  for (const SourceFile& file : project.files) {
+    if (!file.tree.empty() &&
+        (file.tree != "src" || !in_target_module(file))) {
+      continue;  // explicit/fixture files (tree "") are always analyzed
+    }
+    const std::string where =
+        file.module.empty() ? "deterministic-output code"
+                            : "solver-output module '" + file.module + "'";
+    const std::vector<Token> toks = lex(file.stripped);
+    // Declared unordered-container variable names in this file.
+    std::set<std::string> unordered_vars;
+    for (std::size_t i = 0; i < toks.size(); ++i) {
+      const Token& t = toks[i];
+      if (!t.ident()) continue;
+      if (unordered_container(t.text) || ordered_assoc_container(t.text)) {
+        // pointer-key: first template argument mentions a raw pointer.
+        const auto arg = first_template_arg(toks, i);
+        for (std::size_t j = arg.first; j < arg.second; ++j) {
+          if (toks[j].is("*")) {
+            emit(file, t.line, "pointer-key",
+                 "associative container keyed on a pointer — ASLR makes "
+                 "iteration/comparison order differ between runs; key on a "
+                 "stable id instead",
+                 seen, findings);
+            break;
+          }
+        }
+      }
+      if (unordered_container(t.text)) {
+        const std::size_t name_idx = past_template_list(toks, i);
+        if (name_idx < toks.size() && toks[name_idx].ident()) {
+          unordered_vars.insert(toks[name_idx].text);
+        }
+      }
+      if (clock_ident(t.text)) {
+        emit(file, t.line, "wall-clock",
+             "wall-clock/time source in " + where +
+                 " — timing must never steer emitted output",
+             seen, findings);
+      }
+      if (t.text == "get_id" && i >= 2 && toks[i - 1].is("::") &&
+          toks[i - 2].is("this_thread")) {
+        emit(file, t.line, "wall-clock",
+             "thread identity in " + where +
+                 " — worker id must never steer emitted output",
+             seen, findings);
+      }
+      if ((t.text == "time" || t.text == "clock") && i + 1 < toks.size() &&
+          toks[i + 1].is("(") && (i == 0 || !toks[i - 1].is(".")) &&
+          (i == 0 || !toks[i - 1].is("->")) &&
+          (i == 0 || !toks[i - 1].is("::"))) {
+        emit(file, t.line, "wall-clock",
+             "C time source in " + where +
+                 " — timing must never steer emitted output",
+             seen, findings);
+      }
+    }
+    if (unordered_vars.empty()) continue;
+    // Iteration sites over the collected unordered variables.
+    for (std::size_t i = 0; i < toks.size(); ++i) {
+      const Token& t = toks[i];
+      if (!t.ident() || unordered_vars.count(t.text) == 0) continue;
+      const bool range_for = i > 0 && toks[i - 1].is(":");
+      const bool begin_call =
+          i + 3 < toks.size() &&
+          (toks[i + 1].is(".") || toks[i + 1].is("->")) &&
+          toks[i + 2].ident() &&
+          (toks[i + 2].text == "begin" || toks[i + 2].text == "cbegin" ||
+           toks[i + 2].text == "rbegin") &&
+          toks[i + 3].is("(");
+      if (!range_for && !begin_call) continue;
+      emit(file, t.line, "unordered-iter",
+           "iteration over unordered container '" + t.text +
+               "' — bucket order is hash/insertion/library dependent; "
+               "drain into a sorted sequence first or use an ordered "
+               "container",
+           seen, findings);
+    }
+  }
+}
+
+}  // namespace elmo_analyze

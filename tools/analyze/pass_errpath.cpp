@@ -1,0 +1,242 @@
+// elmo_analyze — error-path / RAII pass.
+//
+// Two rules, both interprocedural over the call graph:
+//
+// raii-pair        The codebase wraps most resources in RAII types, but a
+//                  few idioms stayed manual: trace spans
+//                  (begin_span/end_span, span_begin/span_end), resource
+//                  spill blocks (open_spill_block/close_spill_block,
+//                  open_block/close_block) and memory leases taken outside
+//                  MemoryLease (acquire_lease/release_lease,
+//                  lease_acquire/lease_release).  For every function with
+//                  a direct acquire, count acquires vs releases including
+//                  one level of named callees; more acquires than releases
+//                  means an early return or throw leaks the resource.
+//                  Waive intentional acquire-wrappers with
+//                  lint:allow(raii-pair).
+//
+// unhandled-throw  Every `throw` of ResourceError / CancelledError /
+//                  DeadlineExceededError must be reachable from a catch
+//                  that can receive it — the retry ladder
+//                  (core/combined.hpp) or a shutdown/CLI handler.  We
+//                  BFS the REVERSE call graph from the throwing function;
+//                  if no function on any caller path catches the type (or
+//                  a base: Error/runtime_error/exception/...), the typed
+//                  error escapes to std::terminate in a worker thread.
+//                  Name resolution is deliberately over-approximate
+//                  (bare-name matching), which errs toward silence.
+
+#include <array>
+#include <deque>
+#include <sstream>
+
+#include "analyze/analyzer.hpp"
+#include "analyze/callgraph.hpp"
+
+namespace elmo_analyze {
+
+namespace {
+
+constexpr std::size_t npos = CallGraph::npos;
+
+struct RaiiPair {
+  const char* acquire;
+  const char* release;
+};
+
+const RaiiPair kPairs[] = {
+    {"begin_span", "end_span"},
+    {"span_begin", "span_end"},
+    {"open_spill_block", "close_spill_block"},
+    {"open_block", "close_block"},
+    {"acquire_lease", "release_lease"},
+    {"lease_acquire", "lease_release"},
+};
+constexpr std::size_t kNumPairs = sizeof(kPairs) / sizeof(kPairs[0]);
+
+const char* kTypedErrors[] = {"ResourceError", "CancelledError",
+                              "DeadlineExceededError"};
+
+bool typed_error(const std::string& name) {
+  for (const char* t : kTypedErrors) {
+    if (name == t) return true;
+  }
+  return false;
+}
+
+bool handles(const FnDef& f, const std::string& type) {
+  return f.catches.count(type) != 0 || f.catches.count("...") != 0 ||
+         f.catches.count("exception") != 0 ||
+         f.catches.count("runtime_error") != 0 ||
+         f.catches.count("Error") != 0;
+}
+
+struct PairCounts {
+  std::array<int, kNumPairs> acq{};
+  std::array<int, kNumPairs> rel{};
+  std::array<std::size_t, kNumPairs> first_acq_line{};
+};
+
+struct ErrpathPass {
+  const Project& project;
+  const Options& opts;
+  std::vector<Finding>& findings;
+  CallGraph cg;
+  std::map<std::size_t, std::vector<std::size_t>> reverse_edges;
+
+  void build_reverse_edges();
+  void check_raii_pairs();
+  void check_throws();
+};
+
+void ErrpathPass::build_reverse_edges() {
+  for (const CallRef& call : cg.calls) {
+    if (call.caller == npos) continue;
+    for (std::size_t target : cg.resolve(call.callee)) {
+      if (target != call.caller) {
+        reverse_edges[target].push_back(call.caller);
+      }
+    }
+    // A lambda argument is invoked by the callee (or queued and invoked
+    // later); its exceptions surface wherever the spawning code installed
+    // handlers — model that as caller -> lambda so the reverse walk
+    // reaches the spawn site's handler chain.
+    for (std::size_t lam : call.lambda_args) {
+      reverse_edges[lam].push_back(call.caller);
+    }
+  }
+  // A lambda also propagates through its lexical parent when invoked
+  // in-place.
+  for (std::size_t i = 0; i < cg.fns.size(); ++i) {
+    const FnDef& f = cg.fns[i];
+    if (f.is_lambda && f.parent != npos) {
+      reverse_edges[i].push_back(f.parent);
+    }
+  }
+}
+
+void ErrpathPass::check_raii_pairs() {
+  std::map<std::size_t, PairCounts> direct;
+  for (const CallRef& call : cg.calls) {
+    if (call.caller == npos) continue;
+    for (std::size_t p = 0; p < kNumPairs; ++p) {
+      if (call.callee == kPairs[p].acquire) {
+        PairCounts& c = direct[call.caller];
+        if (c.acq[p] == 0) c.first_acq_line[p] = call.line;
+        ++c.acq[p];
+      } else if (call.callee == kPairs[p].release) {
+        ++direct[call.caller].rel[p];
+      }
+    }
+  }
+  for (const auto& entry : direct) {
+    const std::size_t fn_idx = entry.first;
+    const PairCounts& own = entry.second;
+    bool any_acq = false;
+    for (std::size_t p = 0; p < kNumPairs; ++p) any_acq |= own.acq[p] > 0;
+    if (!any_acq) continue;
+    // Effective counts: direct plus one level of distinct named callees
+    // (a helper that releases on our behalf balances the books).
+    PairCounts effective = own;
+    std::set<std::size_t> callees;
+    for (const CallRef& call : cg.calls) {
+      if (call.caller != fn_idx) continue;
+      for (std::size_t target : cg.resolve(call.callee)) {
+        if (target != fn_idx) callees.insert(target);
+      }
+      for (std::size_t lam : call.lambda_args) callees.insert(lam);
+    }
+    for (std::size_t callee : callees) {
+      auto it = direct.find(callee);
+      if (it == direct.end()) continue;
+      for (std::size_t p = 0; p < kNumPairs; ++p) {
+        effective.acq[p] += it->second.acq[p];
+        effective.rel[p] += it->second.rel[p];
+      }
+    }
+    const FnDef& f = cg.fns[fn_idx];
+    const SourceFile& file = project.files[f.file];
+    for (std::size_t p = 0; p < kNumPairs; ++p) {
+      if (own.acq[p] == 0 || effective.acq[p] <= effective.rel[p]) continue;
+      const std::size_t line = own.first_acq_line[p];
+      if (file.allows(line, "raii-pair")) continue;
+      Finding finding;
+      finding.pass = "errpath";
+      finding.rule = "raii-pair";
+      finding.file = file.path;
+      finding.line = line;
+      std::ostringstream msg;
+      msg << "'" << f.qname << "' calls " << kPairs[p].acquire << " "
+          << effective.acq[p] << "x but " << kPairs[p].release << " only "
+          << effective.rel[p]
+          << "x (incl. one level of callees): an early return or throw "
+             "leaks the resource — use the RAII wrapper or "
+             "lint:allow(raii-pair) on a deliberate acquire-wrapper";
+      finding.message = msg.str();
+      findings.push_back(std::move(finding));
+    }
+  }
+}
+
+void ErrpathPass::check_throws() {
+  for (std::size_t file_idx = 0; file_idx < project.files.size();
+       ++file_idx) {
+    const SourceFile& file = project.files[file_idx];
+    const std::vector<Token>& toks = cg.file_tokens[file_idx];
+    for (std::size_t i = 0; i < toks.size(); ++i) {
+      if (!toks[i].ident() || !toks[i].is("throw")) continue;
+      // `throw [ns::]*Type(...)`: last identifier of the qualified name.
+      std::string type;
+      std::size_t j = i + 1;
+      while (j < toks.size() && (toks[j].ident() || toks[j].is("::"))) {
+        if (toks[j].ident()) type = toks[j].text;
+        ++j;
+      }
+      if (!typed_error(type)) continue;
+      const std::size_t origin = cg.fn_at(file_idx, i);
+      if (origin == npos) continue;
+      // Reverse BFS: does ANY caller path install a handler?
+      std::set<std::size_t> visited{origin};
+      std::deque<std::size_t> queue{origin};
+      bool handled = false;
+      while (!queue.empty() && !handled) {
+        const std::size_t cur = queue.front();
+        queue.pop_front();
+        if (handles(cg.fns[cur], type)) {
+          handled = true;
+          break;
+        }
+        auto rev = reverse_edges.find(cur);
+        if (rev == reverse_edges.end()) continue;
+        for (std::size_t caller : rev->second) {
+          if (visited.insert(caller).second) queue.push_back(caller);
+        }
+      }
+      if (handled) continue;
+      const std::size_t line = toks[i].line;
+      if (file.allows(line, "unhandled-throw")) continue;
+      Finding finding;
+      finding.pass = "errpath";
+      finding.rule = "unhandled-throw";
+      finding.file = file.path;
+      finding.line = line;
+      finding.message =
+          "throw of " + type + " in '" + cg.fns[origin].qname +
+          "' reaches no catch for it on any caller path (retry ladder, "
+          "shutdown or CLI handler) — typed errors must degrade cleanly";
+      findings.push_back(std::move(finding));
+    }
+  }
+}
+
+}  // namespace
+
+void pass_errpath(const Project& project, const Options& opts,
+                  std::vector<Finding>& findings) {
+  ErrpathPass pass{project, opts, findings, build_callgraph(project), {}};
+  pass.build_reverse_edges();
+  pass.check_raii_pairs();
+  pass.check_throws();
+}
+
+}  // namespace elmo_analyze

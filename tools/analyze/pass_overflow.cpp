@@ -210,9 +210,11 @@ void pass_overflow(const Project& project, const Options& opts,
                    std::vector<Finding>& findings) {
   (void)opts;
   for (const SourceFile& f : project.files) {
-    // Scanned trees: only the exact-arithmetic modules.  Explicit file
-    // arguments (fixtures, ad-hoc runs) are always analyzed.
-    if (!f.module.empty() && !in_target_module(f)) continue;
+    // Scanned trees: only the exact-arithmetic modules under src/.
+    // Explicit file arguments (fixtures, ad-hoc runs) are always analyzed.
+    if (!f.tree.empty() && (f.tree != "src" || !in_target_module(f))) {
+      continue;
+    }
     const std::vector<Token> toks = lex(f.stripped);
     const TypeIndex idx = build_type_index(toks);
     if (idx.vars.empty() && idx.fns.empty()) continue;

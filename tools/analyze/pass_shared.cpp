@@ -1,0 +1,509 @@
+// elmo_analyze — shared-state concurrency pass.
+//
+// Static complement to the TSan preset: find globals, statics, class
+// members and by-reference-captured locals that are MUTATED inside a
+// concurrent execution context without any of the three excuses the
+// codebase recognizes:
+//
+//   1. a scoped guard (lock_guard/unique_lock/scoped_lock) alive at the
+//      mutation site — reuses the lock pass's guard model via the call
+//      graph's guard spans;
+//   2. an std::atomic type on the variable;
+//   3. an explicit `// analyze:shared-ok` (or lint:allow(shared-mutation))
+//      annotation on the mutation line or the line above, for sites that
+//      are provably race-free by construction (e.g. per-rank disjoint
+//      array slots).
+//
+// Concurrent contexts are: lambda arguments of parallel_for_dynamic /
+// parallel_for_chunks / ThreadPool::submit / std::async / Watchdog::arm,
+// bodies handed to std::thread (directly, via a named thread variable, or
+// via emplace_back/push_back on a container of threads — the mpsim rank
+// pattern), plus — one level deep — any named function called from such a
+// body.  Functions whose name ends in `_locked` are exempt by repo
+// convention: the caller already holds the guard.
+//
+// Rule `shared-unseen` (only with --tsan-log=FILE): parse a
+// ThreadSanitizer report and flag race locations in project files that no
+// static shared-mutation finding sits within 3 lines of — the
+// cross-check that keeps the static model honest against the dynamic one.
+
+#include <fstream>
+#include <sstream>
+
+#include "analyze/analyzer.hpp"
+#include "analyze/callgraph.hpp"
+
+namespace elmo_analyze {
+
+namespace {
+
+constexpr std::size_t npos = CallGraph::npos;
+
+bool is_assign_op(const std::string& s) {
+  return s == "=" || s == "+=" || s == "-=" || s == "*=" || s == "/=" ||
+         s == "%=" || s == "&=" || s == "|=" || s == "^=" || s == "<<=" ||
+         s == ">>=";
+}
+
+bool is_mutating_method(const std::string& s) {
+  static const std::set<std::string> kMutators = {
+      "push_back", "emplace_back", "pop_back",  "push_front", "pop_front",
+      "insert",    "emplace",      "erase",     "clear",      "resize",
+      "reserve",   "assign",       "append",    "merge",      "swap",
+      "push",      "pop",          "store",     // store is atomic-only; the
+  };                                            // atomic check excuses it
+  return kMutators.count(s) != 0;
+}
+
+bool spawn_name(const std::string& s) {
+  return s == "parallel_for_dynamic" || s == "parallel_for_chunks" ||
+         s == "submit" || s == "async" || s == "thread" || s == "jthread" ||
+         s == "arm";
+}
+
+bool ends_with(const std::string& s, const std::string& suffix) {
+  return s.size() >= suffix.size() &&
+         s.compare(s.size() - suffix.size(), suffix.size(), suffix) == 0;
+}
+
+/// The `// analyze:shared-ok` escape lives on the raw line (or the one
+/// above) like lint:allow does.
+bool shared_ok(const SourceFile& f, std::size_t line) {
+  for (std::size_t l = line; l + 1 >= line && l > 0; --l) {
+    if (l - 1 < f.raw_lines.size() &&
+        f.raw_lines[l - 1].find("analyze:shared-ok") != std::string::npos) {
+      return true;
+    }
+    if (l == 1) break;
+  }
+  return false;
+}
+
+/// Mutation target: the root object of the mutated lvalue plus the first
+/// member accessed through it (for `this->member` and `obj.field` shapes).
+struct Target {
+  std::string base;    // leftmost identifier of the access chain
+  std::string member;  // first name after the base, "" when none
+  bool valid = false;
+};
+
+/// Walk backwards from `end` (the last token of an lvalue expression)
+/// through subscripts, call parens and member accesses to the root
+/// identifier.  Unresolvable shapes return invalid — bias toward silence.
+Target lvalue_base(const std::vector<Token>& toks, std::size_t end) {
+  Target t;
+  std::vector<std::string> chain;  // rightmost-first
+  std::size_t i = end;
+  for (int steps = 0; steps < 24; ++steps) {
+    if (toks[i].is("]") || toks[i].is(")")) {
+      const std::size_t open = match_backward(toks, i);
+      if (open == npos || open == 0) return t;
+      i = open - 1;
+      continue;
+    }
+    if (!toks[i].ident()) return t;
+    chain.push_back(toks[i].text);
+    if (i >= 2 && (toks[i - 1].is(".") || toks[i - 1].is("->"))) {
+      i -= 2;
+      continue;
+    }
+    // `ns::var`: take the rightmost identifier as the name; qualification
+    // does not change which variable is mutated.
+    if (i >= 1 && toks[i - 1].is("*")) return t;  // deref-assign: unknown
+    t.base = chain.back();
+    if (chain.size() >= 2) t.member = chain[chain.size() - 2];
+    t.valid = true;
+    return t;
+  }
+  return t;
+}
+
+struct SharedPass {
+  const Project& project;
+  const Options& opts;
+  std::vector<Finding>& findings;
+  CallGraph cg;
+  // FnDef index -> is the receiver object (`this`) known to be shared
+  // between threads?  Lambdas spawned as thread bodies: yes.  Named
+  // member functions reached by expansion: only when the call went
+  // through a shared receiver — member mutations in a function invoked
+  // on a lane-local object are thread-private.
+  std::map<std::size_t, bool> concurrent;
+  std::set<std::string> emitted;             // dedupe file:line:var
+
+  void collect_roots();
+  void expand_one_level();
+  bool receiver_is_shared(const FnDef& caller, const CallRef& call);
+  void scan_fn(std::size_t fn_idx, bool receiver_shared);
+  void flag(std::size_t fn_idx, std::size_t tok, const std::string& var,
+            const std::string& kind);
+  bool excused_by_ancestry(std::size_t fn_idx, const std::string& name,
+                           bool& found_shared);
+  void cross_check_tsan();
+};
+
+void SharedPass::collect_roots() {
+  for (const CallRef& call : cg.calls) {
+    if (call.caller == npos) continue;
+    const FnDef& caller = cg.fns[call.caller];
+    bool spawn = spawn_name(call.callee);
+    if (!spawn && caller.thread_vecs.count(call.callee) != 0) {
+      spawn = true;  // std::thread watcher(...): callee is the variable
+    }
+    if (!spawn && call.member &&
+        (call.callee == "emplace_back" || call.callee == "push_back")) {
+      if (caller.thread_vecs.count(call.base) != 0) {
+        spawn = true;
+      } else if (!caller.class_name.empty()) {
+        const VarDef* member = cg.find_member(caller.class_name, call.base);
+        if (member != nullptr && member->is_thread) spawn = true;
+      }
+    }
+    if (!spawn) continue;
+    for (std::size_t lam : call.lambda_args) concurrent[lam] = true;
+    // Lambdas passed by name: `auto lane = [..]{..}; spawn(lane)`.
+    const std::vector<Token>& toks = cg.file_tokens[call.file];
+    if (call.tok + 1 < toks.size() && toks[call.tok + 1].is("(")) {
+      const std::size_t close = match_forward(toks, call.tok + 1);
+      for (std::size_t k = call.tok + 2; k != npos && k < close; ++k) {
+        if (!toks[k].ident()) continue;
+        for (std::size_t idx : cg.resolve(toks[k].text)) {
+          if (cg.fns[idx].is_lambda) concurrent[idx] = true;
+        }
+      }
+    }
+  }
+}
+
+/// Does a member call from `caller` go through an object other threads
+/// can also reach?  Unknown receivers answer no — silence over noise.
+bool SharedPass::receiver_is_shared(const FnDef& caller,
+                                    const CallRef& call) {
+  if (!call.member) {
+    // Implicit-this member call (or free function: the scan flags only
+    // globals there anyway).
+    return caller.is_lambda ? caller.capture_this : true;
+  }
+  const std::string& base = call.base;
+  if (base.empty()) return false;  // chained expr().m(): unknown
+  if (base == "this") return true;
+  if (caller.locals.count(base) != 0 ||
+      caller.val_captures.count(base) != 0) {
+    return false;  // lane-local object
+  }
+  if (caller.is_lambda &&
+      (caller.ref_captures.count(base) != 0 || caller.capture_all_ref)) {
+    // Ref-captured local of the spawning frame: shared with the spawner
+    // and every sibling lane.
+    std::size_t p = caller.parent;
+    for (int depth = 0; p != npos && depth < 8; ++depth) {
+      if (cg.fns[p].locals.count(base) != 0) return true;
+      p = cg.fns[p].parent;
+    }
+  }
+  if (!caller.class_name.empty() &&
+      (!caller.is_lambda || caller.capture_this) &&
+      cg.find_member(caller.class_name, base) != nullptr) {
+    return true;
+  }
+  return cg.find_global(base) != nullptr;
+}
+
+void SharedPass::expand_one_level() {
+  // Named functions called directly from a concurrent body run on the
+  // worker thread too; follow one level (matching the lock pass's depth).
+  std::map<std::size_t, bool> extra;
+  for (const CallRef& call : cg.calls) {
+    if (call.caller == npos || concurrent.count(call.caller) == 0) continue;
+    // Container-method names (push_back, merge, ...) are judged at the
+    // call site; bare-name resolution would drag in every class that
+    // happens to define one.
+    if (is_mutating_method(call.callee)) continue;
+    const FnDef& caller = cg.fns[call.caller];
+    const bool shared_recv = receiver_is_shared(caller, call);
+    for (std::size_t idx : cg.resolve(call.callee)) {
+      const FnDef& callee = cg.fns[idx];
+      if (callee.is_lambda) continue;
+      if (ends_with(callee.qname, "_locked")) continue;  // caller holds lock
+      if (!callee.class_name.empty() && !shared_recv) {
+        // Member function on a lane-local object: its member mutations
+        // are private; its global mutations would need a second level we
+        // deliberately don't model.
+        continue;
+      }
+      auto it = extra.find(idx);
+      if (it == extra.end()) {
+        extra.emplace(idx, shared_recv);
+      } else {
+        it->second = it->second || shared_recv;
+      }
+    }
+  }
+  // Lambdas defined inside a concurrent body execute there when invoked.
+  for (std::size_t i = 0; i < cg.fns.size(); ++i) {
+    const FnDef& f = cg.fns[i];
+    if (f.is_lambda && f.parent != npos && concurrent.count(f.parent) != 0) {
+      extra.emplace(i, true);
+    }
+  }
+  for (const auto& entry : extra) {
+    auto it = concurrent.find(entry.first);
+    if (it == concurrent.end()) {
+      concurrent.insert(entry);
+    } else {
+      it->second = it->second || entry.second;
+    }
+  }
+}
+
+/// For a name not local to `fn_idx`: search the lexical ancestor chain for
+/// the local it captures.  Returns true when the mutation is excused
+/// (atomic local, or nobody shares it); `found_shared` reports whether a
+/// plain ancestor local was found (i.e. a real cross-thread stack write).
+bool SharedPass::excused_by_ancestry(std::size_t fn_idx,
+                                     const std::string& name,
+                                     bool& found_shared) {
+  found_shared = false;
+  const FnDef* f = &cg.fns[fn_idx];
+  // Only reference captures leak the parent's storage.
+  if (f->val_captures.count(name) != 0) return true;
+  const bool by_ref =
+      f->capture_all_ref || f->ref_captures.count(name) != 0;
+  if (!by_ref) return false;
+  std::size_t p = f->parent;
+  for (int depth = 0; p != npos && depth < 8; ++depth) {
+    const FnDef& anc = cg.fns[p];
+    if (anc.atomic_locals.count(name) != 0) return true;
+    if (anc.locals.count(name) != 0) {
+      found_shared = true;
+      return false;
+    }
+    p = anc.parent;
+  }
+  return false;
+}
+
+void SharedPass::flag(std::size_t fn_idx, std::size_t tok,
+                      const std::string& var, const std::string& kind) {
+  const FnDef& f = cg.fns[fn_idx];
+  const SourceFile& file = project.files[f.file];
+  const std::size_t line = cg.file_tokens[f.file][tok].line;
+  if (cg.guarded_at(fn_idx, tok)) return;
+  if (shared_ok(file, line)) return;
+  if (file.allows(line, "shared-mutation")) return;
+  std::ostringstream dedupe;
+  dedupe << f.file << ":" << line << ":" << var;
+  if (!emitted.insert(dedupe.str()).second) return;
+  Finding finding;
+  finding.pass = "shared";
+  finding.rule = "shared-mutation";
+  finding.file = file.path;
+  finding.line = line;
+  finding.message = kind + " '" + var + "' mutated in concurrent context '" +
+                    f.qname +
+                    "' without guard/atomic (annotate analyze:shared-ok if "
+                    "race-free by construction)";
+  findings.push_back(std::move(finding));
+}
+
+void SharedPass::scan_fn(std::size_t fn_idx, bool receiver_shared) {
+  const FnDef& f = cg.fns[fn_idx];
+  if (f.body_end <= f.body_begin) return;
+  const std::vector<Token>& toks = cg.file_tokens[f.file];
+  for (std::size_t i = f.body_begin + 1; i < f.body_end; ++i) {
+    const Token& t = toks[i];
+    std::size_t lvalue_end = npos;
+    std::size_t site = i;
+    if (t.kind == Token::Kind::kPunct && is_assign_op(t.text) && i > 0) {
+      lvalue_end = i - 1;
+    } else if (t.is("++") || t.is("--")) {
+      if (i > 0 && (toks[i - 1].ident() || toks[i - 1].is("]") ||
+                    toks[i - 1].is(")"))) {
+        lvalue_end = i - 1;  // postfix
+      } else if (i + 1 < f.body_end) {
+        // Prefix: the operand is the following primary expression; walk
+        // forward over idents/accessors, then back from its last token.
+        std::size_t j = i + 1;
+        while (j + 1 < f.body_end &&
+               (toks[j + 1].is(".") || toks[j + 1].is("->") ||
+                toks[j + 1].is("::")) &&
+               toks[j].ident()) {
+          j += 2;
+        }
+        if (toks[j].ident()) lvalue_end = j;
+      }
+    } else if (t.ident() && is_mutating_method(t.text) && i >= 2 &&
+               (toks[i - 1].is(".") || toks[i - 1].is("->")) &&
+               i + 1 < f.body_end && toks[i + 1].is("(")) {
+      lvalue_end = i - 2;
+    }
+    if (lvalue_end == npos) continue;
+    const Target target = lvalue_base(toks, lvalue_end);
+    if (!target.valid) continue;
+
+    // Attribute the site to the innermost body containing it — a nested
+    // lambda owns its own locals.
+    std::size_t owner = cg.fn_at(f.file, site);
+    if (owner == npos) owner = fn_idx;
+    // Only scan sites whose innermost owner is this fn: nested lambdas in
+    // the concurrent set are scanned on their own turn, and nested
+    // lambdas NOT in the set (e.g. a comparator) still run on this thread
+    // — treat their sites as ours only when they are not separately
+    // concurrent.
+    if (owner != fn_idx && concurrent.count(owner) != 0) continue;
+    const FnDef& ctx = cg.fns[owner];
+
+    const std::string& base = target.base;
+    if (base == "this") {
+      if (target.member.empty() || !receiver_shared) continue;
+      const std::string& cls = ctx.class_name;
+      const VarDef* member =
+          cls.empty() ? nullptr : cg.find_member(cls, target.member);
+      if (member == nullptr) continue;  // unknown member: stay silent
+      if (member->is_atomic || member->is_mutex || member->is_const) continue;
+      flag(fn_idx, site, target.member, "member");
+      continue;
+    }
+    if (ctx.locals.count(base) != 0) continue;        // thread-private
+    if (ctx.atomic_locals.count(base) != 0) continue;
+    bool found_shared = false;
+    if (ctx.is_lambda) {
+      if (excused_by_ancestry(owner, base, found_shared)) continue;
+      if (found_shared) {
+        flag(fn_idx, site, base, "captured local");
+        continue;
+      }
+    }
+    // Class member accessed without `this->`?
+    if (!ctx.class_name.empty() &&
+        (!ctx.is_lambda || ctx.capture_this)) {
+      const VarDef* member = cg.find_member(ctx.class_name, base);
+      if (member != nullptr) {
+        if (member->is_atomic || member->is_mutex || member->is_const ||
+            member->is_thread || !receiver_shared) {
+          continue;
+        }
+        flag(fn_idx, site, base, "member");
+        continue;
+      }
+    }
+    const VarDef* global = cg.find_global(base);
+    if (global != nullptr) {
+      if (global->is_atomic || global->is_mutex || global->is_const) continue;
+      flag(fn_idx, site, base,
+           global->is_static_local ? "static local" : "global");
+      continue;
+    }
+    // Unresolved name: silence.
+  }
+}
+
+void SharedPass::cross_check_tsan() {
+  std::ifstream in(opts.tsan_log_path);
+  if (!in) {
+    Finding finding;
+    finding.pass = "shared";
+    finding.rule = "shared-unseen";
+    finding.file = opts.tsan_log_path;
+    finding.line = 0;
+    finding.message = "cannot read TSan log";
+    findings.push_back(std::move(finding));
+    return;
+  }
+  // Collect static shared-mutation lines per file for proximity matching.
+  std::map<std::string, std::set<std::size_t>> static_hits;
+  for (const Finding& f : findings) {
+    if (f.pass == "shared" && f.rule == "shared-mutation") {
+      static_hits[f.file].insert(f.line);
+    }
+  }
+  // Annotated sites count as "seen" too — they ARE static knowledge.
+  for (const SourceFile& f : project.files) {
+    for (std::size_t l = 0; l < f.raw_lines.size(); ++l) {
+      if (f.raw_lines[l].find("analyze:shared-ok") != std::string::npos ||
+          f.raw_lines[l].find("lint:allow(shared-mutation)") !=
+              std::string::npos) {
+        static_hits[f.path].insert(l + 1);
+        static_hits[f.path].insert(l + 2);  // annotation-above form
+      }
+    }
+  }
+  std::set<std::string> seen;
+  std::string line;
+  bool in_race = false;
+  while (std::getline(in, line)) {
+    if (line.find("WARNING: ThreadSanitizer:") != std::string::npos) {
+      in_race = true;
+    }
+    if (!in_race) continue;
+    if (line.find("SUMMARY:") != std::string::npos) in_race = false;
+    // Extract `path.cpp:123` / `path.hpp:123` occurrences.
+    for (std::size_t pos = 0; pos < line.size();) {
+      std::size_t ext = line.find(".cpp:", pos);
+      const std::size_t hpp = line.find(".hpp:", pos);
+      if (hpp != std::string::npos &&
+          (ext == std::string::npos || hpp < ext)) {
+        ext = hpp;
+      }
+      if (ext == std::string::npos) break;
+      std::size_t begin = ext;
+      while (begin > 0 && (is_ident_char(line[begin - 1]) ||
+                           line[begin - 1] == '/' || line[begin - 1] == '.' ||
+                           line[begin - 1] == '-')) {
+        --begin;
+      }
+      const std::string path = line.substr(begin, ext + 4 - begin);
+      std::size_t num_begin = ext + 5;
+      std::size_t num_end = num_begin;
+      while (num_end < line.size() && line[num_end] >= '0' &&
+             line[num_end] <= '9') {
+        ++num_end;
+      }
+      pos = num_end;
+      if (num_end == num_begin) continue;
+      const std::size_t race_line = static_cast<std::size_t>(
+          std::stoul(line.substr(num_begin, num_end - num_begin)));
+      // Suffix-match against project files.
+      for (const SourceFile& f : project.files) {
+        if (!ends_with(f.path, path) && !ends_with(path, f.path)) continue;
+        bool covered = false;
+        auto hits = static_hits.find(f.path);
+        if (hits != static_hits.end()) {
+          for (std::size_t l : hits->second) {
+            const std::size_t lo = l > 3 ? l - 3 : 1;
+            if (race_line >= lo && race_line <= l + 3) covered = true;
+          }
+        }
+        if (covered) break;
+        std::ostringstream key;
+        key << f.path << ":" << race_line;
+        if (!seen.insert(key.str()).second) break;
+        Finding finding;
+        finding.pass = "shared";
+        finding.rule = "shared-unseen";
+        finding.file = f.path;
+        finding.line = race_line;
+        finding.message =
+            "TSan reports a race here but the static shared-state pass is "
+            "silent — extend the model or annotate the site";
+        findings.push_back(std::move(finding));
+        break;
+      }
+    }
+  }
+}
+
+}  // namespace
+
+void pass_shared(const Project& project, const Options& opts,
+                 std::vector<Finding>& findings) {
+  SharedPass pass{project, opts, findings, build_callgraph(project), {}, {}};
+  pass.collect_roots();
+  pass.expand_one_level();
+  for (const auto& entry : pass.concurrent) {
+    pass.scan_fn(entry.first, entry.second);
+  }
+  if (!opts.tsan_log_path.empty()) pass.cross_check_tsan();
+}
+
+}  // namespace elmo_analyze

@@ -189,6 +189,19 @@ bool load_source(const std::string& abs_path, const std::string& report_path,
       out.module = report_path.substr(mod_start, mod_end - mod_start);
     }
   }
+  // Tree: which walked top-level tree the path lives under.  Paths outside
+  // all of them (fixtures, ad-hoc files) stay "", which the module-gated
+  // passes treat as "analyze unconditionally".
+  out.tree.clear();
+  for (const char* tree : {"src", "tools", "bench", "examples"}) {
+    const std::string needle = std::string(tree) + "/";
+    const std::size_t pos = report_path.rfind(needle);
+    if (pos != std::string::npos &&
+        (pos == 0 || report_path[pos - 1] == '/')) {
+      out.tree = tree;
+      break;
+    }
+  }
   return true;
 }
 

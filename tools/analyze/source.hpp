@@ -19,6 +19,8 @@ struct SourceFile {
   std::string path;      // as reported in findings (root-relative)
   std::string abs_path;  // on-disk location
   std::string module;    // first dir under src/ ("" when not under src/)
+  std::string tree;      // top-level tree: src/tools/bench/examples; ""
+                         // for paths outside the walked trees (fixtures)
   bool is_header = false;
   std::string raw;
   std::string stripped;
