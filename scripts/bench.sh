@@ -1,19 +1,27 @@
 #!/usr/bin/env bash
-# Candidate-generation performance record: runs bench_candidates and writes
+# Performance records: runs bench_candidates and bench_ranktest and writes
 # BENCH_candidates.json (per-scenario pairs/sec, survivors/sec, and the
 # engine-vs-reference speedup, plus the end-to-end first-iterations time on
-# the real yeast network).
+# the real yeast network) and BENCH_ranktest.json (sparse rank-test engine
+# vs the dense-modular reference on harvested candidate populations, plus
+# the knockout-yeast end-to-end rank-phase seconds).
 #
 # Usage:
-#   scripts/bench.sh                      measure, write BENCH_candidates.json
-#   scripts/bench.sh --compare [FILE]     also gate against a committed
-#                                         baseline (default: the repo's
-#                                         BENCH_candidates.json): fails when
-#                                         any scenario's speedup drops more
-#                                         than 10% relative, or the yeast-
+#   scripts/bench.sh                      measure, write both records
+#   scripts/bench.sh --compare [FILE]     also gate against committed
+#                                         baselines (default: the repo's
+#                                         BENCH_candidates.json and
+#                                         BENCH_ranktest.json): fails when
+#                                         any gated scenario's speedup drops
+#                                         more than 10% relative, the yeast-
 #                                         width pretest speedup falls under
-#                                         2x (the ISSUE 4 acceptance bound).
-#   BENCH_OUT=path                        override the output file.
+#                                         2x (ISSUE 4), or the rank-engine
+#                                         yeast1_boundary speedup falls
+#                                         under 3x (ISSUE 9).  The optional
+#                                         FILE overrides the candidates
+#                                         baseline only.
+#   BENCH_OUT=path                        override the candidates output.
+#   BENCH_RANKTEST_OUT=path               override the ranktest output.
 #   BENCH_TRAJECTORY=path                 override the trajectory history
 #                                         file (default BENCH_trajectory.jsonl)
 #   BENCH_LEDGER=path                     also record a small end-to-end
@@ -34,7 +42,9 @@ cd "$(dirname "$0")/.."
 
 COMPARE=0
 BASELINE="BENCH_candidates.json"
+RANK_BASELINE="BENCH_ranktest.json"
 OUT="${BENCH_OUT:-BENCH_candidates.json}"
+RANK_OUT="${BENCH_RANKTEST_OUT:-BENCH_ranktest.json}"
 REPS="${BENCH_REPS:-5}"
 while [[ $# -gt 0 ]]; do
   case "$1" in
@@ -56,25 +66,36 @@ done
 run() { echo "+ $*" >&2; "$@"; }
 
 run cmake -B build -S . >/dev/null
-run cmake --build build -j"$(nproc)" --target bench_candidates
+run cmake --build build -j"$(nproc)" --target bench_candidates bench_ranktest
 
 ARGS=(--reps "${REPS}" --json "${OUT}")
+RANK_ARGS=(--reps "${REPS}" --json "${RANK_OUT}")
 if [[ "${COMPARE}" == "1" ]]; then
   if [[ ! -f "${BASELINE}" ]]; then
     echo "baseline ${BASELINE} not found" >&2
     exit 1
   fi
-  # Gate against a copy: when OUT == BASELINE the fresh record must not
+  if [[ ! -f "${RANK_BASELINE}" ]]; then
+    echo "baseline ${RANK_BASELINE} not found" >&2
+    exit 1
+  fi
+  # Gate against copies: when OUT == BASELINE the fresh record must not
   # clobber the baseline before it is read.
   BASELINE_COPY="$(mktemp)"
-  trap 'rm -f "${BASELINE_COPY}"' EXIT
+  RANK_BASELINE_COPY="$(mktemp)"
+  trap 'rm -f "${BASELINE_COPY}" "${RANK_BASELINE_COPY}"' EXIT
   cp "${BASELINE}" "${BASELINE_COPY}"
+  cp "${RANK_BASELINE}" "${RANK_BASELINE_COPY}"
   ARGS+=(--baseline "${BASELINE_COPY}" --max-regression-pct 10
          --min-speedup 2)
+  RANK_ARGS+=(--baseline "${RANK_BASELINE_COPY}" --max-regression-pct 10
+              --min-speedup 3)
 fi
 
 run ./build/bench/bench_candidates "${ARGS[@]}"
 echo "wrote ${OUT}"
+run ./build/bench/bench_ranktest "${RANK_ARGS[@]}"
+echo "wrote ${RANK_OUT}"
 
 # Trajectory: append this measurement to the history file instead of only
 # overwriting the snapshot, so regressions can be traced back commit by
@@ -84,7 +105,9 @@ TS="$(date -u +%Y-%m-%dT%H:%M:%SZ)"
 SHA="$(git rev-parse --short HEAD 2>/dev/null || echo unknown)"
 printf '{"timestamp":"%s","git_sha":"%s","results":%s}\n' \
   "${TS}" "${SHA}" "$(tr '\n' ' ' < "${OUT}")" >> "${TRAJECTORY}"
-echo "appended trajectory entry to ${TRAJECTORY}"
+printf '{"timestamp":"%s","git_sha":"%s","results":%s}\n' \
+  "${TS}" "${SHA}" "$(tr '\n' ' ' < "${RANK_OUT}")" >> "${TRAJECTORY}"
+echo "appended trajectory entries to ${TRAJECTORY}"
 
 # Run-ledger sentinel: record a small end-to-end solve and compare it
 # against the newest previous entry for the same workload.  The check is

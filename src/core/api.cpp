@@ -306,7 +306,9 @@ obs::SolveReport make_solve_report(const EfmResult& result,
                               ? "rank"
                               : "combinatorial";
   report.config["rank_backend"] =
-      options.rank_backend == RankTestBackend::kModular ? "modular" : "exact";
+      options.rank_backend == RankTestBackend::kSparse    ? "sparse"
+      : options.rank_backend == RankTestBackend::kModular ? "modular"
+                                                          : "exact";
   report.config["threads_per_rank"] =
       std::to_string(options.threads_per_rank);
   if (options.algorithm == Algorithm::kCombined) {
@@ -337,6 +339,10 @@ obs::SolveReport make_solve_report(const EfmResult& result,
   report.totals["pairs_probed"] = stats.total_pairs_probed;
   report.totals["pretest_survivors"] = stats.total_pretest_survivors;
   report.totals["rank_tests"] = stats.total_rank_tests;
+  report.totals["rank_sparse_hits"] = stats.total_rank_sparse_hits;
+  report.totals["rank_warmstart_reuses"] = stats.total_rank_warmstart_reuses;
+  report.totals["rank_dense_fallbacks"] = stats.total_rank_dense_fallbacks;
+  report.totals["rank_gathered_nnz"] = stats.total_rank_gathered_nnz;
   report.totals["accepted"] = stats.total_accepted;
   report.totals["duplicates_removed"] = stats.total_duplicates_removed;
   report.totals["iterations"] = stats.iterations;

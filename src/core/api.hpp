@@ -53,7 +53,7 @@ struct EfmOptions {
   CompressionOptions compression;
   OrderingOptions ordering;
   ElementarityTest test = ElementarityTest::kRank;
-  RankTestBackend rank_backend = RankTestBackend::kModular;
+  RankTestBackend rank_backend = RankTestBackend::kSparse;
 
   /// Simulated compute ranks (Algorithms 2, 3 and 4).
   int num_ranks = 1;

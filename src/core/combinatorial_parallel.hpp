@@ -23,6 +23,7 @@
 #include "nullspace/problem.hpp"
 #include "nullspace/rank_test.hpp"
 #include "nullspace/solver.hpp"
+#include "nullspace/sparse_rank.hpp"
 #include "nullspace/spill.hpp"
 #include "nullspace/stats.hpp"
 #include "obs/obs.hpp"
@@ -118,14 +119,22 @@ ParallelSolveResult<Scalar, Support> solve_combinatorial_parallel(
         static_cast<std::size_t>(threads_per_rank),
         RankTester<Scalar>(prepared.problem.stoichiometry));
     std::vector<ModularRankTester<Scalar>> modular_testers;
+    std::vector<SparseRankTester<Scalar>> sparse_testers;
     bool use_modular = false;
+    bool use_sparse = false;
     if constexpr (!std::is_same_v<Scalar, double>) {
-      if (solver_options.test == ElementarityTest::kRank &&
-          solver_options.rank_backend == RankTestBackend::kModular) {
-        for (int t = 0; t < threads_per_rank; ++t)
-          modular_testers.emplace_back(prepared.problem.stoichiometry,
-                                       basis.columns);
-        use_modular = true;
+      if (solver_options.test == ElementarityTest::kRank) {
+        if (solver_options.rank_backend == RankTestBackend::kSparse) {
+          for (int t = 0; t < threads_per_rank; ++t)
+            sparse_testers.emplace_back(prepared.problem.stoichiometry,
+                                        basis.columns);
+          use_sparse = true;
+        } else if (solver_options.rank_backend == RankTestBackend::kModular) {
+          for (int t = 0; t < threads_per_rank; ++t)
+            modular_testers.emplace_back(prepared.problem.stoichiometry,
+                                         basis.columns);
+          use_modular = true;
+        }
       }
     }
     std::optional<ThreadPool> pool;
@@ -168,9 +177,19 @@ ParallelSolveResult<Scalar, Support> solve_combinatorial_parallel(
       PairRange slice = pair_slice(cls.pair_count(), rank, num_ranks);
       const bool defer_test =
           solver_options.test == ElementarityTest::kCombinatorial;
+      if (use_sparse) {
+        // The matrix is replicated, so the iteration's common zero rows
+        // are rank-global; each thread's tester caches the same block.
+        const auto common = iteration_common_zero_rows(
+            columns, cls.positive, cls.negative, row);
+        for (auto& tester : sparse_testers) tester.begin_iteration(common);
+      }
       auto make_oracle = [&](int thread) {
         return [&, thread](const Support& support) -> bool {
           if (defer_test) return true;
+          if (use_sparse)
+            return sparse_testers[static_cast<std::size_t>(thread)]
+                .is_elementary(support);
           if (use_modular)
             return modular_testers[static_cast<std::size_t>(thread)]
                 .is_elementary(support);
@@ -203,7 +222,10 @@ ParallelSolveResult<Scalar, Support> solve_combinatorial_parallel(
                            slice.begin, slice.end,
                            solver_options.block_ref_cap, make_oracle(0),
                            iteration, stats.phases, local);
-      } else {
+      }
+      if (threads_per_rank == 1 && use_sparse)
+        sparse_testers[0].drain_stats(iteration);
+      if (threads_per_rank > 1) {
         // SMP mode: workers steal adaptive batches of this rank's slice
         // off a shared cursor (survivor density is wildly skewed across
         // the pair space; the static per-thread sub-slices this replaces
@@ -237,10 +259,18 @@ ParallelSolveResult<Scalar, Support> solve_combinatorial_parallel(
         PhaseTimer slowest_worker;  // per-iteration max across threads
         for (int t = 0; t < threads_per_rank; ++t) {
           auto st = static_cast<std::size_t>(t);
+          if (use_sparse)
+            sparse_testers[st].drain_stats(thread_stats[st]);
           iteration.pairs_probed += thread_stats[st].pairs_probed;
           iteration.pairs_pruned += thread_stats[st].pairs_pruned;
           iteration.pretest_survivors += thread_stats[st].pretest_survivors;
           iteration.rank_tests += thread_stats[st].rank_tests;
+          iteration.rank_sparse_hits += thread_stats[st].rank_sparse_hits;
+          iteration.rank_warmstart_reuses +=
+              thread_stats[st].rank_warmstart_reuses;
+          iteration.rank_dense_fallbacks +=
+              thread_stats[st].rank_dense_fallbacks;
+          iteration.rank_gathered_nnz += thread_stats[st].rank_gathered_nnz;
           iteration.duplicates_removed +=
               thread_stats[st].duplicates_removed;
           slowest_worker.merge_max(thread_phases[st]);

@@ -45,6 +45,7 @@
 #include "nullspace/problem.hpp"
 #include "nullspace/rank_test.hpp"
 #include "nullspace/solver.hpp"
+#include "nullspace/sparse_rank.hpp"
 #include "nullspace/stats.hpp"
 #include "obs/obs.hpp"
 #include "support/assert.hpp"
@@ -105,14 +106,20 @@ PartitionedSolveResult<Scalar, Support> solve_partitioned_parallel(
         solver_options.exclude_rows);
     RankTester<Scalar> exact_tester(prepared.problem.stoichiometry);
     std::optional<ModularRankTester<Scalar>> modular_tester;
+    std::optional<SparseRankTester<Scalar>> sparse_tester;
     bool use_modular = false;
+    bool use_sparse = false;
     if constexpr (!std::is_same_v<Scalar, double>) {
       if (solver_options.rank_backend == RankTestBackend::kModular) {
         modular_tester.emplace(prepared.problem.stoichiometry, basis.columns);
         use_modular = true;
+      } else if (solver_options.rank_backend == RankTestBackend::kSparse) {
+        sparse_tester.emplace(prepared.problem.stoichiometry, basis.columns);
+        use_sparse = true;
       }
     }
     auto is_elementary = [&](const Support& support) -> bool {
+      if (use_sparse) return sparse_tester->is_elementary(support);
       if (use_modular) return modular_tester->is_elementary(support);
       return exact_tester.is_elementary(support);
     };
@@ -178,11 +185,19 @@ PartitionedSolveResult<Scalar, Support> solve_partitioned_parallel(
       iteration.negatives = pairing_cls.negative.size();
 
       std::vector<Column> accepted;
+      if (use_sparse) {
+        // Every candidate support lives inside supp(u) u supp(v) \ {row}
+        // for some pairing pair, so rows untouched by the pairing set are
+        // common zero rows for all of this rank's candidates.
+        sparse_tester->begin_iteration(iteration_common_zero_rows(
+            pairing, pairing_cls.positive, pairing_cls.negative, row));
+      }
       process_pair_range(pairing, row, pairing_cls,
                          basis.stoichiometry_rank, 0,
                          pairing_cls.pair_count(),
                          solver_options.block_ref_cap, is_elementary,
                          iteration, stats.phases, accepted);
+      if (use_sparse) sparse_tester->drain_stats(iteration);
 
       // 4. Global dedup by candidate supports: a candidate produced on two
       // ranks (same support) is kept only by the lowest rank.  Duplicates
@@ -341,6 +356,12 @@ PartitionedSolveResult<Scalar, Support> solve_partitioned_parallel(
     result.stats.total_pairs_probed += stats.total_pairs_probed;
     result.stats.total_pretest_survivors += stats.total_pretest_survivors;
     result.stats.total_rank_tests += stats.total_rank_tests;
+    result.stats.total_rank_sparse_hits += stats.total_rank_sparse_hits;
+    result.stats.total_rank_warmstart_reuses +=
+        stats.total_rank_warmstart_reuses;
+    result.stats.total_rank_dense_fallbacks +=
+        stats.total_rank_dense_fallbacks;
+    result.stats.total_rank_gathered_nnz += stats.total_rank_gathered_nnz;
     result.stats.total_accepted += stats.total_accepted;
     result.stats.total_duplicates_removed += stats.total_duplicates_removed;
     result.stats.phases.merge_max(stats.phases);

@@ -1,0 +1,69 @@
+// Compressed sparse storage in the start/index/value idiom (the layout
+// HiGHS uses for its nullspace kernel matrices).
+//
+// One class covers both orientations: a CSC matrix stores columns as the
+// major axis (minor indices are rows); building it from the transposed
+// accessor yields CSR with rows major.  Values are opaque 64-bit payloads
+// — the rank-test engine stores Z_(2^61-1) residues — and the class does
+// no arithmetic, only structure: linalg stays free of the modular layer.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+#include "support/assert.hpp"
+
+namespace elmo {
+
+class SparseCscU64 {
+ public:
+  SparseCscU64() = default;
+
+  /// Build from a dense accessor `value_at(minor, major) -> uint64_t`;
+  /// zeros are skipped.  For CSC pass (rows, cols, at(row, col)); for CSR
+  /// pass (cols, rows, at(col, row)).
+  template <typename ValueAt>
+  static SparseCscU64 build(std::size_t minor_dim, std::size_t major_dim,
+                            ValueAt&& value_at) {
+    ELMO_REQUIRE(minor_dim <= UINT32_MAX, "sparse minor dimension too large");
+    SparseCscU64 m;
+    m.minor_dim_ = minor_dim;
+    m.start_.assign(major_dim + 1, 0);
+    for (std::size_t j = 0; j < major_dim; ++j) {
+      for (std::size_t i = 0; i < minor_dim; ++i) {
+        const std::uint64_t v = value_at(i, j);
+        if (v == 0) continue;
+        m.index_.push_back(static_cast<std::uint32_t>(i));
+        m.value_.push_back(v);
+      }
+      m.start_[j + 1] = m.index_.size();
+    }
+    return m;
+  }
+
+  [[nodiscard]] std::size_t major_count() const { return start_.size() - 1; }
+  [[nodiscard]] std::size_t minor_count() const { return minor_dim_; }
+  [[nodiscard]] std::size_t nnz() const { return index_.size(); }
+
+  /// Entries in major slice `j`.
+  [[nodiscard]] std::size_t count(std::size_t j) const {
+    return start_[j + 1] - start_[j];
+  }
+  /// Minor indices of slice `j` (length count(j)).
+  [[nodiscard]] const std::uint32_t* indices(std::size_t j) const {
+    return index_.data() + start_[j];
+  }
+  /// Values of slice `j` (length count(j)).
+  [[nodiscard]] const std::uint64_t* values(std::size_t j) const {
+    return value_.data() + start_[j];
+  }
+
+ private:
+  std::size_t minor_dim_ = 0;
+  std::vector<std::size_t> start_ = {0};
+  std::vector<std::uint32_t> index_;
+  std::vector<std::uint64_t> value_;
+};
+
+}  // namespace elmo

@@ -18,6 +18,7 @@
 #include "nullspace/problem.hpp"
 #include "nullspace/rank_test.hpp"
 #include "nullspace/reversible_split.hpp"
+#include "nullspace/sparse_rank.hpp"
 #include "nullspace/spill.hpp"
 #include "nullspace/stats.hpp"
 #include "obs/obs.hpp"
@@ -34,10 +35,22 @@ enum class ElementarityTest {
 };
 
 /// Arithmetic backend for the rank test (when ElementarityTest::kRank).
+/// The backends form a ladder: sparse-modular (default) falls back to the
+/// dense-modular elimination per candidate when its cost model says so;
+/// both share the Z_p decision procedure whose rejects are Monte-Carlo;
+/// exact Bareiss (with a per-candidate BigInt fallback on overflow) is the
+/// fully exact reference the others are differentially tested against.
 enum class RankTestBackend {
-  /// Elimination over Z_(2^61-1): accepts certified exactly, rejects
+  /// Sparse, warm-started elimination over Z_(2^61-1) (see
+  /// nullspace/sparse_rank.hpp): gathers only the nonzero rows of a
+  /// candidate's support columns, amortizes a shared rref factorization
+  /// across all candidates and an echelonized common block across each
+  /// iteration.  Verdict-identical to kModular; the default.
+  kSparse,
+  /// Dense elimination over Z_(2^61-1): accepts certified exactly, rejects
   /// Monte-Carlo with error probability ~2^-45 per candidate (see
-  /// nullspace/modular_rank.hpp).  Several times faster; the default.
+  /// nullspace/modular_rank.hpp).  Kept as the sparse engine's
+  /// differential oracle and fallback target.
   kModular,
   /// Fraction-free Bareiss in the kernel scalar (BigInt fallback per
   /// candidate): fully exact, used as the reference in tests.
@@ -47,7 +60,7 @@ enum class RankTestBackend {
 struct SolverOptions {
   OrderingOptions ordering;
   ElementarityTest test = ElementarityTest::kRank;
-  RankTestBackend rank_backend = RankTestBackend::kModular;
+  RankTestBackend rank_backend = RankTestBackend::kSparse;
   /// Candidate refs held in memory at once (bounded-memory blocking of the
   /// candidate stream); the default caps transient usage around 100 MB.
   std::size_t block_ref_cap = std::size_t{1} << 21;
@@ -99,15 +112,21 @@ SolveResult<Scalar, Support> solve_nullspace(const EfmProblem<Scalar>& problem,
   result.stats.peak_columns = basis.columns.size();
 
   RankTester<Scalar> exact_tester(problem.stoichiometry);
-  // The modular tester needs the initial kernel basis (for its K-side
-  // formulation); it only exists for exact scalars.
+  // The modular testers need the initial kernel basis (for their K-side
+  // formulation); they only exist for exact scalars.
   std::optional<ModularRankTester<Scalar>> modular_tester;
+  std::optional<SparseRankTester<Scalar>> sparse_tester;
   bool use_modular = false;
+  bool use_sparse = false;
   if constexpr (!std::is_same_v<Scalar, double>) {
-    if (options.test == ElementarityTest::kRank &&
-        options.rank_backend == RankTestBackend::kModular) {
-      modular_tester.emplace(problem.stoichiometry, basis.columns);
-      use_modular = true;
+    if (options.test == ElementarityTest::kRank) {
+      if (options.rank_backend == RankTestBackend::kSparse) {
+        sparse_tester.emplace(problem.stoichiometry, basis.columns);
+        use_sparse = true;
+      } else if (options.rank_backend == RankTestBackend::kModular) {
+        modular_tester.emplace(problem.stoichiometry, basis.columns);
+        use_modular = true;
+      }
     }
   }
   result.columns = std::move(basis.columns);
@@ -134,6 +153,12 @@ SolveResult<Scalar, Support> solve_nullspace(const EfmProblem<Scalar>& problem,
     iteration.positives = cls.positive.size();
     iteration.negatives = cls.negative.size();
     const bool row_reversible = problem.reversible[row];
+    if (use_sparse) {
+      // Eliminate this iteration's shared K-side block once; every
+      // candidate test below only reduces against the cached pivots.
+      sparse_tester->begin_iteration(iteration_common_zero_rows(
+          result.columns, cls.positive, cls.negative, row));
+    }
 
     // Per-candidate elementarity oracle for the blocked generator.  For the
     // combinatorial test the per-column half runs here; the cross-candidate
@@ -156,6 +181,7 @@ SolveResult<Scalar, Support> solve_nullspace(const EfmProblem<Scalar>& problem,
         }
         return true;
       }
+      if (use_sparse) return sparse_tester->is_elementary(support);
       if (use_modular) return modular_tester->is_elementary(support);
       return exact_tester.is_elementary(support);
     };
@@ -200,6 +226,7 @@ SolveResult<Scalar, Support> solve_nullspace(const EfmProblem<Scalar>& problem,
                               " B charged",
                           0, governor.limit());
     }
+    if (use_sparse) sparse_tester->drain_stats(iteration);
     if (options.test == ElementarityTest::kCombinatorial)
       cross_candidate_subset_filter(candidates, iteration);
 

@@ -32,6 +32,13 @@ struct IterationStats {
   /// Candidate bytes written out-of-core this iteration (0 when the
   /// iteration ran fully in memory).
   std::uint64_t spilled_bytes = 0;
+  /// Sparse rank-test engine counters (nullspace/sparse_rank.hpp), drained
+  /// from the tester once per iteration.  All zero under the dense-modular
+  /// and exact backends.
+  std::uint64_t rank_sparse_hits = 0;       // tests served by sparse paths
+  std::uint64_t rank_warmstart_reuses = 0;  // tests reusing the warm cache
+  std::uint64_t rank_dense_fallbacks = 0;   // tests delegated to dense
+  std::uint64_t rank_gathered_nnz = 0;      // entries gathered in total
 };
 
 struct SolveStats {
@@ -44,6 +51,10 @@ struct SolveStats {
   /// Candidate bytes that went out-of-core under memory pressure (sum over
   /// iterations; the governed-run ledger for report.json).
   std::uint64_t total_spilled_bytes = 0;
+  std::uint64_t total_rank_sparse_hits = 0;
+  std::uint64_t total_rank_warmstart_reuses = 0;
+  std::uint64_t total_rank_dense_fallbacks = 0;
+  std::uint64_t total_rank_gathered_nnz = 0;
   std::uint64_t peak_columns = 0;
   std::size_t iterations = 0;
   /// Largest per-column storage snapshot observed (bytes), for the memory
@@ -70,6 +81,10 @@ struct SolveStats {
     total_accepted += it.accepted;
     total_duplicates_removed += it.duplicates_removed;
     total_spilled_bytes += it.spilled_bytes;
+    total_rank_sparse_hits += it.rank_sparse_hits;
+    total_rank_warmstart_reuses += it.rank_warmstart_reuses;
+    total_rank_dense_fallbacks += it.rank_dense_fallbacks;
+    total_rank_gathered_nnz += it.rank_gathered_nnz;
     peak_columns = std::max<std::uint64_t>(peak_columns, it.columns_after);
     ++iterations;
     if (keep_history) history.push_back(it);
@@ -86,6 +101,10 @@ struct SolveStats {
     total_accepted += other.total_accepted;
     total_duplicates_removed += other.total_duplicates_removed;
     total_spilled_bytes += other.total_spilled_bytes;
+    total_rank_sparse_hits += other.total_rank_sparse_hits;
+    total_rank_warmstart_reuses += other.total_rank_warmstart_reuses;
+    total_rank_dense_fallbacks += other.total_rank_dense_fallbacks;
+    total_rank_gathered_nnz += other.total_rank_gathered_nnz;
     peak_columns = std::max(peak_columns, other.peak_columns);
     peak_matrix_bytes = std::max(peak_matrix_bytes, other.peak_matrix_bytes);
     iterations += other.iterations;
@@ -113,6 +132,12 @@ inline void publish_iteration_metrics(const IterationStats& it) {
   static const obs::Counter accepted = registry.counter("solver.accepted");
   static const obs::Counter duplicates =
       registry.counter("solver.duplicates_removed");
+  static const obs::Counter rank_sparse =
+      registry.counter("solver.rank_sparse_hits");
+  static const obs::Counter rank_warm =
+      registry.counter("solver.rank_warmstart_reuses");
+  static const obs::Counter rank_fallback =
+      registry.counter("solver.rank_dense_fallbacks");
   static const obs::Histogram iteration_pairs =
       registry.histogram("solver.iteration_pairs");
   static const obs::Gauge columns = registry.gauge("solver.columns");
@@ -123,6 +148,9 @@ inline void publish_iteration_metrics(const IterationStats& it) {
   rank_tests.add(it.rank_tests);
   accepted.add(it.accepted);
   duplicates.add(it.duplicates_removed);
+  rank_sparse.add(it.rank_sparse_hits);
+  rank_warm.add(it.rank_warmstart_reuses);
+  rank_fallback.add(it.rank_dense_fallbacks);
   iteration_pairs.observe(it.pairs_probed);
   columns.set(it.columns_after);
 }
