@@ -18,10 +18,11 @@
 #      committed BENCH_candidates.json — fails when any scenario's
 #      engine-vs-reference speedup drops >10% relative or the yeast-width
 #      pretest speedup falls under 2x.  Skip with ELMO_CHECK_SKIP_BENCH=1,
-#   8. analyzer artifact gate: the CMake-built elmo_analyze re-runs over
-#      src/ against the committed baseline, and its machine-readable JSON
-#      report is validated with json_check (the same tool that guards the
-#      observability artifacts),
+#   8. analyzer artifact gate: the CMake-built elmo_analyze re-runs the
+#      full pass set (through the communication-protocol and typestate
+#      passes) over the tree against the committed baseline, and its
+#      machine-readable JSON report is validated with json_check (the
+#      same tool that guards the observability artifacts),
 #   9. memory-capped spill smoke (scripts/mem_smoke.sh): solve ecoli
 #      unconstrained to learn its ledger peak and un-spillable matrix
 #      floor, then re-solve with --mem-limit barely above the floor (under

@@ -5,8 +5,11 @@
 #      enforcement, lock-discipline, the overflow boundary around the
 #      exact-arithmetic kernels, the historical lint rules, plus the
 #      interprocedural passes (shared-state races in concurrent bodies,
-#      error-path/RAII pairing, determinism in solver-output modules) —
-#      gated against the committed baseline (tools/analyze_baseline.txt),
+#      error-path/RAII pairing, determinism in solver-output modules,
+#      communication-protocol skeletons over the mpsim call sites, and
+#      object-typestate machines for spill files, leases, rank testers,
+#      watchdog tokens and checkpoint repair) — gated against the
+#      committed baseline (tools/analyze_baseline.txt),
 #      which the full run also checks for stale entries.  Covers src/,
 #      tools/, bench/ and examples/.  Bootstrapped with bare g++ so it
 #      works before any CMake tree exists.
@@ -33,7 +36,7 @@ JOBS="${1:--j$(nproc)}"
 run() { echo "+ $*" >&2; "$@"; }
 
 echo "== 1/5 elmo_analyze (include graph, locks, overflow, lint," \
-     "shared, errpath, determinism) =="
+     "shared, errpath, determinism, protocol, typestate) =="
 mkdir -p build-lint
 run g++ -std=c++17 -O1 -Wall -Wextra -I tools -o build-lint/elmo_analyze \
     tools/analyze/*.cpp

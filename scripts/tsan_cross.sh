@@ -19,9 +19,22 @@ LOG="${TSAN_CROSS_LOG:-build-tsan/tsan_cross.log}"
 run() { echo "+ $*" >&2; "$@"; }
 
 echo "== 1/3 build TSan preset =="
-run cmake --preset tsan >/dev/null
-run cmake --build --preset tsan "$JOBS" \
-    --target test_mpsim test_parallel test_fault_tolerance
+# Fail loudly, not silently, when this environment cannot produce the
+# TSan build: a cross-check that quietly skipped its runtime half would
+# read as "no races" to CI.
+if ! run cmake --preset tsan >/dev/null; then
+  echo "tsan_cross: the 'tsan' CMake preset failed to configure —" \
+       "ThreadSanitizer builds are unavailable in this environment;" \
+       "the runtime half of the cross-check cannot run" >&2
+  exit 2
+fi
+if ! run cmake --build --preset tsan "$JOBS" \
+    --target test_mpsim test_parallel test_fault_tolerance; then
+  echo "tsan_cross: the TSan preset build failed — cannot produce the" \
+       "instrumented test binaries; fix the build before trusting the" \
+       "static/runtime race cross-check" >&2
+  exit 2
+fi
 
 echo "== 2/3 ctest (concurrency subset) under ThreadSanitizer =="
 mkdir -p "$(dirname "$LOG")"

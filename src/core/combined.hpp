@@ -270,12 +270,17 @@ CombinedResult<Scalar, Support> solve_combined(
   std::map<std::vector<std::pair<std::uint64_t, bool>>, CheckpointRecord>
       completed;
   if (!options.resume_from.empty()) {
+    // A writer killed mid-append leaves a damaged tail, and load_checkpoint
+    // stops silently at the first unreadable frame — repairing first trims
+    // the file to its last intact frame so the resume set is everything
+    // that actually committed, not a prefix cut short by garbage bytes.
+    repair_checkpoint(options.resume_from);
     for (auto& record : load_checkpoint(options.resume_from))
       completed[record.pattern] = std::move(record);
   }
-  // A writer killed mid-append leaves a damaged tail; appending after it
-  // would strand the new records behind unreadable bytes, so trim the file
-  // back to its last intact frame before the first commit of this run.
+  // The same damaged tail would strand this run's appended records behind
+  // unreadable bytes, so trim the write-side file too before the first
+  // commit of this run (it may differ from resume_from).
   if (!options.checkpoint_path.empty())
     repair_checkpoint(options.checkpoint_path);
 

@@ -1,0 +1,51 @@
+// Seeded violations for the communication-protocol pass.  Never
+// compiled — only analyzed.  Tags are disjoint constants: the pairing
+// rules match project-wide across every analyzed file, so a stray
+// non-constant tag would satisfy any orphan.
+namespace fixture_proto {
+
+struct Payload {};
+
+struct Communicator {
+  int rank() const;
+  void send(int dst, int tag, const Payload& p);
+  Payload recv(int src, int tag);
+  void barrier();
+  void all_gather(const Payload& p);
+};
+
+// tag-mismatch: tag 901 is posted but no recv anywhere drains it.
+inline void unconsumed(Communicator& comm, const Payload& p) {
+  comm.send(1, 901, p);
+}
+
+// orphan-recv: tag 902 is expected but no send anywhere produces it.
+inline void starved(Communicator& comm) {
+  comm.recv(0, 902);
+}
+
+// peer-mismatch: the recv expects source rank 3, but the only send of
+// tag 903 is pinned to rank 5 — the message can never arrive from 3.
+inline void wrong_peer(Communicator& comm, const Payload& p) {
+  const int rank = comm.rank();
+  if (rank == 5) comm.send(0, 903, p);
+  if (rank == 0) comm.recv(3, 903);
+}
+
+// collective-divergence: only rank 0 reaches the barrier; every other
+// rank sails past and the world deadlocks.
+inline void diverging(Communicator& comm) {
+  const int rank = comm.rank();
+  if (rank == 0) {
+    comm.barrier();
+  }
+}
+
+// recv-before-send: every rank blocks in the recv of tag 904 before any
+// rank reaches the matching send — no rank guard breaks the symmetry.
+inline void head_of_line(Communicator& comm, const Payload& p) {
+  comm.recv(0, 904);
+  comm.send(1, 904, p);
+}
+
+}  // namespace fixture_proto

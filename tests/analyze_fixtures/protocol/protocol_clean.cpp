@@ -1,0 +1,40 @@
+// Clean counterpart for the communication-protocol pass.  Paired tags,
+// rank-guarded roles, uniform collectives, and one deliberate
+// analyze:protocol-ok escape.  Must stay silent.  Never compiled — only
+// analyzed.  Tags (910, 911) are disjoint from protocol_bad.cpp's: the
+// pairing rules match project-wide.
+namespace fixture_proto_clean {
+
+struct Payload {};
+
+struct Communicator {
+  int rank() const;
+  void send(int dst, int tag, const Payload& p);
+  Payload recv(int src, int tag);
+  void barrier();
+  void all_gather(const Payload& p);
+};
+
+// Master/worker exchange: the send is pinned to the rank the recv names
+// as its source, the recv sits in the complementary branch (rank-guarded,
+// so no recv-before-send symmetry), and the collectives run unconditionally
+// on every rank.
+inline void exchange(Communicator& comm, const Payload& p) {
+  const int rank = comm.rank();
+  if (rank == 0) {
+    comm.send(1, 910, p);
+  } else {
+    comm.recv(0, 910);
+  }
+  comm.barrier();
+  comm.all_gather(p);
+}
+
+// A deliberately unpaired send: the message is drained by an external
+// harness this analysis cannot see.  The escape keeps it silent.
+inline void harness_feed(Communicator& comm, const Payload& p) {
+  // analyze:protocol-ok — consumed by the out-of-tree test harness
+  comm.send(2, 911, p);
+}
+
+}  // namespace fixture_proto_clean

@@ -279,6 +279,103 @@ TEST(AnalyzeDeterminism, CleanFileStaysSilent) {
   EXPECT_EQ(r.exit_code, 0) << r.output;
 }
 
+TEST(AnalyzeProtocol, SeededSkeletonsMatchGolden) {
+  const std::string json = ::testing::TempDir() + "protocol.json";
+  RunResult r = run_in(kFixtures,
+                       kBin + " --pass=protocol --json=" + json +
+                           " protocol/protocol_bad.cpp"
+                           " protocol/protocol_clean.cpp");
+  EXPECT_EQ(r.exit_code, 1) << r.output;
+  for (const char* rule : {"tag-mismatch", "orphan-recv", "peer-mismatch",
+                           "collective-divergence", "recv-before-send"}) {
+    EXPECT_NE(r.output.find(std::string("[protocol:") + rule + "]"),
+              std::string::npos)
+        << "rule did not fire: " << rule << "\n"
+        << r.output;
+  }
+  EXPECT_EQ(r.output.find("protocol_clean"), std::string::npos) << r.output;
+  EXPECT_EQ(slurp(json), slurp(kFixtures + "/golden/protocol.json"));
+}
+
+TEST(AnalyzeProtocol, CleanFileStaysSilent) {
+  RunResult r = run_in(kFixtures,
+                       kBin + " --pass=protocol protocol/protocol_clean.cpp");
+  EXPECT_EQ(r.exit_code, 0) << r.output;
+}
+
+TEST(AnalyzeProtocol, FlowLogCrossCheckFlagsUnseenFlows) {
+  // Fabricate a runtime trace in the PR-7 flow-event shape: a p2p flow
+  // the static skeleton covers (tag 904 is sent in protocol_bad.cpp), a
+  // p2p flow no send site can produce (tag 999), and a gather flow
+  // (covered — the fixtures hold collective sites).  Only tag 999 may
+  // become a flow-unseen finding.
+  const std::string log = ::testing::TempDir() + "flow_trace.json";
+  {
+    std::ofstream out(log);
+    out << "{\"traceEvents\":[{\"name\":\"msg\",\"cat\":\"mpsim\",\"ph\":"
+           "\"s\",\"pid\":1,\"tid\":2,\"ts\":10,\"id\":7,\"args\":{"
+           "\"detail\":\"src=0 dst=1 seq=1 bytes=64 tag=904\"}},"
+           "{\"name\":\"msg\",\"cat\":\"mpsim\",\"ph\":\"f\",\"bp\":\"e\","
+           "\"pid\":1,\"tid\":3,\"ts\":12,\"id\":7},"
+           "{\"name\":\"msg\",\"cat\":\"mpsim\",\"ph\":\"s\",\"pid\":1,"
+           "\"tid\":2,\"ts\":20,\"id\":8,\"args\":{\"detail\":\"src=0 "
+           "dst=1 seq=2 bytes=64 tag=999\"}},"
+           "{\"name\":\"gather\",\"cat\":\"mpsim\",\"ph\":\"s\",\"pid\":1,"
+           "\"tid\":2,\"ts\":30,\"id\":9,\"args\":{\"detail\":\"src=0 "
+           "round=1 bytes=128\"}}]}\n";
+  }
+  RunResult r = run_in(kFixtures,
+                       kBin + " --pass=protocol --flow-log=" + log +
+                           " protocol/protocol_bad.cpp"
+                           " protocol/protocol_clean.cpp");
+  EXPECT_EQ(r.exit_code, 1) << r.output;
+  EXPECT_NE(r.output.find("[protocol:flow-unseen]"), std::string::npos)
+      << r.output;
+  EXPECT_NE(r.output.find("tag 999"), std::string::npos) << r.output;
+  // The covered p2p flow and the covered gather flow stay silent.
+  EXPECT_EQ(r.output.find("tag 904 but no static send site"),
+            std::string::npos)
+      << r.output;
+  EXPECT_EQ(r.output.find("no collective site"), std::string::npos)
+      << r.output;
+}
+
+TEST(AnalyzeProtocol, MissingFlowLogIsAFinding) {
+  RunResult r = run_in(kFixtures,
+                       kBin + " --pass=protocol --flow-log=/no/such/trace.json"
+                              " protocol/protocol_clean.cpp");
+  EXPECT_EQ(r.exit_code, 1) << r.output;
+  EXPECT_NE(r.output.find("cannot read flow log"), std::string::npos)
+      << r.output;
+}
+
+TEST(AnalyzeTypestate, SeededMachinesMatchGolden) {
+  const std::string json = ::testing::TempDir() + "typestate.json";
+  RunResult r = run_in(kFixtures,
+                       kBin + " --pass=typestate --json=" + json +
+                           " typestate/typestate_bad.cpp"
+                           " typestate/typestate_clean.cpp");
+  EXPECT_EQ(r.exit_code, 1) << r.output;
+  for (const char* rule :
+       {"spill-write-after-read", "use-after-release",
+        "warm-test-before-begin", "discarded-token", "repair-before-resume"}) {
+    EXPECT_NE(r.output.find(std::string("[typestate:") + rule + "]"),
+              std::string::npos)
+        << "rule did not fire: " << rule << "\n"
+        << r.output;
+  }
+  EXPECT_EQ(r.output.find("typestate_clean"), std::string::npos) << r.output;
+  EXPECT_EQ(slurp(json), slurp(kFixtures + "/golden/typestate.json"));
+}
+
+TEST(AnalyzeTypestate, CleanFileStaysSilent) {
+  // The clean corpus includes the range-for alias + subscripted receiver
+  // shape and the lint:allow(discarded-token) escape.
+  RunResult r = run_in(
+      kFixtures, kBin + " --pass=typestate typestate/typestate_clean.cpp");
+  EXPECT_EQ(r.exit_code, 0) << r.output;
+}
+
 TEST(AnalyzeSarif, EmitsSarifOnStdoutTextOnStderr) {
   // SARIF goes to stdout only; the text report stays on stderr, so the
   // merged capture contains both.
@@ -296,6 +393,19 @@ TEST(AnalyzeSarif, EmitsSarifOnStdoutTextOnStderr) {
   EXPECT_NE(r.output.find("\"level\": \"error\""), std::string::npos)
       << r.output;
   EXPECT_NE(r.output.find("\"startLine\": 5"), std::string::npos) << r.output;
+  // Rule metadata: every emitted rule carries a fullDescription and a
+  // stable helpUri (host elmo-analyze.invalid, path /rules/<pass>,
+  // fragment <rule>).
+  EXPECT_NE(r.output.find("\"fullDescription\""), std::string::npos)
+      << r.output;
+  EXPECT_NE(r.output.find(
+                "\"helpUri\": "
+                "\"https://elmo-analyze.invalid/rules/overflow#unchecked-"
+                "arith\""),
+            std::string::npos)
+      << r.output;
+  EXPECT_NE(r.output.find("bypassing bigint/checked.hpp"), std::string::npos)
+      << r.output;
 }
 
 TEST(AnalyzeBaseline, StaleEntriesFailFullRuns) {

@@ -47,7 +47,8 @@ void usage() {
       "                        arguments, analyzes every *.hpp/*.cpp under\n"
       "                        DIR/{src,tools,bench,examples}\n"
       "  --pass=LIST           comma list of include,lock,overflow,lint,\n"
-      "                        shared,errpath,determinism (default: all)\n"
+      "                        shared,errpath,determinism,protocol,typestate\n"
+      "                        (default: all)\n"
       "  --baseline=FILE       suppress finding keys listed in FILE; a\n"
       "                        full-tree all-pass run fails on entries that\n"
       "                        no longer fire (baseline:stale)\n"
@@ -60,12 +61,16 @@ void usage() {
       "                        to diff against the static acquisition graph\n"
       "  --tsan-log=FILE       ThreadSanitizer report to cross-check against\n"
       "                        the shared pass (rule shared-unseen)\n"
+      "  --flow-log=FILE       Chrome trace (elmo_cli --trace) whose message\n"
+      "                        flow events are cross-checked against the\n"
+      "                        protocol pass skeleton (rule flow-unseen)\n"
       "exit: 0 clean, 1 non-baselined findings, 2 usage/IO error\n");
 }
 
 bool parse_passes(const std::string& list, Options& opts) {
   opts.pass_include = opts.pass_lock = opts.pass_overflow = opts.pass_lint =
-      opts.pass_shared = opts.pass_errpath = opts.pass_determinism = false;
+      opts.pass_shared = opts.pass_errpath = opts.pass_determinism =
+          opts.pass_protocol = opts.pass_typestate = false;
   std::size_t start = 0;
   while (start <= list.size()) {
     std::size_t comma = list.find(',', start);
@@ -85,10 +90,15 @@ bool parse_passes(const std::string& list, Options& opts) {
       opts.pass_errpath = true;
     } else if (item == "determinism") {
       opts.pass_determinism = true;
+    } else if (item == "protocol") {
+      opts.pass_protocol = true;
+    } else if (item == "typestate") {
+      opts.pass_typestate = true;
     } else if (item == "all") {
       opts.pass_include = opts.pass_lock = opts.pass_overflow =
           opts.pass_lint = opts.pass_shared = opts.pass_errpath =
-              opts.pass_determinism = true;
+              opts.pass_determinism = opts.pass_protocol =
+                  opts.pass_typestate = true;
     } else if (!item.empty()) {
       std::fprintf(stderr, "elmo_analyze: unknown pass '%s'\n", item.c_str());
       return false;
@@ -175,6 +185,8 @@ int run_cli(int argc, char** argv) {
       opts.lockdep_edges_path = value("--lockdep-edges=");
     } else if (arg.rfind("--tsan-log=", 0) == 0) {
       opts.tsan_log_path = value("--tsan-log=");
+    } else if (arg.rfind("--flow-log=", 0) == 0) {
+      opts.flow_log_path = value("--flow-log=");
     } else if (arg.rfind("--format=", 0) == 0) {
       opts.format = value("--format=");
       if (opts.format != "text" && opts.format != "sarif") {
@@ -212,6 +224,8 @@ int run_cli(int argc, char** argv) {
   if (opts.pass_shared) pass_shared(project, opts, findings);
   if (opts.pass_errpath) pass_errpath(project, opts, findings);
   if (opts.pass_determinism) pass_determinism(project, opts, findings);
+  if (opts.pass_protocol) pass_protocol(project, opts, findings);
+  if (opts.pass_typestate) pass_typestate(project, opts, findings);
   std::sort(findings.begin(), findings.end(), finding_less);
 
   if (!opts.baseline_path.empty()) {
@@ -230,7 +244,8 @@ int run_cli(int argc, char** argv) {
     const bool full_run = opts.files.empty() && opts.pass_include &&
                           opts.pass_lock && opts.pass_overflow &&
                           opts.pass_lint && opts.pass_shared &&
-                          opts.pass_errpath && opts.pass_determinism;
+                          opts.pass_errpath && opts.pass_determinism &&
+                          opts.pass_protocol && opts.pass_typestate;
     if (full_run) {
       std::set<std::string> fired;
       for (const Finding& f : findings) fired.insert(f.key());

@@ -33,9 +33,19 @@
 //   determinism  unordered-container iteration, pointer-keyed ordering
 //             and wall-clock/thread-id use inside the solver-output
 //             modules (nullspace, core, linalg, compress)
+//   protocol  per-role communication skeletons extracted from mpsim call
+//             sites: send/recv peer+tag compatibility, collectives under
+//             rank-divergent guards, static send-before-recv deadlock
+//             candidates; --flow-log=FILE cross-checks a runtime Chrome
+//             trace's flow events against the skeleton (rule flow-unseen)
+//   typestate declarative object-protocol machines for SpillFile,
+//             MemoryLease, Watchdog tokens, checkpoint repair-before-
+//             resume and SparseRankTester warm iterations, with
+//             branch-merge and one-level interprocedural propagation
 //
-// Both `shared`, `errpath` and the call graph they share live on top of
-// callgraph.hpp; see that header for the symbol-table model.
+// `shared`, `errpath`, `protocol`, `typestate` and the call graph they
+// share live on top of callgraph.hpp; see that header for the
+// symbol-table model.
 #pragma once
 
 #include <string>
@@ -55,12 +65,15 @@ struct Options {
   bool pass_shared = true;
   bool pass_errpath = true;
   bool pass_determinism = true;
+  bool pass_protocol = true;
+  bool pass_typestate = true;
   std::string baseline_path;
   std::string write_baseline_path;
   std::string json_path;
   std::string dot_path;
   std::string lockdep_edges_path;
   std::string tsan_log_path;       // shared pass: TSan report cross-check
+  std::string flow_log_path;       // protocol pass: trace flow cross-check
   std::string format = "text";     // text | sarif (SARIF 2.1.0 on stdout)
   std::vector<std::string> files;  // explicit file arguments, if any
   bool lint_compat = false;        // elmo_lint-shim output format
@@ -96,6 +109,10 @@ void pass_errpath(const Project& project, const Options& opts,
                   std::vector<Finding>& findings);
 void pass_determinism(const Project& project, const Options& opts,
                       std::vector<Finding>& findings);
+void pass_protocol(const Project& project, const Options& opts,
+                   std::vector<Finding>& findings);
+void pass_typestate(const Project& project, const Options& opts,
+                    std::vector<Finding>& findings);
 
 /// Full CLI: parse argv, run passes, emit reports.
 /// Exit codes: 0 clean, 1 non-baselined findings, 2 usage/IO error.

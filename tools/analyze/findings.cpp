@@ -42,6 +42,117 @@ std::string json_escape(const std::string& s) {
   return out;
 }
 
+// SARIF rule metadata: every pass:rule id ships a fullDescription (the
+// one-line contract from DESIGN.md §12) and a stable helpUri under the
+// reserved-by-construction host elmo-analyze.invalid, path /rules/<pass>,
+// fragment <rule> — viewers get a deterministic deep link, and the rule
+// table in DESIGN.md is the document the link names.  Unknown ids (new
+// rules not yet documented) fall back to the short description.
+struct RuleDoc {
+  const char* id;
+  const char* full;
+};
+
+const RuleDoc kRuleDocs[] = {
+    {"include:layering",
+     "a module includes only its own layer or below in the support -> "
+     "linalg/network/io/parallel -> compress/models/nullspace/mpsim/core/"
+     "analysis -> elmo DAG"},
+    {"include:facade",
+     "obs/check are reachable from any layer but only via their facade "
+     "headers"},
+    {"include:cycle", "no include cycles at file or module granularity"},
+    {"include:pragma-once", "every header carries #pragma once"},
+    {"include:unused-include",
+     "a direct include whose transitive provides-closure contributes no "
+     "identifier used in the file"},
+    {"include:missing-include",
+     "an identifier whose unique provider arrives only transitively"},
+    {"include:self-contained",
+     "a header uses an identifier no include path reaches"},
+    {"lock:lock-cycle", "the static mutex acquisition graph has a cycle"},
+    {"lock:lock-unexercised",
+     "a statically-possible lock order a runtime lockdep dump never saw"},
+    {"lock:lock-blocking",
+     "a guard held across a blocking call (mpsim recv/barrier/collectives, "
+     "join, sleeps)"},
+    {"overflow:unchecked-arith",
+     "raw * / + / << on int64_t expressions bypassing bigint/checked.hpp"},
+    {"lint:naked-new", "bare new outside an owning smart pointer"},
+    {"lint:no-rand", "rand()/srand() breaks deterministic runs"},
+    {"lint:catch-all", "catch (...) swallows typed failure signals"},
+    {"lint:reinterpret-cast", "reinterpret_cast bypasses the type system"},
+    {"shared:shared-mutation",
+     "shared state mutated inside a concurrent body without a guard, an "
+     "atomic type, or an analyze:shared-ok annotation"},
+    {"shared:shared-unseen",
+     "a ThreadSanitizer report with no static finding or annotation within "
+     "3 lines — a hole in the static model"},
+    {"errpath:raii-pair",
+     "manual acquires of a non-RAII idiom pair outnumber releases across "
+     "one call level — an early return or throw leaks the resource"},
+    {"errpath:unhandled-throw",
+     "a typed error throw no reverse-call-graph path brings to a matching "
+     "catch"},
+    {"determinism:unordered-iter",
+     "iteration over an unordered container in a solver-output module"},
+    {"determinism:pointer-key",
+     "a container keyed on a raw pointer — ASLR makes ordering differ "
+     "between runs"},
+    {"determinism:wall-clock",
+     "wall-clock or thread-id reads in solver-output modules"},
+    {"protocol:tag-mismatch",
+     "a send whose constant tag no receive in the communication skeleton "
+     "accepts"},
+    {"protocol:orphan-recv",
+     "a receive whose constant tag no send in the communication skeleton "
+     "produces"},
+    {"protocol:peer-mismatch",
+     "a constant peer expression every tag-compatible counterpart pins to "
+     "a different rank"},
+    {"protocol:collective-divergence",
+     "a barrier/all_gather/all_reduce reached only under a rank-dependent "
+     "branch — ranks that skip it deadlock the collective"},
+    {"protocol:recv-before-send",
+     "an unguarded receive ordered before every matching send in the same "
+     "function — a static send-before-recv cycle candidate"},
+    {"protocol:flow-unseen",
+     "a runtime message flow (from --flow-log) that no send site in the "
+     "static skeleton explains"},
+    {"typestate:spill-write-after-read",
+     "SpillFile append_block after for_each_block started streaming — the "
+     "protocol is open, write*, read*, close"},
+    {"typestate:use-after-release",
+     "MemoryLease set/charged on a path where release() already ran"},
+    {"typestate:warm-test-before-begin",
+     "SparseRankTester warm elementarity test with no begin_iteration "
+     "staged for the current iteration on any path"},
+    {"typestate:discarded-token",
+     "Watchdog::arm result discarded — the temporary Token disarms "
+     "immediately"},
+    {"typestate:repair-before-resume",
+     "load_checkpoint for a resume without repair_checkpoint first — a "
+     "damaged tail silently truncates the resume set"},
+    {"baseline:stale",
+     "a baseline entry that no longer fires — prune it so it cannot mask a "
+     "regression at the same key"},
+};
+
+const char* rule_full_description(const std::string& id) {
+  for (const RuleDoc& doc : kRuleDocs) {
+    if (id == doc.id) return doc.full;
+  }
+  return nullptr;
+}
+
+std::string rule_help_uri(const std::string& id) {
+  const std::size_t colon = id.find(':');
+  const std::string pass = colon == std::string::npos ? id : id.substr(0, colon);
+  const std::string rule =
+      colon == std::string::npos ? id : id.substr(colon + 1);
+  return "https://elmo-analyze.invalid/rules/" + pass + "#" + rule;
+}
+
 }  // namespace
 
 std::string Finding::key() const {
@@ -151,9 +262,13 @@ void write_sarif(std::ostream& out, const std::vector<Finding>& findings) {
       << "          \"rules\": [";
   for (std::size_t i = 0; i < rule_ids.size(); ++i) {
     out << (i == 0 ? "\n" : ",\n");
+    const char* full = rule_full_description(rule_ids[i]);
     out << "            {\"id\": \"" << json_escape(rule_ids[i])
         << "\", \"shortDescription\": {\"text\": \""
-        << json_escape(rule_ids[i]) << "\"}}";
+        << json_escape(rule_ids[i]) << "\"}, \"fullDescription\": {\"text\": \""
+        << json_escape(full != nullptr ? full : rule_ids[i].c_str())
+        << "\"}, \"helpUri\": \"" << json_escape(rule_help_uri(rule_ids[i]))
+        << "\"}";
   }
   out << (rule_ids.empty() ? "" : "\n          ") << "]\n"
       << "        }\n"

@@ -22,6 +22,61 @@ const char* const kMultiOps[] = {
     "|=",  "^=",  "++",  "--",
 };
 
+bool raw_string_prefix(const std::string& ident) {
+  return ident == "R" || ident == "uR" || ident == "UR" || ident == "LR" ||
+         ident == "u8R";
+}
+
+// `quote` indexes the '"' of R"delim( ... )delim".  Returns the index just
+// past the closing quote (std::string::npos when the opener is not a valid
+// raw string), bumping `line` for every newline the body spans.  The
+// d-char-seq bound matches strip_noncode's: at most 16 characters, none of
+// them parentheses, backslashes, quotes or whitespace.
+std::size_t skip_raw_string(const std::string& text, std::size_t quote,
+                            std::size_t& line) {
+  std::size_t open = std::string::npos;
+  for (std::size_t j = quote + 1;
+       j < text.size() && j <= quote + 1 + 16; ++j) {
+    const char d = text[j];
+    if (d == '(') {
+      open = j;
+      break;
+    }
+    if (d == ')' || d == '"' || d == '\\' ||
+        std::isspace(static_cast<unsigned char>(d)) != 0) {
+      return std::string::npos;
+    }
+  }
+  if (open == std::string::npos) return std::string::npos;
+  const std::string terminator =
+      ")" + text.substr(quote + 1, open - (quote + 1)) + "\"";
+  std::size_t end = text.find(terminator, open + 1);
+  const std::size_t stop =
+      end == std::string::npos ? text.size() : end + terminator.size();
+  for (std::size_t j = quote; j < stop && j < text.size(); ++j) {
+    if (text[j] == '\n') ++line;
+  }
+  return stop;
+}
+
+// `quote` indexes the opening '"' or '\''.  Returns the index just past
+// the closing quote, or past the newline/EOF that cut the literal short.
+std::size_t skip_quoted(const std::string& text, std::size_t quote) {
+  const char close = text[quote];
+  std::size_t j = quote + 1;
+  while (j < text.size()) {
+    const char c = text[j];
+    if (c == '\\' && j + 1 < text.size() && text[j + 1] != '\n') {
+      j += 2;
+      continue;
+    }
+    if (c == close) return j + 1;
+    if (c == '\n') return j;  // unterminated: let the caller count the line
+    ++j;
+  }
+  return j;
+}
+
 }  // namespace
 
 std::vector<Token> lex(const std::string& stripped) {
@@ -63,10 +118,31 @@ std::vector<Token> lex(const std::string& stripped) {
       }
       continue;
     }
+    // String/char literals normally never reach the lexer — the passes
+    // feed stripped text — but unit-level callers (and any future pass
+    // lexing raw lines) must not have literal bodies leak through as
+    // tokens: `R"(send()"` would otherwise emit a phantom `send(`.  The
+    // digit-separator guard mirrors the stripper: `1'000` keeps its `'`
+    // in stripped text and must stay a number + punctuation.
+    if (c == '"' ||
+        (c == '\'' &&
+         (i == 0 ||
+          std::isdigit(static_cast<unsigned char>(stripped[i - 1])) == 0))) {
+      i = skip_quoted(stripped, i);
+      continue;
+    }
     if (ident_start(c)) {
       std::size_t j = i + 1;
       while (j < n && ident_char(stripped[j])) ++j;
-      toks.push_back({Token::Kind::kIdent, stripped.substr(i, j - i), line});
+      std::string text = stripped.substr(i, j - i);
+      if (j < n && stripped[j] == '"' && raw_string_prefix(text)) {
+        const std::size_t after = skip_raw_string(stripped, j, line);
+        if (after != std::string::npos) {
+          i = after;
+          continue;
+        }
+      }
+      toks.push_back({Token::Kind::kIdent, std::move(text), line});
       i = j;
       continue;
     }

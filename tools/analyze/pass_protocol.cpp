@@ -1,0 +1,611 @@
+// elmo_analyze — communication-protocol pass.
+//
+// Extracts a per-role communication skeleton from every mpsim call site
+// (`comm.send(dst, tag, payload)`, `comm.recv(src, tag)`, `barrier`,
+// `all_gather`, `all_reduce_*` spelled as member calls), together with the
+// rank-conditional context each site executes under (`if (rank == 0)`,
+// `else if (move.to == rank)`, loops), and verifies the skeleton:
+//
+//   tag-mismatch           a send whose tag can match no recv anywhere in
+//                          the project — the message is never consumed
+//   orphan-recv            a recv whose tag can match no send — the
+//                          receiving rank would block forever
+//   peer-mismatch          a recv naming a constant source S (or a send
+//                          naming a constant destination D) whose every
+//                          tag-compatible counterpart provably runs on a
+//                          different rank (`if (rank == K)` with K != S)
+//   collective-divergence  a barrier / all_gather / all_reduce under a
+//                          rank-dependent branch: a subset of ranks
+//                          entering a collective deadlocks the world
+//   recv-before-send       an unguarded recv textually preceding its only
+//                          matching send in the same function — every rank
+//                          blocks in the recv before any rank can send
+//                          (static deadlock candidate)
+//   flow-unseen            (only with --flow-log=FILE) a runtime flow
+//                          event from a PR-7 Chrome trace with no
+//                          compatible static send/collective site — the
+//                          skeleton is missing something the traced run
+//                          exercised
+//
+// Tag and peer expressions are modeled as integer constants when literal,
+// otherwise as normalized token text; two non-constant expressions are
+// always considered compatible (bias toward silence — only provable
+// mismatches fire).  Escapes: `// analyze:protocol-ok` on the offending or
+// preceding raw line (mirroring analyze:shared-ok), or lint:allow(<rule>).
+
+#include <algorithm>
+#include <cstdlib>
+#include <fstream>
+#include <optional>
+#include <sstream>
+
+#include "analyze/analyzer.hpp"
+#include "analyze/callgraph.hpp"
+
+namespace elmo_analyze {
+
+namespace {
+
+constexpr std::size_t npos = CallGraph::npos;
+
+bool is_collective(const std::string& s) {
+  return s == "barrier" || s == "all_gather" || s == "all_reduce_sum" ||
+         s == "all_reduce_max";
+}
+
+bool is_comm_op(const std::string& s) {
+  return s == "send" || s == "recv" || is_collective(s);
+}
+
+/// Identifier names that mean "this rank's identity" in a condition.
+bool is_rank_name(const std::string& s) {
+  return s == "rank" || s == "my_rank" || s == "world_rank" ||
+         s == "rank_id";
+}
+
+/// The `// analyze:protocol-ok` escape lives on the raw line (or the one
+/// above) like analyze:shared-ok does.
+bool protocol_ok(const SourceFile& f, std::size_t line) {
+  for (std::size_t l = line; l + 1 >= line && l > 0; --l) {
+    if (l - 1 < f.raw_lines.size() &&
+        f.raw_lines[l - 1].find("analyze:protocol-ok") != std::string::npos) {
+      return true;
+    }
+    if (l == 1) break;
+  }
+  return false;
+}
+
+/// A peer or tag argument: an integer constant when the expression is a
+/// single literal, otherwise its normalized (whitespace-free) token text.
+struct ExprModel {
+  bool is_const = false;
+  long long value = 0;
+  std::string text;
+
+  [[nodiscard]] std::string display() const {
+    return is_const ? std::to_string(value) : text;
+  }
+};
+
+/// Two expressions can denote the same integer unless both are literals
+/// with different values — only provable mismatches count.
+bool compatible(const ExprModel& a, const ExprModel& b) {
+  if (a.is_const && b.is_const) return a.value == b.value;
+  return true;
+}
+
+ExprModel model_expr(const std::vector<Token>& toks, std::size_t begin,
+                     std::size_t end) {
+  ExprModel m;
+  if (end == begin + 1 && toks[begin].kind == Token::Kind::kNumber) {
+    char* rest = nullptr;
+    const long long v = std::strtoll(toks[begin].text.c_str(), &rest, 0);
+    if (rest != nullptr && *rest == '\0') {
+      m.is_const = true;
+      m.value = v;
+      m.text = toks[begin].text;
+      return m;
+    }
+  }
+  for (std::size_t i = begin; i < end; ++i) m.text += toks[i].text;
+  return m;
+}
+
+/// One rank-conditional context: a branch condition the site sits under.
+struct CondInfo {
+  bool rank_dep = false;  // mentions the executing rank's identity
+  bool eq_known = false;  // pins `rank == K` (no `||` weakening it)
+  long long eq_rank = 0;
+  std::string text;  // for messages
+};
+
+CondInfo parse_cond(const std::vector<Token>& toks, std::size_t begin,
+                    std::size_t end) {
+  CondInfo c;
+  bool has_or = false;
+  for (std::size_t i = begin; i < end; ++i) {
+    const Token& t = toks[i];
+    if (t.is("||")) has_or = true;
+    if (t.ident() && is_rank_name(t.text)) {
+      c.rank_dep = true;
+      // `rank == 7` / `7 == rank`: a provable rank pin.
+      if (i + 2 < end && toks[i + 1].is("==") &&
+          toks[i + 2].kind == Token::Kind::kNumber) {
+        c.eq_known = true;
+        c.eq_rank = std::strtoll(toks[i + 2].text.c_str(), nullptr, 0);
+      } else if (i >= begin + 2 && toks[i - 1].is("==") &&
+                 toks[i - 2].kind == Token::Kind::kNumber) {
+        c.eq_known = true;
+        c.eq_rank = std::strtoll(toks[i - 2].text.c_str(), nullptr, 0);
+      }
+    }
+    if (!c.text.empty()) c.text += ' ';
+    c.text += t.text;
+  }
+  if (has_or) c.eq_known = false;  // the pin only holds on one disjunct
+  return c;
+}
+
+/// A communication call site plus its extracted skeleton entry.
+struct CommSite {
+  enum class Kind { kSend, kRecv, kCollective };
+  Kind kind = Kind::kCollective;
+  std::string op;       // send / recv / barrier / all_gather / ...
+  std::size_t fn = npos;
+  std::size_t file = 0;
+  std::size_t line = 0;
+  std::size_t tok = 0;
+  ExprModel peer;  // send destination / recv source
+  ExprModel tag;
+  bool has_args = false;  // peer/tag extracted successfully
+  // Rank-conditional context.
+  bool rank_guarded = false;
+  bool eq_known = false;
+  long long eq_rank = 0;
+  std::string guard_text;
+};
+
+struct ProtocolPass {
+  const Project& project;
+  const Options& opts;
+  std::vector<Finding>& findings;
+  CallGraph cg;
+  std::vector<CommSite> sites;
+
+  void collect_sites();
+  void compute_guards(std::size_t fn_idx, std::vector<CommSite*>& fn_sites);
+  void check_pairing();
+  void check_collectives();
+  void check_ordering();
+  void cross_check_flow_log();
+  void flag(const CommSite& site, const std::string& rule,
+            const std::string& message);
+};
+
+void ProtocolPass::flag(const CommSite& site, const std::string& rule,
+                        const std::string& message) {
+  const SourceFile& file = project.files[site.file];
+  if (protocol_ok(file, site.line)) return;
+  if (file.allows(site.line, rule)) return;
+  Finding finding;
+  finding.pass = "protocol";
+  finding.rule = rule;
+  finding.file = file.path;
+  finding.line = site.line;
+  finding.message = message;
+  findings.push_back(std::move(finding));
+}
+
+void ProtocolPass::collect_sites() {
+  // Member calls only: `comm.send(...)` / `communicator->recv(...)`.
+  // Free-function or `Class::op` spellings are the mpsim implementation
+  // itself, not protocol roles.
+  std::map<std::size_t, std::vector<CommSite*>> by_fn;
+  for (const CallRef& call : cg.calls) {
+    if (!call.member || call.caller == npos) continue;
+    if (!is_comm_op(call.callee)) continue;
+    const std::vector<Token>& toks = cg.file_tokens[call.file];
+    CommSite site;
+    site.op = call.callee;
+    site.kind = call.callee == "send"   ? CommSite::Kind::kSend
+                : call.callee == "recv" ? CommSite::Kind::kRecv
+                                        : CommSite::Kind::kCollective;
+    site.fn = call.caller;
+    site.file = call.file;
+    site.line = call.line;
+    site.tok = call.tok;
+    if (site.kind != CommSite::Kind::kCollective &&
+        call.tok + 1 < toks.size() && toks[call.tok + 1].is("(")) {
+      const std::size_t close = match_forward(toks, call.tok + 1);
+      if (close != npos) {
+        // Split the argument list at top-level commas; send needs at
+        // least (dst, tag, payload), recv exactly (src, tag).
+        std::vector<std::pair<std::size_t, std::size_t>> args;
+        std::size_t begin = call.tok + 2;
+        int depth = 0;
+        for (std::size_t i = begin; i < close; ++i) {
+          if (toks[i].is("(") || toks[i].is("[") || toks[i].is("{")) ++depth;
+          if (toks[i].is(")") || toks[i].is("]") || toks[i].is("}")) --depth;
+          if (depth == 0 && toks[i].is(",")) {
+            args.emplace_back(begin, i);
+            begin = i + 1;
+          }
+        }
+        if (begin < close) args.emplace_back(begin, close);
+        const std::size_t need =
+            site.kind == CommSite::Kind::kSend ? 3 : 2;
+        if (args.size() >= need) {
+          site.peer = model_expr(toks, args[0].first, args[0].second);
+          site.tag = model_expr(toks, args[1].first, args[1].second);
+          site.has_args = !site.peer.text.empty() && !site.tag.text.empty();
+        }
+      }
+    }
+    sites.push_back(site);
+  }
+  for (CommSite& s : sites) by_fn[s.fn].push_back(&s);
+  for (auto& [fn_idx, fn_sites] : by_fn) compute_guards(fn_idx, fn_sites);
+}
+
+/// Walk `fn`'s body once, maintaining the stack of branch conditions each
+/// token executes under, and stamp every site in `fn_sites` (sorted by
+/// token index) with its rank-conditional context.  Handles `if (...) {`,
+/// `} else {`, `} else if (...) {`, braceless bodies (`if (c) stmt;`) and
+/// loop headers; `else` branches of a rank-guard stay rank-dependent (the
+/// rank set is the complement) but lose any `rank == K` pin.
+void ProtocolPass::compute_guards(std::size_t fn_idx,
+                                  std::vector<CommSite*>& fn_sites) {
+  const FnDef& f = cg.fns[fn_idx];
+  if (f.body_end <= f.body_begin) return;
+  const std::vector<Token>& toks = cg.file_tokens[f.file];
+  std::sort(fn_sites.begin(), fn_sites.end(),
+            [](const CommSite* a, const CommSite* b) {
+              return a->tok < b->tok;
+            });
+  std::vector<std::optional<CondInfo>> brace_stack;
+  struct Braceless {
+    CondInfo cond;
+    std::size_t begin;
+    std::size_t end;
+  };
+  std::vector<Braceless> braceless;
+  std::optional<CondInfo> pending;      // condition awaiting its '{'
+  std::optional<CondInfo> last_closed;  // popped at the latest '}'
+  bool else_chain = false;              // `else if` inherits rank_dep
+  std::size_t next_site = 0;
+
+  auto stamp_through = [&](std::size_t tok_idx) {
+    while (next_site < fn_sites.size() && fn_sites[next_site]->tok <= tok_idx) {
+      CommSite* s = fn_sites[next_site++];
+      for (const auto& cond : brace_stack) {
+        if (!cond || !cond->rank_dep) continue;
+        s->rank_guarded = true;
+        s->guard_text = cond->text;
+        if (cond->eq_known) {
+          s->eq_known = true;
+          s->eq_rank = cond->eq_rank;
+        }
+      }
+      for (const Braceless& b : braceless) {
+        if (s->tok <= b.begin || s->tok >= b.end || !b.cond.rank_dep)
+          continue;
+        s->rank_guarded = true;
+        s->guard_text = b.cond.text;
+        if (b.cond.eq_known) {
+          s->eq_known = true;
+          s->eq_rank = b.cond.eq_rank;
+        }
+      }
+    }
+  };
+
+  for (std::size_t i = f.body_begin + 1; i < f.body_end; ++i) {
+    stamp_through(i);
+    const Token& t = toks[i];
+    if (t.is("{")) {
+      brace_stack.push_back(pending);
+      pending.reset();
+      continue;
+    }
+    if (t.is("}")) {
+      if (!brace_stack.empty()) {
+        last_closed = brace_stack.back();
+        brace_stack.pop_back();
+      }
+      continue;
+    }
+    if (t.ident() && (t.text == "if" || t.text == "while" || t.text == "for" ||
+                      t.text == "switch")) {
+      if (i + 1 >= f.body_end || !toks[i + 1].is("(")) continue;
+      const std::size_t close = match_forward(toks, i + 1);
+      if (close == npos || close >= f.body_end) continue;
+      CondInfo cond = parse_cond(toks, i + 2, close);
+      if (t.text != "if") cond.eq_known = false;  // loop headers never pin
+      if (else_chain && last_closed && last_closed->rank_dep) {
+        cond.rank_dep = true;  // chained branch of a rank guard
+        cond.eq_known = cond.eq_known && false;
+      }
+      else_chain = false;
+      if (close + 1 < f.body_end && toks[close + 1].is("{")) {
+        pending = cond;
+      } else {
+        // Braceless body: active until the statement's terminating ';'.
+        int depth = 0;
+        std::size_t j = close + 1;
+        for (; j < f.body_end; ++j) {
+          if (toks[j].is("(") || toks[j].is("[")) ++depth;
+          if (toks[j].is(")") || toks[j].is("]")) --depth;
+          if (toks[j].is("{") || (toks[j].is(";") && depth == 0)) break;
+        }
+        braceless.push_back({cond, close, j});
+      }
+      stamp_through(close);
+      i = close;
+      continue;
+    }
+    if (t.ident() && t.text == "else") {
+      if (i + 1 < f.body_end && toks[i + 1].ident() &&
+          toks[i + 1].text == "if") {
+        else_chain = true;
+        continue;
+      }
+      CondInfo inherited;
+      if (last_closed && last_closed->rank_dep) {
+        inherited.rank_dep = true;
+        inherited.text = "!(" + last_closed->text + ")";
+      }
+      if (i + 1 < f.body_end && toks[i + 1].is("{")) {
+        pending = inherited.rank_dep ? std::optional<CondInfo>(inherited)
+                                     : std::nullopt;
+      } else if (inherited.rank_dep) {
+        int depth = 0;
+        std::size_t j = i + 1;
+        for (; j < f.body_end; ++j) {
+          if (toks[j].is("(") || toks[j].is("[")) ++depth;
+          if (toks[j].is(")") || toks[j].is("]")) --depth;
+          if (toks[j].is("{") || (toks[j].is(";") && depth == 0)) break;
+        }
+        braceless.push_back({inherited, i, j});
+      }
+      continue;
+    }
+  }
+  stamp_through(f.body_end);
+}
+
+void ProtocolPass::check_pairing() {
+  std::vector<const CommSite*> sends;
+  std::vector<const CommSite*> recvs;
+  for (const CommSite& s : sites) {
+    if (s.kind == CommSite::Kind::kSend && s.has_args) sends.push_back(&s);
+    if (s.kind == CommSite::Kind::kRecv && s.has_args) recvs.push_back(&s);
+  }
+  for (const CommSite* s : sends) {
+    bool consumed = false;
+    for (const CommSite* r : recvs) {
+      if (compatible(s->tag, r->tag)) {
+        consumed = true;
+        break;
+      }
+    }
+    if (!consumed) {
+      flag(*s, "tag-mismatch",
+           "send with tag " + s->tag.display() +
+               " matches no recv in the project (unconsumed tag) — the "
+               "message is posted but never drained; pair it with a recv "
+               "or annotate analyze:protocol-ok");
+    }
+  }
+  for (const CommSite* r : recvs) {
+    bool fed = false;
+    for (const CommSite* s : sends) {
+      if (compatible(s->tag, r->tag)) {
+        fed = true;
+        break;
+      }
+    }
+    if (!fed) {
+      flag(*r, "orphan-recv",
+           "recv expecting tag " + r->tag.display() +
+               " matches no send in the project — the receiving rank "
+               "blocks forever; pair it with a send or annotate "
+               "analyze:protocol-ok");
+    }
+  }
+  // Peer compatibility: a constant peer on one side checked against the
+  // provable rank pins of every tag-compatible counterpart.  All
+  // counterparts must carry a pin for the mismatch to be provable.
+  for (const CommSite* r : recvs) {
+    if (!r->peer.is_const) continue;
+    bool any = false;
+    bool all_pinned = true;
+    bool reachable = false;
+    for (const CommSite* s : sends) {
+      if (!compatible(s->tag, r->tag)) continue;
+      any = true;
+      if (!s->eq_known) {
+        all_pinned = false;
+        break;
+      }
+      if (s->eq_rank == r->peer.value) reachable = true;
+    }
+    if (any && all_pinned && !reachable) {
+      flag(*r, "peer-mismatch",
+           "recv expects source rank " + r->peer.display() + " for tag " +
+               r->tag.display() +
+               " but every matching send is pinned to a different rank — "
+               "the message can never arrive from that peer");
+    }
+  }
+  for (const CommSite* s : sends) {
+    if (!s->peer.is_const) continue;
+    bool any = false;
+    bool all_pinned = true;
+    bool reachable = false;
+    for (const CommSite* r : recvs) {
+      if (!compatible(s->tag, r->tag)) continue;
+      any = true;
+      if (!r->eq_known) {
+        all_pinned = false;
+        break;
+      }
+      if (r->eq_rank == s->peer.value) reachable = true;
+    }
+    if (any && all_pinned && !reachable) {
+      flag(*s, "peer-mismatch",
+           "send targets rank " + s->peer.display() + " for tag " +
+               s->tag.display() +
+               " but every matching recv is pinned to a different rank — "
+               "no role ever consumes it there");
+    }
+  }
+}
+
+void ProtocolPass::check_collectives() {
+  for (const CommSite& s : sites) {
+    if (s.kind != CommSite::Kind::kCollective || !s.rank_guarded) continue;
+    flag(s, "collective-divergence",
+         "collective '" + s.op + "' sits under the rank-dependent branch (" +
+             s.guard_text +
+             ") — a subset of ranks entering a collective deadlocks the "
+             "world; hoist it or annotate analyze:protocol-ok if every "
+             "rank provably takes this path");
+  }
+}
+
+void ProtocolPass::check_ordering() {
+  // Static deadlock candidate: inside one function, an unguarded recv
+  // whose matching sends all come later (and are equally unguarded) means
+  // every rank blocks in the recv before any rank reaches the send.  A
+  // rank guard on either site breaks the symmetry and silences the rule.
+  for (const CommSite& r : sites) {
+    if (r.kind != CommSite::Kind::kRecv || !r.has_args || r.rank_guarded)
+      continue;
+    bool matching_in_fn = false;
+    bool all_later = true;
+    for (const CommSite& s : sites) {
+      if (s.kind != CommSite::Kind::kSend || !s.has_args || s.fn != r.fn)
+        continue;
+      if (!compatible(s.tag, r.tag)) continue;
+      matching_in_fn = true;
+      if (s.rank_guarded || s.tok < r.tok) all_later = false;
+    }
+    if (matching_in_fn && all_later) {
+      flag(r, "recv-before-send",
+           "recv of tag " + r.tag.display() +
+               " precedes every matching send in '" + cg.fns[r.fn].qname +
+               "' with no rank guard distinguishing the roles — all ranks "
+               "block in the recv before any rank can send (static "
+               "deadlock candidate)");
+    }
+  }
+}
+
+void ProtocolPass::cross_check_flow_log() {
+  std::ifstream in(opts.flow_log_path, std::ios::binary);
+  if (!in) {
+    Finding finding;
+    finding.pass = "protocol";
+    finding.rule = "flow-unseen";
+    finding.file = opts.flow_log_path;
+    finding.line = 0;
+    finding.message = "cannot read flow log";
+    findings.push_back(std::move(finding));
+    return;
+  }
+  std::ostringstream buffer;
+  buffer << in.rdbuf();
+  const std::string log = buffer.str();
+
+  bool have_collective = false;
+  std::vector<const CommSite*> sends;
+  for (const CommSite& s : sites) {
+    if (s.kind == CommSite::Kind::kCollective) have_collective = true;
+    if (s.kind == CommSite::Kind::kSend && s.has_args) sends.push_back(&s);
+  }
+
+  // Chrome trace flow events: `"ph":"s"` openers named "msg" (p2p, the
+  // detail carries `tag=N`) or "gather" (collective rounds).  Flow events
+  // carry no source location, so coverage is matched on shape: a p2p flow
+  // is covered when some static send site's tag model can equal its tag;
+  // a gather flow when any collective site exists at all.
+  std::set<std::string> emitted;
+  std::size_t pos = 0;
+  while ((pos = log.find("\"ph\":\"s\"", pos)) != std::string::npos) {
+    const std::size_t obj = log.rfind("{\"name\":\"", pos);
+    pos += 8;
+    if (obj == std::string::npos) continue;
+    const std::size_t name_begin = obj + 9;
+    const std::size_t name_end = log.find('"', name_begin);
+    if (name_end == std::string::npos) continue;
+    const std::string name = log.substr(name_begin, name_end - name_begin);
+    // The event's args.detail sits between this opener and the next event.
+    const std::size_t next_obj = log.find("{\"name\":\"", pos);
+    const std::size_t detail_key = log.find("\"detail\":\"", pos);
+    std::string detail;
+    if (detail_key != std::string::npos &&
+        (next_obj == std::string::npos || detail_key < next_obj)) {
+      const std::size_t detail_begin = detail_key + 10;
+      const std::size_t detail_end = log.find('"', detail_begin);
+      if (detail_end != std::string::npos) {
+        detail = log.substr(detail_begin, detail_end - detail_begin);
+      }
+    }
+    if (name == "msg") {
+      const std::size_t tag_pos = detail.find("tag=");
+      if (tag_pos == std::string::npos) continue;
+      const long long tag =
+          std::strtoll(detail.c_str() + tag_pos + 4, nullptr, 10);
+      ExprModel runtime_tag;
+      runtime_tag.is_const = true;
+      runtime_tag.value = tag;
+      bool covered = false;
+      for (const CommSite* s : sends) {
+        if (compatible(s->tag, runtime_tag)) {
+          covered = true;
+          break;
+        }
+      }
+      if (covered) continue;
+      if (!emitted.insert("msg:" + std::to_string(tag)).second) continue;
+      Finding finding;
+      finding.pass = "protocol";
+      finding.rule = "flow-unseen";
+      finding.file = opts.flow_log_path;
+      finding.line = 0;
+      finding.message =
+          "traced run carried a p2p message with tag " + std::to_string(tag) +
+          " but no static send site can produce it — the protocol skeleton "
+          "is missing a site the runtime exercised";
+      findings.push_back(std::move(finding));
+    } else if (name == "gather") {
+      if (have_collective) continue;
+      if (!emitted.insert("gather").second) continue;
+      Finding finding;
+      finding.pass = "protocol";
+      finding.rule = "flow-unseen";
+      finding.file = opts.flow_log_path;
+      finding.line = 0;
+      finding.message =
+          "traced run carried collective gather flows but the static "
+          "skeleton holds no collective site — the protocol skeleton is "
+          "missing a site the runtime exercised";
+      findings.push_back(std::move(finding));
+    }
+  }
+}
+
+}  // namespace
+
+void pass_protocol(const Project& project, const Options& opts,
+                   std::vector<Finding>& findings) {
+  ProtocolPass pass{project, opts, findings, build_callgraph(project), {}};
+  pass.collect_sites();
+  pass.check_pairing();
+  pass.check_collectives();
+  pass.check_ordering();
+  if (!opts.flow_log_path.empty()) pass.cross_check_flow_log();
+}
+
+}  // namespace elmo_analyze

@@ -33,8 +33,25 @@ std::string strip_noncode(const std::string& text) {
                    (i == 0 || (!std::isalnum(static_cast<unsigned char>(
                                    text[i - 1])) &&
                                text[i - 1] != '_'))) {
-          // Raw string: R"delim( ... )delim"
-          std::size_t open = text.find('(', i + 2);
+          // Raw string: R"delim( ... )delim".  The d-char-seq is at most
+          // 16 characters and may not contain parentheses, backslashes,
+          // quotes or whitespace — searching for '(' without that bound
+          // could cross the literal's own closing quote (or a newline) on
+          // a malformed opener, manufacture a garbage terminator, and
+          // swallow every line of real code up to its accidental match.
+          std::size_t open = std::string::npos;
+          for (std::size_t j = i + 2; j < text.size() && j <= i + 2 + 16;
+               ++j) {
+            const char d = text[j];
+            if (d == '(') {
+              open = j;
+              break;
+            }
+            if (d == ')' || d == '"' || d == '\\' ||
+                std::isspace(static_cast<unsigned char>(d)) != 0) {
+              break;  // not a valid d-char: this is no raw string
+            }
+          }
           if (open != std::string::npos) {
             raw_terminator = ")" + text.substr(i + 2, open - (i + 2)) + "\"";
             for (std::size_t j = i; j <= open && j < text.size(); ++j) {
@@ -42,6 +59,13 @@ std::string strip_noncode(const std::string& text) {
             }
             i = open;
             state = State::kRawString;
+          } else {
+            // Invalid opener: treat the quote as an ordinary string so the
+            // following characters cannot leak through as code.
+            out[i] = ' ';
+            out[i + 1] = ' ';
+            ++i;
+            state = State::kString;
           }
         } else if (c == '"') {
           state = State::kString;
